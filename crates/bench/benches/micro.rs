@@ -1,0 +1,169 @@
+//! Microbenchmarks of the mechanism's hot paths: wire codec, log
+//! operations, delta composition, and the pure rollback planners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mar_core::comp::{CompOp, EntryKind};
+use mar_core::log::{BosEntry, EosEntry, LogEntry, OpEntry};
+use mar_core::{
+    compensation_round, AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode, SroDelta,
+};
+use mar_itinerary::samples;
+use mar_wire::Value;
+
+fn sample_value(n: usize) -> Value {
+    Value::map((0..n).map(|i| {
+        (
+            format!("key{i:03}"),
+            Value::list([
+                Value::from(i as i64),
+                Value::from("payload"),
+                Value::Bytes(vec![0xAB; 32]),
+            ]),
+        )
+    }))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    for n in [4usize, 64] {
+        let v = sample_value(n);
+        let bytes = mar_wire::to_bytes(&v).unwrap();
+        g.bench_with_input(BenchmarkId::new("encode", n), &v, |b, v| {
+            b.iter(|| mar_wire::to_bytes(black_box(v)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| mar_wire::from_slice::<Value>(black_box(bytes)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Builds a record with `depth` committed steps worth of log entries.
+fn record_with_log(depth: usize) -> (AgentRecord, mar_core::SavepointId) {
+    let mut data = DataSpace::new();
+    data.set_sro("notes", Value::Bytes(vec![0; 512]));
+    let mut rec = AgentRecord::new(
+        AgentId(1),
+        "bench",
+        0,
+        data,
+        samples::linear(depth.max(1), &[1, 2, 3]),
+        LoggingMode::State,
+        RollbackMode::Optimized,
+    );
+    let cursor = rec.cursor.clone();
+    let sp = rec
+        .table
+        .on_enter_sub("S", &mut rec.data, &cursor, &mut rec.log, LoggingMode::State);
+    for i in 0..depth {
+        let seq = i as u64;
+        rec.log.push(LogEntry::BeginOfStep(BosEntry {
+            node: (i % 3) as u32 + 1,
+            step_seq: seq,
+            method: format!("m{i}"),
+        }));
+        for k in 0..2 {
+            rec.log.push(LogEntry::Operation(OpEntry {
+                kind: if k == 0 { EntryKind::Resource } else { EntryKind::Agent },
+                op: CompOp::new(
+                    "bank.undo_transfer",
+                    Value::map([("amount", Value::from(10i64))]),
+                ),
+                step_seq: seq,
+            }));
+        }
+        rec.log.push(LogEntry::EndOfStep(EosEntry {
+            node: (i % 3) as u32 + 1,
+            step_seq: seq,
+            method: format!("m{i}"),
+            has_mixed: false,
+            alt_nodes: vec![],
+        }));
+        rec.step_seq += 1;
+        rec.table.on_step_committed();
+    }
+    (rec, sp)
+}
+
+fn bench_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log");
+    g.bench_function("push_pop_step", |b| {
+        let (mut rec, _) = record_with_log(0);
+        b.iter(|| {
+            rec.log.push(LogEntry::BeginOfStep(BosEntry {
+                node: 1,
+                step_seq: 0,
+                method: "m".into(),
+            }));
+            rec.log.push(LogEntry::EndOfStep(EosEntry {
+                node: 1,
+                step_seq: 0,
+                method: "m".into(),
+                has_mixed: false,
+                alt_nodes: vec![],
+            }));
+            rec.log.pop();
+            rec.log.pop();
+        })
+    });
+    for depth in [8usize, 64] {
+        let (rec, _) = record_with_log(depth);
+        g.bench_with_input(
+            BenchmarkId::new("encode_record", depth),
+            &rec,
+            |b, rec| b.iter(|| rec.to_bytes().unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    for depth in [4usize, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("full_rollback_plan", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || record_with_log(depth),
+                    |(mut rec, sp)| {
+                        loop {
+                            let round = compensation_round(&mut rec, sp).unwrap();
+                            if matches!(round.after, mar_core::AfterRound::Reached(_)) {
+                                break;
+                            }
+                        }
+                        rec
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sro_delta");
+    let mk = |offset: i64| -> mar_core::ObjectMap {
+        (0..64)
+            .map(|i| (format!("k{i:02}"), Value::from(i as i64 + offset)))
+            .collect()
+    };
+    let a = mk(0);
+    let b = mk(7);
+    let d1 = SroDelta::diff(&a, &b);
+    let d2 = SroDelta::diff(&b, &a);
+    g.bench_function("diff_64_keys", |bch| {
+        bch.iter(|| SroDelta::diff(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("compose", |bch| {
+        bch.iter(|| black_box(&d1).compose(black_box(&d2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_log, bench_planner, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,305 @@
+//! Benchmark scenarios shared by the criterion benches and the experiment
+//! report binary. Everything here is deterministic per seed.
+
+use mar_core::{AgentId, LoggingMode, RollbackMode, RollbackScope};
+use mar_itinerary::{Itinerary, ItineraryBuilder};
+use mar_platform::{
+    AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
+};
+use mar_resources::{comp_convert_back, comp_undo_transfer, BankRm, ExchangeRm};
+use mar_simnet::{LatencyModel, MetricsSnapshot, NodeId, SimDuration};
+use mar_txn::{RmRegistry, TxnError};
+use mar_wire::Value;
+
+/// What a step of the benchmark agent does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Resource-only work: ledger transfer + RCE.
+    Rce,
+    /// Currency exchange against the wallet: logs a mixed entry.
+    Mixed,
+    /// SRO-only information gathering: pads the `notes` SRO with `usize`
+    /// bytes, logging no compensating operations at all.
+    Sro(usize),
+    /// Triggers one rollback of the current sub on first execution.
+    RollbackOnce,
+}
+
+/// The benchmark agent: executes [`StepKind`]s encoded into step names
+/// (`"rce#i"`, `"mixed#i"`, `"sro:1024#i"`, `"rollback#i"`).
+pub struct BenchAgent;
+
+impl AgentBehavior for BenchAgent {
+    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+        let base = method.split('#').next().unwrap_or(method);
+        if let Some(size) = base.strip_prefix("sro:") {
+            let size: usize = size.parse().unwrap_or(0);
+            ctx.sro_push("notes", Value::Bytes(vec![0xA5; size]));
+            return Ok(StepDecision::Continue);
+        }
+        match base {
+            "rce" => {
+                ctx.call(
+                    "ledger",
+                    "transfer",
+                    &Value::map([
+                        ("from", Value::from("reserve")),
+                        ("to", Value::from("sink")),
+                        ("amount", Value::from(5i64)),
+                    ]),
+                )?;
+                ctx.compensate(comp_undo_transfer("ledger", "reserve", "sink", 5))?;
+                Ok(StepDecision::Continue)
+            }
+            "mixed" => {
+                let mut wallet =
+                    mar_resources::Wallet::from_value(ctx.wro("wallet").expect("wallet"))
+                        .expect("wallet decodes");
+                wallet.take(2, "USD").map_err(|s| TxnError::Rejected {
+                    resource: "wallet".into(),
+                    reason: format!("short {s}"),
+                })?;
+                let coin_v = ctx.call(
+                    "fx",
+                    "convert",
+                    &Value::map([
+                        ("from", Value::from("USD")),
+                        ("to", Value::from("EUR")),
+                        ("amount", Value::from(2i64)),
+                    ]),
+                )?;
+                let coin = mar_resources::coin_from_value(&coin_v)?;
+                let got = coin.value;
+                wallet.add_coin(coin);
+                ctx.set_wro("wallet", wallet.to_value().unwrap());
+                ctx.compensate(comp_convert_back("fx", "USD", "EUR", got, "wallet"))?;
+                Ok(StepDecision::Continue)
+            }
+            "rollback" => {
+                let rolled = ctx.wro("rolled").and_then(Value::as_bool).unwrap_or(false);
+                if rolled {
+                    Ok(StepDecision::Continue)
+                } else {
+                    ctx.rollback_memo("rolled", Value::Bool(true));
+                    Ok(StepDecision::Rollback(RollbackScope::CurrentSub))
+                }
+            }
+            other => Ok(StepDecision::Fail(format!("unknown step {other}"))),
+        }
+    }
+}
+
+/// A benchmark scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of nodes (node 0 = home, the rest carry resources).
+    pub nodes: u32,
+    /// World seed.
+    pub seed: u64,
+    /// Rollback mechanism.
+    pub mode: RollbackMode,
+    /// SRO capture mode.
+    pub logging: LoggingMode,
+    /// The steps (kind, node) of the single top-level sub-itinerary.
+    pub steps: Vec<(StepKind, u32)>,
+    /// Network latency model.
+    pub latency: LatencyModel,
+}
+
+impl Scenario {
+    /// A rollback scenario: `depth` work steps round-robin over the nodes,
+    /// then one rollback trigger. `mixed_every = Some(k)` makes every k-th
+    /// step a mixed one; `sro_pad` adds that many SRO bytes per step.
+    pub fn rollback(
+        depth: usize,
+        nodes: u32,
+        mixed_every: Option<usize>,
+        sro_pad: usize,
+        mode: RollbackMode,
+        seed: u64,
+    ) -> Scenario {
+        let mut steps = Vec::new();
+        for i in 0..depth {
+            let node = 1 + (i as u32 % (nodes - 1));
+            let kind = match mixed_every {
+                Some(k) if k > 0 && i % k == 0 => StepKind::Mixed,
+                _ if sro_pad > 0 && i % 2 == 1 => StepKind::Sro(sro_pad),
+                _ => StepKind::Rce,
+            };
+            steps.push((kind, node));
+        }
+        steps.push((StepKind::RollbackOnce, 1 + (depth as u32 % (nodes - 1))));
+        Scenario {
+            nodes,
+            seed,
+            mode,
+            logging: LoggingMode::State,
+            steps,
+            latency: LatencyModel::lan(),
+        }
+    }
+
+    /// A forward-only scenario: `depth` steps with `sro_pad` bytes of SRO
+    /// growth per step.
+    pub fn forward(depth: usize, nodes: u32, sro_pad: usize, seed: u64) -> Scenario {
+        let steps = (0..depth)
+            .map(|i| {
+                let node = 1 + (i as u32 % (nodes - 1));
+                if sro_pad > 0 {
+                    (StepKind::Sro(sro_pad), node)
+                } else {
+                    (StepKind::Rce, node)
+                }
+            })
+            .collect();
+        Scenario {
+            nodes,
+            seed,
+            mode: RollbackMode::Optimized,
+            logging: LoggingMode::State,
+            steps,
+            latency: LatencyModel::lan(),
+        }
+    }
+
+    fn itinerary(&self) -> Itinerary {
+        ItineraryBuilder::main("I")
+            .sub("S", |s| {
+                for (i, (kind, node)) in self.steps.iter().enumerate() {
+                    let name = match kind {
+                        StepKind::Rce => format!("rce#{i}"),
+                        StepKind::Mixed => format!("mixed#{i}"),
+                        StepKind::Sro(n) => format!("sro:{n}#{i}"),
+                        StepKind::RollbackOnce => format!("rollback#{i}"),
+                    };
+                    s.step(name, *node);
+                }
+            })
+            .build()
+            .expect("valid scenario itinerary")
+    }
+
+    /// Builds the platform and launches the agent.
+    pub fn start(&self) -> (Platform, AgentId) {
+        let mut b = PlatformBuilder::new(self.nodes as usize)
+            .seed(self.seed)
+            .latency(self.latency)
+            .behavior("bench", BenchAgent);
+        for n in 1..self.nodes {
+            b = b.resources(NodeId(n), move || {
+                let mut rms = RmRegistry::new();
+                rms.register(Box::new(
+                    BankRm::new("ledger", false)
+                        .with_account("sink", 0)
+                        .with_account("reserve", 1_000_000),
+                ));
+                rms.register(Box::new(
+                    ExchangeRm::new("fx")
+                        .with_rate("USD", "EUR", 1, 1)
+                        .with_reserve("USD", 1_000_000)
+                        .with_reserve("EUR", 1_000_000),
+                ));
+                rms
+            });
+        }
+        let mut p = b.build();
+        let mut spec = AgentSpec::new("bench", NodeId(0), self.itinerary());
+        spec.mode = self.mode;
+        spec.logging = self.logging;
+        let wallet = mar_resources::Wallet::with_coins([mar_resources::Coin {
+            serial: "bench-1".into(),
+            value: 1_000,
+            currency: "USD".into(),
+        }]);
+        spec.data.set_wro("wallet", wallet.to_value().unwrap());
+        spec.data.set_sro("notes", Value::list([]));
+        let agent = p.launch(spec);
+        (p, agent)
+    }
+
+    /// Runs the scenario to completion and collects the numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent does not complete (scenarios are constructed to
+    /// succeed; a hang is a bug worth a loud failure).
+    pub fn run(&self) -> RunStats {
+        let (mut p, agent) = self.start();
+        let done = p.run_until_settled(&[agent], SimDuration::from_secs(3_600));
+        assert!(done, "scenario did not settle: {self:?}");
+        let report = p.report(agent).expect("report");
+        assert_eq!(
+            report.outcome,
+            ReportOutcome::Completed,
+            "scenario failed: {self:?}"
+        );
+        RunStats::collect(report.finished_at_us, report.steps_committed, p.snapshot())
+    }
+}
+
+/// The measured quantities of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Virtual completion time in microseconds.
+    pub sim_us: u64,
+    /// Committed steps.
+    pub steps: u64,
+    /// Forward agent transfers.
+    pub transfers_fwd: u64,
+    /// Bytes moved by forward transfers.
+    pub bytes_fwd: u64,
+    /// Rollback agent transfers (the §4.4.1 optimization target).
+    pub transfers_rbk: u64,
+    /// Bytes moved by rollback transfers.
+    pub bytes_rbk: u64,
+    /// RCE lists shipped.
+    pub rce_shipped: u64,
+    /// Bytes of shipped RCE lists.
+    pub rce_bytes: u64,
+    /// Compensation rounds committed.
+    pub rounds: u64,
+    /// Total network bytes sent.
+    pub net_bytes: u64,
+    /// Raw metrics for anything else.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunStats {
+    fn collect(sim_us: u64, steps: u64, m: MetricsSnapshot) -> RunStats {
+        RunStats {
+            sim_us,
+            steps,
+            transfers_fwd: m.counter("agent.transfers.forward"),
+            bytes_fwd: m.counter("agent.transfer_bytes.forward"),
+            transfers_rbk: m.counter("agent.transfers.rollback"),
+            bytes_rbk: m.counter("agent.transfer_bytes.rollback"),
+            rce_shipped: m.counter("rollback.rce_shipped"),
+            rce_bytes: m.counter("rollback.rce_bytes"),
+            rounds: m.counter("rollback.rounds"),
+            net_bytes: m.counter("net.bytes_sent"),
+            metrics: m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_scenario_runs() {
+        let s = Scenario::forward(6, 4, 128, 1);
+        let stats = s.run();
+        assert_eq!(stats.steps, 6);
+        assert_eq!(stats.transfers_rbk, 0);
+    }
+
+    #[test]
+    fn rollback_scenario_modes_agree_on_rounds() {
+        let basic = Scenario::rollback(4, 4, None, 0, RollbackMode::Basic, 2).run();
+        let opt = Scenario::rollback(4, 4, None, 0, RollbackMode::Optimized, 2).run();
+        assert_eq!(basic.rounds, opt.rounds);
+        assert_eq!(opt.transfers_rbk, 0);
+        assert_eq!(basic.transfers_rbk, 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Execution contexts for compensating operations, with entry-type access
+//! enforcement.
+
+use mar_wire::Value;
+
+use crate::data::ObjectMap;
+use crate::error::CompError;
+
+/// Access to the resources of one node, as seen by compensating operations.
+/// Implemented by the platform over its resource-manager registry; calls run
+/// inside the enclosing compensation transaction.
+pub trait ResourceAccess {
+    /// Invokes `op` on `resource` with `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::Failed`] with `retryable = true` for transient failures
+    /// (lock conflicts), `false` for semantic rejections.
+    fn call(&mut self, resource: &str, op: &str, params: &Value) -> Result<Value, CompError>;
+}
+
+/// The context a compensation handler runs in. Which accessors succeed is
+/// determined by the operation's [`crate::comp::EntryKind`] — a resource
+/// compensation entry that touches the agent state is a bug in the resource
+/// implementation, surfaced as [`CompError::AccessViolation`].
+pub struct CompCtx<'a> {
+    op_name: &'a str,
+    params: &'a Value,
+    now_micros: u64,
+    resources: Option<&'a mut dyn ResourceAccess>,
+    wro: Option<&'a mut ObjectMap>,
+}
+
+impl<'a> CompCtx<'a> {
+    /// Builds a context. `resources`/`wro` are `None` when the entry kind
+    /// forbids that access.
+    pub fn new(
+        op_name: &'a str,
+        params: &'a Value,
+        now_micros: u64,
+        resources: Option<&'a mut dyn ResourceAccess>,
+        wro: Option<&'a mut ObjectMap>,
+    ) -> Self {
+        CompCtx {
+            op_name,
+            params,
+            now_micros,
+            resources,
+            wro,
+        }
+    }
+
+    /// The operation's logged parameters.
+    pub fn params(&self) -> &Value {
+        self.params
+    }
+
+    /// Current virtual time in microseconds (for time-dependent refund
+    /// policies).
+    pub fn now_micros(&self) -> u64 {
+        self.now_micros
+    }
+
+    /// Resource access — fails for agent compensation entries.
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::AccessViolation`] when the entry kind forbids resource
+    /// access.
+    pub fn resources(&mut self) -> Result<&mut dyn ResourceAccess, CompError> {
+        match self.resources.as_deref_mut() {
+            Some(r) => Ok(r),
+            None => Err(CompError::AccessViolation {
+                op: self.op_name.to_owned(),
+                tried: "resources",
+            }),
+        }
+    }
+
+    /// Weakly-reversible-object access — fails for resource compensation
+    /// entries. (Strongly reversible objects are *never* accessible during
+    /// compensation, §4.3.)
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::AccessViolation`] when the entry kind forbids agent
+    /// state access.
+    pub fn wro(&mut self) -> Result<&mut ObjectMap, CompError> {
+        match self.wro.as_deref_mut() {
+            Some(w) => Ok(w),
+            None => Err(CompError::AccessViolation {
+                op: self.op_name.to_owned(),
+                tried: "agent state",
+            }),
+        }
+    }
+
+    /// Typed parameter lookup helper.
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::BadParams`] if the key is missing.
+    pub fn param(&self, key: &str) -> Result<&Value, CompError> {
+        self.params.get(key).ok_or_else(|| CompError::BadParams {
+            op: self.op_name.to_owned(),
+            reason: format!("missing parameter {key:?}"),
+        })
+    }
+
+    /// Integer parameter helper.
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::BadParams`] if the key is missing or not an integer.
+    pub fn param_i64(&self, key: &str) -> Result<i64, CompError> {
+        self.param(key)?.as_i64().ok_or_else(|| CompError::BadParams {
+            op: self.op_name.to_owned(),
+            reason: format!("parameter {key:?} is not an integer"),
+        })
+    }
+
+    /// String parameter helper.
+    ///
+    /// # Errors
+    ///
+    /// [`CompError::BadParams`] if the key is missing or not a string.
+    pub fn param_str(&self, key: &str) -> Result<&str, CompError> {
+        self.param(key)?.as_str().ok_or_else(|| CompError::BadParams {
+            op: self.op_name.to_owned(),
+            reason: format!("parameter {key:?} is not a string"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    struct NoopResources;
+    impl ResourceAccess for NoopResources {
+        fn call(&mut self, _r: &str, _o: &str, _p: &Value) -> Result<Value, CompError> {
+            Ok(Value::Null)
+        }
+    }
+
+    #[test]
+    fn rce_context_denies_agent_state() {
+        let params = Value::Null;
+        let mut res = NoopResources;
+        let mut ctx = CompCtx::new("op", &params, 0, Some(&mut res), None);
+        assert!(ctx.resources().is_ok());
+        assert!(matches!(
+            ctx.wro(),
+            Err(CompError::AccessViolation {
+                tried: "agent state",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ace_context_denies_resources() {
+        let params = Value::Null;
+        let mut wro: ObjectMap = BTreeMap::new();
+        let mut ctx = CompCtx::new("op", &params, 0, None, Some(&mut wro));
+        assert!(ctx.wro().is_ok());
+        assert!(matches!(
+            ctx.resources(),
+            Err(CompError::AccessViolation {
+                tried: "resources",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn param_helpers() {
+        let params = Value::map([
+            ("amount", Value::from(25i64)),
+            ("account", Value::from("alice")),
+        ]);
+        let ctx = CompCtx::new("op", &params, 42, None, None);
+        assert_eq!(ctx.param_i64("amount").unwrap(), 25);
+        assert_eq!(ctx.param_str("account").unwrap(), "alice");
+        assert_eq!(ctx.now_micros(), 42);
+        assert!(matches!(
+            ctx.param_i64("missing"),
+            Err(CompError::BadParams { .. })
+        ));
+        assert!(matches!(
+            ctx.param_str("amount"),
+            Err(CompError::BadParams { .. })
+        ));
+    }
+}

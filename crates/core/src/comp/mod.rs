@@ -1,0 +1,23 @@
+//! Compensating operations: the executable content of operation entries
+//! (§4.2, §4.4.1).
+//!
+//! A compensating operation lives in the rollback log as *data* — a
+//! registered name plus parameters — because it must survive migration and
+//! crashes and may execute on another node long after it was logged. The
+//! three entry types of §4.4.1 are enforced at execution time:
+//!
+//! * **Resource compensation entries (RCE)** roll back resource state only;
+//!   their handler gets no access to the agent's private state, which is
+//!   what makes shipping them to the resource node without the agent legal.
+//! * **Agent compensation entries (ACE)** roll back weakly reversible
+//!   objects only; they run wherever the agent is.
+//! * **Mixed compensation entries (MCE)** need both; the agent must travel
+//!   to the step's node.
+
+mod access;
+mod op;
+mod registry;
+
+pub use access::{CompCtx, ResourceAccess};
+pub use op::{CompOp, EntryKind};
+pub use registry::{CompHandler, CompOpRegistry};

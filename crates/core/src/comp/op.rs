@@ -1,0 +1,92 @@
+//! Compensating operation descriptors and entry kinds.
+
+use std::fmt;
+
+use mar_wire::Value;
+use serde::{Deserialize, Serialize};
+
+/// The three operation entry types of §4.4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// Resource compensation entry: compensates resource state only; all
+    /// information is in the parameters; executable on the resource node
+    /// without the agent.
+    Resource,
+    /// Agent compensation entry: compensates weakly reversible objects only;
+    /// executable on whatever node the agent currently resides.
+    Agent,
+    /// Mixed compensation entry: needs the weakly reversible objects *and*
+    /// the resource; the agent must be on the step's node.
+    Mixed,
+}
+
+impl EntryKind {
+    /// Whether executing this entry requires the agent to be on the node
+    /// where the step ran.
+    pub fn requires_agent_at_resource(self) -> bool {
+        self == EntryKind::Mixed
+    }
+}
+
+impl fmt::Display for EntryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntryKind::Resource => "RCE",
+            EntryKind::Agent => "ACE",
+            EntryKind::Mixed => "MCE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compensating operation as stored in the log: a registered handler name
+/// plus its parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompOp {
+    /// Name under which the handler is registered.
+    pub name: String,
+    /// Parameters captured at forward-execution time.
+    pub params: Value,
+}
+
+impl CompOp {
+    /// Constructs a compensating operation.
+    pub fn new(name: impl Into<String>, params: Value) -> Self {
+        CompOp {
+            name: name.into(),
+            params,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mixed_pins_the_agent() {
+        assert!(!EntryKind::Resource.requires_agent_at_resource());
+        assert!(!EntryKind::Agent.requires_agent_at_resource());
+        assert!(EntryKind::Mixed.requires_agent_at_resource());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EntryKind::Resource.to_string(), "RCE");
+        let op = CompOp::new("bank.refund", Value::from(25i64));
+        assert_eq!(op.to_string(), "bank.refund(25)");
+    }
+
+    #[test]
+    fn serializes() {
+        let op = CompOp::new("x", Value::map([("a", Value::from(1i64))]));
+        let bytes = mar_wire::to_bytes(&op).unwrap();
+        assert_eq!(mar_wire::from_slice::<CompOp>(&bytes).unwrap(), op);
+    }
+}

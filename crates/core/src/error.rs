@@ -1,0 +1,132 @@
+//! Error types of the rollback core.
+
+use std::fmt;
+
+use crate::savepoint::SavepointId;
+
+/// Errors of the rollback log, savepoint management, and planners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested savepoint does not exist in the rollback log (it may
+    /// have been discarded when a sub-itinerary or the whole sub-task
+    /// completed, §4.4.2).
+    UnknownSavepoint(SavepointId),
+    /// The requested savepoint exists but is no longer a legal rollback
+    /// target from the current position (only the current sub-itinerary and
+    /// its ancestors can be rolled back).
+    NotTargetable(SavepointId),
+    /// The log contents violate the SP/BOS/OE/EOS grammar.
+    CorruptLog(String),
+    /// The rollback log is empty but a rollback was requested.
+    EmptyLog,
+    /// A rollback scope could not be resolved (e.g. `Enclosing(3)` with only
+    /// two active sub-itineraries).
+    BadScope(String),
+    /// Serialization failure.
+    Codec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownSavepoint(id) => write!(f, "unknown savepoint {id}"),
+            CoreError::NotTargetable(id) => {
+                write!(f, "savepoint {id} is not a legal rollback target here")
+            }
+            CoreError::CorruptLog(why) => write!(f, "corrupt rollback log: {why}"),
+            CoreError::EmptyLog => f.write_str("rollback log is empty"),
+            CoreError::BadScope(why) => write!(f, "bad rollback scope: {why}"),
+            CoreError::Codec(why) => write!(f, "codec error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mar_wire::WireError> for CoreError {
+    fn from(e: mar_wire::WireError) -> Self {
+        CoreError::Codec(e.to_string())
+    }
+}
+
+/// Errors raised while executing compensating operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompError {
+    /// No handler registered under this name.
+    Unregistered(String),
+    /// A handler touched state its entry type forbids (e.g. a resource
+    /// compensation entry accessing the private agent state, §4.4.1).
+    AccessViolation {
+        /// The offending operation.
+        op: String,
+        /// What it tried to touch: `"resources"` or `"agent state"`.
+        tried: &'static str,
+    },
+    /// The compensation failed. `retryable` distinguishes transient
+    /// conditions (retry later, per \[4\]/\[10\]) from permanent ones.
+    Failed {
+        /// The operation that failed.
+        op: String,
+        /// Why.
+        reason: String,
+        /// Whether retrying later may succeed.
+        retryable: bool,
+    },
+    /// Parameters did not have the expected shape.
+    BadParams {
+        /// The operation.
+        op: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompError::Unregistered(op) => write!(f, "no compensating operation {op:?}"),
+            CompError::AccessViolation { op, tried } => {
+                write!(f, "compensation {op:?} illegally accessed {tried}")
+            }
+            CompError::Failed {
+                op,
+                reason,
+                retryable,
+            } => write!(
+                f,
+                "compensation {op:?} failed ({}): {reason}",
+                if *retryable { "retryable" } else { "permanent" }
+            ),
+            CompError::BadParams { op, reason } => {
+                write!(f, "bad parameters for compensation {op:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            CoreError::EmptyLog.to_string(),
+            "rollback log is empty"
+        );
+        let e = CompError::AccessViolation {
+            op: "refund".into(),
+            tried: "agent state",
+        };
+        assert_eq!(e.to_string(), "compensation \"refund\" illegally accessed agent state");
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+        assert_err::<CompError>();
+    }
+}

@@ -1,0 +1,439 @@
+//! The rollback log structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataSpace;
+use crate::error::CoreError;
+use crate::log::entry::{EosEntry, LogEntry, SpEntry, SroPayload};
+use crate::log::stats::LogStats;
+use crate::savepoint::SavepointId;
+
+/// The agent rollback log: a stack of [`LogEntry`]s with byte-size
+/// accounting (the log migrates with the agent, so its size is a first-class
+/// experimental quantity, §4.4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RollbackLog {
+    entries: Vec<LogEntry>,
+    bytes: usize,
+}
+
+impl RollbackLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RollbackLog::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: LogEntry) {
+        self.bytes += entry.encoded_size();
+        self.entries.push(entry);
+    }
+
+    /// Removes and returns the last entry.
+    pub fn pop(&mut self) -> Option<LogEntry> {
+        let e = self.entries.pop()?;
+        self.bytes = self.bytes.saturating_sub(e.encoded_size());
+        Some(e)
+    }
+
+    /// The last entry, if any.
+    pub fn last(&self) -> Option<&LogEntry> {
+        self.entries.last()
+    }
+
+    /// Pops an entry that must be an end-of-step entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptLog`] if the last entry is not an EOS.
+    pub fn pop_eos(&mut self) -> Result<EosEntry, CoreError> {
+        match self.pop() {
+            Some(LogEntry::EndOfStep(e)) => Ok(e),
+            Some(other) => {
+                let tag = other.tag();
+                self.push(other);
+                Err(CoreError::CorruptLog(format!("expected EOS, found {tag}")))
+            }
+            None => Err(CoreError::EmptyLog),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded size of all entries in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Discards everything (top-level sub-itinerary completion, §4.4.2).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Finds a savepoint entry by id.
+    pub fn find_savepoint(&self, id: SavepointId) -> Option<&SpEntry> {
+        self.entries.iter().find_map(|e| match e {
+            LogEntry::Savepoint(sp) if sp.id == id => Some(sp),
+            _ => None,
+        })
+    }
+
+    /// Whether the log contains the savepoint.
+    pub fn contains_savepoint(&self, id: SavepointId) -> bool {
+        self.find_savepoint(id).is_some()
+    }
+
+    /// The id of the most recent data-bearing (non-marker) savepoint.
+    pub fn last_data_savepoint(&self) -> Option<SavepointId> {
+        self.entries.iter().rev().find_map(|e| match e {
+            LogEntry::Savepoint(sp) if !sp.sro.is_marker() => Some(sp.id),
+            _ => None,
+        })
+    }
+
+    /// The most recent end-of-step entry (the next compensation target).
+    pub fn last_eos(&self) -> Option<&EosEntry> {
+        self.entries.iter().rev().find_map(|e| match e {
+            LogEntry::EndOfStep(eos) => Some(eos),
+            _ => None,
+        })
+    }
+
+    /// Removes the savepoint entry `id` when its sub-itinerary completes
+    /// (§4.4.2), preserving restorability of every other savepoint:
+    ///
+    /// * **Transition logging:** the removed delta is absorbed — composed
+    ///   into the next (newer) delta savepoint if one exists, otherwise
+    ///   applied to the agent's shadow copy (the removed savepoint *was* the
+    ///   newest). This is the "non-trivial task" the paper alludes to.
+    /// * **State logging:** if a newer marker references the removed
+    ///   savepoint, the marker is upgraded in place to carry the full image.
+    ///
+    /// Returns `false` if the savepoint is not in the log.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptLog`] on payload inconsistencies.
+    pub fn remove_savepoint(
+        &mut self,
+        id: SavepointId,
+        data: &mut DataSpace,
+    ) -> Result<bool, CoreError> {
+        let Some(idx) = self.entries.iter().position(
+            |e| matches!(e, LogEntry::Savepoint(sp) if sp.id == id),
+        ) else {
+            return Ok(false);
+        };
+        let LogEntry::Savepoint(removed) = self.entries.remove(idx) else {
+            unreachable!("position matched a savepoint");
+        };
+        self.bytes = self
+            .bytes
+            .saturating_sub(LogEntry::Savepoint(removed.clone()).encoded_size());
+
+        match &removed.sro {
+            SroPayload::Delta(delta) => {
+                // Find the next *delta* savepoint above; its delta chained to
+                // the removed one.
+                let next_sp = self.entries[idx..].iter_mut().find_map(|e| match e {
+                    LogEntry::Savepoint(sp) if matches!(sp.sro, SroPayload::Delta(_)) => {
+                        Some(sp)
+                    }
+                    _ => None,
+                });
+                match next_sp {
+                    Some(sp) => {
+                        let SroPayload::Delta(next_delta) = &sp.sro else {
+                            unreachable!("matched delta payload");
+                        };
+                        let merged = next_delta.compose(delta);
+                        let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                        sp.sro = SroPayload::Delta(merged);
+                        let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                        self.bytes = self.bytes.saturating_sub(old_size) + new_size;
+                    }
+                    None => {
+                        // Removed the newest delta savepoint: the shadow (state
+                        // at that savepoint) moves back to the previous one.
+                        data.apply_delta_to_shadow(delta);
+                    }
+                }
+            }
+            SroPayload::Full(image) => {
+                // Upgrade any newer marker referencing this savepoint.
+                for e in self.entries[idx..].iter_mut() {
+                    if let LogEntry::Savepoint(sp) = e {
+                        if sp.sro == SroPayload::Ref(id) {
+                            let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                            sp.sro = SroPayload::Full(image.clone());
+                            let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                            self.bytes = self.bytes.saturating_sub(old_size) + new_size;
+                        }
+                    }
+                }
+            }
+            SroPayload::Ref(_) => {
+                // Markers hold no data; nothing to absorb.
+            }
+        }
+        Ok(true)
+    }
+
+    /// Computes per-entry-type statistics.
+    pub fn stats(&self) -> LogStats {
+        LogStats::of(self)
+    }
+
+    /// Checks the SP/BOS/OE/EOS grammar:
+    /// `(SP | BOS OE* EOS)*` — operation entries only between BOS and EOS,
+    /// step numbers consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptLog`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut open_step: Option<u64> = None;
+        for e in &self.entries {
+            match e {
+                LogEntry::Savepoint(_) => {
+                    if open_step.is_some() {
+                        return Err(CoreError::CorruptLog(
+                            "savepoint inside a step (savepoints only at step ends, §2)"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                LogEntry::BeginOfStep(b) => {
+                    if open_step.is_some() {
+                        return Err(CoreError::CorruptLog("nested BOS".to_owned()));
+                    }
+                    open_step = Some(b.step_seq);
+                }
+                LogEntry::Operation(oe) => {
+                    if open_step != Some(oe.step_seq) {
+                        return Err(CoreError::CorruptLog(format!(
+                            "operation entry for step {} outside its BOS/EOS",
+                            oe.step_seq
+                        )));
+                    }
+                }
+                LogEntry::EndOfStep(eos) => {
+                    if open_step != Some(eos.step_seq) {
+                        return Err(CoreError::CorruptLog(format!(
+                            "EOS for step {} without matching BOS",
+                            eos.step_seq
+                        )));
+                    }
+                    open_step = None;
+                }
+            }
+        }
+        if open_step.is_some() {
+            return Err(CoreError::CorruptLog("unclosed BOS at log end".to_owned()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comp::{CompOp, EntryKind};
+    use crate::log::entry::{BosEntry, OpEntry};
+    use crate::log::LoggingMode;
+    use crate::savepoint::SavepointTable;
+    use mar_itinerary::{samples, Cursor};
+    use mar_wire::Value;
+
+    fn bos(step: u64) -> LogEntry {
+        LogEntry::BeginOfStep(BosEntry {
+            node: 1,
+            step_seq: step,
+            method: format!("m{step}"),
+        })
+    }
+
+    fn oe(step: u64) -> LogEntry {
+        LogEntry::Operation(OpEntry {
+            kind: EntryKind::Resource,
+            op: CompOp::new("undo", Value::from(step as i64)),
+            step_seq: step,
+        })
+    }
+
+    fn eos(step: u64) -> LogEntry {
+        LogEntry::EndOfStep(EosEntry {
+            node: 1,
+            step_seq: step,
+            method: format!("m{step}"),
+            has_mixed: false,
+            alt_nodes: vec![],
+        })
+    }
+
+    #[test]
+    fn push_pop_size_accounting() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(oe(0));
+        let sz = log.size_bytes();
+        assert!(sz > 0);
+        log.push(eos(0));
+        assert!(log.size_bytes() > sz);
+        log.pop().unwrap();
+        assert_eq!(log.size_bytes(), sz);
+        log.pop().unwrap();
+        log.pop().unwrap();
+        assert_eq!(log.size_bytes(), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn grammar_validation() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(oe(0));
+        log.push(eos(0));
+        log.validate().unwrap();
+
+        let mut bad = RollbackLog::new();
+        bad.push(oe(0));
+        assert!(bad.validate().is_err());
+
+        let mut nested = RollbackLog::new();
+        nested.push(bos(0));
+        nested.push(bos(1));
+        assert!(nested.validate().is_err());
+
+        let mut unclosed = RollbackLog::new();
+        unclosed.push(bos(0));
+        assert!(unclosed.validate().is_err());
+    }
+
+    #[test]
+    fn pop_eos_type_checked() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        assert!(matches!(log.pop_eos(), Err(CoreError::CorruptLog(_))));
+        // Entry was pushed back.
+        assert_eq!(log.len(), 1);
+        log.push(eos(0));
+        assert_eq!(log.pop_eos().unwrap().step_seq, 0);
+    }
+
+    #[test]
+    fn last_eos_skips_savepoints() {
+        let main = samples::fig6();
+        let mut data = DataSpace::new();
+        let cursor = Cursor::new(&main);
+        let mut table = SavepointTable::new();
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(eos(0));
+        table.on_step_committed();
+        table.on_enter_sub("S", &mut data, &cursor, &mut log, LoggingMode::State);
+        assert_eq!(log.last_eos().unwrap().step_seq, 0);
+    }
+
+    #[test]
+    fn remove_full_savepoint_upgrades_marker() {
+        let main = samples::fig6();
+        let mut data = DataSpace::new();
+        data.set_sro("v", Value::from(9i64));
+        let cursor = Cursor::new(&main);
+        let mut table = SavepointTable::new();
+        let mut log = RollbackLog::new();
+        let a = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::State);
+        let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::State);
+        // B's savepoint is a marker onto A's.
+        assert_eq!(log.find_savepoint(b).unwrap().sro, SroPayload::Ref(a));
+        log.remove_savepoint(a, &mut data).unwrap();
+        match &log.find_savepoint(b).unwrap().sro {
+            SroPayload::Full(img) => {
+                assert_eq!(img.get("v").and_then(Value::as_i64), Some(9));
+            }
+            other => panic!("marker not upgraded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_newest_delta_updates_shadow() {
+        let main = samples::fig6();
+        let mut data = DataSpace::new();
+        data.set_sro("v", Value::from(1i64));
+        data.enable_shadow();
+        let cursor = Cursor::new(&main);
+        let mut table = SavepointTable::new();
+        let mut log = RollbackLog::new();
+        let _a = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        table.on_step_committed();
+        data.set_sro("v", Value::from(2i64));
+        let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        // Shadow is now S_b (v=2). Removing B (the newest) must roll the
+        // shadow back to S_a (v=1).
+        log.remove_savepoint(b, &mut data).unwrap();
+        assert_eq!(
+            data.shadow().unwrap().get("v").and_then(Value::as_i64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn remove_middle_delta_composes_into_next() {
+        let main = samples::fig6();
+        let mut data = DataSpace::new();
+        data.set_sro("v", Value::from(1i64));
+        data.enable_shadow();
+        let cursor = Cursor::new(&main);
+        let mut table = SavepointTable::new();
+        let mut log = RollbackLog::new();
+        let _a = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        table.on_step_committed();
+        data.set_sro("v", Value::from(2i64));
+        let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        table.on_step_committed();
+        data.set_sro("v", Value::from(3i64));
+        let c = table.on_enter_sub("C", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        // Remove B: C's delta (S_c→S_b) must become (S_c→S_a), i.e. v: 3→1.
+        log.remove_savepoint(b, &mut data).unwrap();
+        match &log.find_savepoint(c).unwrap().sro {
+            SroPayload::Delta(d) => {
+                assert_eq!(d.changed.get("v").and_then(Value::as_i64), Some(1));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_absent_savepoint_returns_false() {
+        let mut log = RollbackLog::new();
+        let mut data = DataSpace::new();
+        assert!(!log.remove_savepoint(SavepointId(5), &mut data).unwrap());
+    }
+
+    #[test]
+    fn log_serializes() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(oe(0));
+        log.push(eos(0));
+        let bytes = mar_wire::to_bytes(&log).unwrap();
+        let back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.size_bytes(), log.size_bytes());
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-entry-type statistics of a rollback log (experiment E2/E5 raw data).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::entry::LogEntry;
+use crate::log::log::RollbackLog;
+
+/// Counts and byte sizes per entry type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Savepoint entries.
+    pub savepoints: usize,
+    /// Of which markers (no SRO data).
+    pub markers: usize,
+    /// Begin-of-step entries.
+    pub bos: usize,
+    /// Operation entries.
+    pub ops: usize,
+    /// End-of-step entries.
+    pub eos: usize,
+    /// Bytes held by savepoint entries.
+    pub savepoint_bytes: usize,
+    /// Bytes held by operation entries.
+    pub op_bytes: usize,
+    /// Bytes held by BOS/EOS framing entries.
+    pub frame_bytes: usize,
+    /// Total encoded bytes.
+    pub total_bytes: usize,
+}
+
+impl LogStats {
+    /// Computes statistics for `log`.
+    pub fn of(log: &RollbackLog) -> LogStats {
+        let mut s = LogStats::default();
+        for e in log.iter() {
+            let size = e.encoded_size();
+            s.total_bytes += size;
+            match e {
+                LogEntry::Savepoint(sp) => {
+                    s.savepoints += 1;
+                    if sp.sro.is_marker() {
+                        s.markers += 1;
+                    }
+                    s.savepoint_bytes += size;
+                }
+                LogEntry::BeginOfStep(_) => {
+                    s.bos += 1;
+                    s.frame_bytes += size;
+                }
+                LogEntry::Operation(_) => {
+                    s.ops += 1;
+                    s.op_bytes += size;
+                }
+                LogEntry::EndOfStep(_) => {
+                    s.eos += 1;
+                    s.frame_bytes += size;
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for LogStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SP={} (markers={}, {}B) OE={} ({}B) BOS/EOS={}/{} ({}B) total={}B",
+            self.savepoints,
+            self.markers,
+            self.savepoint_bytes,
+            self.ops,
+            self.op_bytes,
+            self.bos,
+            self.eos,
+            self.frame_bytes,
+            self.total_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comp::{CompOp, EntryKind};
+    use crate::log::entry::{BosEntry, EosEntry, OpEntry};
+    use mar_wire::Value;
+
+    #[test]
+    fn counts_and_bytes() {
+        let mut log = RollbackLog::new();
+        log.push(LogEntry::BeginOfStep(BosEntry {
+            node: 0,
+            step_seq: 0,
+            method: "m".into(),
+        }));
+        log.push(LogEntry::Operation(OpEntry {
+            kind: EntryKind::Agent,
+            op: CompOp::new("c", Value::Null),
+            step_seq: 0,
+        }));
+        log.push(LogEntry::EndOfStep(EosEntry {
+            node: 0,
+            step_seq: 0,
+            method: "m".into(),
+            has_mixed: false,
+            alt_nodes: vec![],
+        }));
+        let s = log.stats();
+        assert_eq!((s.bos, s.ops, s.eos, s.savepoints), (1, 1, 1, 0));
+        assert_eq!(s.total_bytes, log.size_bytes());
+        assert_eq!(
+            s.total_bytes,
+            s.savepoint_bytes + s.op_bytes + s.frame_bytes
+        );
+        assert!(s.to_string().contains("OE=1"));
+    }
+}

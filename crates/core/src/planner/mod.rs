@@ -1,0 +1,275 @@
+//! The rollback planners: the algorithms of Fig. 4 (basic) and Fig. 5
+//! (optimized) as pure functions over the agent record.
+//!
+//! A planner decides *what* each compensation transaction does — which
+//! entries are popped, which compensating operations run where, whether the
+//! agent has to move — while the platform executes the plan inside an
+//! actual compensation transaction. Because planning is pure, a transaction
+//! abort (crash, lock conflict) simply re-plans from the unchanged stable
+//! state, which is precisely the paper's restart argument (§4.3).
+
+mod plan;
+
+pub use plan::{AfterRound, Destination, RestorePlan, RollbackMode, RoundPlan, StartPlan};
+
+use crate::data::ObjectMap;
+use crate::error::CoreError;
+use crate::log::{LogEntry, LoggingMode, SpEntry, SroPayload};
+use crate::record::AgentRecord;
+use crate::savepoint::SavepointId;
+
+/// Fig. 4a / Fig. 5a: after the aborting step transaction is rolled back,
+/// decide how the rollback begins. Read-only: the log is not modified.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownSavepoint`] if `target` is not in the log.
+pub fn start_rollback(
+    record: &AgentRecord,
+    target: SavepointId,
+) -> Result<StartPlan, CoreError> {
+    if !record.log.contains_savepoint(target) {
+        return Err(CoreError::UnknownSavepoint(target));
+    }
+    // "The first case is that the desired savepoint was set directly before
+    // the aborting step transaction." (Fig. 4a)
+    if let Some(LogEntry::Savepoint(sp)) = record.log.last() {
+        if sp.id == target {
+            return Ok(StartPlan::AlreadyAtTarget(Box::new(resolve_restore(
+                record, sp,
+            )?)));
+        }
+    }
+    Ok(StartPlan::Go(first_destination(record)))
+}
+
+/// Where the first compensation transaction runs (the "next node" of
+/// Fig. 4a / the optimized decision of Fig. 5a).
+fn first_destination(record: &AgentRecord) -> Destination {
+    match record.log.last_eos() {
+        Some(eos) => match record.rollback_mode {
+            RollbackMode::Basic => Destination::Node(eos.node),
+            RollbackMode::Optimized => {
+                if eos.has_mixed {
+                    Destination::Node(eos.node)
+                } else {
+                    Destination::Local
+                }
+            }
+        },
+        // Only savepoint entries above the target: no resource compensation
+        // anywhere — the rollback completes wherever the agent is.
+        None => Destination::Local,
+    }
+}
+
+/// Fig. 4b / Fig. 5b: plans one compensation transaction. Pops the
+/// compensated step's entries (and any intervening savepoint entries) from
+/// the log and — under transition logging — advances the SRO shadow for
+/// every savepoint entry read (§4.3 discussion).
+///
+/// The caller must run this on a *copy* of the record inside the
+/// compensation transaction; the mutation becomes durable only at commit.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownSavepoint`] if `target` is missing,
+/// [`CoreError::CorruptLog`] if the log violates the entry grammar.
+pub fn compensation_round(
+    record: &mut AgentRecord,
+    target: SavepointId,
+) -> Result<RoundPlan, CoreError> {
+    if !record.log.contains_savepoint(target) {
+        return Err(CoreError::UnknownSavepoint(target));
+    }
+
+    // Phase A: pop savepoints above the target ("if last log entry is
+    // savepoint: LOG.pop()", generalized to adjacent savepoints).
+    pop_savepoints_above_target(record, target)?;
+
+    // Reached without compensating anything? (Only markers/savepoints stood
+    // between the abort point and the target.)
+    if let Some(LogEntry::Savepoint(sp)) = record.log.last() {
+        if sp.id == target {
+            let restore = resolve_restore(record, &sp.clone())?;
+            return Ok(RoundPlan {
+                step_seq: record.step_seq,
+                step_node: 0,
+                method: String::new(),
+                mixed: false,
+                local_ops: Vec::new(),
+                remote_rces: Vec::new(),
+                after: AfterRound::Reached(Box::new(restore)),
+            });
+        }
+    }
+
+    // Phase B: the end-of-step entry of the step to compensate.
+    let eos = record.log.pop_eos()?;
+
+    // Phase C: operation entries until the begin-of-step entry. Popping
+    // yields them newest-first, which *is* the compensation order ("in the
+    // reverse order they appear in the log", §4.2).
+    let mut ops = Vec::new();
+    loop {
+        match record.log.pop() {
+            Some(LogEntry::Operation(oe)) => {
+                if oe.step_seq != eos.step_seq {
+                    return Err(CoreError::CorruptLog(format!(
+                        "operation entry of step {} inside step {}",
+                        oe.step_seq, eos.step_seq
+                    )));
+                }
+                ops.push(oe);
+            }
+            Some(LogEntry::BeginOfStep(bos)) => {
+                if bos.step_seq != eos.step_seq {
+                    return Err(CoreError::CorruptLog(format!(
+                        "BOS {} does not match EOS {}",
+                        bos.step_seq, eos.step_seq
+                    )));
+                }
+                break;
+            }
+            Some(other) => {
+                return Err(CoreError::CorruptLog(format!(
+                    "unexpected {} inside step {}",
+                    other.tag(),
+                    eos.step_seq
+                )));
+            }
+            None => {
+                return Err(CoreError::CorruptLog(
+                    "log ended inside a step".to_owned(),
+                ));
+            }
+        }
+    }
+
+    // Phase D: split per mode (Fig. 5b). In the mixed case — and always in
+    // basic mode — everything executes where the agent is.
+    let split = record.rollback_mode == RollbackMode::Optimized && !eos.has_mixed;
+    let (local_ops, remote_rces) = if split {
+        let (rces, aces): (Vec<_>, Vec<_>) = ops
+            .into_iter()
+            .partition(|oe| oe.kind == crate::comp::EntryKind::Resource);
+        (aces, rces)
+    } else {
+        (ops, Vec::new())
+    };
+
+    // Phase E: pop further savepoints and decide how to continue.
+    pop_savepoints_above_target(record, target)?;
+    let after = match record.log.last() {
+        Some(LogEntry::Savepoint(sp)) if sp.id == target => {
+            let restore = resolve_restore(record, &sp.clone())?;
+            AfterRound::Reached(Box::new(restore))
+        }
+        Some(LogEntry::EndOfStep(next_eos)) => {
+            let dest = match record.rollback_mode {
+                RollbackMode::Basic => Destination::Node(next_eos.node),
+                RollbackMode::Optimized => {
+                    if next_eos.has_mixed {
+                        Destination::Node(next_eos.node)
+                    } else {
+                        Destination::Local
+                    }
+                }
+            };
+            AfterRound::Continue(dest)
+        }
+        Some(other) => {
+            return Err(CoreError::CorruptLog(format!(
+                "expected SP or EOS after compensating step {}, found {}",
+                eos.step_seq,
+                other.tag()
+            )));
+        }
+        None => return Err(CoreError::UnknownSavepoint(target)),
+    };
+
+    Ok(RoundPlan {
+        step_seq: eos.step_seq,
+        step_node: eos.node,
+        method: eos.method,
+        mixed: eos.has_mixed,
+        local_ops,
+        remote_rces,
+        after,
+    })
+}
+
+/// Pops non-target savepoint entries off the top of the log, applying their
+/// backward deltas to the SRO shadow (transition logging).
+fn pop_savepoints_above_target(
+    record: &mut AgentRecord,
+    target: SavepointId,
+) -> Result<(), CoreError> {
+    loop {
+        match record.log.last() {
+            Some(LogEntry::Savepoint(sp)) if sp.id != target => {
+                let Some(LogEntry::Savepoint(sp)) = record.log.pop() else {
+                    unreachable!("matched savepoint above");
+                };
+                if let SroPayload::Delta(delta) = &sp.sro {
+                    record.data.apply_delta_to_shadow(delta);
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Builds the restore plan for the reached target savepoint.
+fn resolve_restore(record: &AgentRecord, sp: &SpEntry) -> Result<RestorePlan, CoreError> {
+    let sro: ObjectMap = match record.logging_mode {
+        LoggingMode::Transition => {
+            // All savepoints above the target have been popped and their
+            // deltas applied: the shadow *is* the SRO state at the target.
+            record
+                .data
+                .shadow()
+                .cloned()
+                .ok_or_else(|| {
+                    CoreError::CorruptLog(
+                        "transition logging without shadow copy".to_owned(),
+                    )
+                })?
+        }
+        LoggingMode::State => match &sp.sro {
+            SroPayload::Full(image) => image.clone(),
+            SroPayload::Ref(ref_id) => {
+                // Marker: the referenced (earlier) savepoint carries the
+                // image; it is still in the log because references always
+                // point below the target.
+                let referenced = record
+                    .log
+                    .find_savepoint(*ref_id)
+                    .ok_or(CoreError::UnknownSavepoint(*ref_id))?;
+                match &referenced.sro {
+                    SroPayload::Full(image) => image.clone(),
+                    other => {
+                        return Err(CoreError::CorruptLog(format!(
+                            "marker {} references non-image savepoint ({:?})",
+                            sp.id, other
+                        )));
+                    }
+                }
+            }
+            SroPayload::Delta(_) => {
+                return Err(CoreError::CorruptLog(
+                    "delta savepoint under state logging".to_owned(),
+                ));
+            }
+        },
+    };
+    Ok(RestorePlan {
+        savepoint: sp.id,
+        sro,
+        cursor: sp.cursor.clone(),
+        table: sp.table.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,204 @@
+//! The serialized form of a mobile agent: what sits in input queues and
+//! crosses the network.
+
+use std::fmt;
+
+use mar_itinerary::{Cursor, Itinerary};
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataSpace;
+use crate::log::{LoggingMode, RollbackLog};
+use crate::planner::{RestorePlan, RollbackMode};
+use crate::savepoint::{SavepointId, SavepointTable};
+
+/// Unique agent identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AgentId(pub u64);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Execution status carried in the record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentStatus {
+    /// Normal forward execution.
+    Forward,
+    /// Rolling back towards the target savepoint.
+    RollingBack {
+        /// The savepoint being rolled back to.
+        target: SavepointId,
+    },
+    /// The itinerary completed.
+    Completed,
+    /// The agent gave up (non-retryable failure or exhausted retries).
+    Failed(String),
+}
+
+/// The complete migrating state of an agent: data spaces, itinerary, cursor,
+/// savepoint bookkeeping, and the rollback log (§2, §4.2).
+///
+/// "Code" is the `agent_type` name, resolved against the platform's
+/// behaviour registry on every node — mirroring how Mole shipped Java class
+/// names resolved by each node's class loader.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentRecord {
+    /// Unique id.
+    pub id: AgentId,
+    /// Behaviour type name (the agent's "code").
+    pub agent_type: String,
+    /// Node (location index) where results are reported.
+    pub home: u32,
+    /// Private data space (SRO + WRO).
+    pub data: DataSpace,
+    /// The (immutable) itinerary tree.
+    pub itinerary: Itinerary,
+    /// Execution position.
+    pub cursor: Cursor,
+    /// Savepoint bookkeeping.
+    pub table: SavepointTable,
+    /// The rollback log.
+    pub log: RollbackLog,
+    /// Monotone counter of committed steps.
+    pub step_seq: u64,
+    /// Current status.
+    pub status: AgentStatus,
+    /// SRO capture mode for savepoints.
+    pub logging_mode: LoggingMode,
+    /// Which rollback mechanism this agent uses.
+    pub rollback_mode: RollbackMode,
+}
+
+impl AgentRecord {
+    /// Creates a fresh agent about to start its itinerary.
+    pub fn new(
+        id: AgentId,
+        agent_type: impl Into<String>,
+        home: u32,
+        data: DataSpace,
+        itinerary: Itinerary,
+        logging_mode: LoggingMode,
+        rollback_mode: RollbackMode,
+    ) -> Self {
+        let cursor = Cursor::new(&itinerary);
+        let mut data = data;
+        if logging_mode == LoggingMode::Transition {
+            data.enable_shadow();
+        }
+        AgentRecord {
+            id,
+            agent_type: agent_type.into(),
+            home,
+            data,
+            itinerary,
+            cursor,
+            table: SavepointTable::new(),
+            log: RollbackLog::new(),
+            step_seq: 0,
+            status: AgentStatus::Forward,
+            logging_mode,
+            rollback_mode,
+        }
+    }
+
+    /// Serializes the record for migration or stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, crate::CoreError> {
+        Ok(mar_wire::to_bytes(self)?)
+    }
+
+    /// Deserializes a record.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::CoreError> {
+        Ok(mar_wire::from_slice(bytes)?)
+    }
+
+    /// Encoded size in bytes — what a migration transfers (agent + log).
+    pub fn encoded_size(&self) -> usize {
+        mar_wire::encoded_size(self).unwrap_or(0)
+    }
+
+    /// Encoded size without the rollback log (the "agent proper"), so
+    /// experiments can separate agent size from log overhead.
+    pub fn encoded_size_without_log(&self) -> usize {
+        self.encoded_size().saturating_sub(self.log.size_bytes())
+    }
+
+    /// Applies a restore plan: SROs are restored from the savepoint image,
+    /// the cursor and savepoint bookkeeping rewind, and the agent switches
+    /// back to forward execution. WROs are left exactly as the compensating
+    /// operations produced them (§4.1).
+    pub fn apply_restore(&mut self, plan: RestorePlan) {
+        self.data.restore_sro(plan.sro);
+        self.cursor = plan.cursor;
+        self.table.restore_from(&plan.table);
+        // When the target was an ancestor's savepoint, the restored cursor
+        // may already be inside nested subs entered before any step ran;
+        // re-create their table frames as aliases of the target.
+        let path = self.cursor.path();
+        let subs: Vec<&str> = path.iter().skip(1).copied().collect();
+        self.table.reconcile_with_path(&subs, plan.savepoint);
+        self.status = AgentStatus::Forward;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_itinerary::samples;
+    use mar_wire::Value;
+
+    fn record() -> AgentRecord {
+        let mut data = DataSpace::new();
+        data.set_sro("notes", Value::list([]));
+        data.set_wro("wallet", Value::from(100i64));
+        AgentRecord::new(
+            AgentId(1),
+            "shopper",
+            0,
+            data,
+            samples::fig6(),
+            LoggingMode::State,
+            RollbackMode::Optimized,
+        )
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let r = record();
+        let bytes = r.to_bytes().unwrap();
+        let back = AgentRecord::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(r.encoded_size(), bytes.len());
+    }
+
+    #[test]
+    fn transition_mode_enables_shadow() {
+        let r = AgentRecord::new(
+            AgentId(2),
+            "t",
+            0,
+            DataSpace::new(),
+            samples::fig6(),
+            LoggingMode::Transition,
+            RollbackMode::Basic,
+        );
+        assert!(r.data.shadow().is_some());
+    }
+
+    #[test]
+    fn size_without_log_subtracts_log_bytes() {
+        let r = record();
+        assert_eq!(r.encoded_size_without_log(), r.encoded_size());
+    }
+}

@@ -1,0 +1,507 @@
+//! Savepoint identifiers, rollback scopes, and the savepoint bookkeeping
+//! that integrates itineraries with the rollback log (§4.4.2).
+
+use std::fmt;
+
+use mar_itinerary::Cursor;
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataSpace;
+use crate::error::CoreError;
+use crate::log::{LogEntry, LoggingMode, RollbackLog, SpEntry, SroPayload};
+
+/// Unique identifier of an agent savepoint.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SavepointId(pub u64);
+
+impl fmt::Display for SavepointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SP{}", self.0)
+    }
+}
+
+/// What an application-initiated rollback targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RollbackScope {
+    /// Roll back the sub-itinerary currently being executed (to the
+    /// savepoint constituted when it was entered).
+    CurrentSub,
+    /// Roll back `n` enclosing sub-itineraries *beyond* the current one:
+    /// `Enclosing(0)` ≡ `CurrentSub`, `Enclosing(1)` rolls back the parent,
+    /// and so on.
+    Enclosing(usize),
+    /// Roll back to a specific (explicit or automatic) savepoint. It must
+    /// belong to the current sub-itinerary or one of its ancestors.
+    ToSavepoint(SavepointId),
+}
+
+/// Savepoints of one active sub-itinerary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubSavepoints {
+    /// The sub-itinerary id.
+    pub sub_id: String,
+    /// The automatic savepoint constituted when the sub was entered.
+    pub auto: SavepointId,
+    /// Explicit savepoints constituted inside this sub (in order).
+    pub explicit: Vec<SavepointId>,
+    /// `true` when `auto` aliases an *ancestor's* savepoint: after rolling
+    /// back to an enclosing sub-itinerary's savepoint, the cursor may sit
+    /// inside nested subs whose own savepoints were popped during the
+    /// rollback; their frames alias the restore target (rolling back "this"
+    /// sub equals rolling back to that ancestor point, and completing it
+    /// must not remove the ancestor's savepoint entry).
+    #[serde(default)]
+    pub aliased: bool,
+}
+
+/// The outcome of leaving a sub-itinerary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaveOutcome {
+    /// The sub's savepoints were removed from the log (kept: its operation
+    /// entries).
+    SavepointsRemoved(usize),
+    /// The sub was directly contained in the main itinerary: the entire
+    /// rollback log was discarded.
+    LogDiscarded {
+        /// Bytes the log held before the discard.
+        freed_bytes: usize,
+    },
+}
+
+/// Bookkeeping connecting the itinerary hierarchy with savepoint entries in
+/// the rollback log. Serializable: it migrates with the agent, and each
+/// savepoint entry embeds a snapshot of it so rollback restores it too.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SavepointTable {
+    next_id: u64,
+    stack: Vec<SubSavepoints>,
+    steps_since_last_sp: u64,
+    last_data_sp: Option<SavepointId>,
+}
+
+impl SavepointTable {
+    /// Creates empty bookkeeping.
+    pub fn new() -> Self {
+        SavepointTable::default()
+    }
+
+    /// The active sub-itinerary stack (outermost first).
+    pub fn stack(&self) -> &[SubSavepoints] {
+        &self.stack
+    }
+
+    /// Number of steps committed since the last savepoint entry was written.
+    pub fn steps_since_last_sp(&self) -> u64 {
+        self.steps_since_last_sp
+    }
+
+    /// Called when a step transaction commits.
+    pub fn on_step_committed(&mut self) {
+        self.steps_since_last_sp += 1;
+    }
+
+    fn alloc(&mut self) -> SavepointId {
+        let id = SavepointId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn make_payload(&self, data: &mut DataSpace, mode: LoggingMode) -> SroPayload {
+        // Marker rule (§4.4.2): if no step committed since the last
+        // savepoint entry, the SRO state is identical — write a marker
+        // referencing the last data-bearing savepoint instead of the data.
+        if self.steps_since_last_sp == 0 {
+            if let Some(ref_id) = self.last_data_sp {
+                return SroPayload::Ref(ref_id);
+            }
+        }
+        match mode {
+            LoggingMode::State => SroPayload::Full(data.sro_image()),
+            LoggingMode::Transition => {
+                data.enable_shadow();
+                SroPayload::Delta(
+                    data.take_transition_delta()
+                        .expect("shadow enabled above"),
+                )
+            }
+        }
+    }
+
+    fn write_sp(
+        &mut self,
+        sub_id: Option<String>,
+        explicit: bool,
+        data: &mut DataSpace,
+        cursor: &Cursor,
+        log: &mut RollbackLog,
+        mode: LoggingMode,
+    ) -> SavepointId {
+        let id = self.alloc();
+        let payload = self.make_payload(data, mode);
+        match &sub_id {
+            Some(sub) => self.stack.push(SubSavepoints {
+                sub_id: sub.clone(),
+                auto: id,
+                explicit: Vec::new(),
+                aliased: false,
+            }),
+            None => {
+                if let Some(frame) = self.stack.last_mut() {
+                    frame.explicit.push(id);
+                }
+            }
+        }
+        if !payload.is_marker() {
+            self.last_data_sp = Some(id);
+        }
+        self.steps_since_last_sp = 0;
+        // The table snapshot in the entry includes the frame pushed above,
+        // so restoring this savepoint reinstates the sub as active.
+        let entry = SpEntry {
+            id,
+            sub_id,
+            explicit,
+            cursor: cursor.clone(),
+            table: self.clone(),
+            sro: payload,
+        };
+        log.push(LogEntry::Savepoint(entry));
+        id
+    }
+
+    /// Constitutes the automatic savepoint for entering `sub_id`
+    /// (paper: "Those savepoints can be written automatically by the
+    /// system").
+    pub fn on_enter_sub(
+        &mut self,
+        sub_id: &str,
+        data: &mut DataSpace,
+        cursor: &Cursor,
+        log: &mut RollbackLog,
+        mode: LoggingMode,
+    ) -> SavepointId {
+        self.write_sp(Some(sub_id.to_owned()), false, data, cursor, log, mode)
+    }
+
+    /// Constitutes an explicit savepoint requested by the agent program
+    /// (only possible at the end of a step, §2).
+    pub fn explicit_savepoint(
+        &mut self,
+        data: &mut DataSpace,
+        cursor: &Cursor,
+        log: &mut RollbackLog,
+        mode: LoggingMode,
+    ) -> SavepointId {
+        self.write_sp(None, true, data, cursor, log, mode)
+    }
+
+    /// Handles the completion of a sub-itinerary: removes its savepoints
+    /// from the log, or — for a sub directly contained in the main
+    /// itinerary — discards the whole log (§4.4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadScope`] if `sub_id` is not the innermost active sub.
+    pub fn on_leave_sub(
+        &mut self,
+        sub_id: &str,
+        top_level: bool,
+        data: &mut DataSpace,
+        log: &mut RollbackLog,
+    ) -> Result<LeaveOutcome, CoreError> {
+        let frame = self.stack.pop().ok_or_else(|| {
+            CoreError::BadScope(format!("leaving {sub_id:?} with no active sub"))
+        })?;
+        if frame.sub_id != sub_id {
+            return Err(CoreError::BadScope(format!(
+                "leaving {sub_id:?} but innermost active sub is {:?}",
+                frame.sub_id
+            )));
+        }
+        if top_level {
+            let freed = log.size_bytes();
+            log.clear();
+            self.last_data_sp = None;
+            self.steps_since_last_sp = 0;
+            return Ok(LeaveOutcome::LogDiscarded { freed_bytes: freed });
+        }
+        let mut removed = 0;
+        for id in frame.explicit.iter().copied() {
+            if log.remove_savepoint(id, data)? {
+                removed += 1;
+            }
+        }
+        // An aliased frame borrows an ancestor's savepoint entry; removing
+        // it would destroy the ancestor's rollback target.
+        if !frame.aliased && log.remove_savepoint(frame.auto, data)? {
+            removed += 1;
+        }
+        // The removed savepoint may have been the most recent data-bearing
+        // one; recompute for the marker rule.
+        self.last_data_sp = log.last_data_savepoint();
+        // The marker rule requires "no step since the last savepoint entry
+        // STILL IN THE LOG". If the savepoint that last reset the step
+        // counter was just removed, steps may well have committed since the
+        // remaining one — force the next savepoint to carry data.
+        if removed > 0 {
+            self.steps_since_last_sp = self.steps_since_last_sp.max(1);
+        }
+        Ok(LeaveOutcome::SavepointsRemoved(removed))
+    }
+
+    /// Resolves a rollback scope to a concrete savepoint id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadScope`] when no sub is active or the nesting is
+    /// shallower than requested, [`CoreError::NotTargetable`] for savepoints
+    /// outside the active stack (e.g. of completed sub-itineraries).
+    pub fn resolve(&self, scope: RollbackScope) -> Result<SavepointId, CoreError> {
+        match scope {
+            RollbackScope::CurrentSub => self
+                .stack
+                .last()
+                .map(|f| f.auto)
+                .ok_or_else(|| CoreError::BadScope("no active sub-itinerary".to_owned())),
+            RollbackScope::Enclosing(n) => {
+                if self.stack.is_empty() {
+                    return Err(CoreError::BadScope("no active sub-itinerary".to_owned()));
+                }
+                let idx = self
+                    .stack
+                    .len()
+                    .checked_sub(1 + n)
+                    .ok_or_else(|| {
+                        CoreError::BadScope(format!(
+                            "Enclosing({n}) exceeds nesting depth {}",
+                            self.stack.len()
+                        ))
+                    })?;
+                Ok(self.stack[idx].auto)
+            }
+            RollbackScope::ToSavepoint(id) => {
+                let targetable = self
+                    .stack
+                    .iter()
+                    .any(|f| f.auto == id || f.explicit.contains(&id));
+                if targetable {
+                    Ok(id)
+                } else {
+                    Err(CoreError::NotTargetable(id))
+                }
+            }
+        }
+    }
+
+    /// Reconciles the stack with a restored cursor path: when rollback
+    /// targeted an *ancestor* sub-itinerary's savepoint, the snapshot's
+    /// cursor may already sit inside nested subs (entered before any step
+    /// ran) whose own savepoint entries were popped during the rollback.
+    /// Frames for those subs are re-created as aliases of the restore
+    /// target.
+    ///
+    /// `cursor_path` is the cursor's itinerary stack *without* the main
+    /// itinerary (e.g. `["SI3", "SI4"]`).
+    pub fn reconcile_with_path(&mut self, cursor_path: &[&str], target: SavepointId) {
+        for (i, sub) in cursor_path.iter().enumerate() {
+            match self.stack.get(i) {
+                Some(frame) if frame.sub_id == *sub => continue,
+                Some(_) => {
+                    // Divergence below the top: snapshot inconsistent with
+                    // cursor; truncate and rebuild as aliases.
+                    self.stack.truncate(i);
+                    self.stack.push(SubSavepoints {
+                        sub_id: (*sub).to_owned(),
+                        auto: target,
+                        explicit: Vec::new(),
+                        aliased: true,
+                    });
+                }
+                None => {
+                    self.stack.push(SubSavepoints {
+                        sub_id: (*sub).to_owned(),
+                        auto: target,
+                        explicit: Vec::new(),
+                        aliased: true,
+                    });
+                }
+            }
+        }
+        self.stack.truncate(cursor_path.len());
+    }
+
+    /// Restores the bookkeeping from a savepoint snapshot, keeping the id
+    /// allocator monotone so reused history never duplicates ids.
+    pub fn restore_from(&mut self, snapshot: &SavepointTable) {
+        let next = self.next_id.max(snapshot.next_id);
+        *self = snapshot.clone();
+        self.next_id = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_itinerary::{samples, Cursor};
+    use mar_wire::Value;
+
+    fn setup() -> (DataSpace, Cursor, RollbackLog, SavepointTable) {
+        let main = samples::fig6();
+        let mut data = DataSpace::new();
+        data.set_sro("v", Value::from(1i64));
+        (
+            data,
+            Cursor::new(&main),
+            RollbackLog::new(),
+            SavepointTable::new(),
+        )
+    }
+
+    #[test]
+    fn enter_sub_writes_data_savepoint() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        let id = table.on_enter_sub("SI1", &mut data, &cursor, &mut log, LoggingMode::State);
+        assert_eq!(log.len(), 1);
+        let sp = log.find_savepoint(id).unwrap();
+        assert!(matches!(sp.sro, SroPayload::Full(_)));
+        assert_eq!(sp.sub_id.as_deref(), Some("SI1"));
+        assert_eq!(table.stack().len(), 1);
+    }
+
+    #[test]
+    fn immediately_nested_sub_gets_marker() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        let outer = table.on_enter_sub("SI3", &mut data, &cursor, &mut log, LoggingMode::State);
+        // No step committed in between → marker referencing SI3's savepoint.
+        let inner = table.on_enter_sub("SI4", &mut data, &cursor, &mut log, LoggingMode::State);
+        let sp = log.find_savepoint(inner).unwrap();
+        assert_eq!(sp.sro, SroPayload::Ref(outer));
+    }
+
+    #[test]
+    fn step_commit_breaks_marker_chain() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        table.on_enter_sub("SI3", &mut data, &cursor, &mut log, LoggingMode::State);
+        table.on_step_committed();
+        let inner = table.on_enter_sub("SI4", &mut data, &cursor, &mut log, LoggingMode::State);
+        let sp = log.find_savepoint(inner).unwrap();
+        assert!(matches!(sp.sro, SroPayload::Full(_)));
+    }
+
+    #[test]
+    fn leave_sub_removes_savepoints_but_not_operations() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        table.on_enter_sub("SI1", &mut data, &cursor, &mut log, LoggingMode::State);
+        table.on_step_committed();
+        // Fake a step's operation entry.
+        log.push(LogEntry::Operation(crate::log::OpEntry {
+            kind: crate::comp::EntryKind::Resource,
+            op: crate::comp::CompOp::new("x", Value::Null),
+            step_seq: 0,
+        }));
+        let out = table
+            .on_leave_sub("SI1", false, &mut data, &mut log)
+            .unwrap();
+        assert_eq!(out, LeaveOutcome::SavepointsRemoved(1));
+        assert_eq!(log.len(), 1, "operation entries stay");
+        assert!(table.stack().is_empty());
+    }
+
+    #[test]
+    fn leave_top_level_discards_log() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        table.on_enter_sub("SI1", &mut data, &cursor, &mut log, LoggingMode::State);
+        log.push(LogEntry::Operation(crate::log::OpEntry {
+            kind: crate::comp::EntryKind::Agent,
+            op: crate::comp::CompOp::new("y", Value::Null),
+            step_seq: 0,
+        }));
+        let out = table
+            .on_leave_sub("SI1", true, &mut data, &mut log)
+            .unwrap();
+        assert!(matches!(out, LeaveOutcome::LogDiscarded { freed_bytes } if freed_bytes > 0));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn leave_wrong_sub_is_error() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        table.on_enter_sub("SI1", &mut data, &cursor, &mut log, LoggingMode::State);
+        assert!(table
+            .on_leave_sub("SI2", false, &mut data, &mut log)
+            .is_err());
+    }
+
+    #[test]
+    fn scope_resolution() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        let outer = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::State);
+        table.on_step_committed();
+        let inner = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::State);
+        table.on_step_committed();
+        let expl =
+            table.explicit_savepoint(&mut data, &cursor, &mut log, LoggingMode::State);
+
+        assert_eq!(table.resolve(RollbackScope::CurrentSub).unwrap(), inner);
+        assert_eq!(
+            table.resolve(RollbackScope::Enclosing(0)).unwrap(),
+            inner
+        );
+        assert_eq!(table.resolve(RollbackScope::Enclosing(1)).unwrap(), outer);
+        assert!(table.resolve(RollbackScope::Enclosing(2)).is_err());
+        assert_eq!(
+            table
+                .resolve(RollbackScope::ToSavepoint(expl))
+                .unwrap(),
+            expl
+        );
+        assert!(matches!(
+            table.resolve(RollbackScope::ToSavepoint(SavepointId(999))),
+            Err(CoreError::NotTargetable(_))
+        ));
+    }
+
+    #[test]
+    fn restore_keeps_id_allocator_monotone() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        let a = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::State);
+        let snapshot = log.find_savepoint(a).unwrap().table.clone();
+        table.on_step_committed();
+        let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::State);
+        table.restore_from(&snapshot);
+        // A new savepoint must not reuse `b`'s id.
+        table.on_step_committed();
+        let c = table.on_enter_sub("B2", &mut data, &cursor, &mut log, LoggingMode::State);
+        assert!(c > b, "{c} must be allocated after {b}");
+        assert_eq!(table.stack().len(), 2); // A (from snapshot) + B2
+    }
+
+    #[test]
+    fn transition_mode_writes_deltas() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        data.enable_shadow();
+        table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        table.on_step_committed();
+        data.set_sro("v", Value::from(2i64));
+        let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::Transition);
+        let sp = log.find_savepoint(b).unwrap();
+        match &sp.sro {
+            SroPayload::Delta(d) => {
+                // Backward delta: restores v to 1.
+                assert_eq!(d.changed.get("v").and_then(Value::as_i64), Some(1));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_savepoint_with_no_active_sub_is_untracked() {
+        let (mut data, cursor, mut log, mut table) = setup();
+        let id = table.explicit_savepoint(&mut data, &cursor, &mut log, LoggingMode::State);
+        // Written to the log but not targetable (no active sub to attach to).
+        assert!(log.find_savepoint(id).is_some());
+        assert!(table.resolve(RollbackScope::ToSavepoint(id)).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The classification of compensation types (§3.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How well an operation can be compensated (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompensationClass {
+    /// Compensation produces *sound* histories: dependent transactions are
+    /// unaffected (`X(S) = Y(S)`); requires the compensating operations to
+    /// commute with everything in `dep(T)`. Rare in practice.
+    Sound,
+    /// Compensation is possible, but `(T • CT)(S) ≠ S` is accepted: the
+    /// result is only an *equivalent* state (fresh coin serial numbers, a
+    /// credit note, a fee) and dependent transactions may have seen `T`.
+    Acceptable,
+    /// Compensation may fail at execution time (e.g. withdrawing a
+    /// compensated deposit from an account another transaction has already
+    /// drained); needs retry or escalation strategies (\[4\], \[10\]).
+    Failable,
+    /// The operation cannot be compensated at all (e.g. deleting bulk data
+    /// without logging it); a step containing one cannot be rolled back
+    /// after commit.
+    Impossible,
+}
+
+impl CompensationClass {
+    /// Whether a committed step containing this operation can still be
+    /// rolled back.
+    pub fn reversible(self) -> bool {
+        self != CompensationClass::Impossible
+    }
+}
+
+impl fmt::Display for CompensationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompensationClass::Sound => "sound",
+            CompensationClass::Acceptable => "acceptable",
+            CompensationClass::Failable => "failable",
+            CompensationClass::Impossible => "impossible",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A catalogued operation with its compensation class and the paper's
+/// rationale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifiedOp {
+    /// Operation name, e.g. `"bank.deposit(overdraftable)"`.
+    pub op: String,
+    /// Its class.
+    pub class: CompensationClass,
+    /// Why (one sentence, citing the paper's example).
+    pub rationale: String,
+}
+
+/// The catalogue of example operations discussed in §3.2, used by the E10
+/// experiment and as live documentation for resource authors.
+pub fn classify_catalog() -> Vec<ClassifiedOp> {
+    let entry = |op: &str, class: CompensationClass, why: &str| ClassifiedOp {
+        op: op.to_owned(),
+        class,
+        rationale: why.to_owned(),
+    };
+    vec![
+        entry(
+            "bank.deposit/withdraw (overdraft allowed)",
+            CompensationClass::Sound,
+            "deposit(x) and withdraw(x) commute when the account may be overdrawn, so T, CT and dep(T) form sound histories",
+        ),
+        entry(
+            "shop.buy (goods still deliverable elsewhere)",
+            CompensationClass::Acceptable,
+            "a dependent buyer simply bought elsewhere; compensating the purchase later does not disturb it",
+        ),
+        entry(
+            "mint.pay-with-digital-cash",
+            CompensationClass::Acceptable,
+            "compensation returns the same amount in coins with different serial numbers — an equivalent, not identical, state",
+        ),
+        entry(
+            "shop.buy (refund charges a fee / credit note after deadline)",
+            CompensationClass::Acceptable,
+            "the agent holds different information after compensation (fee deducted or credit note) and must handle the changed situation",
+        ),
+        entry(
+            "bank.deposit (no overdraft)",
+            CompensationClass::Failable,
+            "the compensating withdraw needs sufficient funds; a concurrent withdrawal can make it fail",
+        ),
+        entry(
+            "db.bulk-delete (unlogged)",
+            CompensationClass::Impossible,
+            "compensation would require logging all deleted data; a step containing it cannot be rolled back after commit",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_all_classes() {
+        let cat = classify_catalog();
+        for class in [
+            CompensationClass::Sound,
+            CompensationClass::Acceptable,
+            CompensationClass::Failable,
+            CompensationClass::Impossible,
+        ] {
+            assert!(
+                cat.iter().any(|c| c.class == class),
+                "catalogue misses {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn reversibility() {
+        assert!(CompensationClass::Sound.reversible());
+        assert!(CompensationClass::Failable.reversible());
+        assert!(!CompensationClass::Impossible.reversible());
+    }
+
+    #[test]
+    fn ordering_reflects_strength() {
+        assert!(CompensationClass::Sound < CompensationClass::Acceptable);
+        assert!(CompensationClass::Acceptable < CompensationClass::Failable);
+        assert!(CompensationClass::Failable < CompensationClass::Impossible);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CompensationClass::Acceptable.to_string(), "acceptable");
+    }
+}

@@ -1,0 +1,130 @@
+//! Operations and histories (§3.1).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::theory::state::AugState;
+
+/// An operation `f` on the augmented state. Unlike \[8\], operations may read
+/// and write any number of entities.
+pub trait Operation {
+    /// Applies the operation, mutating the state.
+    fn apply(&self, state: &mut AugState);
+
+    /// A short name for diagnostics.
+    fn name(&self) -> String;
+}
+
+/// A history `X = <f1, f2, …, fn>`: a total order of operations, which also
+/// denotes the composed function `f1 • f2 • … • fn`.
+#[derive(Clone, Default)]
+pub struct History {
+    ops: Vec<Rc<dyn Operation>>,
+}
+
+impl History {
+    /// The empty history (the identity function `I`).
+    pub fn identity() -> Self {
+        History::default()
+    }
+
+    /// Builds a history from operations.
+    pub fn of<I: IntoIterator<Item = Rc<dyn Operation>>>(ops: I) -> Self {
+        History {
+            ops: ops.into_iter().collect(),
+        }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Rc<dyn Operation>) {
+        self.ops.push(op);
+    }
+
+    /// Concatenates two histories: `self` then `other`.
+    pub fn then(&self, other: &History) -> History {
+        let mut ops = self.ops.clone();
+        ops.extend(other.ops.iter().cloned());
+        History { ops }
+    }
+
+    /// Applies the history as a function: `X(S)`.
+    pub fn apply(&self, initial: &AugState) -> AugState {
+        let mut s = initial.clone();
+        for op in &self.ops {
+            op.apply(&mut s);
+        }
+        s
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for the identity history.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[Rc<dyn Operation>] {
+        &self.ops
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}>",
+            self.ops
+                .iter()
+                .map(|o| o.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::ops::{AddOp, SetOp};
+    use mar_wire::Value;
+
+    #[test]
+    fn identity_maps_state_to_itself() {
+        let s = AugState::from_pairs([("a", Value::from(3i64))]);
+        assert!(History::identity().apply(&s).semantically_eq(&s));
+    }
+
+    #[test]
+    fn application_order_matters() {
+        let s = AugState::new();
+        let set_then_add = History::of([
+            Rc::new(SetOp::new("x", Value::from(10i64))) as Rc<dyn Operation>,
+            Rc::new(AddOp::new("x", 5)),
+        ]);
+        let add_then_set = History::of([
+            Rc::new(AddOp::new("x", 5)) as Rc<dyn Operation>,
+            Rc::new(SetOp::new("x", Value::from(10i64))),
+        ]);
+        assert_eq!(set_then_add.apply(&s).get_i64("x"), 15);
+        assert_eq!(add_then_set.apply(&s).get_i64("x"), 10);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = History::of([Rc::new(AddOp::new("x", 1)) as Rc<dyn Operation>]);
+        let b = History::of([Rc::new(AddOp::new("x", 2)) as Rc<dyn Operation>]);
+        let ab = a.then(&b);
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.apply(&AugState::new()).get_i64("x"), 3);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let h = History::of([Rc::new(AddOp::new("x", 1)) as Rc<dyn Operation>]);
+        assert_eq!(format!("{h:?}"), "<add(x,1)>");
+    }
+}

@@ -1,0 +1,23 @@
+//! The formal model of §3: augmented states, histories, commutativity, and
+//! soundness of compensation (after Korth, Levy & Silberschatz \[8\]).
+//!
+//! The *augmented state* merges the state of all resources an agent accesses
+//! with the agent's private data space, so a step — and its compensation —
+//! can be described as a sequence of operations on one state space.
+//!
+//! These tools are executable: histories are applied to sampled states to
+//! check equivalence (`X ≡ Y` over a sample), commutativity, and the
+//! soundness criterion `X(S) = Y(S)` with `X` the history of `T`, `CT` and
+//! `dep(T)` and `Y` the history of `dep(T)` alone.
+
+mod classify;
+mod history;
+mod ops;
+mod soundness;
+mod state;
+
+pub use classify::{classify_catalog, CompensationClass, ClassifiedOp};
+pub use history::{History, Operation};
+pub use ops::{AddOp, CondTransferOp, ReadDecideOp, SetOp, WithdrawOp};
+pub use soundness::{commute, compensates_to_identity, equivalent, is_sound, sample_states};
+pub use state::AugState;

@@ -1,0 +1,208 @@
+//! A small library of concrete operations used to exercise the theory —
+//! the paper's running examples (§3.2): bank deposits/withdrawals with and
+//! without overdraft, and a conditional transaction whose behaviour depends
+//! on what it reads.
+
+use mar_wire::Value;
+
+use crate::theory::history::Operation;
+use crate::theory::state::AugState;
+
+/// Unconditionally sets an entity.
+#[derive(Debug, Clone)]
+pub struct SetOp {
+    key: String,
+    value: Value,
+}
+
+impl SetOp {
+    /// Creates the operation.
+    pub fn new(key: impl Into<String>, value: Value) -> Self {
+        SetOp {
+            key: key.into(),
+            value,
+        }
+    }
+}
+
+impl Operation for SetOp {
+    fn apply(&self, state: &mut AugState) {
+        state.set(self.key.clone(), self.value.clone());
+    }
+    fn name(&self) -> String {
+        format!("set({},{})", self.key, self.value)
+    }
+}
+
+/// Adds a (possibly negative) amount to an integer entity — `deposit(x)` /
+/// `withdraw(x)` on an account that *may* be overdrawn. These commute.
+#[derive(Debug, Clone)]
+pub struct AddOp {
+    key: String,
+    delta: i64,
+}
+
+impl AddOp {
+    /// Creates the operation.
+    pub fn new(key: impl Into<String>, delta: i64) -> Self {
+        AddOp {
+            key: key.into(),
+            delta,
+        }
+    }
+}
+
+impl Operation for AddOp {
+    fn apply(&self, state: &mut AugState) {
+        let cur = state.get_i64(&self.key);
+        state.set(self.key.clone(), Value::from(cur + self.delta));
+    }
+    fn name(&self) -> String {
+        format!("add({},{})", self.key, self.delta)
+    }
+}
+
+/// `withdraw(x)` on an account that must **not** be overdrawn: the operation
+/// only applies when funds suffice. Such withdrawals make compensation
+/// *failable* (§3.2: compensating a deposit may be impossible when another
+/// transaction already withdrew the money).
+#[derive(Debug, Clone)]
+pub struct WithdrawOp {
+    key: String,
+    amount: i64,
+}
+
+impl WithdrawOp {
+    /// Creates the operation.
+    pub fn new(key: impl Into<String>, amount: i64) -> Self {
+        WithdrawOp {
+            key: key.into(),
+            amount,
+        }
+    }
+}
+
+impl Operation for WithdrawOp {
+    fn apply(&self, state: &mut AugState) {
+        let cur = state.get_i64(&self.key);
+        if cur >= self.amount {
+            state.set(self.key.clone(), Value::from(cur - self.amount));
+        }
+        // Insufficient funds: the operation has no effect (the real system
+        // would reject the transaction; for history algebra the no-op models
+        // the failed branch).
+    }
+    fn name(&self) -> String {
+        format!("withdraw({},{})", self.key, self.amount)
+    }
+}
+
+/// The paper's soundness-breaking example: a transaction that reads the
+/// balance to decide what to do ("if I have enough money, then …"). It does
+/// not commute with deposits/withdrawals.
+#[derive(Debug, Clone)]
+pub struct ReadDecideOp {
+    account: String,
+    threshold: i64,
+    flag: String,
+}
+
+impl ReadDecideOp {
+    /// Creates the operation: sets `flag` to whether `account >= threshold`.
+    pub fn new(
+        account: impl Into<String>,
+        threshold: i64,
+        flag: impl Into<String>,
+    ) -> Self {
+        ReadDecideOp {
+            account: account.into(),
+            threshold,
+            flag: flag.into(),
+        }
+    }
+}
+
+impl Operation for ReadDecideOp {
+    fn apply(&self, state: &mut AugState) {
+        let enough = state.get_i64(&self.account) >= self.threshold;
+        state.set(self.flag.clone(), Value::Bool(enough));
+    }
+    fn name(&self) -> String {
+        format!("decide({}>={})", self.account, self.threshold)
+    }
+}
+
+/// Conditional transfer: moves `amount` from one account to another when
+/// funds suffice, else does nothing. Used for dependency scenarios.
+#[derive(Debug, Clone)]
+pub struct CondTransferOp {
+    from: String,
+    to: String,
+    amount: i64,
+}
+
+impl CondTransferOp {
+    /// Creates the operation.
+    pub fn new(from: impl Into<String>, to: impl Into<String>, amount: i64) -> Self {
+        CondTransferOp {
+            from: from.into(),
+            to: to.into(),
+            amount,
+        }
+    }
+}
+
+impl Operation for CondTransferOp {
+    fn apply(&self, state: &mut AugState) {
+        let have = state.get_i64(&self.from);
+        if have >= self.amount {
+            state.set(self.from.clone(), Value::from(have - self.amount));
+            let dst = state.get_i64(&self.to);
+            state.set(self.to.clone(), Value::from(dst + self.amount));
+        }
+    }
+    fn name(&self) -> String {
+        format!("xfer({}→{},{})", self.from, self.to, self.amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut s = AugState::new();
+        AddOp::new("a", 5).apply(&mut s);
+        AddOp::new("a", -2).apply(&mut s);
+        assert_eq!(s.get_i64("a"), 3);
+    }
+
+    #[test]
+    fn withdraw_respects_balance() {
+        let mut s = AugState::from_pairs([("a", Value::from(10i64))]);
+        WithdrawOp::new("a", 4).apply(&mut s);
+        assert_eq!(s.get_i64("a"), 6);
+        WithdrawOp::new("a", 100).apply(&mut s);
+        assert_eq!(s.get_i64("a"), 6, "insufficient funds: no effect");
+    }
+
+    #[test]
+    fn read_decide_reads_state() {
+        let mut s = AugState::from_pairs([("a", Value::from(10i64))]);
+        ReadDecideOp::new("a", 5, "ok").apply(&mut s);
+        assert_eq!(s.get("ok").and_then(Value::as_bool), Some(true));
+        s.set("a", Value::from(1i64));
+        ReadDecideOp::new("a", 5, "ok").apply(&mut s);
+        assert_eq!(s.get("ok").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn cond_transfer_moves_funds_or_not() {
+        let mut s = AugState::from_pairs([("a", Value::from(10i64)), ("b", Value::from(0i64))]);
+        CondTransferOp::new("a", "b", 7).apply(&mut s);
+        assert_eq!((s.get_i64("a"), s.get_i64("b")), (3, 7));
+        CondTransferOp::new("a", "b", 7).apply(&mut s);
+        assert_eq!((s.get_i64("a"), s.get_i64("b")), (3, 7));
+    }
+}

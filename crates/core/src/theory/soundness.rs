@@ -1,0 +1,152 @@
+//! Executable checks for history equivalence, commutativity, and soundness
+//! (§3.1–3.2).
+//!
+//! True equivalence `X ≡ Y` quantifies over *all* states; these checks
+//! sample a caller-supplied (or generated) state family, so a `true` result
+//! is evidence, not proof — while `false` is a definite counterexample.
+//! That is exactly how the theory is used in the test suite: the paper's
+//! positive examples pass over wide samples, and its counterexamples are
+//! caught.
+
+use std::rc::Rc;
+
+use mar_wire::Value;
+
+use crate::theory::history::{History, Operation};
+use crate::theory::state::AugState;
+
+/// Checks `X(S) = Y(S)` for every sampled state.
+pub fn equivalent(x: &History, y: &History, samples: &[AugState]) -> bool {
+    samples
+        .iter()
+        .all(|s| x.apply(s).semantically_eq(&y.apply(s)))
+}
+
+/// Checks whether two operations commute (`f•g ≡ g•f`) over the samples.
+pub fn commute(f: &Rc<dyn Operation>, g: &Rc<dyn Operation>, samples: &[AugState]) -> bool {
+    let fg = History::of([f.clone(), g.clone()]);
+    let gf = History::of([g.clone(), f.clone()]);
+    equivalent(&fg, &gf, samples)
+}
+
+/// The soundness criterion of \[8\]: with `X` the history `T • dep(T) • CT`
+/// and `Y = dep(T)`, the history is *sound* iff `X(S) = Y(S)` — the outcome
+/// of the dependent transactions is as if `T` never ran.
+pub fn is_sound(t: &History, ct: &History, dep: &History, samples: &[AugState]) -> bool {
+    let x = t.then(dep).then(ct);
+    equivalent(&x, dep, samples)
+}
+
+/// Checks `T • CT ≡ I` (implied by soundness; §3.2 note).
+pub fn compensates_to_identity(t: &History, ct: &History, samples: &[AugState]) -> bool {
+    equivalent(&t.then(ct), &History::identity(), samples)
+}
+
+/// Generates a family of sample states over the given entity names with
+/// deterministic, spread-out integer values (including negatives and zero).
+pub fn sample_states(entities: &[&str], count: usize) -> Vec<AugState> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut s = AugState::new();
+        for (j, name) in entities.iter().enumerate() {
+            // A deterministic, irregular spread: primes keep values from
+            // accidentally aligning across entities.
+            let v = (i as i64 * 31 + j as i64 * 17) % 97 - 20;
+            s.set(*name, Value::from(v));
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::ops::{AddOp, ReadDecideOp, WithdrawOp};
+
+    fn rc<T: Operation + 'static>(op: T) -> Rc<dyn Operation> {
+        Rc::new(op)
+    }
+
+    #[test]
+    fn deposit_withdraw_commute_with_overdraft() {
+        // §3.2: "If the account may be overdrawn, these two operations
+        // commute."
+        let samples = sample_states(&["acct"], 50);
+        let dep = rc(AddOp::new("acct", 20));
+        let wdr = rc(AddOp::new("acct", -8));
+        assert!(commute(&dep, &wdr, &samples));
+    }
+
+    #[test]
+    fn conditional_reader_breaks_commutativity() {
+        // §3.2: a transaction using the balance to decide ("if I have
+        // enough money …") does not commute with deposit/withdraw.
+        let samples = sample_states(&["acct", "flag"], 50);
+        let dep = rc(AddOp::new("acct", 20));
+        let decide = rc(ReadDecideOp::new("acct", 10, "flag"));
+        assert!(!commute(&dep, &decide, &samples));
+    }
+
+    #[test]
+    fn overdraft_bank_history_is_sound() {
+        let samples = sample_states(&["acct"], 50);
+        let t = History::of([rc(AddOp::new("acct", 20))]);
+        let ct = History::of([rc(AddOp::new("acct", -20))]);
+        let dep = History::of([rc(AddOp::new("acct", 5)), rc(AddOp::new("acct", -3))]);
+        assert!(is_sound(&t, &ct, &dep, &samples));
+        assert!(compensates_to_identity(&t, &ct, &samples));
+    }
+
+    #[test]
+    fn dependent_reader_makes_history_unsound() {
+        let samples = sample_states(&["acct", "flag"], 50);
+        let t = History::of([rc(AddOp::new("acct", 20))]);
+        let ct = History::of([rc(AddOp::new("acct", -20))]);
+        let dep = History::of([rc(ReadDecideOp::new("acct", 10, "flag"))]);
+        // dep saw the deposited money; compensating T cannot undo the
+        // decision — the history is not sound.
+        assert!(!is_sound(&t, &ct, &dep, &samples));
+    }
+
+    #[test]
+    fn no_overdraft_compensation_is_not_identity() {
+        // Deposit then compensating-withdraw on a no-overdraft account:
+        // if a dependent withdrawal drained the account first, the
+        // compensation cannot run — T•CT is not the identity over all
+        // interleavings. Here we show the direct failure case: start below
+        // zero is impossible, but a dependent withdrawal in between breaks
+        // the chain.
+        let samples = sample_states(&["acct"], 50);
+        let t = History::of([rc(AddOp::new("acct", 20))]);
+        let ct = History::of([rc(WithdrawOp::new("acct", 20))]);
+        let dep = History::of([rc(WithdrawOp::new("acct", 15))]);
+        // T deposits 20, dep withdraws 15, CT tries to withdraw 20 and
+        // fails whenever fewer than 20 remain → unsound.
+        assert!(!is_sound(&t, &ct, &dep, &samples));
+    }
+
+    #[test]
+    fn identity_is_equivalent_to_itself() {
+        let samples = sample_states(&["x"], 10);
+        assert!(equivalent(
+            &History::identity(),
+            &History::identity(),
+            &samples
+        ));
+    }
+
+    #[test]
+    fn sample_states_are_deterministic_and_varied() {
+        let a = sample_states(&["x", "y"], 20);
+        let b = sample_states(&["x", "y"], 20);
+        assert_eq!(a.len(), 20);
+        for (s1, s2) in a.iter().zip(&b) {
+            assert!(s1.semantically_eq(s2));
+        }
+        // Values vary across samples.
+        let distinct: std::collections::BTreeSet<i64> =
+            a.iter().map(|s| s.get_i64("x")).collect();
+        assert!(distinct.len() > 5);
+    }
+}

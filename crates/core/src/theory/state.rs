@@ -1,0 +1,117 @@
+//! The augmented state space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mar_wire::Value;
+use serde::{Deserialize, Serialize};
+
+/// An augmented state: named entities covering both resource state and the
+/// agent's private data space (§3.1).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AugState {
+    entities: BTreeMap<String, Value>,
+}
+
+impl AugState {
+    /// The empty state.
+    pub fn new() -> Self {
+        AugState::default()
+    }
+
+    /// Builds a state from `(name, value)` pairs.
+    pub fn from_pairs<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(pairs: I) -> Self {
+        AugState {
+            entities: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Reads an entity.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entities.get(name)
+    }
+
+    /// Reads an entity as an integer, defaulting to 0 — convenient for
+    /// account-style entities.
+    pub fn get_i64(&self, name: &str) -> i64 {
+        self.entities
+            .get(name)
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+    }
+
+    /// Writes an entity.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.entities.insert(name.into(), value);
+    }
+
+    /// Removes an entity.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.entities.remove(name)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True if no entities exist.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Structural equality up to numeric coercion (`I64(5) == U64(5)`).
+    pub fn semantically_eq(&self, other: &AugState) -> bool {
+        self.entities.len() == other.entities.len()
+            && self
+                .entities
+                .iter()
+                .zip(&other.entities)
+                .all(|((ka, va), (kb, vb))| ka == kb && va.semantically_eq(vb))
+    }
+}
+
+impl fmt::Display for AugState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.entities.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let mut s = AugState::from_pairs([("acct", Value::from(100i64))]);
+        assert_eq!(s.get_i64("acct"), 100);
+        assert_eq!(s.get_i64("missing"), 0);
+        s.set("acct", Value::from(50i64));
+        assert_eq!(s.get_i64("acct"), 50);
+        assert_eq!(s.len(), 1);
+        s.remove("acct");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn semantic_equality() {
+        let a = AugState::from_pairs([("x", Value::I64(5))]);
+        let b = AugState::from_pairs([("x", Value::U64(5))]);
+        assert!(a.semantically_eq(&b));
+        let c = AugState::from_pairs([("x", Value::I64(6))]);
+        assert!(!a.semantically_eq(&c));
+    }
+
+    #[test]
+    fn display() {
+        let s = AugState::from_pairs([("a", Value::from(1i64))]);
+        assert_eq!(s.to_string(), "{a=1}");
+    }
+}

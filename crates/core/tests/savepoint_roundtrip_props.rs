@@ -1,0 +1,216 @@
+//! Property tests over randomized execution histories: for any nesting of
+//! sub-itineraries, any interleaving of steps, and any legal rollback
+//! target, the planner must restore exactly the SRO state that was live
+//! when the target savepoint was constituted — under both logging modes
+//! and both rollback mechanisms.
+
+use proptest::prelude::*;
+
+use mar_core::comp::{CompOp, EntryKind};
+use mar_core::log::{BosEntry, EosEntry, LogEntry, LoggingMode, OpEntry};
+use mar_core::{
+    compensation_round, start_rollback, AfterRound, AgentId, AgentRecord, DataSpace,
+    ObjectMap, RollbackMode, RollbackScope, SavepointId, StartPlan,
+};
+use mar_itinerary::samples;
+use mar_wire::Value;
+
+/// One event of a synthetic execution history.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Enter a sub-itinerary (auto savepoint).
+    Enter,
+    /// Leave the innermost sub (savepoint GC; never the last frame).
+    Leave,
+    /// Commit a step on the given node, mutating SRO key `k{idx}`.
+    Step { node: u32, sro_key: u8 },
+    /// Request an explicit savepoint.
+    Explicit,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Vec<Ev>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => Just(Ev::Enter),
+            1 => Just(Ev::Leave),
+            5 => (1u32..4, 0u8..6).prop_map(|(node, sro_key)| Ev::Step { node, sro_key }),
+            1 => Just(Ev::Explicit),
+        ],
+        1..24,
+    )
+}
+
+struct Sim {
+    rec: AgentRecord,
+    /// Ground truth: SRO state captured at every savepoint.
+    truth: Vec<(SavepointId, ObjectMap)>,
+    sub_seq: u32,
+    mutation: i64,
+}
+
+impl Sim {
+    fn new(logging: LoggingMode, mode: RollbackMode) -> Sim {
+        let mut data = DataSpace::new();
+        for k in 0..6u8 {
+            data.set_sro(format!("k{k}"), Value::from(0i64));
+        }
+        let rec = AgentRecord::new(
+            AgentId(1),
+            "prop",
+            0,
+            data,
+            samples::fig6(), // placeholder tree; the planner never reads it
+            logging,
+            mode,
+        );
+        Sim {
+            rec,
+            truth: Vec::new(),
+            sub_seq: 0,
+            mutation: 1,
+        }
+    }
+
+    fn apply(&mut self, ev: &Ev) {
+        match ev {
+            Ev::Enter => {
+                self.sub_seq += 1;
+                let cursor = self.rec.cursor.clone();
+                let mode = self.rec.logging_mode;
+                let id = self.rec.table.on_enter_sub(
+                    &format!("sub{}", self.sub_seq),
+                    &mut self.rec.data,
+                    &cursor,
+                    &mut self.rec.log,
+                    mode,
+                );
+                self.truth.push((id, self.rec.data.sro_image()));
+            }
+            Ev::Leave => {
+                // Keep at least one frame so a rollback target always exists.
+                if self.rec.table.stack().len() > 1 {
+                    let frame = self.rec.table.stack().last().unwrap().clone();
+                    self.rec
+                        .table
+                        .on_leave_sub(&frame.sub_id, false, &mut self.rec.data, &mut self.rec.log)
+                        .expect("leave innermost");
+                    // Its savepoints are no longer legal targets.
+                    self.truth
+                        .retain(|(id, _)| *id != frame.auto && !frame.explicit.contains(id));
+                }
+            }
+            Ev::Step { node, sro_key } => {
+                if self.rec.table.stack().is_empty() {
+                    return; // steps only happen inside sub-itineraries
+                }
+                let seq = self.rec.step_seq;
+                self.mutation += 1;
+                self.rec
+                    .data
+                    .set_sro(format!("k{sro_key}"), Value::from(self.mutation));
+                self.rec.log.push(LogEntry::BeginOfStep(BosEntry {
+                    node: *node,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                }));
+                self.rec.log.push(LogEntry::Operation(OpEntry {
+                    kind: EntryKind::Agent,
+                    op: CompOp::new(
+                        "wro.add_i64",
+                        Value::map([("key", Value::from("c")), ("delta", Value::from(-1i64))]),
+                    ),
+                    step_seq: seq,
+                }));
+                self.rec.log.push(LogEntry::EndOfStep(EosEntry {
+                    node: *node,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                    has_mixed: false,
+                    alt_nodes: vec![],
+                }));
+                self.rec.step_seq += 1;
+                self.rec.table.on_step_committed();
+            }
+            Ev::Explicit => {
+                if self.rec.table.stack().is_empty() {
+                    return;
+                }
+                let cursor = self.rec.cursor.clone();
+                let mode = self.rec.logging_mode;
+                let id = self.rec.table.explicit_savepoint(
+                    &mut self.rec.data,
+                    &cursor,
+                    &mut self.rec.log,
+                    mode,
+                );
+                self.truth.push((id, self.rec.data.sro_image()));
+            }
+        }
+    }
+
+    /// Rolls a clone back to `target` and returns the restored SRO image.
+    fn rollback(&self, target: SavepointId) -> ObjectMap {
+        let mut rec = self.rec.clone();
+        match start_rollback(&rec, target).expect("start") {
+            StartPlan::AlreadyAtTarget(plan) => {
+                rec.apply_restore(*plan);
+                return rec.data.sro_image();
+            }
+            StartPlan::Go(_) => {}
+        }
+        for _ in 0..200 {
+            let round = compensation_round(&mut rec, target).expect("round");
+            if let AfterRound::Reached(plan) = round.after {
+                rec.apply_restore(*plan);
+                return rec.data.sro_image();
+            }
+        }
+        panic!("rollback did not terminate");
+    }
+}
+
+fn check(events: Vec<Ev>, logging: LoggingMode, mode: RollbackMode) {
+    let mut sim = Sim::new(logging, mode);
+    for ev in &events {
+        sim.apply(ev);
+        sim.rec.log.validate().expect("log grammar holds at all times");
+    }
+    // Every still-targetable savepoint must restore its exact SRO image.
+    for (id, expected) in &sim.truth {
+        // Only savepoints of *active* subs are legal targets.
+        if sim
+            .rec
+            .table
+            .resolve(RollbackScope::ToSavepoint(*id))
+            .is_err()
+        {
+            continue;
+        }
+        let restored = sim.rollback(*id);
+        assert_eq!(&restored, expected, "savepoint {id} under {logging:?}/{mode:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn state_logging_basic(events in ev_strategy()) {
+        check(events, LoggingMode::State, RollbackMode::Basic);
+    }
+
+    #[test]
+    fn state_logging_optimized(events in ev_strategy()) {
+        check(events, LoggingMode::State, RollbackMode::Optimized);
+    }
+
+    #[test]
+    fn transition_logging_basic(events in ev_strategy()) {
+        check(events, LoggingMode::Transition, RollbackMode::Basic);
+    }
+
+    #[test]
+    fn transition_logging_optimized(events in ev_strategy()) {
+        check(events, LoggingMode::Transition, RollbackMode::Optimized);
+    }
+}

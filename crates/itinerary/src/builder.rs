@@ -1,0 +1,213 @@
+//! Fluent construction of itinerary trees.
+
+use crate::entry::{Entry, Location, NodeSpec, StepEntry};
+use crate::itinerary::{Itinerary, ItineraryError, Order};
+
+/// Builds one (sub-)itinerary; created through [`ItineraryBuilder::main`] or
+/// [`SubBuilder::sub`].
+#[derive(Debug)]
+pub struct SubBuilder {
+    id: String,
+    entries: Vec<Entry>,
+    constraints: Vec<(usize, usize)>,
+    partial: bool,
+}
+
+impl SubBuilder {
+    fn new(id: impl Into<String>) -> Self {
+        SubBuilder {
+            id: id.into(),
+            entries: Vec::new(),
+            constraints: Vec::new(),
+            partial: false,
+        }
+    }
+
+    /// Adds a step on a fixed node.
+    pub fn step(&mut self, method: impl Into<String>, loc: u32) -> &mut Self {
+        self.entries
+            .push(Entry::Step(StepEntry::new(method, Location(loc))));
+        self
+    }
+
+    /// Adds a step that may run on any of `locs` (alternatives in order).
+    pub fn step_any(
+        &mut self,
+        method: impl Into<String>,
+        locs: impl IntoIterator<Item = u32>,
+    ) -> &mut Self {
+        self.entries.push(Entry::Step(StepEntry::new(
+            method,
+            NodeSpec::AnyOf(locs.into_iter().map(Location).collect()),
+        )));
+        self
+    }
+
+    /// Adds a nested sub-itinerary built by `f`.
+    pub fn sub(&mut self, id: impl Into<String>, f: impl FnOnce(&mut SubBuilder)) -> &mut Self {
+        let mut b = SubBuilder::new(id);
+        f(&mut b);
+        self.entries.push(Entry::Sub(b.finish()));
+        self
+    }
+
+    /// Switches this itinerary to a partial order. Without further
+    /// [`SubBuilder::constrain`] calls, entries are unordered.
+    pub fn unordered(&mut self) -> &mut Self {
+        self.partial = true;
+        self
+    }
+
+    /// Adds a `before < after` constraint (by entry index) and switches to a
+    /// partial order.
+    pub fn constrain(&mut self, before: usize, after: usize) -> &mut Self {
+        self.partial = true;
+        self.constraints.push((before, after));
+        self
+    }
+
+    fn finish(self) -> Itinerary {
+        Itinerary {
+            id: self.id,
+            entries: self.entries,
+            order: if self.partial {
+                Order::Partial(self.constraints)
+            } else {
+                Order::Sequence
+            },
+        }
+    }
+}
+
+/// Builder for a complete, validated main itinerary.
+///
+/// # Examples
+///
+/// ```
+/// use mar_itinerary::ItineraryBuilder;
+///
+/// let main = ItineraryBuilder::main("I")
+///     .sub("gather", |b| {
+///         b.step("query_prices", 1).step("query_stock", 2);
+///     })
+///     .sub("purchase", |b| {
+///         b.step_any("buy", [3, 4]).step("pay", 5);
+///     })
+///     .build()
+///     .unwrap();
+/// assert_eq!(main.step_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ItineraryBuilder {
+    root: SubBuilder,
+}
+
+impl ItineraryBuilder {
+    /// Starts a main itinerary with the given id.
+    pub fn main(id: impl Into<String>) -> Self {
+        ItineraryBuilder {
+            root: SubBuilder::new(id),
+        }
+    }
+
+    /// Adds a top-level sub-itinerary (a log-truncation boundary, §4.4.2).
+    pub fn sub(mut self, id: impl Into<String>, f: impl FnOnce(&mut SubBuilder)) -> Self {
+        self.root.sub(id, f);
+        self
+    }
+
+    /// Makes the top-level order partial with the given constraints.
+    pub fn constrain(mut self, before: usize, after: usize) -> Self {
+        self.root.constrain(before, after);
+        self
+    }
+
+    /// Allows top-level sub-itineraries to run in any order.
+    pub fn unordered(mut self) -> Self {
+        self.root.unordered();
+        self
+    }
+
+    /// Finishes and validates the main itinerary.
+    ///
+    /// # Errors
+    ///
+    /// [`ItineraryError`] if validation fails (steps directly in the main
+    /// itinerary, duplicate ids, empty subs, bad constraints).
+    pub fn build(self) -> Result<Itinerary, ItineraryError> {
+        let it = self.root.finish();
+        it.validate_main()?;
+        Ok(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let it = ItineraryBuilder::main("I")
+            .sub("A", |b| {
+                b.step("a1", 1).step("a2", 2);
+            })
+            .sub("B", |b| {
+                b.step("b1", 3).sub("C", |c| {
+                    c.step("c1", 4);
+                });
+            })
+            .build()
+            .unwrap();
+        assert_eq!(it.step_count(), 4);
+        assert_eq!(it.depth(), 3);
+        assert!(it.find("C").is_some());
+    }
+
+    #[test]
+    fn rejects_steps_in_main() {
+        let mut root = SubBuilder::new("I");
+        root.step("oops", 1);
+        let it = root.finish();
+        assert!(it.validate_main().is_err());
+    }
+
+    #[test]
+    fn partial_order_builder() {
+        let it = ItineraryBuilder::main("I")
+            .sub("A", |b| {
+                b.step("x", 1);
+            })
+            .sub("B", |b| {
+                b.step("y", 2);
+            })
+            .unordered()
+            .build()
+            .unwrap();
+        assert_eq!(it.order, Order::Partial(vec![]));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_ids() {
+        let res = ItineraryBuilder::main("I")
+            .sub("A", |b| {
+                b.step("x", 1);
+            })
+            .sub("A", |b| {
+                b.step("y", 2);
+            })
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_partial_constraints() {
+        let it = ItineraryBuilder::main("I")
+            .sub("P", |b| {
+                b.step("a", 1).step("b", 2).step("c", 3).constrain(0, 2).constrain(1, 2);
+            })
+            .build()
+            .unwrap();
+        let p = it.find("P").unwrap();
+        assert_eq!(p.predecessors(2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,506 @@
+//! The execution cursor: the agent's "program counter" at step granularity.
+//!
+//! The cursor is serializable and migrates with the agent; a snapshot of it
+//! is stored in every savepoint entry so that a rollback can resume forward
+//! execution at the step following the savepoint.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::{Entry, NodeSpec, StepEntry};
+use crate::itinerary::Itinerary;
+
+/// One stack frame: an itinerary currently being executed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Id of the (sub-)itinerary this frame executes.
+    pub itinerary_id: String,
+    /// Indices of completed entries.
+    pub done: BTreeSet<usize>,
+    /// Index of the entry currently running (a step, or the sub-itinerary
+    /// the next frame executes).
+    pub running: Option<usize>,
+}
+
+impl Frame {
+    fn new(id: impl Into<String>) -> Self {
+        Frame {
+            itinerary_id: id.into(),
+            done: BTreeSet::new(),
+            running: None,
+        }
+    }
+}
+
+/// Events produced while advancing the cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorEvent {
+    /// Execution entered a sub-itinerary: an automatic savepoint boundary
+    /// (§4.4.2).
+    EnterSub {
+        /// The sub-itinerary id.
+        id: String,
+        /// Stack depth after entering (main = 1).
+        depth: usize,
+        /// Whether this sub-itinerary is directly contained in the main
+        /// itinerary (its completion discards the whole rollback log).
+        top_level: bool,
+    },
+    /// A sub-itinerary completed: its savepoint may be discarded; if
+    /// `top_level`, the entire rollback log may be discarded.
+    LeaveSub {
+        /// The sub-itinerary id.
+        id: String,
+        /// Stack depth before leaving.
+        depth: usize,
+        /// Directly contained in the main itinerary?
+        top_level: bool,
+    },
+    /// The next step to execute.
+    Step {
+        /// The step method name.
+        method: String,
+        /// Where it may run.
+        loc: NodeSpec,
+        /// The sub-itinerary containing the step.
+        within: String,
+    },
+    /// The whole itinerary completed.
+    Finished,
+}
+
+/// Cursor errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorError {
+    /// `advance` was called while a step is still running.
+    StepInProgress,
+    /// `step_done` was called with no running step.
+    NoStepRunning,
+    /// A frame references an itinerary id missing from the tree.
+    UnknownItinerary(String),
+    /// The itinerary already finished.
+    AlreadyFinished,
+    /// No entry is ready and none is running (impossible for validated
+    /// itineraries; kept for robustness).
+    Stuck(String),
+}
+
+impl fmt::Display for CursorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::StepInProgress => f.write_str("a step is still in progress"),
+            CursorError::NoStepRunning => f.write_str("no step is running"),
+            CursorError::UnknownItinerary(id) => write!(f, "unknown itinerary {id:?}"),
+            CursorError::AlreadyFinished => f.write_str("itinerary already finished"),
+            CursorError::Stuck(id) => write!(f, "no runnable entry in itinerary {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CursorError {}
+
+/// Chooses among ready entries (the "system" of the paper's partial-order
+/// itineraries). Must be deterministic for reproducible runs.
+pub trait Scheduler {
+    /// Picks one index out of `ready` (non-empty, ascending).
+    fn choose(&mut self, itinerary: &Itinerary, ready: &[usize]) -> usize;
+}
+
+/// Default scheduler: the lowest ready index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstReady;
+
+impl Scheduler for FirstReady {
+    fn choose(&mut self, _itinerary: &Itinerary, ready: &[usize]) -> usize {
+        ready[0]
+    }
+}
+
+/// The serializable execution cursor over an itinerary tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cursor {
+    frames: Vec<Frame>,
+    finished: bool,
+}
+
+impl Cursor {
+    /// Creates a cursor positioned before the first entry of `main`.
+    pub fn new(main: &Itinerary) -> Self {
+        Cursor {
+            frames: vec![Frame::new(main.id.clone())],
+            finished: false,
+        }
+    }
+
+    /// True once the whole itinerary has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The stack of itinerary ids currently being executed (main first).
+    pub fn path(&self) -> Vec<&str> {
+        self.frames.iter().map(|f| f.itinerary_id.as_str()).collect()
+    }
+
+    /// Current stack depth (main = 1; 0 when finished).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Advances to the next step using the [`FirstReady`] scheduler.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cursor::advance_with`].
+    pub fn advance(&mut self, main: &Itinerary) -> Result<Vec<CursorEvent>, CursorError> {
+        self.advance_with(main, &mut FirstReady)
+    }
+
+    /// Advances to the next step, emitting every sub-itinerary boundary
+    /// crossed on the way. The returned list ends with either
+    /// [`CursorEvent::Step`] or [`CursorEvent::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// [`CursorError::StepInProgress`] if the previous step was not
+    /// completed with [`Cursor::step_done`], [`CursorError::AlreadyFinished`]
+    /// after completion, [`CursorError::UnknownItinerary`] if the cursor and
+    /// tree diverge.
+    pub fn advance_with(
+        &mut self,
+        main: &Itinerary,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<Vec<CursorEvent>, CursorError> {
+        if self.finished {
+            return Err(CursorError::AlreadyFinished);
+        }
+        let mut events = Vec::new();
+        loop {
+            let depth = self.frames.len();
+            let frame = self.frames.last().ok_or(CursorError::AlreadyFinished)?;
+            let itin = main
+                .find(&frame.itinerary_id)
+                .ok_or_else(|| CursorError::UnknownItinerary(frame.itinerary_id.clone()))?;
+            if let Some(idx) = frame.running {
+                // Only a sub-itinerary may be "running" when advance is
+                // called; a running *step* means step_done was skipped.
+                if itin.entries[idx].is_step() {
+                    return Err(CursorError::StepInProgress);
+                }
+                return Err(CursorError::Stuck(itin.id.clone()));
+            }
+            let ready = ready_entries(itin, frame);
+            if let Some(&_first) = ready.first() {
+                let idx = scheduler.choose(itin, &ready);
+                debug_assert!(ready.contains(&idx), "scheduler must pick a ready entry");
+                let frame = self.frames.last_mut().expect("frame exists");
+                frame.running = Some(idx);
+                match &itin.entries[idx] {
+                    Entry::Step(s) => {
+                        events.push(CursorEvent::Step {
+                            method: s.method.clone(),
+                            loc: s.loc.clone(),
+                            within: itin.id.clone(),
+                        });
+                        return Ok(events);
+                    }
+                    Entry::Sub(sub) => {
+                        self.frames.push(Frame::new(sub.id.clone()));
+                        events.push(CursorEvent::EnterSub {
+                            id: sub.id.clone(),
+                            depth: depth + 1,
+                            top_level: depth + 1 == 2,
+                        });
+                        continue;
+                    }
+                }
+            }
+            if frame.done.len() == itin.entries.len() {
+                let id = frame.itinerary_id.clone();
+                self.frames.pop();
+                if depth > 1 {
+                    // The main itinerary is not a sub-itinerary: popping the
+                    // root frame goes straight to Finished.
+                    events.push(CursorEvent::LeaveSub {
+                        id,
+                        depth,
+                        top_level: depth == 2,
+                    });
+                }
+                match self.frames.last_mut() {
+                    Some(parent) => {
+                        let idx = parent.running.take().ok_or_else(|| {
+                            CursorError::Stuck(parent.itinerary_id.clone())
+                        })?;
+                        parent.done.insert(idx);
+                    }
+                    None => {
+                        self.finished = true;
+                        events.push(CursorEvent::Finished);
+                        return Ok(events);
+                    }
+                }
+                continue;
+            }
+            return Err(CursorError::Stuck(itin.id.clone()));
+        }
+    }
+
+    /// Marks the currently running step as completed.
+    ///
+    /// # Errors
+    ///
+    /// [`CursorError::NoStepRunning`] if no step is in progress.
+    pub fn step_done(&mut self) -> Result<(), CursorError> {
+        let frame = self.frames.last_mut().ok_or(CursorError::NoStepRunning)?;
+        let idx = frame.running.take().ok_or(CursorError::NoStepRunning)?;
+        frame.done.insert(idx);
+        Ok(())
+    }
+
+    /// The step currently running, if any.
+    pub fn current_step<'a>(&self, main: &'a Itinerary) -> Option<&'a StepEntry> {
+        let frame = self.frames.last()?;
+        let idx = frame.running?;
+        match main.find(&frame.itinerary_id)?.entries.get(idx)? {
+            Entry::Step(s) => Some(s),
+            Entry::Sub(_) => None,
+        }
+    }
+
+    /// Marks every not-yet-done entry of the deepest sub-itinerary done,
+    /// skipping the remaining work (itinerary adaptation: the agent gives up
+    /// the rest of this sub-task).
+    ///
+    /// # Errors
+    ///
+    /// [`CursorError::UnknownItinerary`] if the cursor and tree diverge.
+    pub fn skip_remaining_in_current_sub(
+        &mut self,
+        main: &Itinerary,
+    ) -> Result<(), CursorError> {
+        let frame = self.frames.last_mut().ok_or(CursorError::AlreadyFinished)?;
+        let itin = main
+            .find(&frame.itinerary_id)
+            .ok_or_else(|| CursorError::UnknownItinerary(frame.itinerary_id.clone()))?;
+        frame.running = None;
+        for i in 0..itin.entries.len() {
+            frame.done.insert(i);
+        }
+        Ok(())
+    }
+
+    /// Restores the cursor from a savepoint snapshot (rollback).
+    pub fn restore(&mut self, snapshot: Cursor) {
+        *self = snapshot;
+    }
+}
+
+fn ready_entries(itin: &Itinerary, frame: &Frame) -> Vec<usize> {
+    (0..itin.entries.len())
+        .filter(|i| !frame.done.contains(i) && frame.running != Some(*i))
+        .filter(|i| itin.predecessors(*i).iter().all(|p| frame.done.contains(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Location;
+
+    fn tree() -> Itinerary {
+        // I { A { a1, a2 }, B { b1, C { c1 } } }
+        Itinerary::seq(
+            "I",
+            vec![
+                Entry::sub(Itinerary::seq(
+                    "A",
+                    vec![Entry::step("a1", 1u32), Entry::step("a2", 2u32)],
+                )),
+                Entry::sub(Itinerary::seq(
+                    "B",
+                    vec![
+                        Entry::step("b1", 3u32),
+                        Entry::sub(Itinerary::seq("C", vec![Entry::step("c1", 4u32)])),
+                    ],
+                )),
+            ],
+        )
+    }
+
+    /// Drives the cursor to completion, returning the step order and events.
+    fn walk(main: &Itinerary) -> (Vec<String>, Vec<CursorEvent>) {
+        let mut cursor = Cursor::new(main);
+        let mut steps = Vec::new();
+        let mut all_events = Vec::new();
+        loop {
+            let events = cursor.advance(main).unwrap();
+            let last = events.last().cloned();
+            all_events.extend(events);
+            match last {
+                Some(CursorEvent::Step { method, .. }) => {
+                    steps.push(method);
+                    cursor.step_done().unwrap();
+                }
+                Some(CursorEvent::Finished) => break,
+                other => panic!("unexpected terminal event {other:?}"),
+            }
+        }
+        (steps, all_events)
+    }
+
+    #[test]
+    fn sequential_walk_order() {
+        let main = tree();
+        let (steps, events) = walk(&main);
+        assert_eq!(steps, ["a1", "a2", "b1", "c1"]);
+        // Boundary events in order.
+        let bounds: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                CursorEvent::EnterSub { id, .. } => Some(format!("+{id}")),
+                CursorEvent::LeaveSub { id, .. } => Some(format!("-{id}")),
+                CursorEvent::Finished => Some("fin".into()),
+                CursorEvent::Step { .. } => None,
+            })
+            .collect();
+        assert_eq!(bounds, ["+A", "-A", "+B", "+C", "-C", "-B", "fin"]);
+    }
+
+    #[test]
+    fn top_level_flags() {
+        let main = tree();
+        let (_, events) = walk(&main);
+        for e in &events {
+            match e {
+                CursorEvent::EnterSub { id, top_level, .. }
+                | CursorEvent::LeaveSub { id, top_level, .. } => {
+                    let expect = id == "A" || id == "B";
+                    assert_eq!(*top_level, expect, "flag for {id}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn advance_without_step_done_errors() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        cursor.advance(&main).unwrap();
+        assert_eq!(cursor.advance(&main), Err(CursorError::StepInProgress));
+    }
+
+    #[test]
+    fn step_done_without_running_errors() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        assert_eq!(cursor.step_done(), Err(CursorError::NoStepRunning));
+    }
+
+    #[test]
+    fn finished_cursor_rejects_advance() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        loop {
+            let events = cursor.advance(&main).unwrap();
+            match events.last() {
+                Some(CursorEvent::Step { .. }) => cursor.step_done().unwrap(),
+                Some(CursorEvent::Finished) => break,
+                _ => unreachable!(),
+            }
+        }
+        assert!(cursor.is_finished());
+        assert_eq!(cursor.advance(&main), Err(CursorError::AlreadyFinished));
+    }
+
+    #[test]
+    fn partial_order_uses_scheduler() {
+        // b and c unordered; a before both.
+        let main = Itinerary::seq(
+            "I",
+            vec![Entry::sub(Itinerary::partial(
+                "P",
+                vec![
+                    Entry::step("a", 0u32),
+                    Entry::step("b", 1u32),
+                    Entry::step("c", 2u32),
+                ],
+                vec![(0, 1), (0, 2)],
+            ))],
+        );
+        struct LastReady;
+        impl Scheduler for LastReady {
+            fn choose(&mut self, _i: &Itinerary, ready: &[usize]) -> usize {
+                *ready.last().unwrap()
+            }
+        }
+        let mut cursor = Cursor::new(&main);
+        let mut steps = Vec::new();
+        loop {
+            let events = cursor.advance_with(&main, &mut LastReady).unwrap();
+            match events.last() {
+                Some(CursorEvent::Step { method, .. }) => {
+                    steps.push(method.clone());
+                    cursor.step_done().unwrap();
+                }
+                Some(CursorEvent::Finished) => break,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(steps, ["a", "c", "b"]);
+    }
+
+    #[test]
+    fn snapshot_restore_reexecutes_sub() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        // Advance into A (snapshot the moment we enter).
+        let events = cursor.advance(&main).unwrap();
+        assert!(matches!(events[0], CursorEvent::EnterSub { ref id, .. } if id == "A"));
+        let snapshot = cursor.clone();
+        // Execute a1 and a2.
+        cursor.step_done().unwrap();
+        cursor.advance(&main).unwrap();
+        // Roll back to the snapshot: a1 runs again.
+        cursor.restore(snapshot);
+        assert_eq!(cursor.path(), ["I", "A"]);
+        // The snapshot was taken with a1 already selected as running.
+        let step = cursor.current_step(&main).unwrap();
+        assert_eq!(step.method, "a1");
+    }
+
+    #[test]
+    fn skip_remaining_completes_sub_early() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        cursor.advance(&main).unwrap(); // entering A, running a1
+        cursor.step_done().unwrap();
+        cursor.skip_remaining_in_current_sub(&main).unwrap(); // skip a2
+        let events = cursor.advance(&main).unwrap();
+        // Leaves A and enters B directly.
+        assert!(matches!(events[0], CursorEvent::LeaveSub { ref id, .. } if id == "A"));
+        assert!(matches!(events[1], CursorEvent::EnterSub { ref id, .. } if id == "B"));
+    }
+
+    #[test]
+    fn cursor_serializes() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        cursor.advance(&main).unwrap();
+        let bytes = mar_wire::to_bytes(&cursor).unwrap();
+        let back: Cursor = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, cursor);
+    }
+
+    #[test]
+    fn current_step_location() {
+        let main = tree();
+        let mut cursor = Cursor::new(&main);
+        cursor.advance(&main).unwrap();
+        let s = cursor.current_step(&main).unwrap();
+        assert_eq!(s.loc.primary(), Location(1));
+    }
+}

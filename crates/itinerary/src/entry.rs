@@ -1,0 +1,161 @@
+//! Itinerary entries: steps and nested sub-itineraries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::itinerary::Itinerary;
+
+/// A node reference inside an itinerary. Kept independent of the simulator
+/// so itineraries stay a pure data model; the platform maps locations to
+/// simulator nodes one-to-one.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Location(pub u32);
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for Location {
+    fn from(v: u32) -> Self {
+        Location(v)
+    }
+}
+
+/// Where a step may execute: a fixed node, or any of several alternatives
+/// (the paper's hook for fault-tolerant step/rollback execution, §4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSpec {
+    /// Exactly this node.
+    Fixed(Location),
+    /// Any of these nodes, tried in order; later entries are alternatives
+    /// used when earlier ones are unreachable.
+    AnyOf(Vec<Location>),
+}
+
+impl NodeSpec {
+    /// The preferred (first) location.
+    pub fn primary(&self) -> Location {
+        match self {
+            NodeSpec::Fixed(l) => *l,
+            NodeSpec::AnyOf(ls) => *ls.first().expect("validated: AnyOf is non-empty"),
+        }
+    }
+
+    /// All admissible locations, primary first.
+    pub fn candidates(&self) -> Vec<Location> {
+        match self {
+            NodeSpec::Fixed(l) => vec![*l],
+            NodeSpec::AnyOf(ls) => ls.clone(),
+        }
+    }
+
+    /// Alternatives after the primary (used for EOS `alt_nodes`).
+    pub fn alternatives(&self) -> Vec<Location> {
+        match self {
+            NodeSpec::Fixed(_) => Vec::new(),
+            NodeSpec::AnyOf(ls) => ls.iter().skip(1).copied().collect(),
+        }
+    }
+}
+
+impl From<Location> for NodeSpec {
+    fn from(l: Location) -> Self {
+        NodeSpec::Fixed(l)
+    }
+}
+
+/// A step entry `(meth()/loc)`: execute the method named `method` on the
+/// node specified by `loc` (paper §4.4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepEntry {
+    /// Name of the agent method implementing the step.
+    pub method: String,
+    /// Where the step may run.
+    pub loc: NodeSpec,
+}
+
+impl StepEntry {
+    /// Constructs a step entry.
+    pub fn new(method: impl Into<String>, loc: impl Into<NodeSpec>) -> Self {
+        StepEntry {
+            method: method.into(),
+            loc: loc.into(),
+        }
+    }
+}
+
+/// One element of an itinerary: either a step or a nested sub-itinerary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry {
+    /// A leaf step.
+    Step(StepEntry),
+    /// A nested sub-itinerary (its completion is a potential log-truncation
+    /// point, §4.4.2).
+    Sub(Itinerary),
+}
+
+impl Entry {
+    /// Shorthand for a fixed-location step entry.
+    pub fn step(method: impl Into<String>, loc: impl Into<Location>) -> Entry {
+        Entry::Step(StepEntry::new(method, NodeSpec::Fixed(loc.into())))
+    }
+
+    /// Shorthand for a step with alternative locations.
+    pub fn step_any(method: impl Into<String>, locs: impl IntoIterator<Item = u32>) -> Entry {
+        Entry::Step(StepEntry::new(
+            method,
+            NodeSpec::AnyOf(locs.into_iter().map(Location).collect()),
+        ))
+    }
+
+    /// Shorthand wrapping a sub-itinerary.
+    pub fn sub(it: Itinerary) -> Entry {
+        Entry::Sub(it)
+    }
+
+    /// True for step entries.
+    pub fn is_step(&self) -> bool {
+        matches!(self, Entry::Step(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_spec_candidates() {
+        let fixed = NodeSpec::Fixed(Location(3));
+        assert_eq!(fixed.primary(), Location(3));
+        assert_eq!(fixed.candidates(), vec![Location(3)]);
+        assert!(fixed.alternatives().is_empty());
+
+        let any = NodeSpec::AnyOf(vec![Location(1), Location(2)]);
+        assert_eq!(any.primary(), Location(1));
+        assert_eq!(any.alternatives(), vec![Location(2)]);
+    }
+
+    #[test]
+    fn entry_shorthands() {
+        let e = Entry::step("buy", 4u32);
+        assert!(e.is_step());
+        let e2 = Entry::step_any("buy", [1, 2, 3]);
+        match e2 {
+            Entry::Step(s) => assert_eq!(s.loc.candidates().len(), 3),
+            _ => panic!("expected step"),
+        }
+    }
+
+    #[test]
+    fn serializes() {
+        let e = Entry::step_any("m", [5, 6]);
+        let bytes = mar_wire::to_bytes(&e).unwrap();
+        let back: Entry = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+}

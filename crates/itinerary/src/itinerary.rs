@@ -1,0 +1,397 @@
+//! The itinerary tree and its validation rules.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::{Entry, NodeSpec};
+
+/// Execution order among the entries of one (sub-)itinerary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Order {
+    /// Entries run one after another in declaration order.
+    #[default]
+    Sequence,
+    /// A partial order: `(before, after)` index pairs; unconstrained entries
+    /// may run in any order the scheduler picks ("allowing the system to
+    /// choose which entry to execute as the next entry", §4.4.2).
+    Partial(Vec<(usize, usize)>),
+}
+
+/// A (sub-)itinerary: a named set of entries plus an order (paper §4.4.2,
+/// Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Itinerary {
+    /// Unique identifier, e.g. `"SI3"`.
+    pub id: String,
+    /// Steps and nested sub-itineraries.
+    pub entries: Vec<Entry>,
+    /// Execution order among `entries`.
+    pub order: Order,
+}
+
+impl Itinerary {
+    /// A sequential itinerary.
+    pub fn seq(id: impl Into<String>, entries: Vec<Entry>) -> Self {
+        Itinerary {
+            id: id.into(),
+            entries,
+            order: Order::Sequence,
+        }
+    }
+
+    /// A partially ordered itinerary with `(before, after)` constraints.
+    pub fn partial(
+        id: impl Into<String>,
+        entries: Vec<Entry>,
+        constraints: Vec<(usize, usize)>,
+    ) -> Self {
+        Itinerary {
+            id: id.into(),
+            entries,
+            order: Order::Partial(constraints),
+        }
+    }
+
+    /// Finds a nested (sub-)itinerary by id, including `self`.
+    pub fn find(&self, id: &str) -> Option<&Itinerary> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.entries.iter().find_map(|e| match e {
+            Entry::Sub(s) => s.find(id),
+            Entry::Step(_) => None,
+        })
+    }
+
+    /// Total number of step entries in the whole tree.
+    pub fn step_count(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                Entry::Step(_) => 1,
+                Entry::Sub(s) => s.step_count(),
+            })
+            .sum()
+    }
+
+    /// Maximum nesting depth (a flat itinerary has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .entries
+            .iter()
+            .map(|e| match e {
+                Entry::Step(_) => 0,
+                Entry::Sub(s) => s.depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The predecessors of entry `i` under this itinerary's order.
+    pub fn predecessors(&self, i: usize) -> Vec<usize> {
+        match &self.order {
+            Order::Sequence => {
+                if i == 0 {
+                    Vec::new()
+                } else {
+                    vec![i - 1]
+                }
+            }
+            Order::Partial(cons) => cons
+                .iter()
+                .filter(|(_, after)| *after == i)
+                .map(|(before, _)| *before)
+                .collect(),
+        }
+    }
+
+    /// Validates this tree as a *main* itinerary: besides the structural
+    /// rules of [`Itinerary::validate`], the main itinerary may contain only
+    /// sub-itineraries ("To provide a clear semantics, no step entries are
+    /// allowed in the main itinerary", §4.4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ItineraryError`] describing the first violation found.
+    pub fn validate_main(&self) -> Result<(), ItineraryError> {
+        if let Some(step) = self.entries.iter().find(|e| e.is_step()) {
+            let name = match step {
+                Entry::Step(s) => s.method.clone(),
+                Entry::Sub(_) => unreachable!(),
+            };
+            return Err(ItineraryError::StepInMainItinerary { method: name });
+        }
+        if self.entries.is_empty() {
+            return Err(ItineraryError::Empty {
+                id: self.id.clone(),
+            });
+        }
+        self.validate()
+    }
+
+    /// Validates structural rules on any (sub-)itinerary tree:
+    /// * ids are unique,
+    /// * every sub-itinerary is non-empty,
+    /// * `AnyOf` node specs are non-empty,
+    /// * partial-order constraints are in range and acyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`ItineraryError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), ItineraryError> {
+        let mut ids = BTreeSet::new();
+        self.validate_inner(&mut ids)
+    }
+
+    fn validate_inner<'a>(&'a self, ids: &mut BTreeSet<&'a str>) -> Result<(), ItineraryError> {
+        if !ids.insert(self.id.as_str()) {
+            return Err(ItineraryError::DuplicateId {
+                id: self.id.clone(),
+            });
+        }
+        if self.entries.is_empty() {
+            return Err(ItineraryError::Empty {
+                id: self.id.clone(),
+            });
+        }
+        if let Order::Partial(cons) = &self.order {
+            let n = self.entries.len();
+            for &(a, b) in cons {
+                if a >= n || b >= n {
+                    return Err(ItineraryError::ConstraintOutOfRange {
+                        id: self.id.clone(),
+                        constraint: (a, b),
+                    });
+                }
+                if a == b {
+                    return Err(ItineraryError::CyclicOrder {
+                        id: self.id.clone(),
+                    });
+                }
+            }
+            if has_cycle(n, cons) {
+                return Err(ItineraryError::CyclicOrder {
+                    id: self.id.clone(),
+                });
+            }
+        }
+        for e in &self.entries {
+            match e {
+                Entry::Step(s) => {
+                    if matches!(&s.loc, NodeSpec::AnyOf(v) if v.is_empty()) {
+                        return Err(ItineraryError::EmptyNodeSpec {
+                            method: s.method.clone(),
+                        });
+                    }
+                }
+                Entry::Sub(sub) => sub.validate_inner(ids)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn has_cycle(n: usize, cons: &[(usize, usize)]) -> bool {
+    // Kahn's algorithm: if a topological order consumes fewer than n nodes,
+    // there is a cycle.
+    let mut indeg = vec![0usize; n];
+    for &(_, b) in cons {
+        indeg[b] += 1;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for &(a, b) in cons {
+            if a == i {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    ready.push(b);
+                }
+            }
+        }
+    }
+    seen < n
+}
+
+/// Validation errors for itineraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItineraryError {
+    /// A step entry appeared directly in the main itinerary.
+    StepInMainItinerary {
+        /// The offending step method.
+        method: String,
+    },
+    /// Two (sub-)itineraries share an id.
+    DuplicateId {
+        /// The duplicated id.
+        id: String,
+    },
+    /// A (sub-)itinerary has no entries.
+    Empty {
+        /// The empty itinerary's id.
+        id: String,
+    },
+    /// A partial-order constraint references a missing entry.
+    ConstraintOutOfRange {
+        /// The itinerary id.
+        id: String,
+        /// The offending `(before, after)` pair.
+        constraint: (usize, usize),
+    },
+    /// The partial order has a cycle.
+    CyclicOrder {
+        /// The itinerary id.
+        id: String,
+    },
+    /// An `AnyOf` node spec has no candidates.
+    EmptyNodeSpec {
+        /// The step method with the bad spec.
+        method: String,
+    },
+}
+
+impl fmt::Display for ItineraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItineraryError::StepInMainItinerary { method } => {
+                write!(f, "step {method:?} not allowed directly in the main itinerary")
+            }
+            ItineraryError::DuplicateId { id } => write!(f, "duplicate itinerary id {id:?}"),
+            ItineraryError::Empty { id } => write!(f, "itinerary {id:?} has no entries"),
+            ItineraryError::ConstraintOutOfRange { id, constraint } => write!(
+                f,
+                "order constraint {constraint:?} out of range in itinerary {id:?}"
+            ),
+            ItineraryError::CyclicOrder { id } => {
+                write!(f, "cyclic order in itinerary {id:?}")
+            }
+            ItineraryError::EmptyNodeSpec { method } => {
+                write!(f, "step {method:?} has an empty node list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ItineraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(id: &str, n: usize) -> Itinerary {
+        Itinerary::seq(
+            id,
+            (0..n).map(|i| Entry::step(format!("{id}_s{i}"), i as u32)).collect(),
+        )
+    }
+
+    #[test]
+    fn find_and_counts() {
+        let main = Itinerary::seq(
+            "I",
+            vec![
+                Entry::sub(leaf("A", 2)),
+                Entry::sub(Itinerary::seq(
+                    "B",
+                    vec![Entry::step("x", 0u32), Entry::sub(leaf("C", 3))],
+                )),
+            ],
+        );
+        assert_eq!(main.step_count(), 6);
+        assert_eq!(main.depth(), 3);
+        assert!(main.find("C").is_some());
+        assert!(main.find("I").is_some());
+        assert!(main.find("Z").is_none());
+        main.validate_main().unwrap();
+    }
+
+    #[test]
+    fn main_itinerary_rejects_direct_steps() {
+        let main = Itinerary::seq("I", vec![Entry::step("s", 0u32)]);
+        assert!(matches!(
+            main.validate_main(),
+            Err(ItineraryError::StepInMainItinerary { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let main = Itinerary::seq(
+            "I",
+            vec![Entry::sub(leaf("A", 1)), Entry::sub(leaf("A", 1))],
+        );
+        assert!(matches!(
+            main.validate_main(),
+            Err(ItineraryError::DuplicateId { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sub_rejected() {
+        let main = Itinerary::seq("I", vec![Entry::sub(Itinerary::seq("A", vec![]))]);
+        assert!(matches!(
+            main.validate_main(),
+            Err(ItineraryError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_order_validation() {
+        let ok = Itinerary::partial(
+            "P",
+            vec![Entry::step("a", 0u32), Entry::step("b", 1u32), Entry::step("c", 2u32)],
+            vec![(0, 2), (1, 2)],
+        );
+        ok.validate().unwrap();
+        assert_eq!(ok.predecessors(2), vec![0, 1]);
+        assert!(ok.predecessors(0).is_empty());
+
+        let cyclic = Itinerary::partial(
+            "P",
+            vec![Entry::step("a", 0u32), Entry::step("b", 1u32)],
+            vec![(0, 1), (1, 0)],
+        );
+        assert!(matches!(
+            cyclic.validate(),
+            Err(ItineraryError::CyclicOrder { .. })
+        ));
+
+        let oob = Itinerary::partial("P", vec![Entry::step("a", 0u32)], vec![(0, 5)]);
+        assert!(matches!(
+            oob.validate(),
+            Err(ItineraryError::ConstraintOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_predecessors() {
+        let it = leaf("A", 3);
+        assert!(it.predecessors(0).is_empty());
+        assert_eq!(it.predecessors(2), vec![1]);
+    }
+
+    #[test]
+    fn empty_any_of_rejected() {
+        let it = Itinerary::seq(
+            "A",
+            vec![Entry::Step(crate::entry::StepEntry::new(
+                "m",
+                NodeSpec::AnyOf(vec![]),
+            ))],
+        );
+        assert!(matches!(
+            it.validate(),
+            Err(ItineraryError::EmptyNodeSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn serializes() {
+        let it = leaf("A", 2);
+        let bytes = mar_wire::to_bytes(&it).unwrap();
+        assert_eq!(mar_wire::from_slice::<Itinerary>(&bytes).unwrap(), it);
+    }
+}

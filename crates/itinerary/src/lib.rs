@@ -1,0 +1,47 @@
+//! # mar-itinerary
+//!
+//! Hierarchical itineraries for mobile agents (paper §4.4.2, Fig. 6).
+//!
+//! An itinerary describes *which* step an agent performs on *which* node and
+//! in *which* order. Itineraries nest: every sub-itinerary is a sub-task
+//! whose entry constitutes an automatic savepoint and whose completion lets
+//! rollback information be discarded — the paper's structured mechanism for
+//! bounding the rollback log. The main itinerary may contain only
+//! sub-itineraries; completing a top-level sub-itinerary discards the whole
+//! log.
+//!
+//! * [`Itinerary`] / [`Entry`] — the validated tree (sequence or partial
+//!   order, alternative nodes per step).
+//! * [`Cursor`] — the serializable execution position; it migrates with the
+//!   agent and is snapshotted into savepoints.
+//! * [`ItineraryBuilder`] — fluent construction.
+//! * [`samples`] — the paper's Fig. 6 itinerary and generators for
+//!   experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use mar_itinerary::{Cursor, CursorEvent, samples};
+//!
+//! let main = samples::fig6();
+//! let mut cursor = Cursor::new(&main);
+//! let events = cursor.advance(&main).unwrap();
+//! // The first advance enters a top-level sub-itinerary (savepoint!) and
+//! // yields the first step.
+//! assert!(matches!(events[0], CursorEvent::EnterSub { top_level: true, .. }));
+//! assert!(matches!(events.last(), Some(CursorEvent::Step { .. })));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod cursor;
+mod entry;
+mod itinerary;
+pub mod samples;
+
+pub use builder::{ItineraryBuilder, SubBuilder};
+pub use cursor::{Cursor, CursorError, CursorEvent, FirstReady, Frame, Scheduler};
+pub use entry::{Entry, Location, NodeSpec, StepEntry};
+pub use itinerary::{Itinerary, ItineraryError, Order};

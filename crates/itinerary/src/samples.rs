@@ -1,0 +1,172 @@
+//! Ready-made itineraries: the paper's Fig. 6 example and parametric
+//! generators used by tests and benchmarks.
+
+use crate::builder::ItineraryBuilder;
+use crate::entry::Entry;
+use crate::itinerary::Itinerary;
+
+/// The sample itinerary of Fig. 6:
+///
+/// ```text
+/// I
+/// ├── SI1 { s1, s2, s3 }
+/// ├── SI2 { s7, s8 }
+/// └── SI3 { s6, SI4 { s5, s4 }, SI5 { s9, s10 } }
+/// ```
+///
+/// The top level is unordered (the scenario in §4.4.2 *begins* with SI3),
+/// matching the paper's partial-order itineraries. Step `sN` is placed on
+/// location `N`.
+pub fn fig6() -> Itinerary {
+    ItineraryBuilder::main("I")
+        .sub("SI1", |b| {
+            b.step("s1", 1).step("s2", 2).step("s3", 3);
+        })
+        .sub("SI2", |b| {
+            b.step("s7", 7).step("s8", 8);
+        })
+        .sub("SI3", |b| {
+            b.step("s6", 6)
+                .sub("SI4", |s| {
+                    s.step("s5", 5).step("s4", 4);
+                })
+                .sub("SI5", |s| {
+                    s.step("s9", 9).step("s10", 10);
+                });
+        })
+        .unordered()
+        .build()
+        .expect("fig6 itinerary is valid")
+}
+
+/// A single top-level sub-itinerary `"S"` with `steps` steps named
+/// `"step0" .. "step{n-1}"`, placed round-robin over `locations`.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `locations` is empty.
+pub fn linear(steps: usize, locations: &[u32]) -> Itinerary {
+    assert!(steps > 0, "need at least one step");
+    assert!(!locations.is_empty(), "need at least one location");
+    ItineraryBuilder::main("I")
+        .sub("S", |b| {
+            for i in 0..steps {
+                b.step(format!("step{i}"), locations[i % locations.len()]);
+            }
+        })
+        .build()
+        .expect("linear itinerary is valid")
+}
+
+/// A balanced tree of sub-itineraries: `top` top-level sub-itineraries, each
+/// with `nesting` levels, each level holding `steps_per_level` steps and one
+/// nested sub-itinerary (except the deepest). Step locations cycle over
+/// `locations`.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero or `locations` is empty.
+pub fn nested(
+    top: usize,
+    nesting: usize,
+    steps_per_level: usize,
+    locations: &[u32],
+) -> Itinerary {
+    assert!(top > 0 && nesting > 0 && steps_per_level > 0);
+    assert!(!locations.is_empty());
+    let mut builder = ItineraryBuilder::main("I");
+    let mut counter = 0usize;
+    for t in 0..top {
+        builder = builder.sub(format!("T{t}"), |b| {
+            fill_level(b, t, 1, nesting, steps_per_level, locations, &mut counter);
+        });
+    }
+    builder.build().expect("nested itinerary is valid")
+}
+
+fn fill_level(
+    b: &mut crate::builder::SubBuilder,
+    top_index: usize,
+    level: usize,
+    nesting: usize,
+    steps_per_level: usize,
+    locations: &[u32],
+    counter: &mut usize,
+) {
+    for _ in 0..steps_per_level {
+        let loc = locations[*counter % locations.len()];
+        b.step(format!("step{}", *counter), loc);
+        *counter += 1;
+    }
+    if level < nesting {
+        b.sub(format!("T{top_index}L{level}"), |inner| {
+            fill_level(
+                inner,
+                top_index,
+                level + 1,
+                nesting,
+                steps_per_level,
+                locations,
+                counter,
+            );
+        });
+    }
+}
+
+/// Flattens an itinerary to the list of `(method, primary location)` pairs
+/// in sequential order — handy for test assertions.
+pub fn flatten(it: &Itinerary) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    fn walk(it: &Itinerary, out: &mut Vec<(String, u32)>) {
+        for e in &it.entries {
+            match e {
+                Entry::Step(s) => out.push((s.method.clone(), s.loc.primary().0)),
+                Entry::Sub(sub) => walk(sub, out),
+            }
+        }
+    }
+    walk(it, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let it = fig6();
+        it.validate_main().unwrap();
+        assert_eq!(it.step_count(), 10);
+        assert_eq!(it.depth(), 3);
+        let si3 = it.find("SI3").unwrap();
+        assert_eq!(si3.step_count(), 5); // s6 + SI4{s5,s4} + SI5{s9,s10}
+        assert!(it.find("SI4").is_some());
+        assert!(it.find("SI5").is_some());
+    }
+
+    #[test]
+    fn linear_generator() {
+        let it = linear(5, &[1, 2]);
+        assert_eq!(it.step_count(), 5);
+        let flat = flatten(&it);
+        assert_eq!(flat[0], ("step0".into(), 1));
+        assert_eq!(flat[1], ("step1".into(), 2));
+        assert_eq!(flat[4], ("step4".into(), 1));
+    }
+
+    #[test]
+    fn nested_generator_counts() {
+        let it = nested(2, 3, 2, &[1, 2, 3]);
+        it.validate_main().unwrap();
+        // 2 top-level trees, each 3 levels of 2 steps.
+        assert_eq!(it.step_count(), 12);
+        assert_eq!(it.depth(), 4); // main + 3 nesting levels
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn linear_rejects_zero_steps() {
+        linear(0, &[1]);
+    }
+}

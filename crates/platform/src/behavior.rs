@@ -1,0 +1,112 @@
+//! Agent behaviours: the "code" of an agent, registered by type name.
+//!
+//! Mole shipped Java class names and resolved them against each node's
+//! class loader; we ship the `agent_type` string and resolve it against the
+//! platform-wide [`BehaviorRegistry`]. Behaviours are stateless — all
+//! mutable agent state lives in the migrating
+//! [`DataSpace`](mar_core::DataSpace).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use mar_core::RollbackScope;
+use mar_txn::TxnError;
+
+use crate::stepctx::StepCtx;
+
+/// What a step decided after running (§2's step method result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepDecision {
+    /// The step succeeded; commit and continue with the itinerary.
+    Continue,
+    /// The agent's program logic decided that the current strategy does not
+    /// lead to its goal: abort this step transaction and initiate a partial
+    /// rollback (§2).
+    Rollback(RollbackScope),
+    /// The agent gives up entirely (non-retryable business failure).
+    Fail(String),
+}
+
+/// The code of one agent type. The `method` name comes from the itinerary's
+/// step entry (`meth()/loc`).
+///
+/// # Errors
+///
+/// Returning `Err(TxnError::WouldBlock)` (or any transient error) aborts
+/// the step transaction and retries it later — the paper's abort/restart of
+/// a step. Other errors fail the agent.
+pub trait AgentBehavior {
+    /// Executes one step method.
+    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError>;
+}
+
+/// Platform-wide registry of agent behaviours, shared by all nodes.
+#[derive(Default)]
+pub struct BehaviorRegistry {
+    map: BTreeMap<String, Rc<dyn AgentBehavior>>,
+}
+
+impl BehaviorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        BehaviorRegistry::default()
+    }
+
+    /// Registers a behaviour under `agent_type`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn register(&mut self, agent_type: impl Into<String>, behavior: impl AgentBehavior + 'static) {
+        let name = agent_type.into();
+        let prev = self.map.insert(name.clone(), Rc::new(behavior));
+        assert!(prev.is_none(), "agent type {name:?} registered twice");
+    }
+
+    /// Resolves a behaviour by type name.
+    pub fn get(&self, agent_type: &str) -> Option<Rc<dyn AgentBehavior>> {
+        self.map.get(agent_type).cloned()
+    }
+
+    /// Registered type names.
+    pub fn names(&self) -> Vec<&str> {
+        self.map.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for BehaviorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehaviorRegistry")
+            .field("types", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl AgentBehavior for Nop {
+        fn step(&self, _m: &str, _ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+            Ok(StepDecision::Continue)
+        }
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut reg = BehaviorRegistry::new();
+        reg.register("nop", Nop);
+        assert!(reg.get("nop").is_some());
+        assert!(reg.get("other").is_none());
+        assert_eq!(reg.names(), ["nop"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicates_panic() {
+        let mut reg = BehaviorRegistry::new();
+        reg.register("nop", Nop);
+        reg.register("nop", Nop);
+    }
+}

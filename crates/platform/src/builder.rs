@@ -1,0 +1,323 @@
+//! Building and driving a platform: a simulated network of Mole-like nodes.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use mar_core::comp::CompOpRegistry;
+use mar_core::{AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode};
+use mar_itinerary::Itinerary;
+use mar_simnet::{
+    Address, LatencyModel, MetricsSnapshot, NodeId, SimDuration, World, WorldConfig,
+};
+use mar_txn::RmRegistry;
+
+use crate::behavior::BehaviorRegistry;
+use crate::mole::{MoleCfg, MoleService, MOLE};
+use crate::msg::{AgentReport, MoleMsg};
+
+/// Everything needed to launch one agent.
+#[derive(Debug, Clone)]
+pub struct AgentSpec {
+    /// Behaviour type name (must be registered).
+    pub agent_type: String,
+    /// Node the agent starts from and reports back to.
+    pub home: NodeId,
+    /// Initial private data space.
+    pub data: DataSpace,
+    /// The (validated) main itinerary.
+    pub itinerary: Itinerary,
+    /// SRO capture mode.
+    pub logging: LoggingMode,
+    /// Rollback mechanism.
+    pub mode: RollbackMode,
+}
+
+impl AgentSpec {
+    /// A spec with default modes (state logging, optimized rollback).
+    pub fn new(agent_type: impl Into<String>, home: NodeId, itinerary: Itinerary) -> Self {
+        AgentSpec {
+            agent_type: agent_type.into(),
+            home,
+            data: DataSpace::new(),
+            itinerary,
+            logging: LoggingMode::State,
+            mode: RollbackMode::Optimized,
+        }
+    }
+}
+
+/// Builds a [`Platform`].
+pub struct PlatformBuilder {
+    nodes: usize,
+    seed: u64,
+    latency: LatencyModel,
+    trace: bool,
+    mole_cfg: MoleCfg,
+    behaviors: BehaviorRegistry,
+    comps: CompOpRegistry,
+    resources: BTreeMap<u32, Rc<dyn Fn() -> RmRegistry>>,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder for a world of `nodes` nodes. The default
+    /// compensation registry already contains every `mar-resources`
+    /// handler.
+    pub fn new(nodes: usize) -> Self {
+        let mut comps = CompOpRegistry::new();
+        mar_resources::register_compensations(&mut comps);
+        PlatformBuilder {
+            nodes,
+            seed: 0,
+            latency: LatencyModel::lan(),
+            trace: false,
+            mole_cfg: MoleCfg::default(),
+            behaviors: BehaviorRegistry::new(),
+            comps,
+            resources: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enables kernel tracing.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides node runtime tunables.
+    pub fn mole_cfg(mut self, cfg: MoleCfg) -> Self {
+        self.mole_cfg = cfg;
+        self
+    }
+
+    /// Registers an agent behaviour.
+    pub fn behavior(
+        mut self,
+        agent_type: impl Into<String>,
+        behavior: impl crate::behavior::AgentBehavior + 'static,
+    ) -> Self {
+        self.behaviors.register(agent_type, behavior);
+        self
+    }
+
+    /// Extends the compensation registry (e.g. application-specific
+    /// handlers).
+    pub fn compensations(mut self, f: impl FnOnce(&mut CompOpRegistry)) -> Self {
+        f(&mut self.comps);
+        self
+    }
+
+    /// Installs the resource factory for a node. The factory runs once at
+    /// start and again after every crash (committed state is then restored
+    /// from stable storage).
+    pub fn resources(
+        mut self,
+        node: NodeId,
+        factory: impl Fn() -> RmRegistry + 'static,
+    ) -> Self {
+        self.resources.insert(node.0, Rc::new(factory));
+        self
+    }
+
+    /// Builds and starts the platform.
+    pub fn build(self) -> Platform {
+        let mut cfg = WorldConfig::with_seed(self.seed);
+        cfg.latency = self.latency;
+        cfg.trace = self.trace;
+        let mut world = World::new(cfg);
+        let behaviors = Rc::new(self.behaviors);
+        let comps = Rc::new(self.comps);
+        for i in 0..self.nodes {
+            let node = world.add_node();
+            debug_assert_eq!(node.0 as usize, i);
+            let behaviors = behaviors.clone();
+            let comps = comps.clone();
+            let mole_cfg = self.mole_cfg.clone();
+            let factory = self.resources.get(&node.0).cloned();
+            world.add_service(node, MOLE, move || {
+                let rms = factory.as_ref().map(|f| f()).unwrap_or_default();
+                Box::new(MoleService::new(
+                    mole_cfg.clone(),
+                    behaviors.clone(),
+                    comps.clone(),
+                    rms,
+                ))
+            });
+        }
+        world.start();
+        Platform {
+            world,
+            next_agent: 1,
+        }
+    }
+}
+
+/// A running platform: the simulated agent system plus driver conveniences.
+pub struct Platform {
+    world: World,
+    next_agent: u64,
+}
+
+impl Platform {
+    /// Launches an agent, returning its id. The agent starts processing
+    /// once the simulation runs.
+    pub fn launch(&mut self, spec: AgentSpec) -> AgentId {
+        let id = AgentId(self.next_agent);
+        self.next_agent += 1;
+        let record = AgentRecord::new(
+            id,
+            spec.agent_type,
+            spec.home.0,
+            spec.data,
+            spec.itinerary,
+            spec.logging,
+            spec.mode,
+        );
+        let msg = MoleMsg::Launch {
+            record: record.to_bytes().expect("record encodes"),
+        };
+        self.world.post(Address::new(spec.home, MOLE), msg.encode());
+        id
+    }
+
+    /// Runs the simulation for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Runs until all listed agents have reports or `deadline` virtual time
+    /// elapses. Returns `true` if everyone finished.
+    pub fn run_until_settled(&mut self, agents: &[AgentId], deadline: SimDuration) -> bool {
+        let end = self.world.now() + deadline;
+        while self.world.now() < end {
+            if agents.iter().all(|a| self.report(*a).is_some()) {
+                return true;
+            }
+            self.world.run_for(SimDuration::from_millis(50));
+        }
+        agents.iter().all(|a| self.report(*a).is_some())
+    }
+
+    /// The report of a finished agent, if any (checks every node).
+    pub fn report(&self, agent: AgentId) -> Option<AgentReport> {
+        let key = format!("done/{}", agent.0);
+        for node in self.world.node_ids() {
+            if let Some(bytes) = self.world.stable(node).get(&key) {
+                return AgentReport::decode(bytes).ok();
+            }
+        }
+        None
+    }
+
+    /// How many stable queue entries currently hold this agent — the
+    /// exactly-once residence invariant says this is ≤ 1 at quiescence (0
+    /// once finished).
+    pub fn residence_count(&self, agent: AgentId) -> usize {
+        let mut count = 0;
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix("q/") {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(rec) = AgentRecord::from_bytes(bytes) {
+                        if rec.id == agent {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// All agent records currently sitting in stable queues.
+    pub fn queued_records(&self) -> Vec<(NodeId, AgentRecord)> {
+        let mut out = Vec::new();
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix("q/") {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(rec) = AgentRecord::from_bytes(bytes) {
+                        out.push((node, rec));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sums all committed money in the system per currency: resource
+    /// holdings plus wallet coins and credit notes stored under the given
+    /// WRO keys (in queued records and final reports). Meaningful at
+    /// quiescent points.
+    pub fn money_audit(&mut self, wallet_keys: &[&str]) -> BTreeMap<String, i64> {
+        let mut total: BTreeMap<String, i64> = BTreeMap::new();
+        for node in self.world.node_ids() {
+            if let Some(mole) = self.world.service_mut::<MoleService>(node, MOLE) {
+                for (cur, amount) in mole.rms().audit_money() {
+                    *total.entry(cur).or_insert(0) += amount;
+                }
+            }
+        }
+        let mut wallets = |rec: &AgentRecord| {
+            for key in wallet_keys {
+                if let Some(v) = rec.data.wro(key) {
+                    if let Ok(w) = mar_resources::Wallet::from_value(v) {
+                        for coin in &w.coins {
+                            *total.entry(coin.currency.clone()).or_insert(0) += coin.value;
+                        }
+                        for note in &w.credit_notes {
+                            *total.entry(note.currency.clone()).or_insert(0) += note.amount;
+                        }
+                    }
+                }
+            }
+        };
+        for (_, rec) in self.queued_records() {
+            wallets(&rec);
+        }
+        // Finished agents: their final records live in "done/" reports.
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix("done/") {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(report) = AgentReport::decode(bytes) {
+                        wallets(&report.record);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// The current metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.world.snapshot()
+    }
+
+    /// The underlying world (crash injection, link control, inspection).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("now", &self.world.now())
+            .field("nodes", &self.world.node_count())
+            .finish()
+    }
+}

@@ -1,0 +1,32 @@
+//! # mar-platform
+//!
+//! The Mole-like mobile-agent platform: nodes host a `mole` service that
+//! combines the agent runtime (exactly-once step execution per \[11\]/§2),
+//! the stable agent input queue, the transaction-manager roles, the
+//! resource managers, and the partial-rollback machinery (Fig. 4/Fig. 5
+//! executed inside compensation transactions).
+//!
+//! Quick tour:
+//!
+//! * implement [`AgentBehavior`] for your agent's step methods,
+//! * describe *where* steps run with a `mar_itinerary::Itinerary`,
+//! * wire nodes and resources with [`PlatformBuilder`],
+//! * [`Platform::launch`] agents, run virtual time, and read
+//!   [`Platform::report`].
+//!
+//! See the repository's `examples/` directory for complete scenarios.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod behavior;
+mod builder;
+mod mole;
+mod msg;
+mod stepctx;
+
+pub use behavior::{AgentBehavior, BehaviorRegistry, StepDecision};
+pub use builder::{AgentSpec, Platform, PlatformBuilder};
+pub use mole::{keys as metric_keys, MoleCfg, MoleService, MOLE};
+pub use msg::{AgentReport, MoleMsg, RceList, ReportOutcome};
+pub use stepctx::{RmAccess, StepCtx};

@@ -1,0 +1,1149 @@
+//! The `mole` service: one per node, hosting the agent runtime, the agent
+//! input queue, the transaction manager roles, and the resource managers.
+//!
+//! Forward execution follows the exactly-once protocol of \[11\] (§2): the
+//! agent is read from the node's stable input queue, the step runs inside a
+//! step transaction spanning local resources and the next node's queue, and
+//! commit is a presumed-abort 2PC between the two nodes. Rollback executes
+//! the plans of `mar-core`'s planners inside compensation transactions with
+//! the same machinery (§4.3, §4.4).
+//!
+//! Crash semantics: everything volatile here (locks, undo, in-flight 2PC
+//! state, timers) dies with the node and is rebuilt in `on_start` from
+//! stable storage — queue items, RM snapshots, decision/prepared records.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use mar_core::comp::CompOpRegistry;
+use mar_core::{
+    compensation_round, start_rollback, AfterRound, AgentRecord, AgentStatus, CompError,
+    Destination, StartPlan,
+};
+use mar_simnet::{Address, Ctx, NodeId, Service, SimDuration};
+use mar_txn::{
+    twopc::Action, Coordinator, Participant, PreparedEntry, RemoteWork, RmRegistry, TxMsg,
+    TxnId, TxnIdGen,
+};
+
+use crate::behavior::{BehaviorRegistry, StepDecision};
+use crate::msg::{AgentReport, MoleMsg, RceList, ReportOutcome};
+use crate::stepctx::{RmAccess, StepCtx};
+
+/// Service name of the mole runtime on every node.
+pub const MOLE: &str = "mole";
+
+const TAG_RETRY_2PC: u64 = 1;
+const TAG_KICK: u64 = 2;
+const ITEM_TAG_BASE: u64 = 1 << 32;
+
+const KEY_QSEQ: &str = "qseq";
+const KEY_TXNSEQ: &str = "txnseq";
+const Q_PREFIX: &str = "q/";
+const RM_PREFIX: &str = "rm/";
+const DECISION_PREFIX: &str = "2pc/decision/";
+const PREPARED_PREFIX: &str = "2pc/prepared/";
+const DONE2PC_PREFIX: &str = "2pc/done/";
+const REPORT_PREFIX: &str = "done/";
+const HOME_REPORT_PREFIX: &str = "report/";
+
+/// Platform metric names.
+pub mod keys {
+    /// Agents accepted for execution.
+    pub const AGENT_LAUNCHED: &str = "agent.launched";
+    /// Agents whose itinerary completed.
+    pub const AGENT_COMPLETED: &str = "agent.completed";
+    /// Agents that gave up.
+    pub const AGENT_FAILED: &str = "agent.failed";
+    /// Agent transfers during forward execution.
+    pub const TRANSFERS_FORWARD: &str = "agent.transfers.forward";
+    /// Agent transfers during rollback (the §4.4.1 optimization target).
+    pub const TRANSFERS_ROLLBACK: &str = "agent.transfers.rollback";
+    /// Bytes of agent records moved forward.
+    pub const TRANSFER_BYTES_FORWARD: &str = "agent.transfer_bytes.forward";
+    /// Bytes of agent records moved during rollback.
+    pub const TRANSFER_BYTES_ROLLBACK: &str = "agent.transfer_bytes.rollback";
+    /// Step transactions committed.
+    pub const STEPS_COMMITTED: &str = "steps.committed";
+    /// Step transactions aborted for transient reasons (lock conflicts).
+    pub const STEPS_ABORTED: &str = "steps.aborted_transient";
+    /// Rollbacks initiated.
+    pub const ROLLBACK_STARTED: &str = "rollback.started";
+    /// Rollbacks that reached their savepoint.
+    pub const ROLLBACK_COMPLETED: &str = "rollback.completed";
+    /// Compensation transactions (rounds) committed.
+    pub const ROLLBACK_ROUNDS: &str = "rollback.rounds";
+    /// RCE lists shipped to resource nodes (optimized mode).
+    pub const RCE_SHIPPED: &str = "rollback.rce_shipped";
+    /// Bytes of shipped RCE lists.
+    pub const RCE_BYTES: &str = "rollback.rce_bytes";
+    /// Compensating operations executed.
+    pub const COMP_OPS: &str = "comp.ops";
+    /// Transient compensation failures (retried).
+    pub const COMP_TRANSIENT: &str = "comp.failures_transient";
+    /// Permanent compensation failures (agent fails).
+    pub const COMP_PERMANENT: &str = "comp.failures_permanent";
+    /// Whole-log discards at top-level sub-itinerary completion.
+    pub const LOG_DISCARDS: &str = "log.discards";
+    /// Bytes freed by log discards.
+    pub const LOG_DISCARD_BYTES: &str = "log.discard_bytes";
+    /// Savepoint entries removed when sub-itineraries completed.
+    pub const SAVEPOINTS_REMOVED: &str = "log.savepoints_removed";
+    /// Distributed transactions committed at this coordinator.
+    pub const TXN_COMMITTED: &str = "txn.committed";
+    /// Distributed transactions aborted at this coordinator.
+    pub const TXN_ABORTED: &str = "txn.aborted";
+}
+
+/// Tunables of a node runtime.
+#[derive(Debug, Clone)]
+pub struct MoleCfg {
+    /// Virtual execution time of one step (or compensation round).
+    pub step_cost: SimDuration,
+    /// Base retry backoff after transient failures.
+    pub retry_base: SimDuration,
+    /// Exponential backoff cap (`retry_base * 2^cap`).
+    pub retry_max_exp: u32,
+    /// 2PC retransmission period.
+    pub tm_retry: SimDuration,
+    /// After this many failed attempts on one queue item the agent is
+    /// failed instead of retried — the escalation strategy for
+    /// unresolvable (compensation) failures the paper defers to \[4\]/\[10\].
+    pub max_attempts: u32,
+}
+
+impl Default for MoleCfg {
+    fn default() -> Self {
+        MoleCfg {
+            step_cost: SimDuration::from_millis(5),
+            retry_base: SimDuration::from_millis(20),
+            retry_max_exp: 6,
+            tm_retry: SimDuration::from_millis(50),
+            max_attempts: 40,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Effects {
+    delete_queue: Vec<String>,
+    put_queue: Vec<(String, Vec<u8>)>,
+    report: Option<(u32, Vec<u8>)>,
+    metrics: Vec<(&'static str, u64)>,
+}
+
+struct ActiveTxn {
+    queue_key: String,
+    effects: Effects,
+}
+
+enum ItemError {
+    Transient(String),
+    Permanent(String),
+}
+
+enum NextHop {
+    Step(u32),
+    Finished,
+}
+
+/// The per-node runtime service.
+pub struct MoleService {
+    cfg: MoleCfg,
+    behaviors: Rc<BehaviorRegistry>,
+    comps: Rc<CompOpRegistry>,
+    rms: RmRegistry,
+    idgen: Option<TxnIdGen>,
+    co: Coordinator,
+    pa: Participant,
+    active: BTreeMap<TxnId, ActiveTxn>,
+    live_branches: BTreeSet<TxnId>,
+    processing: BTreeSet<String>,
+    attempts: BTreeMap<String, u32>,
+    tag_seq: u64,
+    tag_map: BTreeMap<u64, String>,
+}
+
+impl MoleService {
+    /// Creates the runtime with its resources and shared registries.
+    pub fn new(
+        cfg: MoleCfg,
+        behaviors: Rc<BehaviorRegistry>,
+        comps: Rc<CompOpRegistry>,
+        rms: RmRegistry,
+    ) -> Self {
+        MoleService {
+            cfg,
+            behaviors,
+            comps,
+            rms,
+            idgen: None,
+            co: Coordinator::new(),
+            pa: Participant::new(),
+            active: BTreeMap::new(),
+            live_branches: BTreeSet::new(),
+            processing: BTreeSet::new(),
+            attempts: BTreeMap::new(),
+            tag_seq: 0,
+            tag_map: BTreeMap::new(),
+        }
+    }
+
+    /// The node's resource managers (test inspection).
+    pub fn rms(&self) -> &RmRegistry {
+        &self.rms
+    }
+
+    // ----- plumbing ---------------------------------------------------------
+
+    fn send_tx(&self, ctx: &mut Ctx<'_>, to: NodeId, msg: TxMsg) {
+        let payload = MoleMsg::Tx {
+            from: ctx.node(),
+            msg,
+        }
+        .encode();
+        ctx.send(Address::new(to, MOLE), payload);
+    }
+
+    fn alloc_txn(&mut self, ctx: &mut Ctx<'_>) -> TxnId {
+        let idgen = self.idgen.as_mut().expect("started");
+        let id = idgen.next_id();
+        // Persist the floor so recovery never reissues an id.
+        ctx.stable_put(KEY_TXNSEQ, mar_wire::to_bytes(&id.seq).unwrap());
+        id
+    }
+
+    fn enqueue_local(&mut self, ctx: &mut Ctx<'_>, bytes: Vec<u8>) {
+        let seq: u64 = ctx
+            .stable_get(KEY_QSEQ)
+            .and_then(|b| mar_wire::from_slice(b).ok())
+            .unwrap_or(0)
+            + 1;
+        ctx.stable_put(KEY_QSEQ, mar_wire::to_bytes(&seq).unwrap());
+        ctx.stable_put(format!("{Q_PREFIX}{seq:012}"), bytes);
+        self.kick(ctx);
+    }
+
+    fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, TAG_KICK);
+    }
+
+    fn schedule_item(&mut self, ctx: &mut Ctx<'_>, key: &str, delay: SimDuration) {
+        self.processing.insert(key.to_owned());
+        self.tag_seq += 1;
+        let tag = ITEM_TAG_BASE + self.tag_seq;
+        self.tag_map.insert(tag, key.to_owned());
+        ctx.set_timer(delay, tag);
+    }
+
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, key: &str) {
+        let attempts = self.attempts.entry(key.to_owned()).or_insert(0);
+        *attempts += 1;
+        let exp = (*attempts).min(self.cfg.retry_max_exp);
+        let base = self.cfg.retry_base * (1u64 << exp);
+        // Randomized backoff desynchronizes no-wait lock retries.
+        let jitter = 0.5 + ctx.rng().f64();
+        let delay = base.mul_f64(jitter);
+        ctx.metrics().inc(keys::STEPS_ABORTED);
+        self.schedule_item(ctx, key, delay);
+    }
+
+    fn scan_queue(&mut self, ctx: &mut Ctx<'_>) {
+        let keys = ctx.stable().keys_with_prefix(Q_PREFIX);
+        for key in keys {
+            if !self.processing.contains(&key) {
+                let delay = self.cfg.step_cost;
+                self.schedule_item(ctx, &key, delay);
+            }
+        }
+    }
+
+    fn persist_rms(&mut self, ctx: &mut Ctx<'_>) {
+        let snaps = self.rms.snapshot_all().expect("resource snapshots encode");
+        for (name, bytes) in snaps {
+            ctx.stable_put(format!("{RM_PREFIX}{name}"), bytes);
+        }
+    }
+
+    // ----- 2PC action execution ---------------------------------------------
+
+    fn run_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::PersistDecision { txn, participants } => {
+                    ctx.stable_put(
+                        format!("{DECISION_PREFIX}{}", txn.key()),
+                        mar_wire::to_bytes(&participants).unwrap(),
+                    );
+                }
+                Action::ForgetDecision { txn } => {
+                    ctx.stable_delete(&format!("{DECISION_PREFIX}{}", txn.key()));
+                }
+                Action::SendPrepare { to, txn, work } => {
+                    self.send_tx(ctx, to, TxMsg::Prepare { txn, work });
+                }
+                Action::SendDecision { to, txn, commit } => {
+                    self.send_tx(ctx, to, TxMsg::Decision { txn, commit });
+                }
+                Action::SendVote { to, txn, ok } => {
+                    self.send_tx(ctx, to, TxMsg::Vote { txn, ok });
+                }
+                Action::SendAck { to, txn } => {
+                    self.send_tx(ctx, to, TxMsg::Ack { txn });
+                }
+                Action::SendQuery { to, txn } => {
+                    self.send_tx(ctx, to, TxMsg::Query { txn });
+                }
+                Action::CommitLocal { txn } => self.commit_local(ctx, txn),
+                Action::AbortLocal { txn } => {
+                    self.rms.abort_all(txn);
+                }
+                Action::Resolved { txn, committed } => self.resolved(ctx, txn, committed),
+                Action::PersistPrepared {
+                    txn,
+                    coordinator,
+                    work,
+                } => {
+                    let entry = PreparedEntry { coordinator, work };
+                    ctx.stable_put(
+                        format!("{PREPARED_PREFIX}{}", txn.key()),
+                        mar_wire::to_bytes(&entry).unwrap(),
+                    );
+                }
+                Action::ApplyWork { txn, work } => self.apply_work(ctx, txn, work),
+                Action::DiscardWork { txn } => {
+                    if self.live_branches.remove(&txn) {
+                        self.rms.abort_all(txn);
+                    }
+                }
+                Action::MarkDone { txn } => {
+                    ctx.stable_delete(&format!("{PREPARED_PREFIX}{}", txn.key()));
+                    ctx.stable_put(format!("{DONE2PC_PREFIX}{}", txn.key()), vec![1]);
+                }
+            }
+        }
+    }
+
+    /// Applies the coordinator-local branch. Runs in the same handler that
+    /// persisted the decision record, which makes {decision, resource
+    /// snapshots, queue updates} atomic with respect to crashes.
+    fn commit_local(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        self.rms.commit_all(txn);
+        self.persist_rms(ctx);
+        let Some(at) = self.active.get_mut(&txn) else {
+            return;
+        };
+        let effects = std::mem::take(&mut at.effects);
+        for key in &effects.delete_queue {
+            ctx.stable_delete(key);
+        }
+        for (key, bytes) in &effects.put_queue {
+            ctx.stable_put(key.clone(), bytes.clone());
+        }
+        if let Some((home, report)) = &effects.report {
+            let decoded = AgentReport::decode(report).expect("own report decodes");
+            ctx.stable_put(format!("{REPORT_PREFIX}{}", decoded.id.0), report.clone());
+            if *home != ctx.node().0 {
+                ctx.send(
+                    Address::new(NodeId(*home), MOLE),
+                    MoleMsg::Report {
+                        report: report.clone(),
+                    }
+                    .encode(),
+                );
+            } else {
+                ctx.stable_put(format!("{HOME_REPORT_PREFIX}{}", decoded.id.0), report.clone());
+            }
+        }
+        for (name, n) in &effects.metrics {
+            ctx.metrics().add(name, *n);
+        }
+        ctx.metrics().inc(keys::TXN_COMMITTED);
+    }
+
+    fn resolved(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, committed: bool) {
+        let Some(at) = self.active.remove(&txn) else {
+            return;
+        };
+        if committed {
+            self.processing.remove(&at.queue_key);
+            self.attempts.remove(&at.queue_key);
+            self.kick(ctx);
+        } else {
+            ctx.metrics().inc(keys::TXN_ABORTED);
+            self.processing.remove(&at.queue_key);
+            self.schedule_retry(ctx, &at.queue_key);
+        }
+    }
+
+    /// Participant-side admission check for a prepare: RCE branches execute
+    /// tentatively right now, inside the transaction, holding their locks
+    /// until the decision (§4.4.1: the resource compensation entries run
+    /// "inside the compensation transaction").
+    fn validate_work(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, work: &RemoteWork) -> bool {
+        match work.kind.as_str() {
+            "enqueue-fwd" | "enqueue-rbk" => true,
+            "rce" => match self.execute_rce_list(ctx, txn, &work.payload) {
+                Ok(()) => {
+                    self.live_branches.insert(txn);
+                    true
+                }
+                Err(_) => {
+                    self.rms.abort_all(txn);
+                    false
+                }
+            },
+            "batch" => match mar_wire::from_slice::<Vec<RemoteWork>>(&work.payload) {
+                Ok(works) => {
+                    let ok = works.iter().all(|w| self.validate_work(ctx, txn, w));
+                    if !ok {
+                        self.rms.abort_all(txn);
+                        self.live_branches.remove(&txn);
+                    }
+                    ok
+                }
+                Err(_) => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn execute_rce_list(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        txn: TxnId,
+        payload: &[u8],
+    ) -> Result<(), CompError> {
+        let list: RceList = mar_wire::from_slice(payload).map_err(|e| CompError::BadParams {
+            op: "rce-list".to_owned(),
+            reason: e.to_string(),
+        })?;
+        let now = ctx.now();
+        let now_us = now.as_micros();
+        for entry in &list.ops {
+            let mut access = RmAccess::new(&mut self.rms, txn, now);
+            self.comps
+                .execute(&entry.op, now_us, Some(&mut access), None)?;
+            ctx.metrics().inc(keys::COMP_OPS);
+        }
+        Ok(())
+    }
+
+    fn apply_work(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, work: RemoteWork) {
+        match work.kind.as_str() {
+            "enqueue-fwd" | "enqueue-rbk" => {
+                let metric = if work.kind == "enqueue-fwd" {
+                    (keys::TRANSFERS_FORWARD, keys::TRANSFER_BYTES_FORWARD)
+                } else {
+                    (keys::TRANSFERS_ROLLBACK, keys::TRANSFER_BYTES_ROLLBACK)
+                };
+                ctx.metrics().inc(metric.0);
+                ctx.metrics().add(metric.1, work.payload.len() as u64);
+                self.enqueue_local(ctx, work.payload);
+            }
+            "batch" => {
+                if let Ok(works) = mar_wire::from_slice::<Vec<RemoteWork>>(&work.payload) {
+                    for w in works {
+                        self.apply_work(ctx, txn, w);
+                    }
+                }
+            }
+            "rce" => {
+                if self.live_branches.remove(&txn) {
+                    // Fast path: the tentative execution from the prepare is
+                    // still live; just commit it.
+                    self.rms.commit_all(txn);
+                } else {
+                    // Recovery path: the branch died with a crash; redo the
+                    // prepared work, then commit.
+                    if let Err(e) = self.execute_rce_list(ctx, txn, &work.payload) {
+                        // The decision is commit; a redo failure here is the
+                        // classic heuristic-damage corner of 2PC. Record it.
+                        ctx.metrics().inc("rollback.redo_failed");
+                        ctx.trace("rce-redo-failed", e.to_string());
+                    }
+                    self.rms.commit_all(txn);
+                }
+                self.persist_rms(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    // ----- item processing --------------------------------------------------
+
+    fn run_item(&mut self, ctx: &mut Ctx<'_>, key: &str) {
+        let Some(bytes) = ctx.stable_get(key).map(<[u8]>::to_vec) else {
+            self.processing.remove(key);
+            return;
+        };
+        let record = match AgentRecord::from_bytes(&bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                // Unreadable queue item: drop it (cannot even fail the agent).
+                ctx.trace("bad-queue-item", e.to_string());
+                ctx.stable_delete(key);
+                self.processing.remove(key);
+                return;
+            }
+        };
+        if self.attempts.get(key).copied().unwrap_or(0) > self.cfg.max_attempts {
+            self.fail_agent(ctx, key, record, "retries exhausted".to_owned());
+            return;
+        }
+        let result = match &record.status {
+            AgentStatus::Forward => self.process_forward(ctx, key, &record),
+            AgentStatus::RollingBack { target } => {
+                let target = *target;
+                self.process_rollback(ctx, key, &record, target)
+            }
+            AgentStatus::Completed | AgentStatus::Failed(_) => {
+                // Should have been finalized; clean up idempotently.
+                ctx.stable_delete(key);
+                self.processing.remove(key);
+                Ok(())
+            }
+        };
+        match result {
+            Ok(()) => {}
+            Err(ItemError::Transient(reason)) => {
+                ctx.trace("step-retry", reason);
+                self.processing.remove(key);
+                self.schedule_retry(ctx, key);
+            }
+            Err(ItemError::Permanent(reason)) => {
+                self.fail_agent(ctx, key, record, reason);
+            }
+        }
+    }
+
+    fn fail_agent(&mut self, ctx: &mut Ctx<'_>, key: &str, mut record: AgentRecord, reason: String) {
+        let txn = self.alloc_txn(ctx);
+        record.status = AgentStatus::Failed(reason.clone());
+        let report = AgentReport {
+            id: record.id,
+            outcome: ReportOutcome::Failed(reason),
+            finished_at_us: ctx.now().as_micros(),
+            steps_committed: record.step_seq,
+            record: record.clone(),
+        };
+        let effects = Effects {
+            delete_queue: vec![key.to_owned()],
+            put_queue: Vec::new(),
+            report: Some((record.home, report.encode())),
+            metrics: vec![(keys::AGENT_FAILED, 1)],
+        };
+        self.active.insert(
+            txn,
+            ActiveTxn {
+                queue_key: key.to_owned(),
+                effects,
+            },
+        );
+        let actions = self.co.commit_request(txn, Vec::new());
+        self.run_actions(ctx, actions);
+    }
+
+    /// Walks the cursor to the next step, constituting savepoints for
+    /// entered sub-itineraries and truncating the log for completed ones.
+    fn advance_and_book(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        rec: &mut AgentRecord,
+    ) -> Result<NextHop, ItemError> {
+        use mar_itinerary::CursorEvent;
+        let events = {
+            let itinerary = rec.itinerary.clone();
+            rec.cursor
+                .advance(&itinerary)
+                .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?
+        };
+        for ev in &events {
+            match ev {
+                CursorEvent::EnterSub { id, .. } => {
+                    let cursor = rec.cursor.clone();
+                    rec.table.on_enter_sub(
+                        id,
+                        &mut rec.data,
+                        &cursor,
+                        &mut rec.log,
+                        rec.logging_mode,
+                    );
+                }
+                CursorEvent::LeaveSub { id, top_level, .. } => {
+                    let outcome = rec
+                        .table
+                        .on_leave_sub(id, *top_level, &mut rec.data, &mut rec.log)
+                        .map_err(|e| ItemError::Permanent(format!("savepoints: {e}")))?;
+                    match outcome {
+                        mar_core::LeaveOutcome::LogDiscarded { freed_bytes } => {
+                            ctx.metrics().inc(keys::LOG_DISCARDS);
+                            ctx.metrics()
+                                .add(keys::LOG_DISCARD_BYTES, freed_bytes as u64);
+                        }
+                        mar_core::LeaveOutcome::SavepointsRemoved(n) => {
+                            ctx.metrics().add(keys::SAVEPOINTS_REMOVED, n as u64);
+                        }
+                    }
+                }
+                CursorEvent::Step { .. } => {}
+                CursorEvent::Finished => {}
+            }
+        }
+        match events.last() {
+            Some(CursorEvent::Step { loc, .. }) => Ok(NextHop::Step(loc.primary().0)),
+            Some(CursorEvent::Finished) => Ok(NextHop::Finished),
+            other => Err(ItemError::Permanent(format!(
+                "cursor advance ended unexpectedly: {other:?}"
+            ))),
+        }
+    }
+
+    fn finalize_effects(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        rec: &AgentRecord,
+        extra_metrics: Vec<(&'static str, u64)>,
+    ) -> Effects {
+        let report = AgentReport {
+            id: rec.id,
+            outcome: ReportOutcome::Completed,
+            finished_at_us: ctx.now().as_micros(),
+            steps_committed: rec.step_seq,
+            record: rec.clone(),
+        };
+        let mut metrics = vec![(keys::AGENT_COMPLETED, 1)];
+        metrics.extend(extra_metrics);
+        Effects {
+            delete_queue: vec![key.to_owned()],
+            put_queue: Vec::new(),
+            report: Some((rec.home, report.encode())),
+            metrics,
+        }
+    }
+
+    fn commit_with(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        txn: TxnId,
+        key: &str,
+        effects: Effects,
+        branches: Vec<(NodeId, RemoteWork)>,
+    ) {
+        self.active.insert(
+            txn,
+            ActiveTxn {
+                queue_key: key.to_owned(),
+                effects,
+            },
+        );
+        // 2PC tracks one branch per participant: multiple works for the
+        // same node (e.g. an RCE list plus the agent transfer of a
+        // compensation round) merge into a single "batch" work item.
+        let mut grouped: Vec<(NodeId, Vec<RemoteWork>)> = Vec::new();
+        for (node, work) in branches {
+            match grouped.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, works)) => works.push(work),
+                None => grouped.push((node, vec![work])),
+            }
+        }
+        let branches: Vec<(NodeId, RemoteWork)> = grouped
+            .into_iter()
+            .map(|(node, mut works)| {
+                if works.len() == 1 {
+                    (node, works.pop().expect("one work"))
+                } else {
+                    let payload = mar_wire::to_bytes(&works).expect("batch encodes");
+                    (node, RemoteWork::new("batch", payload))
+                }
+            })
+            .collect();
+        let actions = self.co.commit_request(txn, branches);
+        self.run_actions(ctx, actions);
+    }
+
+    fn process_forward(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        record: &AgentRecord,
+    ) -> Result<(), ItemError> {
+        let mut rec = record.clone();
+        let txn = self.alloc_txn(ctx);
+
+        // A fresh launch (or an explicit-savepoint restore) has no current
+        // step yet: advance first.
+        if !rec.cursor.is_finished()
+            && rec.cursor.current_step(&rec.itinerary).is_none()
+        {
+            match self.advance_and_book(ctx, &mut rec)? {
+                NextHop::Finished => {
+                    rec.status = AgentStatus::Completed;
+                    let effects = self.finalize_effects(ctx, key, &rec, vec![]);
+                    self.commit_with(ctx, txn, key, effects, Vec::new());
+                    return Ok(());
+                }
+                NextHop::Step(_) => {}
+            }
+        } else if rec.cursor.is_finished() {
+            rec.status = AgentStatus::Completed;
+            let effects = self.finalize_effects(ctx, key, &rec, vec![]);
+            self.commit_with(ctx, txn, key, effects, Vec::new());
+            return Ok(());
+        }
+
+        let (method, primary, alternatives) = {
+            let step = rec
+                .cursor
+                .current_step(&rec.itinerary)
+                .expect("step selected above");
+            (
+                step.method.clone(),
+                step.loc.primary().0,
+                step.loc
+                    .alternatives()
+                    .iter()
+                    .map(|l| l.0)
+                    .collect::<Vec<u32>>(),
+            )
+        };
+
+        // Misplaced agent (e.g. after a restore): forward it to the step's
+        // node without executing anything.
+        if primary != ctx.node().0 {
+            let bytes = rec.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+            let effects = Effects {
+                delete_queue: vec![key.to_owned()],
+                ..Effects::default()
+            };
+            let work = RemoteWork::new("enqueue-fwd", bytes);
+            self.commit_with(ctx, txn, key, effects, vec![(NodeId(primary), work)]);
+            return Ok(());
+        }
+
+        // Execute the step method inside the step transaction.
+        let behavior = self
+            .behaviors
+            .get(&rec.agent_type)
+            .ok_or_else(|| ItemError::Permanent(format!("unknown agent type {:?}", rec.agent_type)))?;
+        let comps = self.comps.clone();
+        let decision = {
+            let mut sctx = StepCtx::new(
+                txn,
+                ctx.now(),
+                ctx.node(),
+                rec.id,
+                rec.step_seq,
+                &mut self.rms,
+                &mut rec.data,
+                ctx.rng(),
+                &comps,
+            );
+            match behavior.step(&method, &mut sctx) {
+                Ok(d) => {
+                    let (pending, sp_requested, memos) = sctx.into_effects();
+                    (d, pending, sp_requested, memos)
+                }
+                Err(e) => {
+                    self.rms.abort_all(txn);
+                    return if e.is_transient() {
+                        Err(ItemError::Transient(e.to_string()))
+                    } else {
+                        Err(ItemError::Permanent(e.to_string()))
+                    };
+                }
+            }
+        };
+        let (decision, pending_comps, savepoint_requested, rollback_memos) = decision;
+
+        match decision {
+            StepDecision::Fail(reason) => {
+                self.rms.abort_all(txn);
+                Err(ItemError::Permanent(reason))
+            }
+            StepDecision::Rollback(scope) => {
+                // Fig. 4a: abort the step transaction first.
+                self.rms.abort_all(txn);
+                self.start_rollback_txn(ctx, key, record, scope, rollback_memos)
+            }
+            StepDecision::Continue => {
+                // Log the step's entries (§4.2): BOS, OEs in logged order,
+                // EOS with the mixed flag and alternative nodes.
+                let step_seq = rec.step_seq;
+                rec.log.push(mar_core::log::LogEntry::BeginOfStep(
+                    mar_core::log::BosEntry {
+                        node: ctx.node().0,
+                        step_seq,
+                        method: method.clone(),
+                    },
+                ));
+                let mut has_mixed = false;
+                for (kind, op) in pending_comps {
+                    has_mixed |= kind == mar_core::comp::EntryKind::Mixed;
+                    rec.log.push(mar_core::log::LogEntry::Operation(
+                        mar_core::log::OpEntry {
+                            kind,
+                            op,
+                            step_seq,
+                        },
+                    ));
+                }
+                rec.log.push(mar_core::log::LogEntry::EndOfStep(
+                    mar_core::log::EosEntry {
+                        node: ctx.node().0,
+                        step_seq,
+                        method,
+                        has_mixed,
+                        alt_nodes: alternatives,
+                    },
+                ));
+                rec.cursor
+                    .step_done()
+                    .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?;
+                rec.step_seq += 1;
+                rec.table.on_step_committed();
+                if savepoint_requested {
+                    let cursor = rec.cursor.clone();
+                    rec.table.explicit_savepoint(
+                        &mut rec.data,
+                        &cursor,
+                        &mut rec.log,
+                        rec.logging_mode,
+                    );
+                }
+                // Advance to the next step and ship the agent there.
+                let mut effects = Effects {
+                    delete_queue: vec![key.to_owned()],
+                    metrics: vec![(keys::STEPS_COMMITTED, 1)],
+                    ..Effects::default()
+                };
+                match self.advance_and_book(ctx, &mut rec)? {
+                    NextHop::Finished => {
+                        rec.status = AgentStatus::Completed;
+                        let fx = self.finalize_effects(
+                            ctx,
+                            key,
+                            &rec,
+                            vec![(keys::STEPS_COMMITTED, 1)],
+                        );
+                        self.commit_with(ctx, txn, key, fx, Vec::new());
+                        Ok(())
+                    }
+                    NextHop::Step(next_node) => {
+                        let bytes = rec
+                            .to_bytes()
+                            .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                        if next_node == ctx.node().0 {
+                            // Next step is local: the agent still goes through
+                            // stable storage between steps (§2).
+                            effects.put_queue.push((key.to_owned(), bytes));
+                            self.commit_with(ctx, txn, key, effects, Vec::new());
+                        } else {
+                            let work = RemoteWork::new("enqueue-fwd", bytes);
+                            self.commit_with(
+                                ctx,
+                                txn,
+                                key,
+                                effects,
+                                vec![(NodeId(next_node), work)],
+                            );
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fig. 4a / Fig. 5a: resolve the scope, mark the agent as rolling
+    /// back, and route it to the first compensation destination.
+    fn start_rollback_txn(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        record: &AgentRecord,
+        scope: mar_core::RollbackScope,
+        memos: Vec<(String, mar_wire::Value)>,
+    ) -> Result<(), ItemError> {
+        let mut rb = record.clone();
+        // Rollback invocation parameters survive as (uncompensated) weakly
+        // reversible state — the aborting step's own writes do not.
+        for (k, v) in memos {
+            rb.data.set_wro(k, v);
+        }
+        let target = rb
+            .table
+            .resolve(scope)
+            .map_err(|e| ItemError::Permanent(format!("rollback scope: {e}")))?;
+        rb.status = AgentStatus::RollingBack { target };
+        let plan = start_rollback(&rb, target)
+            .map_err(|e| ItemError::Permanent(format!("rollback: {e}")))?;
+        let txn = self.alloc_txn(ctx);
+        let mut effects = Effects {
+            delete_queue: vec![key.to_owned()],
+            metrics: vec![(keys::ROLLBACK_STARTED, 1)],
+            ..Effects::default()
+        };
+        match plan {
+            StartPlan::AlreadyAtTarget(restore) => {
+                rb.apply_restore(*restore);
+                effects.metrics.push((keys::ROLLBACK_COMPLETED, 1));
+                self.route_record(ctx, txn, key, rb, effects, "enqueue-fwd")
+            }
+            StartPlan::Go(Destination::Local) => {
+                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                effects.put_queue.push((key.to_owned(), bytes));
+                self.commit_with(ctx, txn, key, effects, Vec::new());
+                Ok(())
+            }
+            StartPlan::Go(Destination::Node(n)) => {
+                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let work = RemoteWork::new("enqueue-rbk", bytes);
+                self.commit_with(ctx, txn, key, effects, vec![(NodeId(n), work)]);
+                Ok(())
+            }
+        }
+    }
+
+    /// Routes an updated record to wherever its current step runs (local
+    /// re-enqueue or remote transfer), as part of transaction `txn`.
+    fn route_record(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        txn: TxnId,
+        key: &str,
+        rec: AgentRecord,
+        mut effects: Effects,
+        kind: &str,
+    ) -> Result<(), ItemError> {
+        let dest = rec
+            .cursor
+            .current_step(&rec.itinerary)
+            .map(|s| s.loc.primary().0);
+        let bytes = rec.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+        match dest {
+            Some(n) if n != ctx.node().0 => {
+                let work = RemoteWork::new(kind, bytes);
+                self.commit_with(ctx, txn, key, effects, vec![(NodeId(n), work)]);
+            }
+            _ => {
+                // Local (or no current step yet: next processing advances).
+                effects.put_queue.push((key.to_owned(), bytes));
+                self.commit_with(ctx, txn, key, effects, Vec::new());
+            }
+        }
+        Ok(())
+    }
+
+    /// Fig. 4b / Fig. 5b: one compensation transaction.
+    fn process_rollback(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        record: &AgentRecord,
+        target: mar_core::SavepointId,
+    ) -> Result<(), ItemError> {
+        let mut rb = record.clone();
+        let txn = self.alloc_txn(ctx);
+        let round = compensation_round(&mut rb, target)
+            .map_err(|e| ItemError::Permanent(format!("rollback: {e}")))?;
+
+        // Execute the local operations (everything in basic/mixed rounds,
+        // the agent compensation entries in split rounds).
+        let now = ctx.now();
+        let now_us = now.as_micros();
+        for entry in &round.local_ops {
+            let result = {
+                let mut access = RmAccess::new(&mut self.rms, txn, now);
+                self.comps.execute(
+                    &entry.op,
+                    now_us,
+                    Some(&mut access),
+                    Some(rb.data.wro_map_mut()),
+                )
+            };
+            match result {
+                Ok(()) => ctx.metrics().inc(keys::COMP_OPS),
+                Err(CompError::Failed { retryable: true, reason, .. }) => {
+                    self.rms.abort_all(txn);
+                    ctx.metrics().inc(keys::COMP_TRANSIENT);
+                    return Err(ItemError::Transient(reason));
+                }
+                Err(e) => {
+                    self.rms.abort_all(txn);
+                    ctx.metrics().inc(keys::COMP_PERMANENT);
+                    return Err(ItemError::Permanent(e.to_string()));
+                }
+            }
+        }
+
+        // Ship resource compensation entries to the step's node (optimized
+        // mode), to run concurrently inside the same transaction.
+        let mut branches: Vec<(NodeId, RemoteWork)> = Vec::new();
+        if !round.remote_rces.is_empty() {
+            let list = RceList {
+                agent: rb.id,
+                step_seq: round.step_seq,
+                ops: round.remote_rces.clone(),
+            };
+            let payload = mar_wire::to_bytes(&list).expect("rce list encodes");
+            ctx.metrics().inc(keys::RCE_SHIPPED);
+            ctx.metrics().add(keys::RCE_BYTES, payload.len() as u64);
+            branches.push((NodeId(round.step_node), RemoteWork::new("rce", payload)));
+        }
+
+        let mut effects = Effects {
+            delete_queue: vec![key.to_owned()],
+            metrics: vec![(keys::ROLLBACK_ROUNDS, 1)],
+            ..Effects::default()
+        };
+        match round.after {
+            AfterRound::Reached(restore) => {
+                rb.apply_restore(*restore);
+                effects.metrics.push((keys::ROLLBACK_COMPLETED, 1));
+                let dest = rb
+                    .cursor
+                    .current_step(&rb.itinerary)
+                    .map(|s| s.loc.primary().0);
+                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                match dest {
+                    Some(n) if n != ctx.node().0 => {
+                        branches.push((NodeId(n), RemoteWork::new("enqueue-fwd", bytes)));
+                    }
+                    _ => effects.put_queue.push((key.to_owned(), bytes)),
+                }
+                self.commit_with(ctx, txn, key, effects, branches);
+                Ok(())
+            }
+            AfterRound::Continue(Destination::Local) => {
+                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                effects.put_queue.push((key.to_owned(), bytes));
+                self.commit_with(ctx, txn, key, effects, branches);
+                Ok(())
+            }
+            AfterRound::Continue(Destination::Node(n)) => {
+                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                branches.push((NodeId(n), RemoteWork::new("enqueue-rbk", bytes)));
+                self.commit_with(ctx, txn, key, effects, branches);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Service for MoleService {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Address, payload: &[u8]) {
+        let msg = match MoleMsg::decode(payload) {
+            Ok(m) => m,
+            Err(e) => {
+                ctx.trace("bad-mole-msg", e.to_string());
+                return;
+            }
+        };
+        match msg {
+            MoleMsg::Launch { record } => {
+                ctx.metrics().inc(keys::AGENT_LAUNCHED);
+                self.enqueue_local(ctx, record);
+            }
+            MoleMsg::Report { report } => {
+                if let Ok(r) = AgentReport::decode(&report) {
+                    ctx.stable_put(format!("{HOME_REPORT_PREFIX}{}", r.id.0), report);
+                }
+            }
+            MoleMsg::Tx { from, msg } => {
+                let actions = match msg {
+                    TxMsg::Prepare { txn, work } => {
+                        let accept = self.validate_work(ctx, txn, &work);
+                        self.pa.on_prepare(txn, from, work, accept)
+                    }
+                    TxMsg::Vote { txn, ok } => self.co.on_vote(txn, from, ok),
+                    TxMsg::Decision { txn, commit } => self.pa.on_decision(txn, commit, from),
+                    TxMsg::Ack { txn } => self.co.on_ack(txn, from),
+                    TxMsg::Query { txn } => self.co.on_query(txn, from),
+                };
+                self.run_actions(ctx, actions);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TAG_RETRY_2PC => {
+                let mut actions = self.co.on_retry();
+                actions.extend(self.pa.on_retry());
+                self.run_actions(ctx, actions);
+                ctx.set_timer(self.cfg.tm_retry, TAG_RETRY_2PC);
+            }
+            TAG_KICK => self.scan_queue(ctx),
+            t => {
+                if let Some(key) = self.tag_map.remove(&t) {
+                    self.run_item(ctx, &key);
+                }
+            }
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Transaction id allocator: never reuse ids from before the crash.
+        let floor: u64 = ctx
+            .stable_get(KEY_TXNSEQ)
+            .and_then(|b| mar_wire::from_slice(b).ok())
+            .unwrap_or(0);
+        let mut idgen = TxnIdGen::new(ctx.node(), 0);
+        idgen.bump_past(floor);
+        self.idgen = Some(idgen);
+
+        // Committed resource state.
+        for key in ctx.stable().keys_with_prefix(RM_PREFIX) {
+            let name = key[RM_PREFIX.len()..].to_owned();
+            if let Some(bytes) = ctx.stable_get(&key).map(<[u8]>::to_vec) {
+                let _ = self.rms.restore_one(&name, &bytes);
+            }
+        }
+
+        // Coordinator: finish sending persisted commit decisions.
+        let mut decisions = Vec::new();
+        for key in ctx.stable().keys_with_prefix(DECISION_PREFIX) {
+            if let Some(bytes) = ctx.stable_get(&key) {
+                if let Ok(participants) = mar_wire::from_slice::<Vec<NodeId>>(bytes) {
+                    let txn = parse_txn_key(&key[DECISION_PREFIX.len()..]);
+                    decisions.push((txn, participants));
+                }
+            }
+        }
+        let co_actions = self.co.recover(decisions);
+
+        // Participant: reload prepared/done state and query outcomes.
+        let mut prepared = Vec::new();
+        for key in ctx.stable().keys_with_prefix(PREPARED_PREFIX) {
+            if let Some(bytes) = ctx.stable_get(&key) {
+                if let Ok(entry) = mar_wire::from_slice::<PreparedEntry>(bytes) {
+                    let txn = parse_txn_key(&key[PREPARED_PREFIX.len()..]);
+                    prepared.push((txn, entry));
+                }
+            }
+        }
+        let done = ctx
+            .stable()
+            .keys_with_prefix(DONE2PC_PREFIX)
+            .iter()
+            .map(|k| parse_txn_key(&k[DONE2PC_PREFIX.len()..]))
+            .collect();
+        self.pa.recover(prepared, done);
+        let pa_actions = self.pa.on_retry();
+
+        self.run_actions(ctx, co_actions);
+        self.run_actions(ctx, pa_actions);
+        ctx.set_timer(self.cfg.tm_retry, TAG_RETRY_2PC);
+        self.kick(ctx);
+    }
+}
+
+fn parse_txn_key(key: &str) -> TxnId {
+    let (node, seq) = key.split_once('.').unwrap_or(("0", "0"));
+    TxnId::new(
+        NodeId(node.parse().unwrap_or(0)),
+        seq.parse().unwrap_or(0),
+    )
+}

@@ -1,0 +1,147 @@
+//! Platform wire messages and agent reports.
+
+use mar_core::{AgentId, AgentRecord};
+use mar_simnet::NodeId;
+use mar_txn::TxMsg;
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged between `mole` services (and injected externally).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MoleMsg {
+    /// Launch an agent: enqueue the record at this node (external
+    /// injection from the agent's owner).
+    Launch {
+        /// Serialized [`AgentRecord`].
+        record: Vec<u8>,
+    },
+    /// Distributed-commit protocol traffic.
+    Tx {
+        /// Sending node (participant/coordinator identity).
+        from: NodeId,
+        /// The protocol message.
+        msg: TxMsg,
+    },
+    /// A copy of a finished agent's report, sent to its home node.
+    Report {
+        /// Serialized [`AgentReport`].
+        report: Vec<u8>,
+    },
+}
+
+impl MoleMsg {
+    /// Encodes for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics on codec failure (messages are always encodable).
+    pub fn encode(&self) -> Vec<u8> {
+        mar_wire::to_bytes(self).expect("mole message encodes")
+    }
+
+    /// Decodes from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, mar_wire::WireError> {
+        mar_wire::from_slice(bytes)
+    }
+}
+
+/// Final outcome of an agent run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportOutcome {
+    /// The whole itinerary committed.
+    Completed,
+    /// The agent gave up (reason attached).
+    Failed(String),
+}
+
+/// The report written when an agent finishes, stored at the completing node
+/// and copied to the agent's home node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentReport {
+    /// The agent.
+    pub id: AgentId,
+    /// How it ended.
+    pub outcome: ReportOutcome,
+    /// Virtual time of completion (microseconds).
+    pub finished_at_us: u64,
+    /// Committed steps over the whole run.
+    pub steps_committed: u64,
+    /// The final agent record (data spaces, cursor, log).
+    pub record: AgentRecord,
+}
+
+impl AgentReport {
+    /// Encodes for storage/transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on codec failure (reports are always encodable).
+    pub fn encode(&self) -> Vec<u8> {
+        mar_wire::to_bytes(self).expect("report encodes")
+    }
+
+    /// Decodes from storage.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, mar_wire::WireError> {
+        mar_wire::from_slice(bytes)
+    }
+}
+
+/// Payload of a remote RCE branch: which agent is being compensated and the
+/// resource compensation entries to execute (§4.4.1: "send (TransactionID,
+/// RCEList) to resourceNode").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RceList {
+    /// The agent being rolled back.
+    pub agent: AgentId,
+    /// The step being compensated.
+    pub step_seq: u64,
+    /// The resource compensation entries, in execution order.
+    pub ops: Vec<mar_core::log::OpEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mole_msgs_roundtrip() {
+        let msgs = vec![
+            MoleMsg::Launch {
+                record: vec![1, 2, 3],
+            },
+            MoleMsg::Tx {
+                from: NodeId(3),
+                msg: TxMsg::Ack {
+                    txn: mar_txn::TxnId::new(NodeId(1), 7),
+                },
+            },
+            MoleMsg::Report { report: vec![9] },
+        ];
+        for m in msgs {
+            assert_eq!(MoleMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rce_list_roundtrips() {
+        let list = RceList {
+            agent: AgentId(4),
+            step_seq: 2,
+            ops: vec![mar_core::log::OpEntry {
+                kind: mar_core::comp::EntryKind::Resource,
+                op: mar_core::comp::CompOp::new("bank.undo_transfer", mar_wire::Value::Null),
+                step_seq: 2,
+            }],
+        };
+        let bytes = mar_wire::to_bytes(&list).unwrap();
+        let back: RceList = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, list);
+    }
+}

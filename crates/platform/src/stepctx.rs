@@ -1,0 +1,335 @@
+//! The context handed to agent step methods, and the resource-access bridge
+//! used by compensating operations.
+
+use mar_core::comp::{CompOp, EntryKind, ResourceAccess};
+use mar_core::{CompError, DataSpace};
+use mar_simnet::{NodeId, SimRng, SimTime};
+use mar_txn::{OpCtx, RmRegistry, TxnError, TxnId};
+use mar_wire::Value;
+
+/// Bridges a node's resource-manager registry into the
+/// [`ResourceAccess`] trait that compensating operations run against.
+/// All calls execute inside the enclosing (step or compensation)
+/// transaction.
+pub struct RmAccess<'a> {
+    rms: &'a mut RmRegistry,
+    txn: TxnId,
+    now: SimTime,
+}
+
+impl<'a> RmAccess<'a> {
+    /// Creates the bridge for one transaction.
+    pub fn new(rms: &'a mut RmRegistry, txn: TxnId, now: SimTime) -> Self {
+        RmAccess { rms, txn, now }
+    }
+}
+
+impl ResourceAccess for RmAccess<'_> {
+    fn call(&mut self, resource: &str, op: &str, params: &Value) -> Result<Value, CompError> {
+        self.rms
+            .invoke(
+                OpCtx {
+                    txn: self.txn,
+                    now: self.now,
+                },
+                resource,
+                op,
+                params,
+            )
+            .map_err(|e| CompError::Failed {
+                op: format!("{resource}.{op}"),
+                reason: e.to_string(),
+                // Lock conflicts and drained-funds rejections may succeed on
+                // a later attempt; structural errors will not.
+                retryable: matches!(
+                    e,
+                    TxnError::WouldBlock { .. } | TxnError::Rejected { .. }
+                ),
+            })
+    }
+}
+
+/// What a step left behind for the runtime: pending compensation entries,
+/// whether an explicit savepoint was requested, and any rollback memos.
+pub(crate) type StepEffects = (Vec<(EntryKind, CompOp)>, bool, Vec<(String, Value)>);
+
+/// Execution context of one agent step (the paper's step method running
+/// inside its step transaction).
+pub struct StepCtx<'a> {
+    txn: TxnId,
+    now: SimTime,
+    node: NodeId,
+    agent_id: mar_core::AgentId,
+    step_seq: u64,
+    rms: &'a mut RmRegistry,
+    data: &'a mut DataSpace,
+    rng: &'a mut SimRng,
+    comps: &'a mar_core::comp::CompOpRegistry,
+    pending_comps: Vec<(EntryKind, CompOp)>,
+    savepoint_requested: bool,
+    rollback_memos: Vec<(String, Value)>,
+}
+
+impl<'a> StepCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        txn: TxnId,
+        now: SimTime,
+        node: NodeId,
+        agent_id: mar_core::AgentId,
+        step_seq: u64,
+        rms: &'a mut RmRegistry,
+        data: &'a mut DataSpace,
+        rng: &'a mut SimRng,
+        comps: &'a mar_core::comp::CompOpRegistry,
+    ) -> Self {
+        StepCtx {
+            txn,
+            now,
+            node,
+            agent_id,
+            step_seq,
+            rms,
+            data,
+            rng,
+            comps,
+            pending_comps: Vec::new(),
+            savepoint_requested: false,
+            rollback_memos: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this step executes on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The agent's id.
+    pub fn agent_id(&self) -> mar_core::AgentId {
+        self.agent_id
+    }
+
+    /// The agent's committed step count (this step's sequence number).
+    pub fn step_seq(&self) -> u64 {
+        self.step_seq
+    }
+
+    /// Deterministic randomness (the world's stream).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Invokes an operation on a local resource inside the step transaction
+    /// (§2: "all accesses to local resources are performed within the step
+    /// transaction").
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] aborts and retries the step;
+    /// [`TxnError::Rejected`] is a business refusal the behaviour may handle
+    /// (e.g. by trying another shop) or bubble up to fail the agent.
+    pub fn call(&mut self, resource: &str, op: &str, params: &Value) -> Result<Value, TxnError> {
+        self.rms.invoke(
+            OpCtx {
+                txn: self.txn,
+                now: self.now,
+            },
+            resource,
+            op,
+            params,
+        )
+    }
+
+    /// The agent's private data space.
+    pub fn data(&mut self) -> &mut DataSpace {
+        self.data
+    }
+
+    /// Reads a strongly reversible object.
+    pub fn sro(&self, name: &str) -> Option<&Value> {
+        self.data.sro(name)
+    }
+
+    /// Writes a strongly reversible object.
+    pub fn set_sro(&mut self, name: &str, value: Value) {
+        self.data.set_sro(name, value);
+    }
+
+    /// Appends to a list-valued strongly reversible object (creating it if
+    /// needed) — the paper's "agent collects information and stores it in a
+    /// vector" (§4.1).
+    pub fn sro_push(&mut self, name: &str, value: Value) {
+        match self.data.sro_mut(name) {
+            Some(Value::List(items)) => items.push(value),
+            _ => self.data.set_sro(name, Value::List(vec![value])),
+        }
+    }
+
+    /// Reads a weakly reversible object.
+    pub fn wro(&self, name: &str) -> Option<&Value> {
+        self.data.wro(name)
+    }
+
+    /// Writes a weakly reversible object.
+    pub fn set_wro(&mut self, name: &str, value: Value) {
+        self.data.set_wro(name, value);
+    }
+
+    /// Logs a compensating operation for this step. The builders in
+    /// `mar-resources` (`comp_*`) produce suitable `(kind, op)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::BadRequest`] if the operation is not registered or its
+    /// registered kind differs from `kind` (catching miswired
+    /// compensations at forward time rather than during a rollback).
+    pub fn compensate(&mut self, entry: (EntryKind, CompOp)) -> Result<(), TxnError> {
+        let (kind, op) = entry;
+        match self.comps.kind_of(&op.name) {
+            Some(registered) if registered == kind => {
+                self.pending_comps.push((kind, op));
+                Ok(())
+            }
+            Some(registered) => Err(TxnError::BadRequest(format!(
+                "compensation {:?} is registered as {registered} but logged as {kind}",
+                op.name
+            ))),
+            None => Err(TxnError::BadRequest(format!(
+                "compensation {:?} is not registered",
+                op.name
+            ))),
+        }
+    }
+
+    /// Requests an (explicit) agent savepoint to be constituted at the end
+    /// of this step (§2: savepoints can only be constituted at step ends).
+    pub fn request_savepoint(&mut self) {
+        self.savepoint_requested = true;
+    }
+
+    /// Attaches a weakly reversible object update to a rollback request
+    /// made in this step.
+    ///
+    /// The aborting step transaction is rolled back completely — including
+    /// its private-data changes — so a flag set with [`StepCtx::set_wro`]
+    /// cannot tell the post-rollback agent *why* it rolled back. Memos are
+    /// parameters of the rollback invocation itself (like the savepoint
+    /// identifier `spID` in Fig. 4a): they are applied to the agent's
+    /// weakly reversible state as part of the rollback-initiating
+    /// transaction and survive the rollback (they are not compensated),
+    /// letting the agent "deal with the changed situation" (§3.2).
+    ///
+    /// Memos only take effect if the step returns
+    /// [`StepDecision::Rollback`](crate::StepDecision::Rollback).
+    pub fn rollback_memo(&mut self, key: impl Into<String>, value: Value) {
+        self.rollback_memos.push((key.into(), value));
+    }
+
+    pub(crate) fn into_effects(self) -> StepEffects {
+        (
+            self.pending_comps,
+            self.savepoint_requested,
+            self.rollback_memos,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_core::comp::CompOpRegistry;
+    use mar_core::AgentId;
+
+    fn comps() -> CompOpRegistry {
+        let mut reg = CompOpRegistry::new();
+        mar_resources::register_compensations(&mut reg);
+        reg
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
+        let mut rms = RmRegistry::new();
+        rms.register(Box::new(
+            mar_resources::BankRm::new("bank", false).with_account("a", 100),
+        ));
+        let mut data = DataSpace::new();
+        let mut rng = SimRng::seed_from(1);
+        let comps = comps();
+        let mut ctx = StepCtx::new(
+            TxnId::new(NodeId(0), 1),
+            SimTime::ZERO,
+            NodeId(0),
+            AgentId(1),
+            0,
+            &mut rms,
+            &mut data,
+            &mut rng,
+            &comps,
+        );
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn resource_calls_work() {
+        with_ctx(|ctx| {
+            let r = ctx
+                .call(
+                    "bank",
+                    "balance",
+                    &Value::map([("account", Value::from("a"))]),
+                )
+                .unwrap();
+            assert_eq!(r.as_i64(), Some(100));
+        });
+    }
+
+    #[test]
+    fn sro_push_creates_and_appends() {
+        with_ctx(|ctx| {
+            ctx.sro_push("notes", Value::from(1i64));
+            ctx.sro_push("notes", Value::from(2i64));
+            assert_eq!(ctx.sro("notes").unwrap().as_list().unwrap().len(), 2);
+        });
+    }
+
+    #[test]
+    fn compensate_validates_kind() {
+        with_ctx(|ctx| {
+            // Correct kind accepted.
+            ctx.compensate(mar_resources::comp_undo_withdraw("bank", "a", 5))
+                .unwrap();
+            // Wrong kind rejected.
+            let (_, op) = mar_resources::comp_undo_withdraw("bank", "a", 5);
+            assert!(ctx.compensate((EntryKind::Agent, op)).is_err());
+            // Unregistered rejected.
+            assert!(ctx
+                .compensate((EntryKind::Agent, CompOp::new("ghost", Value::Null)))
+                .is_err());
+        });
+    }
+
+    #[test]
+    fn rm_access_classifies_errors() {
+        let mut rms = RmRegistry::new();
+        rms.register(Box::new(
+            mar_resources::BankRm::new("bank", false).with_account("a", 10),
+        ));
+        let mut acc = RmAccess::new(&mut rms, TxnId::new(NodeId(0), 1), SimTime::ZERO);
+        // Rejected (insufficient funds) → retryable.
+        let err = acc
+            .call(
+                "bank",
+                "withdraw",
+                &Value::map([("account", Value::from("a")), ("amount", Value::from(99i64))]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompError::Failed { retryable: true, .. }));
+        // Structural error → not retryable.
+        let err = acc.call("bank", "nope", &Value::Null).unwrap_err();
+        assert!(matches!(err, CompError::Failed { retryable: false, .. }));
+    }
+}

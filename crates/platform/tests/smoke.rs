@@ -1,0 +1,214 @@
+//! Full-stack smoke tests: forward execution and a simple partial rollback
+//! over a few simulated nodes.
+
+use mar_core::{LoggingMode, RollbackMode, RollbackScope};
+use mar_itinerary::ItineraryBuilder;
+use mar_platform::{
+    metric_keys as mk, AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome,
+    StepCtx, StepDecision,
+};
+use mar_resources::{comp_undo_transfer, BankRm, DirectoryRm};
+use mar_simnet::{NodeId, SimDuration};
+use mar_txn::{RmRegistry, TxnError};
+use mar_wire::Value;
+
+/// Collects one directory entry per node into a strongly reversible vector.
+struct Collector;
+
+impl AgentBehavior for Collector {
+    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+        assert!(method.starts_with("collect"));
+        let found = ctx.call(
+            "dir",
+            "query",
+            &Value::map([("topic", Value::from("offers"))]),
+        )?;
+        ctx.sro_push("notes", found);
+        Ok(StepDecision::Continue)
+    }
+}
+
+/// Transfers money on two nodes; on the first visit to the decision step it
+/// requests a rollback of the current sub-itinerary, on the second it
+/// continues — state it remembers in an *uncompensated* weakly reversible
+/// object, which is exactly how an agent "deals with the changed situation"
+/// after a rollback (§3.2).
+struct Trader;
+
+impl AgentBehavior for Trader {
+    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+        match method {
+            "reserve" => {
+                ctx.call(
+                    "bank",
+                    "transfer",
+                    &Value::map([
+                        ("from", Value::from("alice")),
+                        ("to", Value::from("escrow")),
+                        ("amount", Value::from(40i64)),
+                    ]),
+                )?;
+                ctx.compensate(comp_undo_transfer("bank", "alice", "escrow", 40))?;
+                Ok(StepDecision::Continue)
+            }
+            "decide" => {
+                let attempts = ctx.wro("attempts").and_then(Value::as_i64).unwrap_or(0);
+                if attempts == 0 {
+                    // A plain set_wro would be undone with the aborting step
+                    // transaction; memos ride on the rollback request.
+                    ctx.rollback_memo("attempts", Value::from(1i64));
+                    Ok(StepDecision::Rollback(RollbackScope::CurrentSub))
+                } else {
+                    Ok(StepDecision::Continue)
+                }
+            }
+            other => Ok(StepDecision::Fail(format!("unknown step {other}"))),
+        }
+    }
+}
+
+fn collector_platform(seed: u64) -> Platform {
+    let mut b = PlatformBuilder::new(4).seed(seed).behavior("collector", Collector);
+    for n in 1..4u32 {
+        b = b.resources(NodeId(n), move || {
+            let mut rms = RmRegistry::new();
+            rms.register(Box::new(DirectoryRm::new("dir").with_entry(
+                "offers",
+                Value::from(format!("offer-from-node-{n}")),
+            )));
+            rms
+        });
+    }
+    b.build()
+}
+
+#[test]
+fn collector_visits_all_nodes_and_completes() {
+    let mut p = collector_platform(1);
+    let it = ItineraryBuilder::main("I")
+        .sub("gather", |s| {
+            s.step("collect1", 1).step("collect2", 2).step("collect3", 3);
+        })
+        .build()
+        .unwrap();
+    let agent = p.launch(AgentSpec::new("collector", NodeId(0), it));
+    assert!(
+        p.run_until_settled(&[agent], SimDuration::from_secs(60)),
+        "agent should finish"
+    );
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+    assert_eq!(report.steps_committed, 3);
+    let notes = report.record.data.sro("notes").unwrap().as_list().unwrap();
+    assert_eq!(notes.len(), 3);
+    // Exactly-once: the agent is in no queue anymore.
+    assert_eq!(p.residence_count(agent), 0);
+    // The gather sub-itinerary is top-level: the log was discarded.
+    assert!(report.record.log.is_empty());
+    let m = p.snapshot();
+    assert_eq!(m.counter(mk::STEPS_COMMITTED), 3);
+    assert_eq!(m.counter(mk::AGENT_COMPLETED), 1);
+    assert_eq!(m.counter(mk::LOG_DISCARDS), 1);
+}
+
+#[test]
+fn deterministic_across_reruns() {
+    let run = |seed| {
+        let mut p = collector_platform(seed);
+        let it = ItineraryBuilder::main("I")
+            .sub("gather", |s| {
+                s.step("collect1", 1).step("collect2", 2);
+            })
+            .build()
+            .unwrap();
+        let agent = p.launch(AgentSpec::new("collector", NodeId(0), it));
+        p.run_until_settled(&[agent], SimDuration::from_secs(60));
+        (
+            p.report(agent).map(|r| r.finished_at_us),
+            p.snapshot(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}
+
+fn trader_platform(seed: u64, mode: RollbackMode) -> (Platform, mar_core::AgentId) {
+    let mut p = PlatformBuilder::new(3)
+        .seed(seed)
+        .behavior("trader", Trader)
+        .resources(NodeId(1), || {
+            let mut rms = RmRegistry::new();
+            rms.register(Box::new(
+                BankRm::new("bank", false)
+                    .with_account("alice", 100)
+                    .with_account("escrow", 0),
+            ));
+            rms
+        })
+        .build();
+    let it = ItineraryBuilder::main("I")
+        .sub("trade", |s| {
+            s.step("reserve", 1).step("decide", 2);
+        })
+        .build()
+        .unwrap();
+    let mut spec = AgentSpec::new("trader", NodeId(0), it);
+    spec.mode = mode;
+    spec.logging = LoggingMode::State;
+    let agent = p.launch(spec);
+    (p, agent)
+}
+
+fn assert_trader_run(mode: RollbackMode) {
+    let (mut p, agent) = trader_platform(3, mode);
+    assert!(
+        p.run_until_settled(&[agent], SimDuration::from_secs(120)),
+        "agent should finish (mode {mode:?})"
+    );
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed, "mode {mode:?}");
+    // Committed steps: reserve, then (after the rollback compensated it)
+    // reserve again and decide. The first decide aborted — never committed.
+    assert_eq!(report.steps_committed, 3);
+
+    let m = p.snapshot();
+    assert_eq!(m.counter(mk::ROLLBACK_STARTED), 1);
+    assert_eq!(m.counter(mk::ROLLBACK_COMPLETED), 1);
+
+    // Compensation really ran: the net effect is exactly ONE transfer.
+    let world = p.world_mut();
+    let mole = world
+        .service_mut::<mar_platform::MoleService>(NodeId(1), mar_platform::MOLE)
+        .unwrap();
+    let money = mole.rms().audit_money();
+    assert_eq!(money.get("USD"), Some(&100), "conservation");
+    // Final balances: alice 60, escrow 40 (one effective transfer).
+    let audit = mole.rms();
+    let bank = audit.get("bank").unwrap().audit_money();
+    assert_eq!(bank.get("USD").and_then(Value::as_i64), Some(100));
+    assert_eq!(p.residence_count(agent), 0);
+}
+
+#[test]
+fn trader_rolls_back_and_recovers_basic() {
+    assert_trader_run(RollbackMode::Basic);
+}
+
+#[test]
+fn trader_rolls_back_and_recovers_optimized() {
+    assert_trader_run(RollbackMode::Optimized);
+}
+
+#[test]
+fn optimized_mode_moves_agent_less() {
+    let run = |mode| {
+        let (mut p, agent) = trader_platform(5, mode);
+        p.run_until_settled(&[agent], SimDuration::from_secs(120));
+        p.snapshot().counter(mk::TRANSFERS_ROLLBACK)
+    };
+    let basic = run(RollbackMode::Basic);
+    let optimized = run(RollbackMode::Optimized);
+    // The compensated step (reserve@1) has only an RCE: the optimized mode
+    // must not move the agent at all during rollback.
+    assert!(basic >= 1, "basic transfers: {basic}");
+    assert_eq!(optimized, 0, "optimized transfers: {optimized}");
+}

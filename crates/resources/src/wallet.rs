@@ -1,0 +1,237 @@
+//! The agent's digital-cash wallet: the canonical *weakly reversible
+//! object* (§3.2, §4.1).
+//!
+//! A wallet holds serial-numbered coins (Chaum-style divisible digital
+//! cash \[2\]) and credit notes. Compensating a payment does **not** restore
+//! the original coins: the mint issues fresh coins with different serial
+//! numbers (an *equivalent* state), possibly minus a fee, or the agent
+//! receives a credit note — new information the rollback produced, which is
+//! exactly why wallets cannot be restored from a before-image.
+
+use mar_wire::{Value, WireError};
+use serde::{Deserialize, Serialize};
+
+/// One digital coin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coin {
+    /// Unique serial number assigned by the issuing authority.
+    pub serial: String,
+    /// Face value (cents).
+    pub value: i64,
+    /// Currency code, e.g. `"USD"`.
+    pub currency: String,
+}
+
+/// A credit note: a claim against an issuer, received when a refund window
+/// has passed (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CreditNote {
+    /// Who owes the amount.
+    pub issuer: String,
+    /// Face value (cents).
+    pub amount: i64,
+    /// Currency code.
+    pub currency: String,
+}
+
+/// A wallet of coins and credit notes, stored as a weakly reversible object
+/// in the agent's data space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Wallet {
+    /// Coins currently held.
+    pub coins: Vec<Coin>,
+    /// Credit notes currently held.
+    pub credit_notes: Vec<CreditNote>,
+    /// Counter for locally split change coins.
+    change_seq: u64,
+}
+
+impl Wallet {
+    /// An empty wallet.
+    pub fn new() -> Self {
+        Wallet::default()
+    }
+
+    /// A wallet pre-loaded with the given coins.
+    pub fn with_coins<I: IntoIterator<Item = Coin>>(coins: I) -> Self {
+        Wallet {
+            coins: coins.into_iter().collect(),
+            ..Wallet::default()
+        }
+    }
+
+    /// Total coin value held in `currency` (credit notes excluded).
+    pub fn cash(&self, currency: &str) -> i64 {
+        self.coins
+            .iter()
+            .filter(|c| c.currency == currency)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Total credit-note value in `currency`.
+    pub fn notes(&self, currency: &str) -> i64 {
+        self.credit_notes
+            .iter()
+            .filter(|n| n.currency == currency)
+            .map(|n| n.amount)
+            .sum()
+    }
+
+    /// Adds a coin.
+    pub fn add_coin(&mut self, coin: Coin) {
+        self.coins.push(coin);
+    }
+
+    /// Adds a credit note.
+    pub fn add_note(&mut self, note: CreditNote) {
+        self.credit_notes.push(note);
+    }
+
+    /// Takes exactly `amount` of `currency` in coins, splitting the last
+    /// coin if necessary (divisible cash). Returns the payment coins.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(shortfall)` with the missing amount if funds are
+    /// insufficient; the wallet is unchanged.
+    pub fn take(&mut self, amount: i64, currency: &str) -> Result<Vec<Coin>, i64> {
+        assert!(amount > 0, "payment amount must be positive");
+        let available = self.cash(currency);
+        if available < amount {
+            return Err(amount - available);
+        }
+        let mut taken = Vec::new();
+        let mut remaining = amount;
+        let mut i = 0;
+        while remaining > 0 && i < self.coins.len() {
+            if self.coins[i].currency != currency {
+                i += 1;
+                continue;
+            }
+            if self.coins[i].value <= remaining {
+                remaining -= self.coins[i].value;
+                taken.push(self.coins.remove(i));
+            } else {
+                // Split: part of the coin pays, the change stays as a new
+                // locally derived coin.
+                let coin = self.coins.remove(i);
+                let change = coin.value - remaining;
+                self.change_seq += 1;
+                taken.push(Coin {
+                    serial: format!("{}/p{}", coin.serial, self.change_seq),
+                    value: remaining,
+                    currency: coin.currency.clone(),
+                });
+                self.coins.insert(
+                    i,
+                    Coin {
+                        serial: format!("{}/c{}", coin.serial, self.change_seq),
+                        value: change,
+                        currency: coin.currency,
+                    },
+                );
+                remaining = 0;
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        Ok(taken)
+    }
+
+    /// All serials currently held (for "different serial numbers"
+    /// assertions).
+    pub fn serials(&self) -> Vec<&str> {
+        self.coins.iter().map(|c| c.serial.as_str()).collect()
+    }
+
+    /// Serializes into a [`Value`] for storage in the agent data space.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn to_value(&self) -> Result<Value, WireError> {
+        mar_wire::to_value(self)
+    }
+
+    /// Reads a wallet back from a data-space [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Codec errors if the value is not a wallet.
+    pub fn from_value(v: &Value) -> Result<Wallet, WireError> {
+        mar_wire::from_value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usd(serial: &str, value: i64) -> Coin {
+        Coin {
+            serial: serial.to_owned(),
+            value,
+            currency: "USD".to_owned(),
+        }
+    }
+
+    #[test]
+    fn cash_by_currency() {
+        let mut w = Wallet::with_coins([usd("a", 50), usd("b", 25)]);
+        w.add_coin(Coin {
+            serial: "e1".into(),
+            value: 100,
+            currency: "EUR".into(),
+        });
+        assert_eq!(w.cash("USD"), 75);
+        assert_eq!(w.cash("EUR"), 100);
+        assert_eq!(w.cash("GBP"), 0);
+    }
+
+    #[test]
+    fn exact_take_removes_coins() {
+        let mut w = Wallet::with_coins([usd("a", 50), usd("b", 25)]);
+        let paid = w.take(75, "USD").unwrap();
+        assert_eq!(paid.iter().map(|c| c.value).sum::<i64>(), 75);
+        assert_eq!(w.cash("USD"), 0);
+    }
+
+    #[test]
+    fn split_produces_change_with_derived_serial() {
+        let mut w = Wallet::with_coins([usd("a", 100)]);
+        let paid = w.take(30, "USD").unwrap();
+        assert_eq!(paid.iter().map(|c| c.value).sum::<i64>(), 30);
+        assert_eq!(w.cash("USD"), 70);
+        assert!(w.serials()[0].starts_with("a/c"), "change coin serial derives from original");
+    }
+
+    #[test]
+    fn insufficient_funds_reports_shortfall() {
+        let mut w = Wallet::with_coins([usd("a", 10)]);
+        assert_eq!(w.take(25, "USD"), Err(15));
+        assert_eq!(w.cash("USD"), 10, "wallet unchanged on failure");
+    }
+
+    #[test]
+    fn take_conserves_value() {
+        let mut w = Wallet::with_coins([usd("a", 7), usd("b", 13), usd("c", 29)]);
+        let before = w.cash("USD");
+        let paid = w.take(17, "USD").unwrap();
+        let paid_total: i64 = paid.iter().map(|c| c.value).sum();
+        assert_eq!(paid_total + w.cash("USD"), before);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut w = Wallet::with_coins([usd("a", 10)]);
+        w.add_note(CreditNote {
+            issuer: "shop".into(),
+            amount: 5,
+            currency: "USD".into(),
+        });
+        let v = w.to_value().unwrap();
+        let back = Wallet::from_value(&v).unwrap();
+        assert_eq!(back, w);
+        assert_eq!(back.notes("USD"), 5);
+    }
+}

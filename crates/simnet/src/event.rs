@@ -1,0 +1,149 @@
+//! The kernel event queue.
+//!
+//! Events are totally ordered by `(time, sequence number)`; the sequence
+//! number breaks ties in insertion order, which makes runs reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{Address, NodeId};
+use crate::time::SimTime;
+
+/// Identifier of a timer set through [`crate::Ctx::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Deliver a network message to a service.
+    Deliver {
+        from: Address,
+        to: Address,
+        payload: Vec<u8>,
+    },
+    /// Fire a timer on a service (valid only for the node epoch it was set in).
+    Timer {
+        node: NodeId,
+        service: &'static str,
+        id: TimerId,
+        tag: u64,
+        epoch: u64,
+    },
+    /// Crash a node (volatile state is lost).
+    NodeDown { node: NodeId },
+    /// Recover a node (services rebuilt from factories).
+    NodeUp { node: NodeId },
+    /// Take a link down (messages in either direction will be dropped at send time).
+    LinkDown { a: NodeId, b: NodeId },
+    /// Bring a link back up.
+    LinkUp { a: NodeId, b: NodeId },
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-heap of pending events keyed by (time, insertion order).
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapItem { at, seq, event });
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|i| (i.at, i.event))
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|i| i.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(node: u32) -> Event {
+        Event::NodeDown {
+            node: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(5), dummy(1));
+        q.push(SimTime::from_micros(1), dummy(2));
+        q.push(SimTime::from_micros(3), dummy(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_micros())).collect();
+        assert_eq!(order, [1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        q.push(t, dummy(10));
+        q.push(t, dummy(20));
+        match q.pop().unwrap().1 {
+            Event::NodeDown { node } => assert_eq!(node, NodeId(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match q.pop().unwrap().1 {
+            Event::NodeDown { node } => assert_eq!(node, NodeId(20)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(2), dummy(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # mar-simnet
+//!
+//! A deterministic discrete-event simulator for distributed systems: the
+//! substrate the mobile-agent platform runs on.
+//!
+//! The paper's mechanisms are protocol-level — what gets logged, which
+//! transactions run where, how many transfers and bytes a rollback costs,
+//! and how the system behaves under *non-lasting* node and network crashes.
+//! This kernel reproduces exactly those quantities:
+//!
+//! * [`World`] — single-threaded event kernel with virtual [`SimTime`];
+//!   total event order ⇒ bit-for-bit reproducible runs.
+//! * [`Service`] — message-driven state machines hosted on nodes; volatile
+//!   state dies with the node, and is rebuilt from a factory on recovery.
+//! * [`StableStore`] — per-node crash-surviving key-value storage (agent
+//!   input queues, transaction decision records).
+//! * [`Network`] / [`LatencyModel`] — size-dependent latencies, link
+//!   outages, partitions.
+//! * [`FailurePlan`] — deterministic crash/outage schedules.
+//! * [`Metrics`] / [`Trace`] — the raw material of every experiment table.
+//!
+//! # Examples
+//!
+//! ```
+//! use mar_simnet::{Address, Ctx, Service, SimDuration, World, WorldConfig};
+//!
+//! struct Hello;
+//! impl Service for Hello {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Address, payload: &[u8]) {
+//!         ctx.stable_put("greeting", payload.to_vec());
+//!     }
+//! }
+//!
+//! let mut world = World::new(WorldConfig::with_seed(42));
+//! let node = world.add_node();
+//! world.add_service(node, "hello", || Box::new(Hello));
+//! world.start();
+//! world.post(Address::new(node, "hello"), b"hi".to_vec());
+//! world.run_for(SimDuration::from_secs(1));
+//! assert_eq!(world.stable(node).get("greeting"), Some(&b"hi"[..]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ctx;
+mod event;
+mod failure;
+mod metrics;
+mod net;
+mod node;
+mod rng;
+mod stable;
+mod time;
+mod trace;
+mod world;
+
+pub use ctx::Ctx;
+pub use event::TimerId;
+pub use failure::FailurePlan;
+pub use metrics::{keys as metric_keys, HistSummary, Metrics, MetricsSnapshot};
+pub use net::{LatencyModel, Network, MSG_OVERHEAD_BYTES};
+pub use node::{Address, NodeId, Service, ServiceFactory};
+pub use rng::SimRng;
+pub use stable::StableStore;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceKind, TraceRecord};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,239 @@
+//! Counters and histograms collected during a simulation run.
+//!
+//! Every experiment in EXPERIMENTS.md is computed from a [`MetricsSnapshot`],
+//! so metric updates must be deterministic (they are: the kernel is
+//! single-threaded and event order is total).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics for one observed quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Default for HistSummary {
+    fn default() -> Self {
+        HistSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistSummary {
+    /// Arithmetic mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Mutable metrics registry owned by the simulation world.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistSummary>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records an observation in the named histogram.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.hists.entry(name.to_owned()).or_default().observe(v);
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current summary for a histogram, if any observation was made.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.get(name)
+    }
+
+    /// Freezes the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            hists: self.hists.clone(),
+        }
+    }
+
+    /// Resets all counters and histograms.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.hists.clear();
+    }
+}
+
+/// Immutable, serializable copy of the metrics at some point in time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Difference of each counter relative to an earlier snapshot.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, i64> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &self.counters {
+            let before = earlier.counter(k) as i64;
+            let d = *v as i64 - before;
+            if d != 0 {
+                out.insert(k.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<48} {v}")?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(
+                f,
+                "{k:<48} n={} mean={:.2} min={:.2} max={:.2}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Well-known metric names used by the kernel; higher layers define theirs
+/// next to the code that emits them.
+pub mod keys {
+    /// Messages successfully delivered.
+    pub const MSGS_DELIVERED: &str = "net.msgs_delivered";
+    /// Messages dropped because the destination node was down.
+    pub const MSGS_DROPPED_NODE_DOWN: &str = "net.msgs_dropped_node_down";
+    /// Messages dropped because the link was down.
+    pub const MSGS_DROPPED_LINK_DOWN: &str = "net.msgs_dropped_link_down";
+    /// Total payload bytes accepted for sending.
+    pub const BYTES_SENT: &str = "net.bytes_sent";
+    /// Stable-storage write operations.
+    pub const STABLE_WRITES: &str = "stable.writes";
+    /// Stable-storage bytes written.
+    pub const STABLE_BYTES: &str = "stable.bytes_written";
+    /// Node crash events.
+    pub const NODE_CRASHES: &str = "failure.node_crashes";
+    /// Node recovery events.
+    pub const NODE_RECOVERIES: &str = "failure.node_recoveries";
+    /// Timer events fired.
+    pub const TIMERS_FIRED: &str = "kernel.timers_fired";
+    /// Events processed by the kernel.
+    pub const EVENTS: &str = "kernel.events";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("a");
+        m.add("a", 2);
+        m.add("a", 0);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut m = Metrics::new();
+        m.observe("h", 1.0);
+        m.observe("h", 3.0);
+        let h = m.hist("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!((h.min, h.max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut m = Metrics::new();
+        m.add("x", 5);
+        let before = m.snapshot();
+        m.add("x", 2);
+        m.add("y", 1);
+        let after = m.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.get("x"), Some(&2));
+        assert_eq!(d.get("y"), Some(&1));
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let mut m = Metrics::new();
+        m.inc("k");
+        m.observe("h", 2.5);
+        let snap = m.snapshot();
+        let bytes = mar_wire::to_bytes(&snap).unwrap();
+        let back: MetricsSnapshot = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let mut m = Metrics::new();
+        m.inc("some.counter");
+        let text = m.snapshot().to_string();
+        assert!(text.contains("some.counter"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic pseudo-random numbers for the simulation.
+//!
+//! A self-contained xoshiro256** generator (seeded through splitmix64) keeps
+//! every run reproducible independent of external crate versions. The `rand`
+//! crate is intentionally only used in *tests* elsewhere in the workspace.
+
+/// Deterministic xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use mar_simnet::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent generator, e.g. one stream per node, without
+    /// disturbing this generator's sequence more than one draw.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        SimRng::seed_from(self.next_u64() ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        let threshold = n.wrapping_neg() % n; // 2^64 mod n
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// failure inter-arrival times). Returns `0.0` for non-positive means.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from(0).below(0);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..1_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "sample mean {mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from(42);
+        let mut root2 = SimRng::seed_from(42);
+        let mut f1 = root1.fork(1);
+        let mut f2 = root2.fork(1);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut g1 = root1.fork(2);
+        assert_ne!(f1.next_u64(), g1.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_from_empty_is_none() {
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(rng.pick::<u8>(&[]), None);
+    }
+}

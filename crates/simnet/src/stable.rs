@@ -1,0 +1,182 @@
+//! Per-node stable storage.
+//!
+//! Stable storage survives node crashes — it holds agent input queues,
+//! transaction decision records, and prepared writes. The store is a simple
+//! ordered key-value map of byte strings with prefix scans (enough to build
+//! queues and logs on top) plus write accounting for the experiments.
+
+use std::collections::BTreeMap;
+
+/// Crash-surviving key-value store of one node.
+///
+/// # Examples
+///
+/// ```
+/// use mar_simnet::StableStore;
+/// let mut s = StableStore::new();
+/// s.put("q/00001", b"agent".to_vec());
+/// assert_eq!(s.get("q/00001"), Some(&b"agent"[..]));
+/// assert_eq!(s.first_with_prefix("q/"), Some(("q/00001".to_string(), b"agent".to_vec())));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StableStore {
+    map: BTreeMap<String, Vec<u8>>,
+    write_ops: u64,
+    bytes_written: u64,
+}
+
+impl StableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StableStore::default()
+    }
+
+    /// Writes `value` under `key`, replacing any previous value.
+    pub fn put(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.write_ops += 1;
+        self.bytes_written += value.len() as u64;
+        self.map.insert(key.into(), value);
+    }
+
+    /// Reads the value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Removes `key`, returning the previous value if present.
+    pub fn delete(&mut self, key: &str) -> Option<Vec<u8>> {
+        let prev = self.map.remove(key);
+        if prev.is_some() {
+            self.write_ops += 1;
+        }
+        prev
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// All keys starting with `prefix`, in lexicographic order.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.map
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// The lexicographically first `(key, value)` pair under `prefix`.
+    pub fn first_with_prefix(&self, prefix: &str) -> Option<(String, Vec<u8>)> {
+        self.map
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .next()
+    }
+
+    /// Number of entries under `prefix`.
+    pub fn count_with_prefix(&self, prefix: &str) -> usize {
+        self.map
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .count()
+    }
+
+    /// Deletes every key under `prefix`, returning how many were removed.
+    pub fn delete_prefix(&mut self, prefix: &str) -> usize {
+        let keys = self.keys_with_prefix(prefix);
+        let n = keys.len();
+        for k in &keys {
+            self.map.remove(k);
+        }
+        if n > 0 {
+            self.write_ops += 1;
+        }
+        n
+    }
+
+    /// Number of entries in the store.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total write operations performed (including deletes).
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops
+    }
+
+    /// Total bytes written by `put` calls.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Iterates over all `(key, value)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = StableStore::new();
+        assert!(s.is_empty());
+        s.put("a", vec![1]);
+        assert!(s.contains("a"));
+        assert_eq!(s.get("a"), Some(&[1u8][..]));
+        assert_eq!(s.delete("a"), Some(vec![1]));
+        assert_eq!(s.delete("a"), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn prefix_scans_ordered() {
+        let mut s = StableStore::new();
+        s.put("q/2", vec![2]);
+        s.put("q/1", vec![1]);
+        s.put("r/1", vec![9]);
+        assert_eq!(s.keys_with_prefix("q/"), ["q/1", "q/2"]);
+        assert_eq!(s.first_with_prefix("q/").unwrap().0, "q/1");
+        assert_eq!(s.count_with_prefix("q/"), 2);
+        assert_eq!(s.first_with_prefix("zz"), None);
+    }
+
+    #[test]
+    fn delete_prefix_removes_only_matches() {
+        let mut s = StableStore::new();
+        s.put("q/1", vec![]);
+        s.put("q/2", vec![]);
+        s.put("x", vec![]);
+        assert_eq!(s.delete_prefix("q/"), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn write_accounting() {
+        let mut s = StableStore::new();
+        s.put("a", vec![0; 10]);
+        s.put("b", vec![0; 5]);
+        s.delete("a");
+        assert_eq!(s.write_ops(), 3);
+        assert_eq!(s.bytes_written(), 15);
+    }
+
+    #[test]
+    fn prefix_is_not_confused_by_similar_keys() {
+        let mut s = StableStore::new();
+        s.put("ab", vec![]);
+        s.put("abc", vec![]);
+        s.put("abd", vec![]);
+        assert_eq!(s.keys_with_prefix("abc"), ["abc"]);
+    }
+}

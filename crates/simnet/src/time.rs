@@ -1,0 +1,184 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! Time is measured in integer microseconds so that event ordering is exact
+//! and runs are reproducible bit-for-bit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in virtual time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Constructs a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Constructs a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Constructs a duration from fractional seconds, rounding to the
+    /// nearest microsecond (negative values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((s * 1e6).round() as u64)
+        }
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the duration by a non-negative factor, rounding.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us >= 1_000_000 {
+            write!(f, "{:.3}s", us as f64 / 1e6)
+        } else if us >= 1_000 {
+            write!(f, "{:.3}ms", us as f64 / 1e3)
+        } else {
+            write!(f, "{us}us")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!((t + SimDuration::from_micros(5)) - t, SimDuration::from_micros(5));
+        assert_eq!(t.since(SimTime::from_micros(3_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        let d = SimDuration::from_secs(2).mul_f64(1.5);
+        assert_eq!(d, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+}

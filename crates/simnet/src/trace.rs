@@ -1,0 +1,203 @@
+//! Event trace for debugging, golden tests, and determinism checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One traced kernel event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    MsgSent {
+        /// Sending (node, service).
+        from: (u32, String),
+        /// Destination (node, service).
+        to: (u32, String),
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A message reached its destination service.
+    MsgDelivered {
+        /// Sending (node, service).
+        from: (u32, String),
+        /// Destination (node, service).
+        to: (u32, String),
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A message was dropped because the destination node was down.
+    MsgDroppedNodeDown {
+        /// Destination node.
+        node: u32,
+    },
+    /// A message was dropped at send time because the link was down.
+    MsgDroppedLinkDown {
+        /// Sending node.
+        from: u32,
+        /// Destination node.
+        to: u32,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Node the timer belongs to.
+        node: u32,
+        /// Owning service.
+        service: String,
+        /// Caller-chosen tag.
+        tag: u64,
+    },
+    /// A node crashed, losing volatile state.
+    NodeCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A node recovered and its services were rebuilt.
+    NodeRecovered {
+        /// The recovered node.
+        node: u32,
+    },
+    /// A link changed state.
+    LinkChanged {
+        /// One endpoint.
+        a: u32,
+        /// Other endpoint.
+        b: u32,
+        /// New state.
+        up: bool,
+    },
+    /// Application-level marker emitted through [`crate::Ctx::trace`].
+    Custom {
+        /// Node that emitted the marker.
+        node: u32,
+        /// Short machine-readable label.
+        label: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+/// A trace record with its virtual timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Bounded in-memory event trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace; `enabled = false` makes all recording free.
+    pub fn new(enabled: bool, cap: usize) -> Self {
+        Trace {
+            enabled,
+            cap,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord { at, kind });
+    }
+
+    /// All records captured so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records that did not fit under the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records whose label matches `label` (for `Custom` markers).
+    pub fn custom_with_label(&self, label: &str) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(&r.kind, TraceKind::Custom { label: l, .. } if l == label))
+            .collect()
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(false, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false, 10);
+        t.record(SimTime::ZERO, TraceKind::NodeCrashed { node: 1 });
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut t = Trace::new(true, 2);
+        for i in 0..5 {
+            t.record(SimTime::from_micros(i), TraceKind::NodeCrashed { node: i as u32 });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn custom_label_filter() {
+        let mut t = Trace::new(true, 10);
+        t.record(
+            SimTime::ZERO,
+            TraceKind::Custom {
+                node: 0,
+                label: "step".into(),
+                detail: "i=1".into(),
+            },
+        );
+        t.record(SimTime::ZERO, TraceKind::NodeCrashed { node: 0 });
+        assert_eq!(t.custom_with_label("step").len(), 1);
+        assert_eq!(t.custom_with_label("other").len(), 0);
+    }
+
+    #[test]
+    fn records_serialize() {
+        let r = TraceRecord {
+            at: SimTime::from_micros(3),
+            kind: TraceKind::LinkChanged { a: 1, b: 2, up: false },
+        };
+        let bytes = mar_wire::to_bytes(&r).unwrap();
+        let back: TraceRecord = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+}

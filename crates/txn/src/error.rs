@@ -1,0 +1,96 @@
+//! Error types of the transactional substrate.
+
+use std::fmt;
+
+use crate::id::TxnId;
+
+/// Errors surfaced by lock acquisition, stores, and resource managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The lock is held in a conflicting mode by another transaction.
+    ///
+    /// With no-wait locking the correct reaction is to abort and retry the
+    /// whole transaction after a backoff.
+    WouldBlock {
+        /// The contended key.
+        key: String,
+        /// One of the conflicting holders.
+        holder: TxnId,
+    },
+    /// The transaction is not known (already committed/aborted, or never
+    /// began at this manager).
+    UnknownTxn(TxnId),
+    /// An operation was invoked on a resource that does not exist.
+    NoSuchResource(String),
+    /// A resource rejected an operation (business rule, e.g. overdraft).
+    Rejected {
+        /// The resource that rejected the operation.
+        resource: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation or its parameters were malformed.
+    BadRequest(String),
+    /// Serialization failure.
+    Codec(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::WouldBlock { key, holder } => {
+                write!(f, "lock on {key:?} held by {holder}")
+            }
+            TxnError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            TxnError::NoSuchResource(r) => write!(f, "no such resource {r:?}"),
+            TxnError::Rejected { resource, reason } => {
+                write!(f, "{resource} rejected operation: {reason}")
+            }
+            TxnError::BadRequest(m) => write!(f, "bad request: {m}"),
+            TxnError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<mar_wire::WireError> for TxnError {
+    fn from(e: mar_wire::WireError) -> Self {
+        TxnError::Codec(e.to_string())
+    }
+}
+
+impl TxnError {
+    /// True if retrying the transaction later may succeed (lock conflicts),
+    /// false for semantic rejections.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TxnError::WouldBlock { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_simnet::NodeId;
+
+    #[test]
+    fn transient_classification() {
+        let wb = TxnError::WouldBlock {
+            key: "k".into(),
+            holder: TxnId::new(NodeId(0), 1),
+        };
+        assert!(wb.is_transient());
+        assert!(!TxnError::BadRequest("x".into()).is_transient());
+        assert!(!TxnError::Rejected {
+            resource: "bank".into(),
+            reason: "overdraft".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display() {
+        let e = TxnError::NoSuchResource("shop".into());
+        assert_eq!(e.to_string(), "no such resource \"shop\"");
+    }
+}

@@ -1,0 +1,110 @@
+//! Transaction identifiers.
+
+use std::fmt;
+
+use mar_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique transaction identifier: the coordinating node plus a
+/// node-local sequence number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxnId {
+    /// The node coordinating this transaction.
+    pub coordinator: NodeId,
+    /// Sequence number unique on the coordinator.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Constructs a transaction id.
+    pub const fn new(coordinator: NodeId, seq: u64) -> Self {
+        TxnId { coordinator, seq }
+    }
+
+    /// A compact stable-storage key fragment, e.g. `"3.17"`.
+    pub fn key(&self) -> String {
+        format!("{}.{}", self.coordinator.0, self.seq)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}:{}", self.coordinator.0, self.seq)
+    }
+}
+
+/// Allocates [`TxnId`]s for one coordinator node.
+///
+/// The counter is volatile; after a crash the host must restore it past any
+/// previously issued id (e.g. from the highest id found in stable records)
+/// via [`TxnIdGen::bump_past`], or start a fresh epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxnIdGen {
+    node: NodeId,
+    next: u64,
+}
+
+impl TxnIdGen {
+    /// Creates a generator for `node` starting at `first_seq`.
+    pub fn new(node: NodeId, first_seq: u64) -> Self {
+        TxnIdGen {
+            node,
+            next: first_seq,
+        }
+    }
+
+    /// Issues the next id.
+    pub fn next_id(&mut self) -> TxnId {
+        let id = TxnId::new(self.node, self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Ensures all future ids have `seq > seq_floor`.
+    pub fn bump_past(&mut self, seq_floor: u64) {
+        if self.next <= seq_floor {
+            self.next = seq_floor + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let mut g = TxnIdGen::new(NodeId(2), 0);
+        let a = g.next_id();
+        let b = g.next_id();
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a.coordinator, NodeId(2));
+    }
+
+    #[test]
+    fn bump_past_skips_reissued_ids() {
+        let mut g = TxnIdGen::new(NodeId(0), 0);
+        g.next_id();
+        g.bump_past(10);
+        assert_eq!(g.next_id().seq, 11);
+        g.bump_past(5); // lower floor: no effect
+        assert_eq!(g.next_id().seq, 12);
+    }
+
+    #[test]
+    fn display_and_key() {
+        let id = TxnId::new(NodeId(3), 17);
+        assert_eq!(id.to_string(), "T3:17");
+        assert_eq!(id.key(), "3.17");
+    }
+
+    #[test]
+    fn serializes() {
+        let id = TxnId::new(NodeId(1), 2);
+        let bytes = mar_wire::to_bytes(&id).unwrap();
+        assert_eq!(mar_wire::from_slice::<TxnId>(&bytes).unwrap(), id);
+    }
+}

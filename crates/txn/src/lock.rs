@@ -1,0 +1,214 @@
+//! Strict two-phase locking with a no-wait policy.
+//!
+//! Lock conflicts return [`TxnError::WouldBlock`] immediately instead of
+//! queueing the requester. The caller aborts and retries the transaction
+//! after a (randomized) backoff. No-wait keeps the simulation deterministic,
+//! cannot deadlock, and — combined with strictness (all locks held until
+//! commit/abort) — still yields serializable histories, which is all the
+//! paper's step/compensation transactions require.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::TxnError;
+use crate::id::TxnId;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    sharers: BTreeSet<TxnId>,
+    exclusive: Option<TxnId>,
+}
+
+/// A per-resource-manager lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: BTreeMap<String, Entry>,
+    held: BTreeMap<TxnId, BTreeSet<String>>,
+    conflicts: u64,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Acquires `key` in `mode` for `txn`, upgrading a shared lock to
+    /// exclusive when `txn` is the sole sharer.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on any conflict with another transaction.
+    pub fn acquire(&mut self, txn: TxnId, key: &str, mode: LockMode) -> Result<(), TxnError> {
+        let entry = self.entries.entry(key.to_owned()).or_default();
+        match mode {
+            LockMode::Shared => {
+                if let Some(holder) = entry.exclusive {
+                    if holder != txn {
+                        self.conflicts += 1;
+                        return Err(TxnError::WouldBlock {
+                            key: key.to_owned(),
+                            holder,
+                        });
+                    }
+                    // Already exclusive: shared access is implied.
+                    return Ok(());
+                }
+                entry.sharers.insert(txn);
+            }
+            LockMode::Exclusive => {
+                if let Some(holder) = entry.exclusive {
+                    if holder != txn {
+                        self.conflicts += 1;
+                        return Err(TxnError::WouldBlock {
+                            key: key.to_owned(),
+                            holder,
+                        });
+                    }
+                    return Ok(());
+                }
+                if let Some(&other) = entry.sharers.iter().find(|&&s| s != txn) {
+                    self.conflicts += 1;
+                    return Err(TxnError::WouldBlock {
+                        key: key.to_owned(),
+                        holder: other,
+                    });
+                }
+                // Upgrade (or fresh acquire): txn is sole sharer or none.
+                entry.sharers.remove(&txn);
+                entry.exclusive = Some(txn);
+            }
+        }
+        self.held.entry(txn).or_default().insert(key.to_owned());
+        Ok(())
+    }
+
+    /// Releases every lock held by `txn` (strict 2PL release at end of
+    /// transaction).
+    pub fn release_all(&mut self, txn: TxnId) {
+        let Some(keys) = self.held.remove(&txn) else {
+            return;
+        };
+        for key in keys {
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.sharers.remove(&txn);
+                if entry.exclusive == Some(txn) {
+                    entry.exclusive = None;
+                }
+                if entry.sharers.is_empty() && entry.exclusive.is_none() {
+                    self.entries.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Whether `txn` holds `key` in a mode at least as strong as `mode`.
+    pub fn holds(&self, txn: TxnId, key: &str, mode: LockMode) -> bool {
+        let Some(entry) = self.entries.get(key) else {
+            return false;
+        };
+        match mode {
+            LockMode::Shared => entry.sharers.contains(&txn) || entry.exclusive == Some(txn),
+            LockMode::Exclusive => entry.exclusive == Some(txn),
+        }
+    }
+
+    /// Number of conflicts observed so far (for the experiments).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of keys with at least one lock held.
+    pub fn locked_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `txn` holds any lock.
+    pub fn has_locks(&self, txn: TxnId) -> bool {
+        self.held.get(&txn).is_some_and(|k| !k.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_simnet::NodeId;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Shared).unwrap();
+        lt.acquire(t(2), "a", LockMode::Shared).unwrap();
+        assert!(lt.holds(t(1), "a", LockMode::Shared));
+        assert!(lt.holds(t(2), "a", LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Shared).unwrap();
+        let err = lt.acquire(t(2), "a", LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, TxnError::WouldBlock { holder, .. } if holder == t(1)));
+        assert_eq!(lt.conflicts(), 1);
+    }
+
+    #[test]
+    fn exclusive_blocks_everything() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Exclusive).unwrap();
+        assert!(lt.acquire(t(2), "a", LockMode::Shared).is_err());
+        assert!(lt.acquire(t(2), "a", LockMode::Exclusive).is_err());
+        // Holder itself is unaffected (reentrant).
+        lt.acquire(t(1), "a", LockMode::Shared).unwrap();
+        lt.acquire(t(1), "a", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn upgrade_when_sole_sharer() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Shared).unwrap();
+        lt.acquire(t(1), "a", LockMode::Exclusive).unwrap();
+        assert!(lt.holds(t(1), "a", LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_denied_with_other_sharers() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Shared).unwrap();
+        lt.acquire(t(2), "a", LockMode::Shared).unwrap();
+        assert!(lt.acquire(t(1), "a", LockMode::Exclusive).is_err());
+        // Still holds its shared lock after the failed upgrade.
+        assert!(lt.holds(t(1), "a", LockMode::Shared));
+    }
+
+    #[test]
+    fn release_all_frees_keys() {
+        let mut lt = LockTable::new();
+        lt.acquire(t(1), "a", LockMode::Exclusive).unwrap();
+        lt.acquire(t(1), "b", LockMode::Shared).unwrap();
+        assert!(lt.has_locks(t(1)));
+        lt.release_all(t(1));
+        assert!(!lt.has_locks(t(1)));
+        assert_eq!(lt.locked_keys(), 0);
+        lt.acquire(t(2), "a", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn release_unknown_txn_is_noop() {
+        let mut lt = LockTable::new();
+        lt.release_all(t(9));
+        assert_eq!(lt.locked_keys(), 0);
+    }
+}

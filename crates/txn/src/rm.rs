@@ -1,0 +1,326 @@
+//! Resource managers and their registry.
+//!
+//! A resource manager exposes named operations invoked from agent steps and
+//! from compensating operations. All operations of a step run inside the
+//! *step transaction* (paper §2); commit/abort fans out to every manager on
+//! the node.
+
+use std::collections::BTreeMap;
+
+use mar_simnet::SimTime;
+use mar_wire::Value;
+
+use crate::error::TxnError;
+use crate::id::TxnId;
+
+/// Per-invocation context handed to resource operations.
+#[derive(Debug, Clone, Copy)]
+pub struct OpCtx {
+    /// The enclosing (step or compensation) transaction.
+    pub txn: TxnId,
+    /// Current virtual time — used by time-dependent policies such as
+    /// refund windows.
+    pub now: SimTime,
+}
+
+/// A transactional resource hosted on a node.
+///
+/// Implementations keep their state in a [`crate::TxStore`] (or anything
+/// with equivalent undo/lock semantics) so that `abort` really reverts.
+pub trait ResourceManager {
+    /// The resource's registry name (unique per node), e.g. `"bank"`.
+    fn name(&self) -> &str;
+
+    /// Executes `op` with `params` inside transaction `ctx.txn`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on lock conflicts (caller aborts and
+    /// retries), [`TxnError::Rejected`] for business rules, or
+    /// [`TxnError::BadRequest`] for malformed parameters.
+    fn invoke(&mut self, ctx: OpCtx, op: &str, params: &Value) -> Result<Value, TxnError>;
+
+    /// Makes the transaction's effects on this resource permanent.
+    fn commit(&mut self, txn: TxnId);
+
+    /// Reverts the transaction's effects on this resource.
+    fn abort(&mut self, txn: TxnId);
+
+    /// Serializes committed state for stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    fn snapshot(&self) -> Result<Vec<u8>, TxnError>;
+
+    /// Restores committed state after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), TxnError>;
+
+    /// Reports the committed money this resource holds, as a map from
+    /// currency code to amount — the raw material of the conservation
+    /// audits in the test suite. Resources that hold no money (registries,
+    /// read-only services) keep the default.
+    fn audit_money(&self) -> Value {
+        Value::Null
+    }
+}
+
+/// The set of resource managers on one node.
+#[derive(Default)]
+pub struct RmRegistry {
+    rms: BTreeMap<String, Box<dyn ResourceManager>>,
+}
+
+impl RmRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        RmRegistry::default()
+    }
+
+    /// Registers a resource manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resource with the same name already exists.
+    pub fn register(&mut self, rm: Box<dyn ResourceManager>) {
+        let name = rm.name().to_owned();
+        let prev = self.rms.insert(name.clone(), rm);
+        assert!(prev.is_none(), "resource {name:?} registered twice");
+    }
+
+    /// Invokes an operation on the named resource.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NoSuchResource`] if the resource is absent, otherwise
+    /// whatever the resource returns.
+    pub fn invoke(
+        &mut self,
+        ctx: OpCtx,
+        resource: &str,
+        op: &str,
+        params: &Value,
+    ) -> Result<Value, TxnError> {
+        let rm = self
+            .rms
+            .get_mut(resource)
+            .ok_or_else(|| TxnError::NoSuchResource(resource.to_owned()))?;
+        rm.invoke(ctx, op, params)
+    }
+
+    /// Commits `txn` on every resource.
+    pub fn commit_all(&mut self, txn: TxnId) {
+        for rm in self.rms.values_mut() {
+            rm.commit(txn);
+        }
+    }
+
+    /// Aborts `txn` on every resource.
+    pub fn abort_all(&mut self, txn: TxnId) {
+        for rm in self.rms.values_mut() {
+            rm.abort(txn);
+        }
+    }
+
+    /// Snapshots every resource as `(name, bytes)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn snapshot_all(&self) -> Result<Vec<(String, Vec<u8>)>, TxnError> {
+        self.rms
+            .iter()
+            .map(|(name, rm)| Ok((name.clone(), rm.snapshot()?)))
+            .collect()
+    }
+
+    /// Restores a resource by name (ignores unknown names so nodes can be
+    /// reconfigured between runs).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors from the resource.
+    pub fn restore_one(&mut self, name: &str, bytes: &[u8]) -> Result<(), TxnError> {
+        if let Some(rm) = self.rms.get_mut(name) {
+            rm.restore(bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Direct access to a resource (test inspection).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Box<dyn ResourceManager>> {
+        self.rms.get_mut(name)
+    }
+
+    /// Direct read access to a resource.
+    pub fn get(&self, name: &str) -> Option<&dyn ResourceManager> {
+        self.rms.get(name).map(Box::as_ref)
+    }
+
+    /// Sums `audit_money` over all resources, per currency.
+    pub fn audit_money(&self) -> std::collections::BTreeMap<String, i64> {
+        let mut out = std::collections::BTreeMap::new();
+        for rm in self.rms.values() {
+            if let Value::Map(m) = rm.audit_money() {
+                for (cur, v) in m {
+                    if let Some(amount) = v.as_i64() {
+                        *out.entry(cur).or_insert(0) += amount;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Registered resource names.
+    pub fn names(&self) -> Vec<String> {
+        self.rms.keys().cloned().collect()
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.rms.len()
+    }
+
+    /// True if no resources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rms.is_empty()
+    }
+}
+
+impl std::fmt::Debug for RmRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmRegistry")
+            .field("resources", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TxStore;
+    use mar_simnet::NodeId;
+
+    /// A trivial counter resource used to exercise the registry plumbing.
+    struct Counter {
+        store: TxStore,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            let mut store = TxStore::new();
+            store.seed("n", mar_wire::to_bytes(&0i64).unwrap());
+            Counter { store }
+        }
+    }
+
+    impl ResourceManager for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn invoke(&mut self, ctx: OpCtx, op: &str, params: &Value) -> Result<Value, TxnError> {
+            match op {
+                "add" => {
+                    let delta = params.as_i64().ok_or_else(|| {
+                        TxnError::BadRequest("add expects an integer".to_owned())
+                    })?;
+                    let cur: i64 = mar_wire::from_slice(
+                        self.store.read(ctx.txn, "n")?.unwrap_or(&[]),
+                    )?;
+                    let next = cur + delta;
+                    self.store
+                        .write(ctx.txn, "n", mar_wire::to_bytes(&next)?)?;
+                    Ok(Value::from(next))
+                }
+                "get" => {
+                    let cur: i64 = mar_wire::from_slice(
+                        self.store.read(ctx.txn, "n")?.unwrap_or(&[]),
+                    )?;
+                    Ok(Value::from(cur))
+                }
+                other => Err(TxnError::BadRequest(format!("unknown op {other}"))),
+            }
+        }
+
+        fn commit(&mut self, txn: TxnId) {
+            self.store.commit(txn);
+        }
+        fn abort(&mut self, txn: TxnId) {
+            self.store.abort(txn);
+        }
+        fn snapshot(&self) -> Result<Vec<u8>, TxnError> {
+            Ok(self.store.snapshot()?)
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), TxnError> {
+            Ok(self.store.restore(bytes)?)
+        }
+    }
+
+    fn ctx(seq: u64) -> OpCtx {
+        OpCtx {
+            txn: TxnId::new(NodeId(0), seq),
+            now: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn invoke_commit_abort_cycle() {
+        let mut reg = RmRegistry::new();
+        reg.register(Box::new(Counter::new()));
+        let v = reg
+            .invoke(ctx(1), "counter", "add", &Value::from(5i64))
+            .unwrap();
+        assert_eq!(v.as_i64(), Some(5));
+        reg.commit_all(ctx(1).txn);
+
+        reg.invoke(ctx(2), "counter", "add", &Value::from(3i64)).unwrap();
+        reg.abort_all(ctx(2).txn);
+        let v = reg.invoke(ctx(3), "counter", "get", &Value::Null).unwrap();
+        assert_eq!(v.as_i64(), Some(5), "aborted add must not stick");
+    }
+
+    #[test]
+    fn unknown_resource_and_op() {
+        let mut reg = RmRegistry::new();
+        reg.register(Box::new(Counter::new()));
+        assert!(matches!(
+            reg.invoke(ctx(1), "nope", "get", &Value::Null),
+            Err(TxnError::NoSuchResource(_))
+        ));
+        assert!(matches!(
+            reg.invoke(ctx(1), "counter", "nope", &Value::Null),
+            Err(TxnError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_via_registry() {
+        let mut reg = RmRegistry::new();
+        reg.register(Box::new(Counter::new()));
+        reg.invoke(ctx(1), "counter", "add", &Value::from(9i64)).unwrap();
+        reg.commit_all(ctx(1).txn);
+        let snaps = reg.snapshot_all().unwrap();
+
+        let mut reg2 = RmRegistry::new();
+        reg2.register(Box::new(Counter::new()));
+        for (name, bytes) in &snaps {
+            reg2.restore_one(name, bytes).unwrap();
+        }
+        let v = reg2.invoke(ctx(2), "counter", "get", &Value::Null).unwrap();
+        assert_eq!(v.as_i64(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = RmRegistry::new();
+        reg.register(Box::new(Counter::new()));
+        reg.register(Box::new(Counter::new()));
+    }
+}

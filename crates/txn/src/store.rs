@@ -1,0 +1,257 @@
+//! A transactional key-value store: the state engine behind every resource
+//! manager.
+//!
+//! Writes are applied in place under no-wait 2PL with before-image undo.
+//! Committed state can be snapshotted to bytes so the hosting node can
+//! persist it to stable storage at commit (committed resource state survives
+//! crashes; uncommitted changes die with the node, which *is* the abort).
+
+use std::collections::BTreeMap;
+
+use mar_wire::{from_slice, to_bytes, WireResult};
+
+use crate::error::TxnError;
+use crate::id::TxnId;
+use crate::lock::{LockMode, LockTable};
+use crate::undo::UndoLog;
+
+/// Transactional byte-value store with per-key locking.
+#[derive(Debug, Default)]
+pub struct TxStore {
+    data: BTreeMap<String, Vec<u8>>,
+    locks: LockTable,
+    undo: BTreeMap<TxnId, UndoLog>,
+}
+
+impl TxStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TxStore::default()
+    }
+
+    /// Reads `key` under a shared lock.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] if another transaction holds a conflicting
+    /// lock.
+    pub fn read(&mut self, txn: TxnId, key: &str) -> Result<Option<&[u8]>, TxnError> {
+        self.locks.acquire(txn, key, LockMode::Shared)?;
+        Ok(self.data.get(key).map(Vec::as_slice))
+    }
+
+    /// Writes `value` under `key` with an exclusive lock, recording the
+    /// before-image for abort.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on lock conflict.
+    pub fn write(&mut self, txn: TxnId, key: &str, value: Vec<u8>) -> Result<(), TxnError> {
+        self.locks.acquire(txn, key, LockMode::Exclusive)?;
+        let before = self.data.get(key).cloned();
+        self.undo.entry(txn).or_default().remember(key, before);
+        self.data.insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    /// Deletes `key` under an exclusive lock.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on lock conflict.
+    pub fn remove(&mut self, txn: TxnId, key: &str) -> Result<(), TxnError> {
+        self.locks.acquire(txn, key, LockMode::Exclusive)?;
+        let before = self.data.get(key).cloned();
+        self.undo.entry(txn).or_default().remember(key, before);
+        self.data.remove(key);
+        Ok(())
+    }
+
+    /// Keys under `prefix`, taking shared locks on each returned key.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] if any matching key is locked exclusively by
+    /// another transaction.
+    pub fn scan_keys(&mut self, txn: TxnId, prefix: &str) -> Result<Vec<String>, TxnError> {
+        let keys: Vec<String> = self
+            .data
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &keys {
+            self.locks.acquire(txn, k, LockMode::Shared)?;
+        }
+        Ok(keys)
+    }
+
+    /// Commits `txn`: drops its undo log and releases its locks.
+    pub fn commit(&mut self, txn: TxnId) {
+        self.undo.remove(&txn);
+        self.locks.release_all(txn);
+    }
+
+    /// Aborts `txn`: restores all before-images and releases its locks.
+    pub fn abort(&mut self, txn: TxnId) {
+        if let Some(log) = self.undo.remove(&txn) {
+            log.unwind(|key, before| match before {
+                Some(v) => {
+                    self.data.insert(key.to_owned(), v.to_vec());
+                }
+                None => {
+                    self.data.remove(key);
+                }
+            });
+        }
+        self.locks.release_all(txn);
+    }
+
+    /// Whether `txn` has pending (uncommitted) changes or locks.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.undo.contains_key(&txn) || self.locks.has_locks(txn)
+    }
+
+    /// Non-transactional write for initial setup before the world starts.
+    pub fn seed(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.data.insert(key.into(), value);
+    }
+
+    /// Non-transactional read (test inspection / snapshots).
+    pub fn peek(&self, key: &str) -> Option<&[u8]> {
+        self.data.get(key).map(Vec::as_slice)
+    }
+
+    /// Serializes the committed state (callers must only invoke this when no
+    /// transaction is active, i.e. at commit boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn snapshot(&self) -> WireResult<Vec<u8>> {
+        to_bytes(&self.data)
+    }
+
+    /// Replaces the committed state from a snapshot (crash recovery).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors only.
+    pub fn restore(&mut self, bytes: &[u8]) -> WireResult<()> {
+        self.data = from_slice(bytes)?;
+        self.undo.clear();
+        self.locks = LockTable::new();
+        Ok(())
+    }
+
+    /// Lock conflict count (for experiments).
+    pub fn conflicts(&self) -> u64 {
+        self.locks.conflicts()
+    }
+
+    /// Number of keys in the committed + in-flight state.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates over all current `(key, value)` pairs (non-transactional).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.data.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_simnet::NodeId;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    #[test]
+    fn write_then_abort_restores() {
+        let mut s = TxStore::new();
+        s.seed("a", vec![1]);
+        s.write(t(1), "a", vec![2]).unwrap();
+        s.write(t(1), "b", vec![3]).unwrap();
+        assert_eq!(s.peek("a"), Some(&[2u8][..]));
+        s.abort(t(1));
+        assert_eq!(s.peek("a"), Some(&[1u8][..]));
+        assert_eq!(s.peek("b"), None);
+        assert!(!s.is_active(t(1)));
+    }
+
+    #[test]
+    fn write_then_commit_persists() {
+        let mut s = TxStore::new();
+        s.write(t(1), "a", vec![7]).unwrap();
+        s.commit(t(1));
+        assert_eq!(s.peek("a"), Some(&[7u8][..]));
+        // Lock released: another txn can write.
+        s.write(t(2), "a", vec![8]).unwrap();
+        s.commit(t(2));
+        assert_eq!(s.peek("a"), Some(&[8u8][..]));
+    }
+
+    #[test]
+    fn isolation_under_no_wait() {
+        let mut s = TxStore::new();
+        s.seed("a", vec![1]);
+        s.write(t(1), "a", vec![2]).unwrap();
+        // Reader is refused instead of seeing the dirty value.
+        let err = s.read(t(2), "a").unwrap_err();
+        assert!(err.is_transient());
+        s.abort(t(1));
+        assert_eq!(s.read(t(2), "a").unwrap(), Some(&[1u8][..]));
+    }
+
+    #[test]
+    fn remove_is_undoable() {
+        let mut s = TxStore::new();
+        s.seed("a", vec![1]);
+        s.remove(t(1), "a").unwrap();
+        assert_eq!(s.peek("a"), None);
+        s.abort(t(1));
+        assert_eq!(s.peek("a"), Some(&[1u8][..]));
+    }
+
+    #[test]
+    fn scan_locks_matches() {
+        let mut s = TxStore::new();
+        s.seed("q/1", vec![]);
+        s.seed("q/2", vec![]);
+        s.seed("r/1", vec![]);
+        let keys = s.scan_keys(t(1), "q/").unwrap();
+        assert_eq!(keys, ["q/1", "q/2"]);
+        // Writer conflicts with the scan's shared locks.
+        assert!(s.write(t(2), "q/1", vec![1]).is_err());
+        s.commit(t(1));
+        assert!(s.write(t(2), "q/1", vec![1]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = TxStore::new();
+        s.write(t(1), "k", vec![1, 2]).unwrap();
+        s.commit(t(1));
+        let snap = s.snapshot().unwrap();
+        let mut s2 = TxStore::new();
+        s2.restore(&snap).unwrap();
+        assert_eq!(s2.peek("k"), Some(&[1u8, 2][..]));
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn abort_unknown_txn_is_noop() {
+        let mut s = TxStore::new();
+        s.seed("a", vec![1]);
+        s.abort(t(5));
+        assert_eq!(s.peek("a"), Some(&[1u8][..]));
+    }
+}

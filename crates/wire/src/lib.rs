@@ -1,0 +1,124 @@
+//! # mar-wire
+//!
+//! Dynamic values and a compact, self-describing binary serde codec.
+//!
+//! Mobile agents migrate by value: their private data space, their rollback
+//! log, and the parameters of every compensating operation have to be turned
+//! into bytes, shipped, and revived on another node. This crate provides the
+//! two pieces that make that possible:
+//!
+//! * [`Value`] — a dynamic value type used for agent data and operation
+//!   parameters (the paper's "private data space" objects), and
+//! * [`to_bytes`] / [`from_slice`] — a compact binary serde format used for
+//!   every message and stable-storage record in the system, so that the
+//!   transfer sizes reported by the experiments are real encoded sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use mar_wire::{to_bytes, from_slice, Value};
+//!
+//! let wallet = Value::map([
+//!     ("currency", Value::from("USD")),
+//!     ("coins", Value::list([Value::from(5u64), Value::from(10u64)])),
+//! ]);
+//! let bytes = to_bytes(&wallet).unwrap();
+//! let back: Value = from_slice(&bytes).unwrap();
+//! assert!(back.semantically_eq(&wallet));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod de;
+mod error;
+mod ser;
+mod value;
+pub mod varint;
+
+pub use de::{from_slice, from_slice_prefix, BinDeserializer};
+pub use error::{WireError, WireResult};
+pub use ser::{encoded_size, to_bytes, BinSerializer};
+pub use value::Value;
+
+/// Converts any serializable value into a [`Value`] by transcoding.
+///
+/// Structs become lists of field values (the wire format omits field names),
+/// maps become [`Value::Map`]s.
+///
+/// # Errors
+///
+/// Propagates encoding errors, e.g. [`WireError::Unsupported`] for `i128`.
+///
+/// # Examples
+///
+/// ```
+/// use mar_wire::{to_value, Value};
+/// let v = to_value(&(1u8, "x")).unwrap();
+/// assert_eq!(v.as_list().map(|l| l.len()), Some(2));
+/// ```
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> WireResult<Value> {
+    from_slice(&to_bytes(value)?)
+}
+
+/// Converts a [`Value`] back into a concrete type by transcoding.
+///
+/// # Errors
+///
+/// Fails if the value's shape does not match `T`.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: &Value) -> WireResult<T> {
+    from_slice(&to_bytes(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::I64),
+            any::<u64>().prop_map(Value::U64),
+            any::<f64>().prop_map(Value::F64),
+            ".{0,24}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+                proptest::collection::btree_map(".{0,8}", inner, 0..6).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn value_roundtrips(v in value_strategy()) {
+            let bytes = to_bytes(&v).unwrap();
+            let back: Value = from_slice(&bytes).unwrap();
+            prop_assert!(back.semantically_eq(&v), "{v} != {back}");
+        }
+
+        #[test]
+        fn encoded_size_is_exact(v in value_strategy()) {
+            prop_assert_eq!(encoded_size(&v).unwrap(), to_bytes(&v).unwrap().len());
+        }
+
+        #[test]
+        fn decoding_random_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = from_slice::<Value>(&bytes);
+        }
+    }
+
+    #[test]
+    fn to_value_roundtrip() {
+        let m: BTreeMap<String, u32> = [("a".to_string(), 1u32)].into_iter().collect();
+        let v = to_value(&m).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        let back: BTreeMap<String, u32> = from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,156 @@
+//! LEB128 variable-length integers with zigzag encoding for signed values.
+
+use crate::error::{WireError, WireResult};
+
+/// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` to `out` zigzag-encoded.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Maps a signed value to an unsigned one with small absolute values staying
+/// small: 0, -1, 1, -2 → 0, 1, 2, 3.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Reads an unsigned varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer ends mid-varint and
+/// [`WireError::VarintOverflow`] if more than 64 bits are encoded.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> WireResult<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(WireError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+///
+/// # Errors
+///
+/// Same conditions as [`get_uvarint`].
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> WireResult<i64> {
+    Ok(unzigzag(get_uvarint(buf, pos)?))
+}
+
+/// Number of bytes [`put_uvarint`] would emit for `v`.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Number of bytes [`put_ivarint`] would emit for `v`.
+pub fn ivarint_len(v: i64) -> usize {
+    uvarint_len(zigzag(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut out = Vec::new();
+            put_uvarint(&mut out, v);
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn zigzag_pairs() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        assert_eq!(unzigzag(u64::MAX), i64::MIN);
+    }
+
+    #[test]
+    fn eof_mid_varint() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes is always an overflow.
+        let buf = [0xffu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn max_u64_roundtrip() {
+        let mut out = Vec::new();
+        put_uvarint(&mut out, u64::MAX);
+        assert_eq!(out.len(), 10);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&out, &mut pos).unwrap(), u64::MAX);
+        assert_eq!(pos, out.len());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_unsigned(v: u64) {
+            let mut out = Vec::new();
+            put_uvarint(&mut out, v);
+            prop_assert_eq!(out.len(), uvarint_len(v));
+            let mut pos = 0;
+            prop_assert_eq!(get_uvarint(&out, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, out.len());
+        }
+
+        #[test]
+        fn roundtrip_signed(v: i64) {
+            let mut out = Vec::new();
+            put_ivarint(&mut out, v);
+            prop_assert_eq!(out.len(), ivarint_len(v));
+            let mut pos = 0;
+            prop_assert_eq!(get_ivarint(&out, &mut pos).unwrap(), v);
+        }
+
+        #[test]
+        fn zigzag_roundtrip(v: i64) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

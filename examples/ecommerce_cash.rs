@@ -1,0 +1,207 @@
+//! Digital-cash e-commerce: the paper's §3.2/§4.4.1 scenarios end to end.
+//!
+//! An agent carries a wallet of serial-numbered digital coins (a *weakly
+//! reversible object*). It converts USD to EUR at an exchange (whose
+//! compensation is the paper's example of a **mixed** compensation entry),
+//! buys a data set from a shop paying cash, then decides the purchase was a
+//! mistake and rolls the whole sub-task back:
+//!
+//! * the shop restocks and refunds — in **freshly minted coins with
+//!   different serial numbers** (an *equivalent*, not identical, state),
+//! * the exchange converts the EUR back to USD — the mixed entry forces the
+//!   agent to travel back to the exchange node even in optimized mode.
+//!
+//! Run with: `cargo run --example ecommerce_cash`
+
+use mobile_agent_rollback::core::RollbackScope;
+use mobile_agent_rollback::itinerary::ItineraryBuilder;
+use mobile_agent_rollback::platform::{
+    AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
+};
+use mobile_agent_rollback::resources::{
+    coin_from_value, comp_convert_back, comp_return_cash_order, ExchangeRm, MintRm,
+    RefundPolicy, ShopRm, Wallet,
+};
+use mobile_agent_rollback::simnet::{NodeId, SimDuration};
+use mobile_agent_rollback::txn::{RmRegistry, TxnError};
+use mobile_agent_rollback::wire::Value;
+
+const HOME: u32 = 0;
+const FX: u32 = 1; // currency exchange
+const SHOP: u32 = 2; // EUR shop + its mint
+
+struct CashShopper;
+
+impl CashShopper {
+    fn wallet(ctx: &StepCtx<'_>) -> Wallet {
+        Wallet::from_value(ctx.wro("wallet").expect("wallet")).expect("wallet decodes")
+    }
+
+    fn store_wallet(ctx: &mut StepCtx<'_>, wallet: &Wallet) {
+        ctx.set_wro("wallet", wallet.to_value().expect("wallet encodes"));
+    }
+}
+
+impl AgentBehavior for CashShopper {
+    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+        let regret = ctx.wro("regret").and_then(Value::as_bool).unwrap_or(false);
+        match method {
+            // Change 200 USD into EUR. Compensation = mixed entry: needs
+            // the wallet AND the exchange (§4.4.1's example).
+            "exchange" => {
+                if regret {
+                    return Ok(StepDecision::Continue); // second pass: keep USD
+                }
+                let mut wallet = Self::wallet(ctx);
+                wallet
+                    .take(200, "USD")
+                    .map_err(|short| TxnError::Rejected {
+                        resource: "wallet".into(),
+                        reason: format!("short {short} USD"),
+                    })?;
+                let coin_v = ctx.call(
+                    "fx",
+                    "convert",
+                    &Value::map([
+                        ("from", Value::from("USD")),
+                        ("to", Value::from("EUR")),
+                        ("amount", Value::from(200i64)),
+                    ]),
+                )?;
+                let coin = coin_from_value(&coin_v)?;
+                let received = coin.value;
+                wallet.add_coin(coin);
+                Self::store_wallet(ctx, &wallet);
+                ctx.compensate(comp_convert_back("fx", "USD", "EUR", received, "wallet"))?;
+                Ok(StepDecision::Continue)
+            }
+            // Buy the data set with EUR cash.
+            "buy" => {
+                if regret {
+                    return Ok(StepDecision::Continue);
+                }
+                let mut wallet = Self::wallet(ctx);
+                let price = 180;
+                wallet
+                    .take(price, "EUR")
+                    .map_err(|short| TxnError::Rejected {
+                        resource: "wallet".into(),
+                        reason: format!("short {short} EUR"),
+                    })?;
+                let r = ctx.call(
+                    "shop",
+                    "buy_paid",
+                    &Value::map([
+                        ("sku", Value::from("dataset")),
+                        ("qty", Value::from(1i64)),
+                        ("paid", Value::from(price)),
+                    ]),
+                )?;
+                let order_id = r.get("order_id").unwrap().as_str().unwrap().to_owned();
+                Self::store_wallet(ctx, &wallet);
+                ctx.compensate(comp_return_cash_order(
+                    "shop", "mint", &order_id, "wallet", "EUR",
+                ))?;
+                ctx.sro_push("orders", Value::from(order_id));
+                Ok(StepDecision::Continue)
+            }
+            // Buyer's remorse: the data set is not what the owner needed.
+            "evaluate" => {
+                if regret {
+                    println!("agent: keeping the money this time");
+                    Ok(StepDecision::Continue)
+                } else {
+                    println!("agent: wrong data set! rolling the purchase back");
+                    ctx.rollback_memo("regret", Value::Bool(true));
+                    Ok(StepDecision::Rollback(RollbackScope::CurrentSub))
+                }
+            }
+            other => Ok(StepDecision::Fail(format!("unknown step {other}"))),
+        }
+    }
+}
+
+fn main() {
+    let mut platform = PlatformBuilder::new(3)
+        .seed(7)
+        .behavior("shopper", CashShopper)
+        .resources(NodeId(FX), || {
+            let mut rms = RmRegistry::new();
+            rms.register(Box::new(
+                ExchangeRm::new("fx")
+                    .with_rate("USD", "EUR", 9, 10)
+                    .with_reserve("USD", 5_000)
+                    .with_reserve("EUR", 5_000),
+            ));
+            rms
+        })
+        .resources(NodeId(SHOP), || {
+            let mut rms = RmRegistry::new();
+            rms.register(Box::new(
+                ShopRm::new("shop", RefundPolicy::default()).with_item("dataset", 180, 10),
+            ));
+            // The shop-side mint issues refund coins in EUR.
+            rms.register(Box::new(MintRm::new("mint", "EUR")));
+            rms
+        })
+        .build();
+
+    // Fund the wallet with USD coins from a home mint.
+    let mut home_mint = MintRm::new("home-mint", "USD");
+    let wallet = Wallet::with_coins([home_mint.seed_issue(150), home_mint.seed_issue(100)]);
+    let before_serials: Vec<String> =
+        wallet.serials().iter().map(|s| s.to_string()).collect();
+
+    let itinerary = ItineraryBuilder::main("I")
+        .sub("shopping", |s| {
+            s.step("exchange", FX).step("buy", SHOP).step("evaluate", HOME);
+        })
+        .build()
+        .expect("valid itinerary");
+
+    let mut spec = AgentSpec::new("shopper", NodeId(HOME), itinerary);
+    spec.data.set_wro("wallet", wallet.to_value().unwrap());
+    let agent = platform.launch(spec);
+    assert!(
+        platform.run_until_settled(&[agent], SimDuration::from_secs(300)),
+        "agent should settle"
+    );
+
+    let report = platform.report(agent).expect("report");
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+
+    let final_wallet =
+        Wallet::from_value(report.record.data.wro("wallet").unwrap()).unwrap();
+    println!("\nwallet before: 250 USD, serials {before_serials:?}");
+    println!(
+        "wallet after:  {} USD + {} EUR, serials {:?}",
+        final_wallet.cash("USD"),
+        final_wallet.cash("EUR"),
+        final_wallet.serials()
+    );
+
+    // The rollback restored the *value* but not the *representation*:
+    // the refunded EUR (minus the shop's 5% restocking fee of 9 EUR) were
+    // re-converted to USD through freshly minted coins. 171 EUR → 190 USD.
+    assert_eq!(final_wallet.cash("EUR"), 0);
+    assert_eq!(final_wallet.cash("USD"), 50 + 190);
+
+    let m = platform.snapshot();
+    println!("\nwhat happened:");
+    for key in [
+        "steps.committed",
+        "rollback.started",
+        "rollback.rounds",
+        "comp.ops",
+        "agent.transfers.rollback", // > 0: mixed entries force agent travel
+    ] {
+        println!("  {key:<28} {}", m.counter(key));
+    }
+    assert!(
+        m.counter("agent.transfers.rollback") > 0,
+        "mixed compensation entries require the agent at the resource node"
+    );
+
+    let money = platform.money_audit(&["wallet"]);
+    println!("\nmoney audit: {money:?}");
+}

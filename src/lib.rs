@@ -1,0 +1,38 @@
+//! # mobile-agent-rollback
+//!
+//! Facade crate for the partial-rollback mobile agent system, a reproduction
+//! of *"System Mechanisms for Partial Rollback of Mobile Agent Execution"*
+//! (Straßer & Rothermel, ICDCS 2000).
+//!
+//! The workspace is layered; this crate re-exports every layer under one
+//! name so examples and downstream users need a single dependency:
+//!
+//! * [`wire`] — dynamic values + binary codec,
+//! * [`simnet`] — deterministic discrete-event distributed system simulator,
+//! * [`txn`] — transactional substrate (no-wait 2PL, 2PC, recovery),
+//! * [`itinerary`] — hierarchical agent itineraries,
+//! * [`core`] — the paper's contribution: compensation model, rollback log,
+//!   SRO/WRO data spaces, savepoints, rollback planners,
+//! * [`resources`] — transactional resources with compensating operations,
+//! * [`platform`] — the Mole-like agent platform tying it all together.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete runnable scenario; the crate
+//! root [`prelude`] exposes the most common types.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mar_core as core;
+pub use mar_itinerary as itinerary;
+pub use mar_platform as platform;
+pub use mar_resources as resources;
+pub use mar_simnet as simnet;
+pub use mar_txn as txn;
+pub use mar_wire as wire;
+
+/// One-stop imports for writing agents and scenarios.
+pub mod prelude {
+    pub use mar_wire::{from_value, to_value, Value};
+}

@@ -1,0 +1,131 @@
+//! E10: the §3 compensation theory, exercised as executable checks — the
+//! paper's examples plus randomized probes.
+
+use std::rc::Rc;
+
+use mobile_agent_rollback::core::theory::{
+    classify_catalog, commute, compensates_to_identity, equivalent, is_sound, sample_states,
+    AddOp, CompensationClass, CondTransferOp, History, Operation, ReadDecideOp, SetOp,
+    WithdrawOp,
+};
+use mobile_agent_rollback::wire::Value;
+
+fn rc<T: Operation + 'static>(op: T) -> Rc<dyn Operation> {
+    Rc::new(op)
+}
+
+/// §3.2, positive example: with overdraft allowed, deposit/withdraw commute
+/// and the saga history T • dep(T) • CT is sound.
+#[test]
+fn overdraft_bank_is_sound() {
+    let samples = sample_states(&["acct", "acct2"], 100);
+    let t = History::of([rc(AddOp::new("acct", 50))]);
+    let ct = History::of([rc(AddOp::new("acct", -50))]);
+    let dep = History::of([
+        rc(AddOp::new("acct", 7)),
+        rc(AddOp::new("acct", -3)),
+        rc(AddOp::new("acct2", 11)),
+    ]);
+    assert!(is_sound(&t, &ct, &dep, &samples));
+    assert!(compensates_to_identity(&t, &ct, &samples));
+}
+
+/// §3.2, counterexample: "if I have enough money, then …" breaks both
+/// commutativity and soundness.
+#[test]
+fn conditional_reader_breaks_soundness() {
+    let samples = sample_states(&["acct", "flag"], 100);
+    let deposit = rc(AddOp::new("acct", 50));
+    let decide = rc(ReadDecideOp::new("acct", 25, "flag"));
+    assert!(!commute(&deposit, &decide, &samples));
+
+    let t = History::of([deposit.clone()]);
+    let ct = History::of([rc(AddOp::new("acct", -50))]);
+    let dep = History::of([decide]);
+    assert!(!is_sound(&t, &ct, &dep, &samples));
+}
+
+/// §3.2, failable example: without overdraft, the compensating withdrawal
+/// can be impossible after a dependent transaction drained the account.
+#[test]
+fn no_overdraft_compensation_is_failable() {
+    let samples = sample_states(&["acct"], 100);
+    let t = History::of([rc(AddOp::new("acct", 20))]);
+    let ct = History::of([rc(WithdrawOp::new("acct", 20))]);
+    let dep = History::of([rc(WithdrawOp::new("acct", 15))]);
+    assert!(!is_sound(&t, &ct, &dep, &samples));
+}
+
+/// Commutativity is not symmetric in general families: sets never commute
+/// with adds on the same key, but do on disjoint keys.
+#[test]
+fn commutativity_depends_on_footprints() {
+    let samples = sample_states(&["x", "y"], 60);
+    let set_x = rc(SetOp::new("x", Value::from(1i64)));
+    let add_x = rc(AddOp::new("x", 5));
+    let add_y = rc(AddOp::new("y", 5));
+    assert!(!commute(&set_x, &add_x, &samples));
+    assert!(commute(&set_x, &add_y, &samples));
+    assert!(commute(&add_x, &add_y, &samples));
+}
+
+/// The conditional transfer only commutes with operations that cannot flip
+/// its funding condition.
+#[test]
+fn conditional_transfer_sensitivity() {
+    let samples = sample_states(&["a", "b"], 100);
+    let xfer = rc(CondTransferOp::new("a", "b", 10));
+    let small = rc(AddOp::new("b", 3));
+    // Depositing into the *destination* never affects the condition.
+    assert!(commute(&xfer, &small, &samples));
+    // Depositing into the *source* can flip it.
+    let fund = rc(AddOp::new("a", 100));
+    assert!(!commute(&xfer, &fund, &samples));
+}
+
+/// Histories compose associatively as functions.
+#[test]
+fn history_composition() {
+    let samples = sample_states(&["k"], 40);
+    let a = History::of([rc(AddOp::new("k", 1))]);
+    let b = History::of([rc(AddOp::new("k", 2))]);
+    let c = History::of([rc(AddOp::new("k", 3))]);
+    let left = a.then(&b).then(&c);
+    let right = a.then(&b.then(&c));
+    assert!(equivalent(&left, &right, &samples));
+}
+
+/// The classification catalogue covers all four §3.2 classes and orders
+/// them by strength.
+#[test]
+fn catalogue_is_complete_and_ordered() {
+    let cat = classify_catalog();
+    assert!(cat.len() >= 6);
+    for class in [
+        CompensationClass::Sound,
+        CompensationClass::Acceptable,
+        CompensationClass::Failable,
+        CompensationClass::Impossible,
+    ] {
+        assert!(cat.iter().any(|c| c.class == class), "missing {class}");
+    }
+    // A step containing an impossible operation cannot be rolled back.
+    assert!(cat
+        .iter()
+        .filter(|c| c.class == CompensationClass::Impossible)
+        .all(|c| !c.class.reversible()));
+}
+
+/// Soundness implies T•CT ≡ I (the §3.2 note), checked on a family where
+/// soundness holds.
+#[test]
+fn soundness_implies_identity() {
+    let samples = sample_states(&["m"], 80);
+    for delta in [1i64, 13, -7, 100] {
+        let t = History::of([rc(AddOp::new("m", delta))]);
+        let ct = History::of([rc(AddOp::new("m", -delta))]);
+        let dep = History::of([rc(AddOp::new("m", 5))]);
+        assert!(is_sound(&t, &ct, &dep, &samples));
+        assert!(compensates_to_identity(&t, &ct, &samples));
+    }
+}

@@ -1,0 +1,170 @@
+//! E9 / claim C5: exactly-once execution and eventual rollback completion
+//! under transient node crashes and link outages (§4.3), plus money
+//! conservation throughout.
+
+mod common;
+
+use common::{launch, linear, platform, sink_balance};
+use mobile_agent_rollback::core::{LoggingMode, RollbackMode};
+use mobile_agent_rollback::platform::ReportOutcome;
+use mobile_agent_rollback::simnet::{FailurePlan, NodeId, SimDuration};
+
+fn storm(p: &mut mobile_agent_rollback::platform::Platform, mtbf_ms: u64) {
+    // Dense enough that crashes interleave with agents that finish within
+    // a virtual second or two.
+    let plan = FailurePlan {
+        node_mtbf: Some(SimDuration::from_millis(mtbf_ms)),
+        node_mttr: SimDuration::from_millis(250),
+        link_mtbf: Some(SimDuration::from_millis(mtbf_ms * 2)),
+        link_mttr: SimDuration::from_millis(150),
+        horizon: SimDuration::from_secs(120),
+        targets: Vec::new(),
+    };
+    plan.install(p.world_mut());
+}
+
+/// Forward execution under crashes: every step exactly once, per seed.
+#[test]
+fn exactly_once_forward_under_crashes() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let mut p = platform(4, seed);
+        storm(&mut p, 1_500);
+        let it = linear(&[
+            ("deposit", 1),
+            ("deposit", 2),
+            ("deposit", 3),
+            ("deposit", 1),
+            ("deposit", 2),
+        ]);
+        let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+        assert!(
+            p.run_until_settled(&[agent], SimDuration::from_secs(600)),
+            "seed {seed}: agent must finish"
+        );
+        let report = p.report(agent).unwrap();
+        assert_eq!(report.outcome, ReportOutcome::Completed, "seed {seed}");
+        assert_eq!(p.residence_count(agent), 0, "seed {seed}");
+        // Exactly-once: node1 and node2 got 2 deposits, node3 one.
+        assert_eq!(sink_balance(&mut p, 1), 20, "seed {seed}");
+        assert_eq!(sink_balance(&mut p, 2), 20, "seed {seed}");
+        assert_eq!(sink_balance(&mut p, 3), 10, "seed {seed}");
+    }
+}
+
+/// Rollback under crashes: the §4.3 guarantee — compensation transactions
+/// restart from stable state until the savepoint is reached.
+#[test]
+fn rollback_completes_under_crashes_both_modes() {
+    for (seed, mode) in [
+        (11u64, RollbackMode::Basic),
+        (12, RollbackMode::Optimized),
+        (13, RollbackMode::Basic),
+        (14, RollbackMode::Optimized),
+    ] {
+        let mut p = platform(5, seed);
+        storm(&mut p, 900);
+        let it = linear(&[
+            ("deposit", 1),
+            ("mixed", 2),
+            ("deposit", 3),
+            ("rollback_once", 4),
+            ("deposit", 2),
+        ]);
+        let agent = launch(&mut p, it, LoggingMode::State, mode);
+        // Guarantee interference: the moment the rollback starts, crash the
+        // node currently holding the agent (on top of the random storm).
+        let mut crashed = false;
+        for _ in 0..2_000 {
+            p.run_for(SimDuration::from_millis(2));
+            if !crashed && p.snapshot().counter("rollback.started") > 0 {
+                let holder = p
+                    .queued_records()
+                    .iter()
+                    .find(|(_, r)| r.id == agent)
+                    .map(|(n, _)| *n);
+                if let Some(n) = holder {
+                    p.world_mut().crash_for(n, SimDuration::from_millis(400));
+                    crashed = true;
+                }
+            }
+            if p.report(agent).is_some() {
+                break;
+            }
+        }
+        assert!(
+            p.run_until_settled(&[agent], SimDuration::from_secs(600)),
+            "seed {seed} mode {mode:?}: agent must finish"
+        );
+        let report = p.report(agent).unwrap();
+        assert_eq!(
+            report.outcome,
+            ReportOutcome::Completed,
+            "seed {seed} mode {mode:?}"
+        );
+        let m = p.snapshot();
+        assert!(crashed, "seed {seed}: rollback should have been interrupted");
+        assert!(m.counter("failure.node_crashes") > 0);
+        assert_eq!(m.counter("rollback.started"), 1);
+        assert_eq!(m.counter("rollback.completed"), 1);
+        // Net effect after compensation + re-execution:
+        // deposit@1 twice-committed, once-compensated → +10.
+        assert_eq!(sink_balance(&mut p, 1), 10, "seed {seed}");
+        // Money conservation across everything.
+        let money = p.money_audit(&["wallet"]);
+        // 3 full nodes with: ledger 10_000+10? ledgers get deposits, but
+        // totals are conserved: initial = 4 * (10_000 ledger + 20_000 fx
+        // reserves) + 100 wallet... compute from a fresh platform instead.
+        let mut fresh = platform(5, seed);
+        let baseline = fresh.money_audit(&["wallet"]);
+        let baseline_usd = baseline.get("USD").copied().unwrap_or(0) + 100; // + wallet
+        let baseline_eur = baseline.get("EUR").copied().unwrap_or(0);
+        assert_eq!(
+            money.get("USD").copied().unwrap_or(0) + money.get("EUR").copied().unwrap_or(0),
+            baseline_usd + baseline_eur,
+            "seed {seed}: money conserved (1:1 USD/EUR rate)"
+        );
+    }
+}
+
+/// A crash in the middle of a multi-round rollback leaves the agent's
+/// rollback state in stable storage; recovery resumes the backward walk.
+#[test]
+fn targeted_crash_during_rollback() {
+    let mut p = platform(5, 30);
+    let it = linear(&[
+        ("deposit", 1),
+        ("deposit", 2),
+        ("deposit", 3),
+        ("rollback_once", 4),
+    ]);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Basic);
+    // Run until the rollback starts, then crash the node holding the agent.
+    let mut crashed = false;
+    for _ in 0..500 {
+        p.run_for(SimDuration::from_millis(3));
+        if p.snapshot().counter("rollback.started") > 0 && !crashed {
+            let holders: Vec<NodeId> = p
+                .queued_records()
+                .iter()
+                .filter(|(_, r)| r.id == agent)
+                .map(|(n, _)| *n)
+                .collect();
+            if let Some(&n) = holders.first() {
+                p.world_mut().crash_for(n, SimDuration::from_millis(500));
+                crashed = true;
+            }
+        }
+        if p.report(agent).is_some() {
+            break;
+        }
+    }
+    assert!(crashed, "should have crashed a node mid-rollback");
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    assert_eq!(p.report(agent).unwrap().outcome, ReportOutcome::Completed);
+    let m = p.snapshot();
+    assert_eq!(m.counter("rollback.completed"), 1);
+    // Exactly-once held anyway.
+    assert_eq!(sink_balance(&mut p, 1), 10);
+    assert_eq!(sink_balance(&mut p, 2), 10);
+    assert_eq!(sink_balance(&mut p, 3), 10);
+}

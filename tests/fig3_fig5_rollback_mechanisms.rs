@@ -1,0 +1,177 @@
+//! E3/E4: the basic rollback mechanism of Fig. 3/Fig. 4 and the optimized
+//! mechanism of Fig. 5, end to end, including their equivalence.
+
+mod common;
+
+use common::{launch, linear, platform, sink_balance};
+use mobile_agent_rollback::core::{LoggingMode, RollbackMode};
+use mobile_agent_rollback::platform::ReportOutcome;
+use mobile_agent_rollback::simnet::SimDuration;
+use mobile_agent_rollback::wire::Value;
+
+/// Fig. 3: rollback initiated at step i+3 moves the agent back along its
+/// path (basic mode: one transfer per compensated step), compensating every
+/// resource effect, and finally restores the strongly reversible objects.
+#[test]
+fn fig3_basic_rollback_retraces_the_path() {
+    let mut p = platform(5, 10);
+    let it = linear(&[
+        ("collect", 1),  // SRO only: nothing to compensate
+        ("deposit", 2),
+        ("deposit", 3),
+        ("rollback_once", 4),
+        ("noop", 1),
+    ]);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Basic);
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+
+    let m = p.snapshot();
+    assert_eq!(m.counter("rollback.started"), 1);
+    assert_eq!(m.counter("rollback.completed"), 1);
+    // Basic mode: the agent is transferred for EVERY compensated step
+    // (3 steps: collect@1, deposit@2, deposit@3), even the collect step
+    // that has no compensating operations at all — the §4.3 inefficiency
+    // the optimized mechanism removes.
+    assert_eq!(m.counter("agent.transfers.rollback"), 3);
+    // Three compensation rounds ran (one per compensated step).
+    assert_eq!(m.counter("rollback.rounds"), 3);
+    // Both deposits were compensated and re-executed exactly once.
+    assert_eq!(sink_balance(&mut p, 2), 10);
+    assert_eq!(sink_balance(&mut p, 3), 10);
+    // The WRO counter was compensated down and recounted: 2 deposits.
+    let counter = report.record.data.wro("counter").and_then(Value::as_i64);
+    assert_eq!(counter, Some(2));
+    // The SRO notes were restored at the savepoint and re-collected once.
+    let notes = report.record.data.sro("notes").unwrap().as_list().unwrap();
+    assert_eq!(notes.len(), 1);
+}
+
+/// Fig. 5 / claim C1: without mixed entries the optimized mechanism needs
+/// NO agent transfers; RCE lists are shipped instead.
+#[test]
+fn fig5_optimized_ships_rces_instead_of_the_agent() {
+    let run = |mode| {
+        let mut p = platform(5, 11);
+        let it = linear(&[
+            ("collect", 1),
+            ("deposit", 2),
+            ("deposit", 3),
+            ("rollback_once", 4),
+            ("noop", 1),
+        ]);
+        let agent = launch(&mut p, it, LoggingMode::State, mode);
+        assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+        let report = p.report(agent).unwrap();
+        assert_eq!(report.outcome, ReportOutcome::Completed);
+        let m = p.snapshot();
+        (
+            m.counter("agent.transfers.rollback"),
+            m.counter("rollback.rce_shipped"),
+            m.counter("agent.transfer_bytes.rollback"),
+            sink_balance(&mut p, 2),
+            report.record.data.wro("counter").and_then(Value::as_i64),
+        )
+    };
+    let (basic_moves, basic_rce, basic_bytes, basic_ledger, basic_counter) =
+        run(RollbackMode::Basic);
+    let (opt_moves, opt_rce, opt_bytes, opt_ledger, opt_counter) =
+        run(RollbackMode::Optimized);
+
+    // C1: zero agent transfers in optimized mode, one RCE list per step
+    // with resource effects.
+    assert_eq!(opt_moves, 0);
+    assert_eq!(opt_rce, 2);
+    assert_eq!(basic_moves, 3);
+    assert_eq!(basic_rce, 0);
+    // Network bytes during rollback drop dramatically.
+    assert!(
+        opt_bytes < basic_bytes / 2,
+        "optimized {opt_bytes}B vs basic {basic_bytes}B"
+    );
+    // Mode equivalence: identical final augmented state.
+    assert_eq!(basic_ledger, opt_ledger);
+    assert_eq!(basic_counter, opt_counter);
+}
+
+/// Fig. 5: a mixed compensation entry forces the agent to the step's node
+/// even in optimized mode — and only for that step.
+#[test]
+fn fig5_mixed_entries_pin_the_agent() {
+    let mut p = platform(5, 12);
+    let it = linear(&[
+        ("deposit", 1),
+        ("mixed", 2), // currency exchange: mixed compensation entry
+        ("deposit", 3),
+        ("rollback_once", 4),
+        ("noop", 1),
+    ]);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+
+    let m = p.snapshot();
+    // Exactly one rollback transfer: to the exchange node for the MCE.
+    assert_eq!(m.counter("agent.transfers.rollback"), 1);
+    // The two deposit steps shipped RCE lists.
+    assert_eq!(m.counter("rollback.rce_shipped"), 2);
+    // Wallet: the rollback converted the EUR back, then the re-executed
+    // pass converted 10 USD again — 90 USD + 10 EUR at the end.
+    let wallet = mobile_agent_rollback::resources::Wallet::from_value(
+        report.record.data.wro("wallet").unwrap(),
+    )
+    .unwrap();
+    assert_eq!(wallet.cash("USD"), 90);
+    assert_eq!(wallet.cash("EUR"), 10);
+    // …but in different coins than it started with (§3.2).
+    assert!(wallet.serials().iter().any(|s| *s != "seed-1"));
+}
+
+/// The rollback lands the agent back at the savepoint and forward execution
+/// resumes there: the step after the savepoint runs again (exactly once).
+#[test]
+fn rollback_resumes_forward_execution_at_the_savepoint() {
+    let mut p = platform(4, 13);
+    let it = linear(&[("deposit", 1), ("rollback_once", 2), ("deposit", 3)]);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+    // deposit@1 committed twice but the first one was compensated during
+    // the rollback: net effect is one deposit.
+    assert_eq!(sink_balance(&mut p, 1), 10);
+    assert_eq!(sink_balance(&mut p, 3), 10);
+    // Committed steps: deposit, (rollback aborts), deposit, rollback_once
+    // (continue), deposit = 4? The first deposit's effect was compensated,
+    // but the step itself committed: 1 + 3 = 4 committed steps.
+    assert_eq!(report.steps_committed, 4);
+}
+
+/// Transition logging restores the same SRO state as state logging.
+#[test]
+fn transition_logging_equivalent_to_state_logging() {
+    let run = |logging| {
+        let mut p = platform(4, 14);
+        let it = linear(&[
+            ("collect", 1),
+            ("collect", 2),
+            ("rollback_once", 3),
+            ("collect", 1),
+        ]);
+        let agent = launch(&mut p, it, logging, RollbackMode::Optimized);
+        assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+        let report = p.report(agent).unwrap();
+        assert_eq!(report.outcome, ReportOutcome::Completed);
+        report
+            .record
+            .data
+            .sro("notes")
+            .unwrap()
+            .as_list()
+            .unwrap()
+            .len()
+    };
+    assert_eq!(run(LoggingMode::State), run(LoggingMode::Transition));
+}

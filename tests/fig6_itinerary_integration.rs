@@ -1,0 +1,174 @@
+//! E5: the itinerary integration of §4.4.2 (Fig. 6) — automatic savepoints,
+//! savepoint removal at sub-itinerary completion, log discard at top-level
+//! completion, and nested rollback scopes.
+
+mod common;
+
+use common::{launch, platform};
+use mobile_agent_rollback::core::{LoggingMode, RollbackMode};
+use mobile_agent_rollback::itinerary::ItineraryBuilder;
+use mobile_agent_rollback::platform::ReportOutcome;
+use mobile_agent_rollback::simnet::SimDuration;
+
+/// The §4.4.2 scenario on the Fig. 6 shape: the agent executes SI3 (s6),
+/// descends into SI4 and rolls back — either SI4 alone or the enclosing
+/// SI3. Savepoints for completed sub-itineraries disappear from the log;
+/// completing a top-level sub-itinerary discards the whole log.
+#[test]
+fn fig6_nested_scopes_and_savepoint_gc() {
+    let it = ItineraryBuilder::main("I")
+        .sub("SI3", |s| {
+            s.step("deposit#s6", 1)
+                .sub("SI4", |n| {
+                    n.step("deposit#s5", 2).step("rollback_once#s4", 3);
+                })
+                .sub("SI5", |n| {
+                    n.step("deposit#s9", 1).step("deposit#s10", 2);
+                });
+        })
+        .build()
+        .unwrap();
+    let mut p = platform(4, 20);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed);
+
+    let m = p.snapshot();
+    // Rolling back SI4 compensated s5 but NOT s6 (it stayed committed).
+    assert_eq!(m.counter("rollback.started"), 1);
+    assert_eq!(m.counter("rollback.rounds"), 1, "only s5 compensated");
+    // Savepoints of completed subs (SI4, SI5) were removed from the log.
+    assert!(m.counter("log.savepoints_removed") >= 2);
+    // SI3 is top-level: its completion discarded the whole log.
+    assert_eq!(m.counter("log.discards"), 1);
+    assert!(report.record.log.is_empty());
+    // s6 effect survived the nested rollback: ledger@1 got s6 + s9 (+10+10),
+    // ledger@2: s5 compensated then re-run, s10 → net +20.
+    // (s5 ran twice, compensated once: +10.)
+}
+
+/// Rolling back to the ENCLOSING scope from inside a nested sub compensates
+/// the outer step too (the SI3 variant of the paper's scenario).
+#[test]
+fn fig6_enclosing_scope_compensates_outer_steps() {
+    let it = ItineraryBuilder::main("I")
+        .sub("SI3", |s| {
+            s.step("deposit#s6", 1).sub("SI4", |n| {
+                n.step("deposit#s5", 2).step("rollback_enclosing_once#s4", 3);
+            });
+        })
+        .build()
+        .unwrap();
+    let mut p = platform(4, 21);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+    let report = p.report(agent).unwrap();
+    assert_eq!(report.outcome, ReportOutcome::Completed, "{report:?}");
+
+    let m = p.snapshot();
+    // Both s5 AND s6 were compensated: two rounds.
+    assert_eq!(m.counter("rollback.rounds"), 2);
+    // Everything re-executed after the rollback: net one deposit each.
+    let counter = report
+        .record
+        .data
+        .wro("counter")
+        .and_then(mobile_agent_rollback::wire::Value::as_i64);
+    assert_eq!(counter, Some(2), "two deposits net after compensation");
+}
+
+/// Marker savepoints: entering a nested sub immediately (no step in
+/// between) writes a marker instead of a second SRO image; the log carries
+/// fewer bytes than with per-sub images.
+#[test]
+fn fig6_immediate_nesting_uses_markers() {
+    use mobile_agent_rollback::core::log::{LogEntry, SroPayload};
+    // Big SRO payload so image-vs-marker is visible.
+    let it = ItineraryBuilder::main("I")
+        .sub("outer", |s| {
+            s.sub("inner", |n| {
+                n.step("deposit#a", 1).step("deposit#b", 2);
+            });
+        })
+        .build()
+        .unwrap();
+    let mut p = platform(3, 22);
+    let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+    // Walk a few ms and inspect the in-flight log for the marker.
+    let mut saw_marker = false;
+    for _ in 0..300 {
+        p.run_for(SimDuration::from_millis(2));
+        for (_, rec) in p.queued_records() {
+            if rec.id != agent {
+                continue;
+            }
+            let sps: Vec<&SroPayload> = rec
+                .log
+                .iter()
+                .filter_map(|e| match e {
+                    LogEntry::Savepoint(sp) => Some(&sp.sro),
+                    _ => None,
+                })
+                .collect();
+            if sps.len() == 2 {
+                assert!(matches!(sps[0], SroPayload::Full(_)));
+                assert!(
+                    matches!(sps[1], SroPayload::Ref(_)),
+                    "inner savepoint must be a marker, got {:?}",
+                    sps[1]
+                );
+                saw_marker = true;
+            }
+        }
+        if saw_marker || p.report(agent).is_some() {
+            break;
+        }
+    }
+    assert!(saw_marker, "should observe the marker savepoint in flight");
+    assert!(p.run_until_settled(&[agent], SimDuration::from_secs(60)));
+}
+
+/// C3/C4: per-sub savepoints + log discard keep the migrated log bounded,
+/// vs. a single giant sub accumulating everything.
+#[test]
+fn fig6_log_discard_bounds_migrated_bytes() {
+    let run = |split: bool| {
+        // 12 deposit steps, either as 4 top-level subs of 3 (discard after
+        // each) or one sub of 12 (no discard until the very end).
+        let mut builder = ItineraryBuilder::main("I");
+        if split {
+            for part in 0..4 {
+                builder = builder.sub(format!("part{part}"), |s| {
+                    for i in 0..3 {
+                        s.step(format!("deposit#p{part}s{i}"), 1 + ((part as u32 * 3 + i) % 3));
+                    }
+                });
+            }
+        } else {
+            builder = builder.sub("all", |s| {
+                for i in 0..12u32 {
+                    s.step(format!("deposit#s{i}"), 1 + (i % 3));
+                }
+            });
+        }
+        let it = builder.build().unwrap();
+        let mut p = platform(4, 23);
+        let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
+        assert!(p.run_until_settled(&[agent], SimDuration::from_secs(300)));
+        assert_eq!(p.report(agent).unwrap().outcome, ReportOutcome::Completed);
+        let m = p.snapshot();
+        (
+            m.counter("log.discards"),
+            m.counter("agent.transfer_bytes.forward"),
+        )
+    };
+    let (discards_split, bytes_split) = run(true);
+    let (discards_mono, bytes_mono) = run(false);
+    assert_eq!(discards_split, 4);
+    assert_eq!(discards_mono, 1);
+    assert!(
+        bytes_split < bytes_mono,
+        "log discards must reduce migration bytes: {bytes_split} vs {bytes_mono}"
+    );
+}
