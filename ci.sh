@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Runs the formatter check, clippy with warnings
+# denied, tier-1 verify (release build + tests of every crate), and — when
+# invoked with --bench — the micro benches that refresh BENCH_log.json.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> cargo bench -p mar-bench (writes BENCH_log.json / BENCH_macro.json)"
+    cargo bench -p mar-bench
+fi
+
+echo "ci: all green"

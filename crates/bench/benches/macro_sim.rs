@@ -3,47 +3,40 @@
 //! deterministic virtual-time metrics printed by the `report` binary; these
 //! benches track the simulator's own efficiency on the same workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use mar_bench::harness::Bench;
 use mar_bench::Scenario;
 use mar_core::RollbackMode;
+use std::hint::black_box;
 
-fn bench_forward(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_forward");
-    g.sample_size(20);
+fn main() {
+    let mut b = Bench::new();
+
     for steps in [8usize, 32] {
-        g.bench_with_input(BenchmarkId::new("steps", steps), &steps, |b, &steps| {
-            b.iter(|| Scenario::forward(steps, 4, 256, 42).run())
+        b.run(format!("e1_forward/steps/{steps}"), 8, 1, || {
+            black_box(Scenario::forward(steps, 4, 256, 42).run());
         });
     }
-    g.finish();
-}
 
-fn bench_rollback_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_rollback_depth_basic");
-    g.sample_size(20);
     for depth in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
-            b.iter(|| Scenario::rollback(depth, 4, None, 0, RollbackMode::Basic, 7).run())
-        });
+        b.run(
+            format!("e3_rollback_depth_basic/depth/{depth}"),
+            8,
+            1,
+            || {
+                black_box(Scenario::rollback(depth, 4, None, 0, RollbackMode::Basic, 7).run());
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_modes_depth12");
-    g.sample_size(20);
-    g.bench_function("basic", |b| {
-        b.iter(|| Scenario::rollback(12, 4, None, 256, RollbackMode::Basic, 11).run())
+    b.run("e4_modes_depth12/basic", 8, 1, || {
+        black_box(Scenario::rollback(12, 4, None, 256, RollbackMode::Basic, 11).run());
     });
-    g.bench_function("optimized", |b| {
-        b.iter(|| Scenario::rollback(12, 4, None, 256, RollbackMode::Optimized, 11).run())
+    b.run("e4_modes_depth12/optimized", 8, 1, || {
+        black_box(Scenario::rollback(12, 4, None, 256, RollbackMode::Optimized, 11).run());
     });
-    g.bench_function("optimized_all_mixed", |b| {
-        b.iter(|| Scenario::rollback(12, 4, Some(1), 256, RollbackMode::Optimized, 11).run())
+    b.run("e4_modes_depth12/optimized_all_mixed", 8, 1, || {
+        black_box(Scenario::rollback(12, 4, Some(1), 256, RollbackMode::Optimized, 11).run());
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_forward, bench_rollback_depth, bench_modes);
-criterion_main!(benches);
+    b.write_report("BENCH_macro.json");
+}

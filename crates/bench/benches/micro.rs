@@ -1,15 +1,22 @@
 //! Microbenchmarks of the mechanism's hot paths: wire codec, log
 //! operations, delta composition, and the pure rollback planners.
+//!
+//! The headline measurements compare the segment-indexed [`RollbackLog`]
+//! against [`NaiveLog`] (the flat-vector reference model) on savepoint
+//! lookup and removal at log sizes 10³–10⁵, and the run emits a
+//! `BENCH_log.json` baseline with the raw numbers and derived speedups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use mar_bench::harness::Bench;
 use mar_core::comp::{CompOp, EntryKind};
-use mar_core::log::{BosEntry, EosEntry, LogEntry, OpEntry};
+use mar_core::log::reference::NaiveLog;
+use mar_core::log::{BosEntry, EosEntry, LogEntry, OpEntry, RollbackLog, SpEntry, SroPayload};
 use mar_core::{
-    compensation_round, AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode, SroDelta,
+    compensation_round, AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode, SavepointId,
+    SavepointTable, SroDelta,
 };
-use mar_itinerary::samples;
+use mar_itinerary::{samples, Cursor};
 use mar_wire::Value;
 
 fn sample_value(n: usize) -> Value {
@@ -25,23 +32,21 @@ fn sample_value(n: usize) -> Value {
     }))
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_wire(b: &mut Bench) {
     for n in [4usize, 64] {
         let v = sample_value(n);
         let bytes = mar_wire::to_bytes(&v).unwrap();
-        g.bench_with_input(BenchmarkId::new("encode", n), &v, |b, v| {
-            b.iter(|| mar_wire::to_bytes(black_box(v)).unwrap())
+        b.run(format!("wire/encode/{n}"), 20, 200, || {
+            black_box(mar_wire::to_bytes(black_box(&v)).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
-            b.iter(|| mar_wire::from_slice::<Value>(black_box(bytes)).unwrap())
+        b.run(format!("wire/decode/{n}"), 20, 200, || {
+            black_box(mar_wire::from_slice::<Value>(black_box(&bytes)).unwrap());
         });
     }
-    g.finish();
 }
 
 /// Builds a record with `depth` committed steps worth of log entries.
-fn record_with_log(depth: usize) -> (AgentRecord, mar_core::SavepointId) {
+fn record_with_log(depth: usize) -> (AgentRecord, SavepointId) {
     let mut data = DataSpace::new();
     data.set_sro("notes", Value::Bytes(vec![0; 512]));
     let mut rec = AgentRecord::new(
@@ -54,44 +59,50 @@ fn record_with_log(depth: usize) -> (AgentRecord, mar_core::SavepointId) {
         RollbackMode::Optimized,
     );
     let cursor = rec.cursor.clone();
-    let sp = rec
-        .table
-        .on_enter_sub("S", &mut rec.data, &cursor, &mut rec.log, LoggingMode::State);
+    let sp = rec.table.on_enter_sub(
+        "S",
+        &mut rec.data,
+        &cursor,
+        &mut rec.log,
+        LoggingMode::State,
+    );
     for i in 0..depth {
         let seq = i as u64;
-        rec.log.push(LogEntry::BeginOfStep(BosEntry {
-            node: (i % 3) as u32 + 1,
-            step_seq: seq,
-            method: format!("m{i}"),
-        }));
-        for k in 0..2 {
-            rec.log.push(LogEntry::Operation(OpEntry {
-                kind: if k == 0 { EntryKind::Resource } else { EntryKind::Agent },
-                op: CompOp::new(
-                    "bank.undo_transfer",
-                    Value::map([("amount", Value::from(10i64))]),
+        rec.log.append_step(
+            (i % 3) as u32 + 1,
+            seq,
+            &format!("m{i}"),
+            [
+                (
+                    EntryKind::Resource,
+                    CompOp::new(
+                        "bank.undo_transfer",
+                        Value::map([("amount", Value::from(10i64))]),
+                    ),
                 ),
-                step_seq: seq,
-            }));
-        }
-        rec.log.push(LogEntry::EndOfStep(EosEntry {
-            node: (i % 3) as u32 + 1,
-            step_seq: seq,
-            method: format!("m{i}"),
-            has_mixed: false,
-            alt_nodes: vec![],
-        }));
+                (
+                    EntryKind::Agent,
+                    CompOp::new(
+                        "bank.undo_transfer",
+                        Value::map([("amount", Value::from(10i64))]),
+                    ),
+                ),
+            ],
+            vec![],
+        );
         rec.step_seq += 1;
         rec.table.on_step_committed();
     }
     (rec, sp)
 }
 
-fn bench_log(c: &mut Criterion) {
-    let mut g = c.benchmark_group("log");
-    g.bench_function("push_pop_step", |b| {
-        let (mut rec, _) = record_with_log(0);
-        b.iter(|| {
+fn bench_log_basics(b: &mut Bench) {
+    b.run_batched(
+        "log/push_pop_step",
+        20,
+        500,
+        || record_with_log(0).0,
+        |rec| {
             rec.log.push(LogEntry::BeginOfStep(BosEntry {
                 node: 1,
                 step_seq: 0,
@@ -106,64 +117,229 @@ fn bench_log(c: &mut Criterion) {
             }));
             rec.log.pop();
             rec.log.pop();
-        })
-    });
+        },
+    );
     for depth in [8usize, 64] {
         let (rec, _) = record_with_log(depth);
-        g.bench_with_input(
-            BenchmarkId::new("encode_record", depth),
-            &rec,
-            |b, rec| b.iter(|| rec.to_bytes().unwrap()),
-        );
+        b.run(format!("log/encode_record/{depth}"), 20, 50, || {
+            black_box(rec.to_bytes().unwrap());
+        });
     }
-    g.finish();
 }
 
-fn bench_planner(c: &mut Criterion) {
-    let mut g = c.benchmark_group("planner");
+fn bench_planner(b: &mut Bench) {
     for depth in [4usize, 32] {
-        g.bench_with_input(
-            BenchmarkId::new("full_rollback_plan", depth),
-            &depth,
-            |b, &depth| {
-                b.iter_batched(
-                    || record_with_log(depth),
-                    |(mut rec, sp)| {
-                        loop {
-                            let round = compensation_round(&mut rec, sp).unwrap();
-                            if matches!(round.after, mar_core::AfterRound::Reached(_)) {
-                                break;
-                            }
-                        }
-                        rec
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
+        b.run_batched(
+            format!("planner/full_rollback_plan/{depth}"),
+            15,
+            1,
+            || record_with_log(depth),
+            |(rec, sp)| loop {
+                let round = compensation_round(rec, *sp).unwrap();
+                if matches!(round.after, mar_core::AfterRound::Reached(_)) {
+                    break;
+                }
             },
         );
     }
-    g.finish();
 }
 
-fn bench_delta(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sro_delta");
+fn bench_delta(b: &mut Bench) {
     let mk = |offset: i64| -> mar_core::ObjectMap {
         (0..64)
             .map(|i| (format!("k{i:02}"), Value::from(i as i64 + offset)))
             .collect()
     };
     let a = mk(0);
-    let b = mk(7);
-    let d1 = SroDelta::diff(&a, &b);
-    let d2 = SroDelta::diff(&b, &a);
-    g.bench_function("diff_64_keys", |bch| {
-        bch.iter(|| SroDelta::diff(black_box(&a), black_box(&b)))
+    let c = mk(7);
+    let d1 = SroDelta::diff(&a, &c);
+    let d2 = SroDelta::diff(&c, &a);
+    b.run("sro_delta/diff_64_keys", 20, 100, || {
+        black_box(SroDelta::diff(black_box(&a), black_box(&c)));
     });
-    g.bench_function("compose", |bch| {
-        bch.iter(|| black_box(&d1).compose(black_box(&d2)))
+    b.run("sro_delta/compose", 20, 100, || {
+        black_box(black_box(&d1).compose(black_box(&d2)));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_log, bench_planner, bench_delta);
-criterion_main!(benches);
+// ---- segment index vs flat reference model ----------------------------------
+
+fn sp_entry(id: u64, cursor: &Cursor) -> LogEntry {
+    LogEntry::Savepoint(SpEntry {
+        id: SavepointId(id),
+        sub_id: Some(format!("S{id}")),
+        explicit: false,
+        cursor: cursor.clone(),
+        table: SavepointTable::new(),
+        sro: SroPayload::Full(
+            [("v".to_owned(), Value::from(id as i64))]
+                .into_iter()
+                .collect(),
+        ),
+    })
+}
+
+/// Builds identical logs (segment-indexed and flat reference) holding
+/// roughly `total` entries spread over `savepoints` savepoints.
+fn build_pair(total: usize, savepoints: usize) -> (RollbackLog, NaiveLog, Vec<SavepointId>) {
+    let main = samples::fig6();
+    let cursor = Cursor::new(&main);
+    let mut log = RollbackLog::new();
+    let mut naive = NaiveLog::new();
+    let mut ids = Vec::new();
+    let steps_per_segment = (total / savepoints).saturating_sub(1) / 3;
+    let mut seq = 0u64;
+    for s in 0..savepoints as u64 {
+        let sp = sp_entry(s, &cursor);
+        ids.push(SavepointId(s));
+        log.push(sp.clone());
+        naive.push(sp);
+        for _ in 0..steps_per_segment {
+            let frame = [
+                LogEntry::BeginOfStep(BosEntry {
+                    node: 1,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                }),
+                LogEntry::Operation(OpEntry {
+                    kind: EntryKind::Resource,
+                    op: CompOp::new("undo", Value::from(seq as i64)),
+                    step_seq: seq,
+                }),
+                LogEntry::EndOfStep(EosEntry {
+                    node: 1,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                    has_mixed: false,
+                    alt_nodes: vec![],
+                }),
+            ];
+            for e in frame {
+                log.push(e.clone());
+                naive.push(e);
+            }
+            seq += 1;
+        }
+    }
+    (log, naive, ids)
+}
+
+fn bench_savepoint_ops(b: &mut Bench) {
+    const SAVEPOINTS: usize = 32;
+    for total in [1_000usize, 10_000, 100_000] {
+        let (log, naive, ids) = build_pair(total, SAVEPOINTS);
+        let probe: Vec<SavepointId> = ids.to_vec();
+
+        b.run(
+            format!("log/find_savepoint/segment/{total}"),
+            15,
+            200,
+            || {
+                for id in &probe {
+                    black_box(log.find_savepoint(black_box(*id)));
+                }
+            },
+        );
+        b.run(format!("log/find_savepoint/naive/{total}"), 15, 20, || {
+            for id in &probe {
+                black_box(naive.find_savepoint(black_box(*id)));
+            }
+        });
+        b.run(
+            format!("log/last_data_savepoint/segment/{total}"),
+            15,
+            200,
+            || {
+                black_box(log.last_data_savepoint());
+            },
+        );
+        b.run(
+            format!("log/last_data_savepoint/naive/{total}"),
+            15,
+            200,
+            || {
+                black_box(naive.last_data_savepoint());
+            },
+        );
+        b.run(format!("log/stats/segment/{total}"), 15, 100, || {
+            black_box(log.stats());
+        });
+
+        // Removal: every sample clones the prebuilt log and removes all of
+        // its savepoints middle-out (the §4.4.2 maintenance pattern),
+        // alternating above/below the midpoint so every removal splices an
+        // interior segment.
+        let order: Vec<SavepointId> = {
+            let mid = ids.len() / 2;
+            let mut upper = ids[mid..].iter().copied();
+            let mut lower = ids[..mid].iter().rev().copied();
+            let mut order = Vec::with_capacity(ids.len());
+            loop {
+                let (u, l) = (upper.next(), lower.next());
+                order.extend(u);
+                order.extend(l);
+                if u.is_none() && l.is_none() {
+                    break;
+                }
+            }
+            debug_assert_eq!(order.len(), ids.len());
+            order
+        };
+        let samples = if total >= 100_000 { 8 } else { 12 };
+        b.run_batched(
+            format!("log/remove_savepoint/segment/{total}"),
+            samples,
+            1,
+            || (log.clone(), DataSpace::new()),
+            |(log, data)| {
+                for id in &order {
+                    black_box(log.remove_savepoint(*id, data).unwrap());
+                }
+            },
+        );
+        b.run_batched(
+            format!("log/remove_savepoint/naive/{total}"),
+            samples,
+            1,
+            || (naive.clone(), DataSpace::new()),
+            |(naive, data)| {
+                for id in &order {
+                    black_box(naive.remove_savepoint(*id, data).unwrap());
+                }
+            },
+        );
+
+        let seg = b
+            .ns_per_op(&format!("log/remove_savepoint/segment/{total}"))
+            .unwrap();
+        let flat = b
+            .ns_per_op(&format!("log/remove_savepoint/naive/{total}"))
+            .unwrap();
+        b.derive(format!("savepoint_remove_speedup_{total}"), flat / seg);
+        let seg_f = b
+            .ns_per_op(&format!("log/find_savepoint/segment/{total}"))
+            .unwrap();
+        let flat_f = b
+            .ns_per_op(&format!("log/find_savepoint/naive/{total}"))
+            .unwrap();
+        b.derive(format!("savepoint_find_speedup_{total}"), flat_f / seg_f);
+    }
+}
+
+fn main() {
+    let mut b = Bench::new();
+    bench_wire(&mut b);
+    bench_log_basics(&mut b);
+    bench_planner(&mut b);
+    bench_delta(&mut b);
+    bench_savepoint_ops(&mut b);
+    b.write_report("BENCH_log.json");
+
+    // The acceptance bar for the segment refactor: ≥5× on savepoint
+    // removal at 10⁵-entry logs. Surface the recorded ratios loudly.
+    for (name, value) in b.derived() {
+        if let Some(total) = name.strip_prefix("savepoint_remove_speedup_") {
+            eprintln!("savepoint removal at {total:>7} entries: {value:.1}x faster than flat scan");
+        }
+    }
+}

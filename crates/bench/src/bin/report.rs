@@ -50,7 +50,10 @@ fn e1_forward_throughput() {
         row(&[
             format!("{:>10}", pad),
             format!("{:>10.2}", stats.sim_us as f64 / 1000.0),
-            format!("{:>12.2}", stats.sim_us as f64 / 1000.0 / stats.steps as f64),
+            format!(
+                "{:>12.2}",
+                stats.sim_us as f64 / 1000.0 / stats.steps as f64
+            ),
             format!("{:>10}", stats.transfers_fwd),
             format!("{:>12}", stats.bytes_fwd),
         ]);
@@ -94,10 +97,22 @@ fn e2_log_entries() {
     });
     row(&[format!("{:<28}", "entry"), format!("{:>8}", "bytes")]);
     let sp_size = log.iter().next().unwrap().encoded_size();
-    row(&[format!("{:<28}", "SP (256B SRO image + cursor)"), format!("{sp_size:>8}")]);
-    row(&[format!("{:<28}", "BOS"), format!("{:>8}", bos.encoded_size())]);
-    row(&[format!("{:<28}", "OE (bank.undo_transfer)"), format!("{:>8}", oe.encoded_size())]);
-    row(&[format!("{:<28}", "EOS (2 alt nodes)"), format!("{:>8}", eos.encoded_size())]);
+    row(&[
+        format!("{:<28}", "SP (256B SRO image + cursor)"),
+        format!("{sp_size:>8}"),
+    ]);
+    row(&[
+        format!("{:<28}", "BOS"),
+        format!("{:>8}", bos.encoded_size()),
+    ]);
+    row(&[
+        format!("{:<28}", "OE (bank.undo_transfer)"),
+        format!("{:>8}", oe.encoded_size()),
+    ]);
+    row(&[
+        format!("{:<28}", "EOS (2 alt nodes)"),
+        format!("{:>8}", eos.encoded_size()),
+    ]);
 }
 
 /// E3 — rollback latency and transfers vs depth (Fig. 3/4, basic).
@@ -111,8 +126,7 @@ fn e3_rollback_latency() {
         format!("{:>10}", "sim ms"),
     ]);
     for depth in [1usize, 2, 4, 8, 16, 32] {
-        let stats =
-            Scenario::rollback(depth, 4, None, 0, RollbackMode::Basic, 7).run();
+        let stats = Scenario::rollback(depth, 4, None, 0, RollbackMode::Basic, 7).run();
         row(&[
             format!("{:>6}", depth),
             format!("{:>10}", stats.rounds),
@@ -177,7 +191,9 @@ fn e5_itinerary_log_policies() {
     // Policy C: four top-level subs of 6 (log discarded after each part).
     let run = |label: &str, builder: fn() -> mar_itinerary::Itinerary| {
         let it = builder();
-        let mut b = PlatformBuilder::new(4).seed(5).behavior("bench", mar_bench::BenchAgent);
+        let mut b = PlatformBuilder::new(4)
+            .seed(5)
+            .behavior("bench", mar_bench::BenchAgent);
         for n in 1..4 {
             b = b.resources(NodeId(n), move || {
                 let mut rms = mar_txn::RmRegistry::new();
@@ -380,8 +396,7 @@ fn e9_failure_sweep() {
         format!("{:>12}", "sim ms"),
         format!("{:>10}", "slowdown"),
     ]);
-    let baseline: RunStats =
-        Scenario::rollback(8, 4, None, 0, RollbackMode::Basic, 3).run();
+    let baseline: RunStats = Scenario::rollback(8, 4, None, 0, RollbackMode::Basic, 3).run();
     row(&[
         format!("{:>12}", "none"),
         format!("{:>10}", 0),

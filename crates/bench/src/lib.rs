@@ -1,5 +1,7 @@
-//! Benchmark scenarios shared by the criterion benches and the experiment
+//! Benchmark scenarios shared by the micro/macro benches and the experiment
 //! report binary. Everything here is deterministic per seed.
+
+pub mod harness;
 
 use mar_core::{AgentId, LoggingMode, RollbackMode, RollbackScope};
 use mar_itinerary::{Itinerary, ItineraryBuilder};

@@ -113,10 +113,12 @@ impl<'a> CompCtx<'a> {
     ///
     /// [`CompError::BadParams`] if the key is missing or not an integer.
     pub fn param_i64(&self, key: &str) -> Result<i64, CompError> {
-        self.param(key)?.as_i64().ok_or_else(|| CompError::BadParams {
-            op: self.op_name.to_owned(),
-            reason: format!("parameter {key:?} is not an integer"),
-        })
+        self.param(key)?
+            .as_i64()
+            .ok_or_else(|| CompError::BadParams {
+                op: self.op_name.to_owned(),
+                reason: format!("parameter {key:?} is not an integer"),
+            })
     }
 
     /// String parameter helper.
@@ -125,10 +127,12 @@ impl<'a> CompCtx<'a> {
     ///
     /// [`CompError::BadParams`] if the key is missing or not a string.
     pub fn param_str(&self, key: &str) -> Result<&str, CompError> {
-        self.param(key)?.as_str().ok_or_else(|| CompError::BadParams {
-            op: self.op_name.to_owned(),
-            reason: format!("parameter {key:?} is not a string"),
-        })
+        self.param(key)?
+            .as_str()
+            .ok_or_else(|| CompError::BadParams {
+                op: self.op_name.to_owned(),
+                reason: format!("parameter {key:?} is not a string"),
+            })
     }
 }
 

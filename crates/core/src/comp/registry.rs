@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-
-
 use crate::comp::access::{CompCtx, ResourceAccess};
 use crate::comp::op::{CompOp, EntryKind};
 use crate::data::ObjectMap;
@@ -185,16 +183,19 @@ mod tests {
         let reg = registry();
         let mut rec = Recorder { calls: vec![] };
         let mut wro = ObjectMap::new();
-        let op = CompOp::new(
-            "exchange_back",
-            Value::map([("amount", Value::from(3i64))]),
-        );
+        let op = CompOp::new("exchange_back", Value::map([("amount", Value::from(3i64))]));
         reg.execute(&op, 0, Some(&mut rec), Some(&mut wro)).unwrap();
         assert_eq!(rec.calls.len(), 1);
         assert_eq!(wro.get("wallet").and_then(Value::as_i64), Some(3));
         // Missing either access is a (non-retryable) failure.
         let err = reg.execute(&op, 0, None, Some(&mut wro)).unwrap_err();
-        assert!(matches!(err, CompError::Failed { retryable: false, .. }));
+        assert!(matches!(
+            err,
+            CompError::Failed {
+                retryable: false,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -53,12 +53,7 @@ impl CostModel {
     /// migrating back. `round_trip = false` models one-way moves — e.g. the
     /// backward walk of the basic rollback, which continues from the
     /// destination instead of returning.
-    pub fn migration_us(
-        &self,
-        agent_bytes: usize,
-        log_bytes: usize,
-        round_trip: bool,
-    ) -> u64 {
+    pub fn migration_us(&self, agent_bytes: usize, log_bytes: usize, round_trip: bool) -> u64 {
         let one_way = self.link.message_us(agent_bytes + log_bytes);
         if round_trip {
             one_way * 2

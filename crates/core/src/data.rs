@@ -287,11 +287,7 @@ mod tests {
     }
 
     fn map_strategy() -> impl Strategy<Value = ObjectMap> {
-        proptest::collection::btree_map(
-            "[a-e]",
-            any::<i64>().prop_map(Value::from),
-            0..5,
-        )
+        proptest::collection::btree_map("[a-e]", any::<i64>().prop_map(Value::from), 0..5)
     }
 
     proptest! {

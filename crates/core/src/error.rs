@@ -112,15 +112,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(
-            CoreError::EmptyLog.to_string(),
-            "rollback log is empty"
-        );
+        assert_eq!(CoreError::EmptyLog.to_string(), "rollback log is empty");
         let e = CompError::AccessViolation {
             op: "refund".into(),
             tried: "agent state",
         };
-        assert_eq!(e.to_string(), "compensation \"refund\" illegally accessed agent state");
+        assert_eq!(
+            e.to_string(),
+            "compensation \"refund\" illegally accessed agent state"
+        );
     }
 
     #[test]

@@ -119,6 +119,11 @@ impl LogEntry {
     }
 
     /// Encoded size in bytes (what migration actually transfers).
+    ///
+    /// This encodes the entry (without cloning it) every time it is called.
+    /// Entries stored in a [`RollbackLog`](crate::log::RollbackLog) have
+    /// their size cached by the log itself — query the log (`size_bytes`,
+    /// `stats`) instead of re-measuring entries taken from it.
     pub fn encoded_size(&self) -> usize {
         mar_wire::encoded_size(self).unwrap_or(0)
     }

@@ -1,20 +1,63 @@
-//! The rollback log structure.
+//! The rollback log structure: a segment-indexed stack of [`LogEntry`]s.
+//!
+//! # Representation
+//!
+//! Conceptually the log is the entry stack of §4.2 — and that is exactly
+//! what it serializes as, so migration snapshots are interchangeable with
+//! the earlier flat-vector representation. In memory, however, entries are
+//! grouped into per-savepoint [`Segment`]s with a `SavepointId → segment`
+//! index, and every entry carries a cached encoded size:
+//!
+//! * savepoint lookups ([`RollbackLog::find_savepoint`],
+//!   [`RollbackLog::contains_savepoint`]) are an index probe, not an entry
+//!   scan;
+//! * savepoint removal at sub-itinerary completion
+//!   ([`RollbackLog::remove_savepoint`], the §4.4.2 maintenance operation)
+//!   splices one segment and touches only savepoint entries above it —
+//!   it no longer walks, clones, or re-encodes the whole log;
+//! * byte accounting ([`RollbackLog::size_bytes`], [`RollbackLog::stats`])
+//!   is maintained incrementally from cached sizes; entries are encoded at
+//!   most once to be measured, never cloned.
+//!
+//! The cached sizes use interior mutability (`Cell`), so the log is not
+//! `Sync`; the platform is single-threaded per node, and a migrating agent
+//! is owned by exactly one node at a time (§2), so nothing shares a log
+//! across threads.
 
-use serde::{Deserialize, Serialize};
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::{SerializeSeq, SerializeStruct};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::BTreeMap;
+use std::fmt;
 
+use crate::comp::{CompOp, EntryKind};
 use crate::data::DataSpace;
 use crate::error::CoreError;
-use crate::log::entry::{EosEntry, LogEntry, SpEntry, SroPayload};
+use crate::log::entry::{BosEntry, EosEntry, LogEntry, OpEntry, SpEntry, SroPayload};
+use crate::log::segment::{ByteRollup, Counts, Segment, Stored, Tail};
 use crate::log::stats::LogStats;
 use crate::savepoint::SavepointId;
+use std::cell::Cell;
 
 /// The agent rollback log: a stack of [`LogEntry`]s with byte-size
-/// accounting (the log migrates with the agent, so its size is a first-class
-/// experimental quantity, §4.4.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// accounting (the log migrates with the agent, so its size is a
+/// first-class experimental quantity, §4.4.2), indexed by savepoint for
+/// O(log n) savepoint operations.
+#[derive(Debug, Clone, Default)]
 pub struct RollbackLog {
-    entries: Vec<LogEntry>,
+    /// Entries logged before the first savepoint entry.
+    head: Tail,
+    /// One segment per savepoint entry, oldest first.
+    segments: Vec<Segment>,
+    /// Savepoint id → position in `segments`.
+    index: BTreeMap<SavepointId, usize>,
+    /// Total encoded size of all entries (always exact; serialized).
     bytes: usize,
+    /// Per-kind entry counts (always exact).
+    counts: Counts,
+    /// Per-kind byte totals; `None` until first demanded (deserialized
+    /// logs learn entry sizes lazily), maintained incrementally afterwards.
+    rollup: Cell<Option<ByteRollup>>,
 }
 
 impl RollbackLog {
@@ -23,22 +66,79 @@ impl RollbackLog {
         RollbackLog::default()
     }
 
-    /// Appends an entry.
+    // ----- stack operations -------------------------------------------------
+
+    /// Appends an entry. A savepoint entry opens a new segment; anything
+    /// else joins the newest segment's tail.
     pub fn push(&mut self, entry: LogEntry) {
-        self.bytes += entry.encoded_size();
-        self.entries.push(entry);
+        let stored = Stored::measured(entry);
+        self.account_add(&stored);
+        match &stored.entry {
+            LogEntry::Savepoint(sp) => {
+                let id = sp.id;
+                // The savepoint allocator is monotone (SavepointTable keeps
+                // `next_id` monotone across restores), so a duplicate id is
+                // a programming error; failing loudly beats silently
+                // corrupting the id → segment index.
+                assert!(
+                    !self.index.contains_key(&id),
+                    "duplicate savepoint id {id} pushed"
+                );
+                self.index.insert(id, self.segments.len());
+                self.segments.push(Segment::new(stored));
+            }
+            _ => match self.segments.last_mut() {
+                Some(seg) => seg.tail.push(stored),
+                None => self.head.push(stored),
+            },
+        }
     }
 
     /// Removes and returns the last entry.
     pub fn pop(&mut self) -> Option<LogEntry> {
-        let e = self.entries.pop()?;
-        self.bytes = self.bytes.saturating_sub(e.encoded_size());
-        Some(e)
+        let stored = match self.segments.last_mut() {
+            Some(seg) => match seg.tail.pop() {
+                Some(stored) => stored,
+                None => {
+                    let seg = self.segments.pop().expect("non-empty checked above");
+                    if let LogEntry::Savepoint(sp) = &seg.sp.entry {
+                        self.index.remove(&sp.id);
+                    }
+                    seg.sp
+                }
+            },
+            None => self.head.pop()?,
+        };
+        self.account_remove(&stored);
+        Some(stored.entry)
     }
 
     /// The last entry, if any.
     pub fn last(&self) -> Option<&LogEntry> {
-        self.entries.last()
+        match self.segments.last() {
+            Some(seg) => Some(&seg.tail.last().unwrap_or(&seg.sp).entry),
+            None => self.head.last().map(|s| &s.entry),
+        }
+    }
+
+    /// The newest entry if it is a savepoint entry (i.e. the newest segment
+    /// has an empty tail).
+    pub fn top_savepoint(&self) -> Option<&SpEntry> {
+        match self.segments.last() {
+            Some(seg) if seg.tail.is_empty() => seg.sp.entry.as_savepoint(),
+            _ => None,
+        }
+    }
+
+    /// Pops the newest entry if it is a savepoint entry, returning it
+    /// unwrapped. This is the planner's segment walk: popping adjacent
+    /// savepoints above a rollback target is O(1) per savepoint.
+    pub fn pop_top_savepoint(&mut self) -> Option<SpEntry> {
+        self.top_savepoint()?;
+        match self.pop() {
+            Some(LogEntry::Savepoint(sp)) => Some(sp),
+            _ => unreachable!("top_savepoint checked above"),
+        }
     }
 
     /// Pops an entry that must be an end-of-step entry.
@@ -58,14 +158,48 @@ impl RollbackLog {
         }
     }
 
+    /// Logs one committed step as a unit: the begin-of-step entry, one
+    /// operation entry per compensation in logged order, and the
+    /// end-of-step entry with the mixed flag (§4.2). Returns whether any
+    /// entry was a mixed compensation entry.
+    pub fn append_step(
+        &mut self,
+        node: u32,
+        step_seq: u64,
+        method: &str,
+        ops: impl IntoIterator<Item = (EntryKind, CompOp)>,
+        alt_nodes: Vec<u32>,
+    ) -> bool {
+        self.push(LogEntry::BeginOfStep(BosEntry {
+            node,
+            step_seq,
+            method: method.to_owned(),
+        }));
+        let mut has_mixed = false;
+        for (kind, op) in ops {
+            has_mixed |= kind == EntryKind::Mixed;
+            self.push(LogEntry::Operation(OpEntry { kind, op, step_seq }));
+        }
+        self.push(LogEntry::EndOfStep(EosEntry {
+            node,
+            step_seq,
+            method: method.to_owned(),
+            has_mixed,
+            alt_nodes,
+        }));
+        has_mixed
+    }
+
+    // ----- size and iteration ----------------------------------------------
+
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.counts.total()
     }
 
     /// True when the log holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Total encoded size of all entries in bytes.
@@ -73,44 +207,73 @@ impl RollbackLog {
         self.bytes
     }
 
+    /// Number of savepoint segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The ids of all savepoint entries currently in the log, oldest first.
+    pub fn savepoint_ids(&self) -> impl Iterator<Item = SavepointId> + '_ {
+        self.segments
+            .iter()
+            .filter_map(|seg| seg.sp.entry.as_savepoint().map(|sp| sp.id))
+    }
+
     /// Iterates oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
-        self.entries.iter()
+        self.stored_iter().map(|s| &s.entry)
+    }
+
+    fn stored_iter(&self) -> impl Iterator<Item = &Stored> {
+        self.head.iter().chain(
+            self.segments
+                .iter()
+                .flat_map(|seg| std::iter::once(&seg.sp).chain(seg.tail.iter())),
+        )
     }
 
     /// Discards everything (top-level sub-itinerary completion, §4.4.2).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.bytes = 0;
+        *self = RollbackLog::default();
     }
 
-    /// Finds a savepoint entry by id.
+    // ----- savepoint queries (index-backed) --------------------------------
+
+    /// Finds a savepoint entry by id. O(log n) in the number of savepoints.
     pub fn find_savepoint(&self, id: SavepointId) -> Option<&SpEntry> {
-        self.entries.iter().find_map(|e| match e {
-            LogEntry::Savepoint(sp) if sp.id == id => Some(sp),
-            _ => None,
-        })
+        let pos = *self.index.get(&id)?;
+        self.segments[pos].sp.entry.as_savepoint()
     }
 
-    /// Whether the log contains the savepoint.
+    /// Whether the log contains the savepoint. O(log n).
     pub fn contains_savepoint(&self, id: SavepointId) -> bool {
-        self.find_savepoint(id).is_some()
+        self.index.contains_key(&id)
     }
 
     /// The id of the most recent data-bearing (non-marker) savepoint.
+    /// Touches only savepoint entries (never operation entries).
     pub fn last_data_savepoint(&self) -> Option<SavepointId> {
-        self.entries.iter().rev().find_map(|e| match e {
-            LogEntry::Savepoint(sp) if !sp.sro.is_marker() => Some(sp.id),
-            _ => None,
+        self.segments.iter().rev().find_map(|seg| {
+            let sp = seg.sp.entry.as_savepoint()?;
+            (!sp.sro.is_marker()).then_some(sp.id)
         })
     }
 
     /// The most recent end-of-step entry (the next compensation target).
+    /// Empty-tailed segments — savepoints stacked on top of the last step —
+    /// are skipped in O(1) each.
     pub fn last_eos(&self) -> Option<&EosEntry> {
-        self.entries.iter().rev().find_map(|e| match e {
-            LogEntry::EndOfStep(eos) => Some(eos),
-            _ => None,
-        })
+        fn as_eos(stored: &Stored) -> Option<&EosEntry> {
+            match &stored.entry {
+                LogEntry::EndOfStep(eos) => Some(eos),
+                _ => None,
+            }
+        }
+        self.segments
+            .iter()
+            .rev()
+            .find_map(|seg| seg.tail.iter_rev().find_map(as_eos))
+            .or_else(|| self.head.iter_rev().find_map(as_eos))
     }
 
     /// Removes the savepoint entry `id` when its sub-itinerary completes
@@ -123,6 +286,11 @@ impl RollbackLog {
     /// * **State logging:** if a newer marker references the removed
     ///   savepoint, the marker is upgraded in place to carry the full image.
     ///
+    /// The removed segment's tail entries are spliced into the previous
+    /// segment; only savepoint entries above the removal point are
+    /// examined, and in-place payload mutations re-measure exactly the
+    /// mutated entry (no clone-and-encode).
+    ///
     /// Returns `false` if the savepoint is not in the log.
     ///
     /// # Errors
@@ -133,56 +301,74 @@ impl RollbackLog {
         id: SavepointId,
         data: &mut DataSpace,
     ) -> Result<bool, CoreError> {
-        let Some(idx) = self.entries.iter().position(
-            |e| matches!(e, LogEntry::Savepoint(sp) if sp.id == id),
-        ) else {
+        let Some(pos) = self.index.remove(&id) else {
             return Ok(false);
         };
-        let LogEntry::Savepoint(removed) = self.entries.remove(idx) else {
-            unreachable!("position matched a savepoint");
+        let seg = self.segments.remove(pos);
+        for p in self.index.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        self.account_remove(&seg.sp);
+        // The tail keeps its place in the entry order: it now follows the
+        // previous segment's entries directly — an O(1) chunk splice, no
+        // entry is moved.
+        match pos {
+            0 => self.head.absorb(seg.tail),
+            p => self.segments[p - 1].tail.absorb(seg.tail),
+        }
+        let LogEntry::Savepoint(removed) = seg.sp.entry else {
+            unreachable!("segments start at savepoint entries");
         };
-        self.bytes = self
-            .bytes
-            .saturating_sub(LogEntry::Savepoint(removed.clone()).encoded_size());
 
         match &removed.sro {
             SroPayload::Delta(delta) => {
-                // Find the next *delta* savepoint above; its delta chained to
-                // the removed one.
-                let next_sp = self.entries[idx..].iter_mut().find_map(|e| match e {
-                    LogEntry::Savepoint(sp) if matches!(sp.sro, SroPayload::Delta(_)) => {
-                        Some(sp)
-                    }
-                    _ => None,
+                // The next *delta* savepoint above absorbs the removed
+                // delta; segments after `pos` are exactly the newer ones.
+                let next_delta = (pos..self.segments.len()).find(|&j| {
+                    matches!(
+                        self.segments[j].sp.entry.as_savepoint().map(|sp| &sp.sro),
+                        Some(SroPayload::Delta(_))
+                    )
                 });
-                match next_sp {
-                    Some(sp) => {
-                        let SroPayload::Delta(next_delta) = &sp.sro else {
-                            unreachable!("matched delta payload");
-                        };
-                        let merged = next_delta.compose(delta);
-                        let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
-                        sp.sro = SroPayload::Delta(merged);
-                        let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
-                        self.bytes = self.bytes.saturating_sub(old_size) + new_size;
+                match next_delta {
+                    Some(j) => {
+                        let (old, new) = self.segments[j].sp.remeasure(|entry| {
+                            let LogEntry::Savepoint(sp) = entry else {
+                                unreachable!("segments start at savepoint entries");
+                            };
+                            let SroPayload::Delta(next) = &sp.sro else {
+                                unreachable!("matched delta payload above");
+                            };
+                            sp.sro = SroPayload::Delta(next.compose(delta));
+                        });
+                        self.resize_savepoint_bytes(old, new);
                     }
                     None => {
-                        // Removed the newest delta savepoint: the shadow (state
-                        // at that savepoint) moves back to the previous one.
+                        // Removed the newest delta savepoint: the shadow
+                        // (state at that savepoint) moves back to the
+                        // previous one.
                         data.apply_delta_to_shadow(delta);
                     }
                 }
             }
             SroPayload::Full(image) => {
-                // Upgrade any newer marker referencing this savepoint.
-                for e in self.entries[idx..].iter_mut() {
-                    if let LogEntry::Savepoint(sp) = e {
-                        if sp.sro == SroPayload::Ref(id) {
-                            let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                // Upgrade every newer marker referencing this savepoint.
+                for j in pos..self.segments.len() {
+                    let is_ref = matches!(
+                        self.segments[j].sp.entry.as_savepoint().map(|sp| &sp.sro),
+                        Some(SroPayload::Ref(r)) if *r == id
+                    );
+                    if is_ref {
+                        let (old, new) = self.segments[j].sp.remeasure(|entry| {
+                            let LogEntry::Savepoint(sp) = entry else {
+                                unreachable!("segments start at savepoint entries");
+                            };
                             sp.sro = SroPayload::Full(image.clone());
-                            let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
-                            self.bytes = self.bytes.saturating_sub(old_size) + new_size;
-                        }
+                        });
+                        self.counts.markers -= 1;
+                        self.resize_savepoint_bytes(old, new);
                     }
                 }
             }
@@ -193,9 +379,64 @@ impl RollbackLog {
         Ok(true)
     }
 
-    /// Computes per-entry-type statistics.
+    // ----- accounting -------------------------------------------------------
+
+    fn account_add(&mut self, stored: &Stored) {
+        let size = stored.size();
+        self.bytes += size;
+        self.counts.add(&stored.entry);
+        if let Some(mut rollup) = self.rollup.get() {
+            rollup.add(&stored.entry, size);
+            self.rollup.set(Some(rollup));
+        }
+    }
+
+    fn account_remove(&mut self, stored: &Stored) {
+        let size = stored.size();
+        self.bytes = self.bytes.saturating_sub(size);
+        self.counts.remove(&stored.entry);
+        if let Some(mut rollup) = self.rollup.get() {
+            rollup.remove(&stored.entry, size);
+            self.rollup.set(Some(rollup));
+        }
+    }
+
+    /// Adjusts totals after an in-place mutation of a savepoint entry's
+    /// payload (the only entries ever mutated in place).
+    fn resize_savepoint_bytes(&mut self, old: usize, new: usize) {
+        self.bytes = self.bytes.saturating_sub(old) + new;
+        if let Some(mut rollup) = self.rollup.get() {
+            rollup.savepoint_bytes = rollup.savepoint_bytes.saturating_sub(old) + new;
+            self.rollup.set(Some(rollup));
+        }
+    }
+
+    /// Computes per-entry-type statistics. O(1) once byte totals are known;
+    /// the first call on a freshly deserialized log measures each entry
+    /// once and caches the result.
     pub fn stats(&self) -> LogStats {
-        LogStats::of(self)
+        let rollup = match self.rollup.get() {
+            Some(r) => r,
+            None => {
+                let mut r = ByteRollup::default();
+                for stored in self.stored_iter() {
+                    r.add(&stored.entry, stored.size());
+                }
+                self.rollup.set(Some(r));
+                r
+            }
+        };
+        LogStats {
+            savepoints: self.counts.savepoints,
+            markers: self.counts.markers,
+            bos: self.counts.bos,
+            ops: self.counts.ops,
+            eos: self.counts.eos,
+            savepoint_bytes: rollup.savepoint_bytes,
+            op_bytes: rollup.op_bytes,
+            frame_bytes: rollup.frame_bytes,
+            total_bytes: self.bytes,
+        }
     }
 
     /// Checks the SP/BOS/OE/EOS grammar:
@@ -207,13 +448,12 @@ impl RollbackLog {
     /// [`CoreError::CorruptLog`] describing the first violation.
     pub fn validate(&self) -> Result<(), CoreError> {
         let mut open_step: Option<u64> = None;
-        for e in &self.entries {
+        for e in self.iter() {
             match e {
                 LogEntry::Savepoint(_) => {
                     if open_step.is_some() {
                         return Err(CoreError::CorruptLog(
-                            "savepoint inside a step (savepoints only at step ends, §2)"
-                                .to_owned(),
+                            "savepoint inside a step (savepoints only at step ends, §2)".to_owned(),
                         ));
                     }
                 }
@@ -247,13 +487,91 @@ impl RollbackLog {
         }
         Ok(())
     }
+
+    /// Rebuilds the segment structure from a flat entry sequence plus the
+    /// serialized byte total. Entry sizes are *not* computed here — they
+    /// are measured lazily on first need, so deserializing a migrated
+    /// agent stays O(n) in decode work alone.
+    fn from_entries_with_bytes(entries: Vec<LogEntry>, bytes: usize) -> RollbackLog {
+        let mut log = RollbackLog {
+            bytes,
+            ..RollbackLog::default()
+        };
+        for entry in entries {
+            log.counts.add(&entry);
+            let stored = Stored::deferred(entry);
+            match &stored.entry {
+                LogEntry::Savepoint(sp) => {
+                    log.index.entry(sp.id).or_insert(log.segments.len());
+                    log.segments.push(Segment::new(stored));
+                }
+                _ => match log.segments.last_mut() {
+                    Some(seg) => seg.tail.push(stored),
+                    None => log.head.push(stored),
+                },
+            }
+        }
+        log
+    }
+}
+
+impl PartialEq for RollbackLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes && self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+/// Serializes exactly like the historical flat representation
+/// `struct RollbackLog { entries: Vec<LogEntry>, bytes: usize }`, keeping
+/// migration snapshots byte-identical across the refactor.
+impl Serialize for RollbackLog {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        struct EntrySeq<'a>(&'a RollbackLog);
+        impl Serialize for EntrySeq<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for entry in self.0.iter() {
+                    seq.serialize_element(entry)?;
+                }
+                seq.end()
+            }
+        }
+        let mut st = serializer.serialize_struct("RollbackLog", 2)?;
+        st.serialize_field("entries", &EntrySeq(self))?;
+        st.serialize_field("bytes", &self.bytes)?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for RollbackLog {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<RollbackLog, D::Error> {
+        // Seq-shaped structs only: that is all the wire format produces,
+        // and it matches what the workspace's derive generates for every
+        // other struct (map-keyed self-describing formats are not used).
+        struct LogVisitor;
+        impl<'de> Visitor<'de> for LogVisitor {
+            type Value = RollbackLog;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("struct RollbackLog")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<RollbackLog, A::Error> {
+                let entries: Vec<LogEntry> = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::custom("RollbackLog missing entries"))?;
+                let bytes: usize = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::custom("RollbackLog missing bytes"))?;
+                Ok(RollbackLog::from_entries_with_bytes(entries, bytes))
+            }
+        }
+        deserializer.deserialize_struct("RollbackLog", &["entries", "bytes"], LogVisitor)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::comp::{CompOp, EntryKind};
-    use crate::log::entry::{BosEntry, OpEntry};
+    use crate::log::reference::NaiveLog;
     use crate::log::LoggingMode;
     use crate::savepoint::SavepointTable;
     use mar_itinerary::{samples, Cursor};
@@ -368,6 +686,8 @@ mod tests {
             }
             other => panic!("marker not upgraded: {other:?}"),
         }
+        // Marker count reflects the upgrade.
+        assert_eq!(log.stats().markers, 0);
     }
 
     #[test]
@@ -435,5 +755,175 @@ mod tests {
         let back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
         assert_eq!(back, log);
         assert_eq!(back.size_bytes(), log.size_bytes());
+    }
+
+    // ---- segment-index specific tests --------------------------------------
+
+    fn sp_entry(id: u64, sro: SroPayload) -> LogEntry {
+        let main = samples::fig6();
+        LogEntry::Savepoint(SpEntry {
+            id: SavepointId(id),
+            sub_id: None,
+            explicit: true,
+            cursor: Cursor::new(&main),
+            table: SavepointTable::new(),
+            sro,
+        })
+    }
+
+    #[test]
+    fn serialization_is_byte_identical_to_reference_model() {
+        let mut log = RollbackLog::new();
+        let mut naive = NaiveLog::new();
+        let entries = [
+            sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())),
+            bos(0),
+            oe(0),
+            eos(0),
+            sp_entry(1, SroPayload::Ref(SavepointId(0))),
+            bos(1),
+            eos(1),
+        ];
+        for e in entries {
+            log.push(e.clone());
+            naive.push(e);
+        }
+        assert_eq!(
+            mar_wire::to_bytes(&log).unwrap(),
+            mar_wire::to_bytes(&naive).unwrap(),
+            "segment-indexed log must serialize exactly like the flat model"
+        );
+        // And the cross-decode works both ways.
+        let as_naive: NaiveLog = mar_wire::from_slice(&mar_wire::to_bytes(&log).unwrap()).unwrap();
+        assert_eq!(as_naive.len(), log.len());
+        let as_log: RollbackLog =
+            mar_wire::from_slice(&mar_wire::to_bytes(&naive).unwrap()).unwrap();
+        assert_eq!(as_log, log);
+    }
+
+    #[test]
+    fn index_tracks_positions_across_removals() {
+        let mut log = RollbackLog::new();
+        let mut data = DataSpace::new();
+        for i in 0..5u64 {
+            log.push(sp_entry(i, SroPayload::Full(crate::data::ObjectMap::new())));
+            log.push(bos(i));
+            log.push(eos(i));
+        }
+        assert_eq!(log.segment_count(), 5);
+        // Remove a middle savepoint: later positions shift.
+        assert!(log.remove_savepoint(SavepointId(2), &mut data).unwrap());
+        assert_eq!(log.segment_count(), 4);
+        for i in [0u64, 1, 3, 4] {
+            assert_eq!(
+                log.find_savepoint(SavepointId(i)).map(|sp| sp.id),
+                Some(SavepointId(i)),
+                "savepoint {i} must stay addressable"
+            );
+        }
+        assert!(!log.contains_savepoint(SavepointId(2)));
+        // Entry order is preserved: the removed savepoint's tail follows
+        // the previous segment.
+        let tags: Vec<&str> = log.iter().map(LogEntry::tag).collect();
+        assert_eq!(
+            tags,
+            [
+                "SP", "BOS", "EOS", "SP", "BOS", "EOS", "BOS", "EOS", "SP", "BOS", "EOS", "SP",
+                "BOS", "EOS"
+            ]
+        );
+        assert_eq!(
+            log.savepoint_ids().collect::<Vec<_>>(),
+            [
+                SavepointId(0),
+                SavepointId(1),
+                SavepointId(3),
+                SavepointId(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn top_savepoint_walk() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(eos(0));
+        assert!(log.top_savepoint().is_none());
+        log.push(sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())));
+        log.push(sp_entry(1, SroPayload::Ref(SavepointId(0))));
+        assert_eq!(log.top_savepoint().unwrap().id, SavepointId(1));
+        assert_eq!(log.pop_top_savepoint().unwrap().id, SavepointId(1));
+        assert_eq!(log.pop_top_savepoint().unwrap().id, SavepointId(0));
+        assert!(log.pop_top_savepoint().is_none());
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn append_step_logs_frame_and_reports_mixed() {
+        let mut log = RollbackLog::new();
+        let mixed = log.append_step(
+            3,
+            7,
+            "buy",
+            [
+                (EntryKind::Resource, CompOp::new("undo", Value::Null)),
+                (EntryKind::Mixed, CompOp::new("back", Value::Null)),
+            ],
+            vec![4],
+        );
+        assert!(mixed);
+        let tags: Vec<&str> = log.iter().map(LogEntry::tag).collect();
+        assert_eq!(tags, ["BOS", "OE", "OE", "EOS"]);
+        let eos = log.last_eos().unwrap();
+        assert!(eos.has_mixed);
+        assert_eq!(
+            (eos.node, eos.step_seq, eos.alt_nodes.as_slice()),
+            (3, 7, &[4u32][..])
+        );
+
+        let mut plain = RollbackLog::new();
+        assert!(!plain.append_step(1, 0, "m", [], vec![]));
+    }
+
+    #[test]
+    fn stats_incremental_matches_reference_recompute() {
+        let mut log = RollbackLog::new();
+        let mut data = DataSpace::new();
+        log.push(sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())));
+        log.push(bos(0));
+        log.push(oe(0));
+        log.push(eos(0));
+        log.push(sp_entry(1, SroPayload::Ref(SavepointId(0))));
+        // Exercise every mutation path, checking the incremental stats
+        // against the from-scratch recompute each time.
+        assert_eq!(log.stats(), LogStats::of(&log));
+        log.remove_savepoint(SavepointId(0), &mut data).unwrap();
+        assert_eq!(log.stats(), LogStats::of(&log));
+        log.pop().unwrap();
+        assert_eq!(log.stats(), LogStats::of(&log));
+        log.push(oe(1));
+        assert_eq!(log.stats(), LogStats::of(&log));
+        assert_eq!(log.stats().total_bytes, log.size_bytes());
+    }
+
+    #[test]
+    fn deserialized_log_measures_lazily_but_correctly() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(oe(0));
+        log.push(eos(0));
+        log.push(sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())));
+        let bytes = mar_wire::to_bytes(&log).unwrap();
+        let mut back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+        // Counts are exact immediately; byte totals carried by the wire.
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.size_bytes(), log.size_bytes());
+        // Popping must subtract the correct (lazily measured) sizes all the
+        // way down to zero.
+        while back.pop().is_some() {}
+        assert_eq!(back.size_bytes(), 0);
+        // And stats on a fresh copy measures everything once.
+        let back2: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+        assert_eq!(back2.stats(), LogStats::of(&back2));
     }
 }

@@ -10,6 +10,8 @@
 mod entry;
 #[allow(clippy::module_inception)]
 mod log;
+pub mod reference;
+mod segment;
 mod stats;
 
 pub use entry::{BosEntry, EosEntry, LogEntry, OpEntry, SpEntry, SroPayload};

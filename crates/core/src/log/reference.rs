@@ -1,0 +1,169 @@
+//! An executable specification of the rollback log.
+//!
+//! [`NaiveLog`] is the original flat-vector implementation of the rollback
+//! log, kept verbatim as the reference model for the segment-indexed
+//! [`RollbackLog`](crate::log::RollbackLog): every query is a linear scan
+//! and every size is recomputed by encoding, which makes its behaviour easy
+//! to audit. The model-based property tests (`crates/core/tests/`) drive
+//! both implementations with identical operation sequences and require
+//! observational equivalence — including byte-identical serialization — and
+//! the micro benches use it as the baseline the segment index is measured
+//! against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataSpace;
+use crate::error::CoreError;
+use crate::log::entry::{EosEntry, LogEntry, SpEntry, SroPayload};
+use crate::savepoint::SavepointId;
+
+/// Flat-vector rollback log: the specification implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NaiveLog {
+    entries: Vec<LogEntry>,
+    bytes: usize,
+}
+
+impl NaiveLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        NaiveLog::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: LogEntry) {
+        self.bytes += entry.encoded_size();
+        self.entries.push(entry);
+    }
+
+    /// Removes and returns the last entry.
+    pub fn pop(&mut self) -> Option<LogEntry> {
+        let e = self.entries.pop()?;
+        self.bytes = self.bytes.saturating_sub(e.encoded_size());
+        Some(e)
+    }
+
+    /// The last entry, if any.
+    pub fn last(&self) -> Option<&LogEntry> {
+        self.entries.last()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded size of all entries in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Discards everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Finds a savepoint entry by id (linear scan).
+    pub fn find_savepoint(&self, id: SavepointId) -> Option<&SpEntry> {
+        self.entries.iter().find_map(|e| match e {
+            LogEntry::Savepoint(sp) if sp.id == id => Some(sp),
+            _ => None,
+        })
+    }
+
+    /// Whether the log contains the savepoint.
+    pub fn contains_savepoint(&self, id: SavepointId) -> bool {
+        self.find_savepoint(id).is_some()
+    }
+
+    /// The id of the most recent data-bearing (non-marker) savepoint.
+    pub fn last_data_savepoint(&self) -> Option<SavepointId> {
+        self.entries.iter().rev().find_map(|e| match e {
+            LogEntry::Savepoint(sp) if !sp.sro.is_marker() => Some(sp.id),
+            _ => None,
+        })
+    }
+
+    /// The most recent end-of-step entry.
+    pub fn last_eos(&self) -> Option<&EosEntry> {
+        self.entries.iter().rev().find_map(|e| match e {
+            LogEntry::EndOfStep(eos) => Some(eos),
+            _ => None,
+        })
+    }
+
+    /// Removes the savepoint entry `id` (§4.4.2 semantics; see
+    /// [`RollbackLog::remove_savepoint`](crate::log::RollbackLog::remove_savepoint)).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptLog`] on payload inconsistencies.
+    pub fn remove_savepoint(
+        &mut self,
+        id: SavepointId,
+        data: &mut DataSpace,
+    ) -> Result<bool, CoreError> {
+        let Some(idx) = self
+            .entries
+            .iter()
+            .position(|e| matches!(e, LogEntry::Savepoint(sp) if sp.id == id))
+        else {
+            return Ok(false);
+        };
+        let LogEntry::Savepoint(removed) = self.entries.remove(idx) else {
+            unreachable!("position matched a savepoint");
+        };
+        self.bytes = self
+            .bytes
+            .saturating_sub(LogEntry::Savepoint(removed.clone()).encoded_size());
+
+        match &removed.sro {
+            SroPayload::Delta(delta) => {
+                let next_sp = self.entries[idx..].iter_mut().find_map(|e| match e {
+                    LogEntry::Savepoint(sp) if matches!(sp.sro, SroPayload::Delta(_)) => Some(sp),
+                    _ => None,
+                });
+                match next_sp {
+                    Some(sp) => {
+                        let SroPayload::Delta(next_delta) = &sp.sro else {
+                            unreachable!("matched delta payload");
+                        };
+                        let merged = next_delta.compose(delta);
+                        let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                        sp.sro = SroPayload::Delta(merged);
+                        let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                        self.bytes = self.bytes.saturating_sub(old_size) + new_size;
+                    }
+                    None => {
+                        data.apply_delta_to_shadow(delta);
+                    }
+                }
+            }
+            SroPayload::Full(image) => {
+                for e in self.entries[idx..].iter_mut() {
+                    if let LogEntry::Savepoint(sp) = e {
+                        if sp.sro == SroPayload::Ref(id) {
+                            let old_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                            sp.sro = SroPayload::Full(image.clone());
+                            let new_size = LogEntry::Savepoint(sp.clone()).encoded_size();
+                            self.bytes = self.bytes.saturating_sub(old_size) + new_size;
+                        }
+                    }
+                }
+            }
+            SroPayload::Ref(_) => {}
+        }
+        Ok(true)
+    }
+}

@@ -31,10 +31,22 @@ pub struct LogStats {
 }
 
 impl LogStats {
-    /// Computes statistics for `log`.
+    /// Computes statistics for `log` from scratch, encoding every entry.
+    ///
+    /// This is the reference recompute: [`RollbackLog::stats`] maintains the
+    /// same numbers incrementally from cached entry sizes and is what the
+    /// platform and benches should call; `of` exists so tests can check the
+    /// incremental accounting against a straight-line recount.
     pub fn of(log: &RollbackLog) -> LogStats {
+        LogStats::of_entries(log.iter())
+    }
+
+    /// Computes statistics over any entry sequence (encoding each entry).
+    /// This is the bucketing rule shared by [`LogStats::of`] and the
+    /// model-based property tests that recount the reference model.
+    pub fn of_entries<'a>(entries: impl Iterator<Item = &'a LogEntry>) -> LogStats {
         let mut s = LogStats::default();
-        for e in log.iter() {
+        for e in entries {
             let size = e.encoded_size();
             s.total_bytes += size;
             match e {

@@ -24,16 +24,13 @@ use crate::savepoint::SavepointId;
 /// # Errors
 ///
 /// [`CoreError::UnknownSavepoint`] if `target` is not in the log.
-pub fn start_rollback(
-    record: &AgentRecord,
-    target: SavepointId,
-) -> Result<StartPlan, CoreError> {
+pub fn start_rollback(record: &AgentRecord, target: SavepointId) -> Result<StartPlan, CoreError> {
     if !record.log.contains_savepoint(target) {
         return Err(CoreError::UnknownSavepoint(target));
     }
     // "The first case is that the desired savepoint was set directly before
     // the aborting step transaction." (Fig. 4a)
-    if let Some(LogEntry::Savepoint(sp)) = record.log.last() {
+    if let Some(sp) = record.log.top_savepoint() {
         if sp.id == target {
             return Ok(StartPlan::AlreadyAtTarget(Box::new(resolve_restore(
                 record, sp,
@@ -85,11 +82,11 @@ pub fn compensation_round(
 
     // Phase A: pop savepoints above the target ("if last log entry is
     // savepoint: LOG.pop()", generalized to adjacent savepoints).
-    pop_savepoints_above_target(record, target)?;
+    pop_savepoints_above_target(record, target);
 
     // Reached without compensating anything? (Only markers/savepoints stood
     // between the abort point and the target.)
-    if let Some(LogEntry::Savepoint(sp)) = record.log.last() {
+    if let Some(sp) = record.log.top_savepoint() {
         if sp.id == target {
             let restore = resolve_restore(record, &sp.clone())?;
             return Ok(RoundPlan {
@@ -139,9 +136,7 @@ pub fn compensation_round(
                 )));
             }
             None => {
-                return Err(CoreError::CorruptLog(
-                    "log ended inside a step".to_owned(),
-                ));
+                return Err(CoreError::CorruptLog("log ended inside a step".to_owned()));
             }
         }
     }
@@ -159,7 +154,7 @@ pub fn compensation_round(
     };
 
     // Phase E: pop further savepoints and decide how to continue.
-    pop_savepoints_above_target(record, target)?;
+    pop_savepoints_above_target(record, target);
     let after = match record.log.last() {
         Some(LogEntry::Savepoint(sp)) if sp.id == target => {
             let restore = resolve_restore(record, &sp.clone())?;
@@ -200,22 +195,17 @@ pub fn compensation_round(
 }
 
 /// Pops non-target savepoint entries off the top of the log, applying their
-/// backward deltas to the SRO shadow (transition logging).
-fn pop_savepoints_above_target(
-    record: &mut AgentRecord,
-    target: SavepointId,
-) -> Result<(), CoreError> {
-    loop {
-        match record.log.last() {
-            Some(LogEntry::Savepoint(sp)) if sp.id != target => {
-                let Some(LogEntry::Savepoint(sp)) = record.log.pop() else {
-                    unreachable!("matched savepoint above");
-                };
-                if let SroPayload::Delta(delta) = &sp.sro {
-                    record.data.apply_delta_to_shadow(delta);
-                }
-            }
-            _ => return Ok(()),
+/// backward deltas to the SRO shadow (transition logging). Walks the log's
+/// savepoint segments directly: each popped savepoint is O(1), with no
+/// entry scans in between.
+fn pop_savepoints_above_target(record: &mut AgentRecord, target: SavepointId) {
+    while record.log.top_savepoint().is_some_and(|sp| sp.id != target) {
+        let sp = record
+            .log
+            .pop_top_savepoint()
+            .expect("top_savepoint checked in loop condition");
+        if let SroPayload::Delta(delta) = &sp.sro {
+            record.data.apply_delta_to_shadow(delta);
         }
     }
 }
@@ -226,15 +216,9 @@ fn resolve_restore(record: &AgentRecord, sp: &SpEntry) -> Result<RestorePlan, Co
         LoggingMode::Transition => {
             // All savepoints above the target have been popped and their
             // deltas applied: the shadow *is* the SRO state at the target.
-            record
-                .data
-                .shadow()
-                .cloned()
-                .ok_or_else(|| {
-                    CoreError::CorruptLog(
-                        "transition logging without shadow copy".to_owned(),
-                    )
-                })?
+            record.data.shadow().cloned().ok_or_else(|| {
+                CoreError::CorruptLog("transition logging without shadow copy".to_owned())
+            })?
         }
         LoggingMode::State => match &sp.sro {
             SroPayload::Full(image) => image.clone(),

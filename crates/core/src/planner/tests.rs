@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use crate::comp::{CompOp, EntryKind};
 use crate::data::DataSpace;
-use crate::log::{BosEntry, EosEntry, LogEntry, LoggingMode, OpEntry};
+use crate::log::{LogEntry, LoggingMode, OpEntry};
 use crate::planner::{
     compensation_round, start_rollback, AfterRound, Destination, RollbackMode, StartPlan,
 };
@@ -19,40 +19,21 @@ fn record(mode: RollbackMode, logging: LoggingMode) -> AgentRecord {
     let mut data = DataSpace::new();
     data.set_sro("notes", Value::from(0i64));
     data.set_wro("wallet", Value::from(100i64));
-    AgentRecord::new(
-        AgentId(1),
-        "test",
-        0,
-        data,
-        samples::fig6(),
-        logging,
-        mode,
-    )
+    AgentRecord::new(AgentId(1), "test", 0, data, samples::fig6(), logging, mode)
 }
 
 /// Simulates the log effects of a committed forward step.
 fn commit_step(rec: &mut AgentRecord, node: u32, ops: &[(EntryKind, &str)]) {
     let seq = rec.step_seq;
-    rec.log.push(LogEntry::BeginOfStep(BosEntry {
+    rec.log.append_step(
         node,
-        step_seq: seq,
-        method: format!("m{seq}"),
-    }));
-    for (i, (kind, name)) in ops.iter().enumerate() {
-        rec.log.push(LogEntry::Operation(OpEntry {
-            kind: *kind,
-            op: CompOp::new(*name, Value::from(i as i64)),
-            step_seq: seq,
-        }));
-    }
-    let has_mixed = ops.iter().any(|(k, _)| *k == EntryKind::Mixed);
-    rec.log.push(LogEntry::EndOfStep(EosEntry {
-        node,
-        step_seq: seq,
-        method: format!("m{seq}"),
-        has_mixed,
-        alt_nodes: vec![],
-    }));
+        seq,
+        &format!("m{seq}"),
+        ops.iter()
+            .enumerate()
+            .map(|(i, (kind, name))| (*kind, CompOp::new(*name, Value::from(i as i64)))),
+        vec![],
+    );
     rec.step_seq += 1;
     rec.table.on_step_committed();
 }
@@ -90,7 +71,11 @@ fn run_rollback(
 fn basic_walks_back_in_reverse_step_order() {
     let mut rec = record(RollbackMode::Basic, LoggingMode::State);
     let sp = savepoint(&mut rec, "S");
-    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r0"), (EntryKind::Agent, "a0")]);
+    commit_step(
+        &mut rec,
+        1,
+        &[(EntryKind::Resource, "r0"), (EntryKind::Agent, "a0")],
+    );
     commit_step(&mut rec, 2, &[(EntryKind::Resource, "r1")]);
     commit_step(&mut rec, 3, &[(EntryKind::Agent, "a2")]);
 
@@ -146,8 +131,16 @@ fn ops_within_a_step_are_compensated_in_reverse() {
 fn optimized_avoids_moves_without_mixed_entries() {
     let mut rec = record(RollbackMode::Optimized, LoggingMode::State);
     let sp = savepoint(&mut rec, "S");
-    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r0"), (EntryKind::Agent, "a0")]);
-    commit_step(&mut rec, 2, &[(EntryKind::Resource, "r1"), (EntryKind::Agent, "a1")]);
+    commit_step(
+        &mut rec,
+        1,
+        &[(EntryKind::Resource, "r0"), (EntryKind::Agent, "a0")],
+    );
+    commit_step(
+        &mut rec,
+        2,
+        &[(EntryKind::Resource, "r1"), (EntryKind::Agent, "a1")],
+    );
 
     let (start, rounds) = run_rollback(&mut rec, sp);
     // Fig. 5a: no mixed entry in the next step → stay local.
@@ -169,7 +162,11 @@ fn optimized_moves_agent_for_mixed_entries() {
     let mut rec = record(RollbackMode::Optimized, LoggingMode::State);
     let sp = savepoint(&mut rec, "S");
     commit_step(&mut rec, 1, &[(EntryKind::Resource, "r0")]);
-    commit_step(&mut rec, 2, &[(EntryKind::Mixed, "x1"), (EntryKind::Resource, "r1")]);
+    commit_step(
+        &mut rec,
+        2,
+        &[(EntryKind::Mixed, "x1"), (EntryKind::Resource, "r1")],
+    );
 
     let (start, rounds) = run_rollback(&mut rec, sp);
     // The newest step has a mixed entry: the agent must go there.
@@ -193,10 +190,7 @@ fn savepoint_directly_before_abort_needs_no_compensation() {
     match start_rollback(&rec, sp).unwrap() {
         StartPlan::AlreadyAtTarget(plan) => {
             assert_eq!(plan.savepoint, sp);
-            assert_eq!(
-                plan.sro.get("notes").and_then(Value::as_i64),
-                Some(0)
-            );
+            assert_eq!(plan.sro.get("notes").and_then(Value::as_i64), Some(0));
         }
         other => panic!("unexpected {other:?}"),
     }

@@ -121,10 +121,7 @@ impl SavepointTable {
             LoggingMode::State => SroPayload::Full(data.sro_image()),
             LoggingMode::Transition => {
                 data.enable_shadow();
-                SroPayload::Delta(
-                    data.take_transition_delta()
-                        .expect("shadow enabled above"),
-                )
+                SroPayload::Delta(data.take_transition_delta().expect("shadow enabled above"))
             }
         }
     }
@@ -211,9 +208,10 @@ impl SavepointTable {
         data: &mut DataSpace,
         log: &mut RollbackLog,
     ) -> Result<LeaveOutcome, CoreError> {
-        let frame = self.stack.pop().ok_or_else(|| {
-            CoreError::BadScope(format!("leaving {sub_id:?} with no active sub"))
-        })?;
+        let frame = self
+            .stack
+            .pop()
+            .ok_or_else(|| CoreError::BadScope(format!("leaving {sub_id:?} with no active sub")))?;
         if frame.sub_id != sub_id {
             return Err(CoreError::BadScope(format!(
                 "leaving {sub_id:?} but innermost active sub is {:?}",
@@ -227,6 +225,9 @@ impl SavepointTable {
             self.steps_since_last_sp = 0;
             return Ok(LeaveOutcome::LogDiscarded { freed_bytes: freed });
         }
+        // Savepoint removal is an index splice per id (O(log n) lookup, no
+        // entry scans), so eagerly GC-ing every explicit savepoint of the
+        // completed sub is affordable even for savepoint-heavy programs.
         let mut removed = 0;
         for id in frame.explicit.iter().copied() {
             if log.remove_savepoint(id, data)? {
@@ -269,16 +270,12 @@ impl SavepointTable {
                 if self.stack.is_empty() {
                     return Err(CoreError::BadScope("no active sub-itinerary".to_owned()));
                 }
-                let idx = self
-                    .stack
-                    .len()
-                    .checked_sub(1 + n)
-                    .ok_or_else(|| {
-                        CoreError::BadScope(format!(
-                            "Enclosing({n}) exceeds nesting depth {}",
-                            self.stack.len()
-                        ))
-                    })?;
+                let idx = self.stack.len().checked_sub(1 + n).ok_or_else(|| {
+                    CoreError::BadScope(format!(
+                        "Enclosing({n}) exceeds nesting depth {}",
+                        self.stack.len()
+                    ))
+                })?;
                 Ok(self.stack[idx].auto)
             }
             RollbackScope::ToSavepoint(id) => {
@@ -441,20 +438,14 @@ mod tests {
         table.on_step_committed();
         let inner = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::State);
         table.on_step_committed();
-        let expl =
-            table.explicit_savepoint(&mut data, &cursor, &mut log, LoggingMode::State);
+        let expl = table.explicit_savepoint(&mut data, &cursor, &mut log, LoggingMode::State);
 
         assert_eq!(table.resolve(RollbackScope::CurrentSub).unwrap(), inner);
-        assert_eq!(
-            table.resolve(RollbackScope::Enclosing(0)).unwrap(),
-            inner
-        );
+        assert_eq!(table.resolve(RollbackScope::Enclosing(0)).unwrap(), inner);
         assert_eq!(table.resolve(RollbackScope::Enclosing(1)).unwrap(), outer);
         assert!(table.resolve(RollbackScope::Enclosing(2)).is_err());
         assert_eq!(
-            table
-                .resolve(RollbackScope::ToSavepoint(expl))
-                .unwrap(),
+            table.resolve(RollbackScope::ToSavepoint(expl)).unwrap(),
             expl
         );
         assert!(matches!(

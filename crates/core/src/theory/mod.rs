@@ -16,7 +16,7 @@ mod ops;
 mod soundness;
 mod state;
 
-pub use classify::{classify_catalog, CompensationClass, ClassifiedOp};
+pub use classify::{classify_catalog, ClassifiedOp, CompensationClass};
 pub use history::{History, Operation};
 pub use ops::{AddOp, CondTransferOp, ReadDecideOp, SetOp, WithdrawOp};
 pub use soundness::{commute, compensates_to_identity, equivalent, is_sound, sample_states};

@@ -109,11 +109,7 @@ pub struct ReadDecideOp {
 
 impl ReadDecideOp {
     /// Creates the operation: sets `flag` to whether `account >= threshold`.
-    pub fn new(
-        account: impl Into<String>,
-        threshold: i64,
-        flag: impl Into<String>,
-    ) -> Self {
+    pub fn new(account: impl Into<String>, threshold: i64, flag: impl Into<String>) -> Self {
         ReadDecideOp {
             account: account.into(),
             threshold,

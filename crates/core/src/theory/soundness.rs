@@ -145,8 +145,7 @@ mod tests {
             assert!(s1.semantically_eq(s2));
         }
         // Values vary across samples.
-        let distinct: std::collections::BTreeSet<i64> =
-            a.iter().map(|s| s.get_i64("x")).collect();
+        let distinct: std::collections::BTreeSet<i64> = a.iter().map(|s| s.get_i64("x")).collect();
         assert!(distinct.len() > 5);
     }
 }

@@ -34,10 +34,7 @@ impl AugState {
     /// Reads an entity as an integer, defaulting to 0 — convenient for
     /// account-style entities.
     pub fn get_i64(&self, name: &str) -> i64 {
-        self.entities
-            .get(name)
-            .and_then(Value::as_i64)
-            .unwrap_or(0)
+        self.entities.get(name).and_then(Value::as_i64).unwrap_or(0)
     }
 
     /// Writes an entity.

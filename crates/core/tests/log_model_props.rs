@@ -1,0 +1,314 @@
+//! Model-based property test for the segment-indexed rollback log.
+//!
+//! [`NaiveLog`] (the original flat-vector implementation, kept as the
+//! executable specification) and the production [`RollbackLog`] are driven
+//! with identical random operation sequences — pushes of every entry and
+//! payload kind, pops, savepoint-walk pops, mid-log savepoint removals, and
+//! clears. After **every** operation the two must be observationally
+//! equivalent: same queries, same byte accounting, same shadow effects, and
+//! byte-identical serialization (the migration-compatibility guarantee).
+
+use proptest::prelude::*;
+
+use mar_core::comp::{CompOp, EntryKind};
+use mar_core::log::reference::NaiveLog;
+use mar_core::log::{
+    BosEntry, EosEntry, LogEntry, LogStats, OpEntry, RollbackLog, SpEntry, SroPayload,
+};
+use mar_core::{DataSpace, ObjectMap, SavepointId, SavepointTable, SroDelta};
+use mar_itinerary::{samples, Cursor};
+use mar_wire::Value;
+
+/// Abstract operations; indices are resolved against the live log state at
+/// execution time so generated sequences stay meaningful.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a BOS / n OEs / EOS frame.
+    PushStep { node: u32, nops: u8 },
+    /// Push a savepoint entry with the given payload shape.
+    PushSavepoint(PayloadKind),
+    /// Pop the newest entry.
+    Pop,
+    /// Pop the newest entry only if it is a savepoint (planner walk).
+    PopTopSavepoint,
+    /// Remove the (pick mod live)-th live savepoint, or a known-absent id
+    /// when none are live.
+    RemoveSavepoint { pick: u8 },
+    /// Discard the whole log.
+    Clear,
+}
+
+/// Payload shape for generated savepoint entries.
+#[derive(Debug, Clone)]
+enum PayloadKind {
+    /// Full image with `keys` entries.
+    Full { keys: u8 },
+    /// Backward delta touching `keys` entries.
+    Delta { keys: u8 },
+    /// Marker referencing the (pick mod live)-th live savepoint
+    /// (degrades to a small full image when no savepoint is live).
+    Ref { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    let payload = prop_oneof![
+        (0u8..4).prop_map(|keys| PayloadKind::Full { keys }),
+        (0u8..4).prop_map(|keys| PayloadKind::Delta { keys }),
+        (0u8..8).prop_map(|pick| PayloadKind::Ref { pick }),
+    ];
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (1u32..4, 0u8..3).prop_map(|(node, nops)| Op::PushStep { node, nops }),
+            4 => payload.prop_map(Op::PushSavepoint),
+            2 => Just(Op::Pop),
+            2 => Just(Op::PopTopSavepoint),
+            3 => (0u8..8).prop_map(|pick| Op::RemoveSavepoint { pick }),
+            1 => Just(Op::Clear),
+        ],
+        1..40,
+    )
+}
+
+/// Drives both implementations and checks equivalence after every step.
+struct Harness {
+    log: RollbackLog,
+    naive: NaiveLog,
+    log_data: DataSpace,
+    naive_data: DataSpace,
+    cursor: Cursor,
+    next_sp: u64,
+    step_seq: u64,
+    mutation: i64,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let main = samples::fig6();
+        let cursor = Cursor::new(&main);
+        let mut log_data = DataSpace::new();
+        log_data.set_sro("v", Value::from(0i64));
+        log_data.enable_shadow();
+        let naive_data = log_data.clone();
+        Harness {
+            log: RollbackLog::new(),
+            naive: NaiveLog::new(),
+            log_data,
+            naive_data,
+            cursor,
+            next_sp: 0,
+            step_seq: 0,
+            mutation: 0,
+        }
+    }
+
+    fn small_map(&mut self, keys: u8) -> ObjectMap {
+        (0..keys)
+            .map(|k| {
+                self.mutation += 1;
+                (format!("k{k}"), Value::from(self.mutation))
+            })
+            .collect()
+    }
+
+    fn live_savepoints(&self) -> Vec<SavepointId> {
+        self.log.savepoint_ids().collect()
+    }
+
+    fn push_both(&mut self, entry: LogEntry) {
+        self.log.push(entry.clone());
+        self.naive.push(entry);
+    }
+
+    fn sp_entry(&mut self, sro: SroPayload) -> LogEntry {
+        let id = SavepointId(self.next_sp);
+        self.next_sp += 1;
+        LogEntry::Savepoint(SpEntry {
+            id,
+            sub_id: None,
+            explicit: true,
+            cursor: self.cursor.clone(),
+            table: SavepointTable::new(),
+            sro,
+        })
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::PushStep { node, nops } => {
+                let seq = self.step_seq;
+                self.step_seq += 1;
+                self.push_both(LogEntry::BeginOfStep(BosEntry {
+                    node: *node,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                }));
+                let mut has_mixed = false;
+                for i in 0..*nops {
+                    let kind = match i % 3 {
+                        0 => EntryKind::Resource,
+                        1 => EntryKind::Agent,
+                        _ => EntryKind::Mixed,
+                    };
+                    has_mixed |= kind == EntryKind::Mixed;
+                    self.push_both(LogEntry::Operation(OpEntry {
+                        kind,
+                        op: CompOp::new("undo", Value::from(i as i64)),
+                        step_seq: seq,
+                    }));
+                }
+                self.push_both(LogEntry::EndOfStep(EosEntry {
+                    node: *node,
+                    step_seq: seq,
+                    method: format!("m{seq}"),
+                    has_mixed,
+                    alt_nodes: vec![],
+                }));
+            }
+            Op::PushSavepoint(payload) => {
+                let live = self.live_savepoints();
+                let sro = match payload {
+                    PayloadKind::Full { keys } => SroPayload::Full(self.small_map(*keys)),
+                    PayloadKind::Delta { keys } => {
+                        let changed = self.small_map(*keys);
+                        SroPayload::Delta(SroDelta {
+                            changed,
+                            removed: Default::default(),
+                        })
+                    }
+                    PayloadKind::Ref { pick } => {
+                        if live.is_empty() {
+                            SroPayload::Full(self.small_map(1))
+                        } else {
+                            SroPayload::Ref(live[*pick as usize % live.len()])
+                        }
+                    }
+                };
+                let entry = self.sp_entry(sro);
+                self.push_both(entry);
+            }
+            Op::Pop => {
+                let a = self.log.pop();
+                let b = self.naive.pop();
+                assert_eq!(a, b, "pop must return the same entry");
+            }
+            Op::PopTopSavepoint => {
+                let expected = match self.naive.last() {
+                    Some(LogEntry::Savepoint(sp)) => Some(sp.clone()),
+                    _ => None,
+                };
+                assert_eq!(
+                    self.log.top_savepoint().cloned(),
+                    expected,
+                    "top_savepoint must mirror the model's last entry"
+                );
+                let popped = self.log.pop_top_savepoint();
+                assert_eq!(popped, expected);
+                if popped.is_some() {
+                    self.naive.pop();
+                }
+            }
+            Op::RemoveSavepoint { pick } => {
+                let live = self.live_savepoints();
+                let id = if live.is_empty() {
+                    SavepointId(self.next_sp + 999)
+                } else {
+                    live[*pick as usize % live.len()]
+                };
+                let a = self
+                    .log
+                    .remove_savepoint(id, &mut self.log_data)
+                    .expect("segment removal");
+                let b = self
+                    .naive
+                    .remove_savepoint(id, &mut self.naive_data)
+                    .expect("model removal");
+                assert_eq!(a, b, "removal outcome for {id}");
+            }
+            Op::Clear => {
+                self.log.clear();
+                self.naive.clear();
+            }
+        }
+    }
+
+    /// Expected stats, recounted from the model's entries with the shared
+    /// bucketing rule.
+    fn model_stats(&self) -> LogStats {
+        let s = LogStats::of_entries(self.naive.iter());
+        // The model's size counter uses the same saturating arithmetic as
+        // the production log, so totals must agree with the recount too.
+        assert_eq!(s.total_bytes, self.naive.size_bytes());
+        s
+    }
+
+    fn check_equivalent(&self) {
+        assert_eq!(self.log.len(), self.naive.len());
+        assert_eq!(self.log.is_empty(), self.naive.is_empty());
+        assert_eq!(self.log.size_bytes(), self.naive.size_bytes());
+        assert_eq!(self.log.last(), self.naive.last());
+        assert_eq!(
+            self.log.last_data_savepoint(),
+            self.naive.last_data_savepoint()
+        );
+        assert_eq!(self.log.last_eos(), self.naive.last_eos());
+        assert!(
+            self.log.iter().eq(self.naive.iter()),
+            "entry sequences diverged"
+        );
+        // Savepoint index agrees with the model's scans, probed from both
+        // directions: everything the model finds, the index finds, and the
+        // index holds nothing extra.
+        let mut model_live = 0;
+        for e in self.naive.iter() {
+            if let LogEntry::Savepoint(sp) = e {
+                model_live += 1;
+                assert_eq!(
+                    self.log.find_savepoint(sp.id),
+                    self.naive.find_savepoint(sp.id)
+                );
+                assert!(self.log.contains_savepoint(sp.id));
+            }
+        }
+        assert_eq!(self.log.savepoint_ids().count(), model_live);
+        assert_eq!(self.log.segment_count(), model_live);
+        assert!(!self.log.contains_savepoint(SavepointId(self.next_sp + 999)));
+        // Incremental statistics equal a brute-force recount.
+        assert_eq!(self.log.stats(), self.model_stats());
+        // Shadow effects of delta removals are identical.
+        assert_eq!(self.log_data, self.naive_data);
+        // Migration compatibility: serialized bytes are identical, and the
+        // production log round-trips through them.
+        let seg_bytes = mar_wire::to_bytes(&self.log).expect("segment log encodes");
+        let model_bytes = mar_wire::to_bytes(&self.naive).expect("model encodes");
+        assert_eq!(seg_bytes, model_bytes, "wire formats diverged");
+        let back: RollbackLog = mar_wire::from_slice(&seg_bytes).expect("decodes");
+        assert_eq!(back, self.log);
+    }
+}
+
+fn run(ops: Vec<Op>) {
+    let mut h = Harness::new();
+    for op in &ops {
+        h.apply(op);
+        h.check_equivalent();
+    }
+    // A decoded copy must keep behaving like the original: pop everything
+    // off both and watch the accounting drain to zero.
+    let bytes = mar_wire::to_bytes(&h.log).unwrap();
+    let mut back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+    assert_eq!(back.stats(), h.log.stats());
+    while let Some(e) = back.pop() {
+        assert_eq!(Some(e), h.naive.pop());
+    }
+    assert_eq!(back.size_bytes(), 0);
+    assert!(back.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn segment_log_is_observationally_equivalent_to_model(ops in op_strategy()) {
+        run(ops);
+    }
+}

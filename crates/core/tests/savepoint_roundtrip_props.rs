@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use mar_core::comp::{CompOp, EntryKind};
 use mar_core::log::{BosEntry, EosEntry, LogEntry, LoggingMode, OpEntry};
 use mar_core::{
-    compensation_round, start_rollback, AfterRound, AgentId, AgentRecord, DataSpace,
-    ObjectMap, RollbackMode, RollbackScope, SavepointId, StartPlan,
+    compensation_round, start_rollback, AfterRound, AgentId, AgentRecord, DataSpace, ObjectMap,
+    RollbackMode, RollbackScope, SavepointId, StartPlan,
 };
 use mar_itinerary::samples;
 use mar_wire::Value;
@@ -173,7 +173,10 @@ fn check(events: Vec<Ev>, logging: LoggingMode, mode: RollbackMode) {
     let mut sim = Sim::new(logging, mode);
     for ev in &events {
         sim.apply(ev);
-        sim.rec.log.validate().expect("log grammar holds at all times");
+        sim.rec
+            .log
+            .validate()
+            .expect("log grammar holds at all times");
     }
     // Every still-targetable savepoint must restore its exact SRO image.
     for (id, expected) in &sim.truth {
@@ -187,7 +190,10 @@ fn check(events: Vec<Ev>, logging: LoggingMode, mode: RollbackMode) {
             continue;
         }
         let restored = sim.rollback(*id);
-        assert_eq!(&restored, expected, "savepoint {id} under {logging:?}/{mode:?}");
+        assert_eq!(
+            &restored, expected,
+            "savepoint {id} under {logging:?}/{mode:?}"
+        );
     }
 }
 

@@ -203,7 +203,11 @@ mod tests {
     fn nested_partial_constraints() {
         let it = ItineraryBuilder::main("I")
             .sub("P", |b| {
-                b.step("a", 1).step("b", 2).step("c", 3).constrain(0, 2).constrain(1, 2);
+                b.step("a", 1)
+                    .step("b", 2)
+                    .step("c", 3)
+                    .constrain(0, 2)
+                    .constrain(1, 2);
             })
             .build()
             .unwrap();

@@ -141,7 +141,10 @@ impl Cursor {
 
     /// The stack of itinerary ids currently being executed (main first).
     pub fn path(&self) -> Vec<&str> {
-        self.frames.iter().map(|f| f.itinerary_id.as_str()).collect()
+        self.frames
+            .iter()
+            .map(|f| f.itinerary_id.as_str())
+            .collect()
     }
 
     /// Current stack depth (main = 1; 0 when finished).
@@ -231,9 +234,10 @@ impl Cursor {
                 }
                 match self.frames.last_mut() {
                     Some(parent) => {
-                        let idx = parent.running.take().ok_or_else(|| {
-                            CursorError::Stuck(parent.itinerary_id.clone())
-                        })?;
+                        let idx = parent
+                            .running
+                            .take()
+                            .ok_or_else(|| CursorError::Stuck(parent.itinerary_id.clone()))?;
                         parent.done.insert(idx);
                     }
                     None => {
@@ -277,10 +281,7 @@ impl Cursor {
     /// # Errors
     ///
     /// [`CursorError::UnknownItinerary`] if the cursor and tree diverge.
-    pub fn skip_remaining_in_current_sub(
-        &mut self,
-        main: &Itinerary,
-    ) -> Result<(), CursorError> {
+    pub fn skip_remaining_in_current_sub(&mut self, main: &Itinerary) -> Result<(), CursorError> {
         let frame = self.frames.last_mut().ok_or(CursorError::AlreadyFinished)?;
         let itin = main
             .find(&frame.itinerary_id)

@@ -257,7 +257,10 @@ impl fmt::Display for ItineraryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ItineraryError::StepInMainItinerary { method } => {
-                write!(f, "step {method:?} not allowed directly in the main itinerary")
+                write!(
+                    f,
+                    "step {method:?} not allowed directly in the main itinerary"
+                )
             }
             ItineraryError::DuplicateId { id } => write!(f, "duplicate itinerary id {id:?}"),
             ItineraryError::Empty { id } => write!(f, "itinerary {id:?} has no entries"),
@@ -284,7 +287,9 @@ mod tests {
     fn leaf(id: &str, n: usize) -> Itinerary {
         Itinerary::seq(
             id,
-            (0..n).map(|i| Entry::step(format!("{id}_s{i}"), i as u32)).collect(),
+            (0..n)
+                .map(|i| Entry::step(format!("{id}_s{i}"), i as u32))
+                .collect(),
         )
     }
 
@@ -342,7 +347,11 @@ mod tests {
     fn partial_order_validation() {
         let ok = Itinerary::partial(
             "P",
-            vec![Entry::step("a", 0u32), Entry::step("b", 1u32), Entry::step("c", 2u32)],
+            vec![
+                Entry::step("a", 0u32),
+                Entry::step("b", 1u32),
+                Entry::step("c", 2u32),
+            ],
             vec![(0, 2), (1, 2)],
         );
         ok.validate().unwrap();

@@ -66,12 +66,7 @@ pub fn linear(steps: usize, locations: &[u32]) -> Itinerary {
 /// # Panics
 ///
 /// Panics if any parameter is zero or `locations` is empty.
-pub fn nested(
-    top: usize,
-    nesting: usize,
-    steps_per_level: usize,
-    locations: &[u32],
-) -> Itinerary {
+pub fn nested(top: usize, nesting: usize, steps_per_level: usize, locations: &[u32]) -> Itinerary {
     assert!(top > 0 && nesting > 0 && steps_per_level > 0);
     assert!(!locations.is_empty());
     let mut builder = ItineraryBuilder::main("I");

@@ -57,7 +57,11 @@ impl BehaviorRegistry {
     /// # Panics
     ///
     /// Panics on duplicate names.
-    pub fn register(&mut self, agent_type: impl Into<String>, behavior: impl AgentBehavior + 'static) {
+    pub fn register(
+        &mut self,
+        agent_type: impl Into<String>,
+        behavior: impl AgentBehavior + 'static,
+    ) {
         let name = agent_type.into();
         let prev = self.map.insert(name.clone(), Rc::new(behavior));
         assert!(prev.is_none(), "agent type {name:?} registered twice");

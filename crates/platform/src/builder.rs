@@ -6,9 +6,7 @@ use std::rc::Rc;
 use mar_core::comp::CompOpRegistry;
 use mar_core::{AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode};
 use mar_itinerary::Itinerary;
-use mar_simnet::{
-    Address, LatencyModel, MetricsSnapshot, NodeId, SimDuration, World, WorldConfig,
-};
+use mar_simnet::{Address, LatencyModel, MetricsSnapshot, NodeId, SimDuration, World, WorldConfig};
 use mar_txn::RmRegistry;
 
 use crate::behavior::BehaviorRegistry;
@@ -121,11 +119,7 @@ impl PlatformBuilder {
     /// Installs the resource factory for a node. The factory runs once at
     /// start and again after every crash (committed state is then restored
     /// from stable storage).
-    pub fn resources(
-        mut self,
-        node: NodeId,
-        factory: impl Fn() -> RmRegistry + 'static,
-    ) -> Self {
+    pub fn resources(mut self, node: NodeId, factory: impl Fn() -> RmRegistry + 'static) -> Self {
         self.resources.insert(node.0, Rc::new(factory));
         self
     }

@@ -22,8 +22,8 @@ use mar_core::{
 };
 use mar_simnet::{Address, Ctx, NodeId, Service, SimDuration};
 use mar_txn::{
-    twopc::Action, Coordinator, Participant, PreparedEntry, RemoteWork, RmRegistry, TxMsg,
-    TxnId, TxnIdGen,
+    twopc::Action, Coordinator, Participant, PreparedEntry, RemoteWork, RmRegistry, TxMsg, TxnId,
+    TxnIdGen,
 };
 
 use crate::behavior::{BehaviorRegistry, StepDecision};
@@ -352,7 +352,10 @@ impl MoleService {
                     .encode(),
                 );
             } else {
-                ctx.stable_put(format!("{HOME_REPORT_PREFIX}{}", decoded.id.0), report.clone());
+                ctx.stable_put(
+                    format!("{HOME_REPORT_PREFIX}{}", decoded.id.0),
+                    report.clone(),
+                );
             }
         }
         for (name, n) in &effects.metrics {
@@ -517,7 +520,13 @@ impl MoleService {
         }
     }
 
-    fn fail_agent(&mut self, ctx: &mut Ctx<'_>, key: &str, mut record: AgentRecord, reason: String) {
+    fn fail_agent(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        mut record: AgentRecord,
+        reason: String,
+    ) {
         let txn = self.alloc_txn(ctx);
         record.status = AgentStatus::Failed(reason.clone());
         let report = AgentReport {
@@ -674,9 +683,7 @@ impl MoleService {
 
         // A fresh launch (or an explicit-savepoint restore) has no current
         // step yet: advance first.
-        if !rec.cursor.is_finished()
-            && rec.cursor.current_step(&rec.itinerary).is_none()
-        {
+        if !rec.cursor.is_finished() && rec.cursor.current_step(&rec.itinerary).is_none() {
             match self.advance_and_book(ctx, &mut rec)? {
                 NextHop::Finished => {
                     rec.status = AgentStatus::Completed;
@@ -712,7 +719,9 @@ impl MoleService {
         // Misplaced agent (e.g. after a restore): forward it to the step's
         // node without executing anything.
         if primary != ctx.node().0 {
-            let bytes = rec.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+            let bytes = rec
+                .to_bytes()
+                .map_err(|e| ItemError::Permanent(e.to_string()))?;
             let effects = Effects {
                 delete_queue: vec![key.to_owned()],
                 ..Effects::default()
@@ -723,10 +732,9 @@ impl MoleService {
         }
 
         // Execute the step method inside the step transaction.
-        let behavior = self
-            .behaviors
-            .get(&rec.agent_type)
-            .ok_or_else(|| ItemError::Permanent(format!("unknown agent type {:?}", rec.agent_type)))?;
+        let behavior = self.behaviors.get(&rec.agent_type).ok_or_else(|| {
+            ItemError::Permanent(format!("unknown agent type {:?}", rec.agent_type))
+        })?;
         let comps = self.comps.clone();
         let decision = {
             let mut sctx = StepCtx::new(
@@ -769,35 +777,11 @@ impl MoleService {
             }
             StepDecision::Continue => {
                 // Log the step's entries (§4.2): BOS, OEs in logged order,
-                // EOS with the mixed flag and alternative nodes.
+                // EOS with the mixed flag and alternative nodes — one
+                // segment-tail append per entry.
                 let step_seq = rec.step_seq;
-                rec.log.push(mar_core::log::LogEntry::BeginOfStep(
-                    mar_core::log::BosEntry {
-                        node: ctx.node().0,
-                        step_seq,
-                        method: method.clone(),
-                    },
-                ));
-                let mut has_mixed = false;
-                for (kind, op) in pending_comps {
-                    has_mixed |= kind == mar_core::comp::EntryKind::Mixed;
-                    rec.log.push(mar_core::log::LogEntry::Operation(
-                        mar_core::log::OpEntry {
-                            kind,
-                            op,
-                            step_seq,
-                        },
-                    ));
-                }
-                rec.log.push(mar_core::log::LogEntry::EndOfStep(
-                    mar_core::log::EosEntry {
-                        node: ctx.node().0,
-                        step_seq,
-                        method,
-                        has_mixed,
-                        alt_nodes: alternatives,
-                    },
-                ));
+                rec.log
+                    .append_step(ctx.node().0, step_seq, &method, pending_comps, alternatives);
                 rec.cursor
                     .step_done()
                     .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?;
@@ -821,12 +805,8 @@ impl MoleService {
                 match self.advance_and_book(ctx, &mut rec)? {
                     NextHop::Finished => {
                         rec.status = AgentStatus::Completed;
-                        let fx = self.finalize_effects(
-                            ctx,
-                            key,
-                            &rec,
-                            vec![(keys::STEPS_COMMITTED, 1)],
-                        );
+                        let fx =
+                            self.finalize_effects(ctx, key, &rec, vec![(keys::STEPS_COMMITTED, 1)]);
                         self.commit_with(ctx, txn, key, fx, Vec::new());
                         Ok(())
                     }
@@ -892,13 +872,17 @@ impl MoleService {
                 self.route_record(ctx, txn, key, rb, effects, "enqueue-fwd")
             }
             StartPlan::Go(Destination::Local) => {
-                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = rb
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
                 self.commit_with(ctx, txn, key, effects, Vec::new());
                 Ok(())
             }
             StartPlan::Go(Destination::Node(n)) => {
-                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = rb
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 let work = RemoteWork::new("enqueue-rbk", bytes);
                 self.commit_with(ctx, txn, key, effects, vec![(NodeId(n), work)]);
                 Ok(())
@@ -921,7 +905,9 @@ impl MoleService {
             .cursor
             .current_step(&rec.itinerary)
             .map(|s| s.loc.primary().0);
-        let bytes = rec.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+        let bytes = rec
+            .to_bytes()
+            .map_err(|e| ItemError::Permanent(e.to_string()))?;
         match dest {
             Some(n) if n != ctx.node().0 => {
                 let work = RemoteWork::new(kind, bytes);
@@ -965,7 +951,11 @@ impl MoleService {
             };
             match result {
                 Ok(()) => ctx.metrics().inc(keys::COMP_OPS),
-                Err(CompError::Failed { retryable: true, reason, .. }) => {
+                Err(CompError::Failed {
+                    retryable: true,
+                    reason,
+                    ..
+                }) => {
                     self.rms.abort_all(txn);
                     ctx.metrics().inc(keys::COMP_TRANSIENT);
                     return Err(ItemError::Transient(reason));
@@ -1006,7 +996,9 @@ impl MoleService {
                     .cursor
                     .current_step(&rb.itinerary)
                     .map(|s| s.loc.primary().0);
-                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = rb
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 match dest {
                     Some(n) if n != ctx.node().0 => {
                         branches.push((NodeId(n), RemoteWork::new("enqueue-fwd", bytes)));
@@ -1017,13 +1009,17 @@ impl MoleService {
                 Ok(())
             }
             AfterRound::Continue(Destination::Local) => {
-                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = rb
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
                 self.commit_with(ctx, txn, key, effects, branches);
                 Ok(())
             }
             AfterRound::Continue(Destination::Node(n)) => {
-                let bytes = rb.to_bytes().map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = rb
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 branches.push((NodeId(n), RemoteWork::new("enqueue-rbk", bytes)));
                 self.commit_with(ctx, txn, key, effects, branches);
                 Ok(())
@@ -1142,8 +1138,5 @@ impl Service for MoleService {
 
 fn parse_txn_key(key: &str) -> TxnId {
     let (node, seq) = key.split_once('.').unwrap_or(("0", "0"));
-    TxnId::new(
-        NodeId(node.parse().unwrap_or(0)),
-        seq.parse().unwrap_or(0),
-    )
+    TxnId::new(NodeId(node.parse().unwrap_or(0)), seq.parse().unwrap_or(0))
 }

@@ -41,10 +41,7 @@ impl ResourceAccess for RmAccess<'_> {
                 reason: e.to_string(),
                 // Lock conflicts and drained-funds rejections may succeed on
                 // a later attempt; structural errors will not.
-                retryable: matches!(
-                    e,
-                    TxnError::WouldBlock { .. } | TxnError::Rejected { .. }
-                ),
+                retryable: matches!(e, TxnError::WouldBlock { .. } | TxnError::Rejected { .. }),
             })
     }
 }
@@ -182,6 +179,9 @@ impl<'a> StepCtx<'a> {
 
     /// Logs a compensating operation for this step. The builders in
     /// `mar-resources` (`comp_*`) produce suitable `(kind, op)` pairs.
+    /// At commit the runtime writes the collected pairs into the rollback
+    /// log as one step frame (`RollbackLog::append_step`), which also
+    /// derives the EOS mixed flag (§4.4.1).
     ///
     /// # Errors
     ///
@@ -324,12 +324,27 @@ mod tests {
             .call(
                 "bank",
                 "withdraw",
-                &Value::map([("account", Value::from("a")), ("amount", Value::from(99i64))]),
+                &Value::map([
+                    ("account", Value::from("a")),
+                    ("amount", Value::from(99i64)),
+                ]),
             )
             .unwrap_err();
-        assert!(matches!(err, CompError::Failed { retryable: true, .. }));
+        assert!(matches!(
+            err,
+            CompError::Failed {
+                retryable: true,
+                ..
+            }
+        ));
         // Structural error → not retryable.
         let err = acc.call("bank", "nope", &Value::Null).unwrap_err();
-        assert!(matches!(err, CompError::Failed { retryable: false, .. }));
+        assert!(matches!(
+            err,
+            CompError::Failed {
+                retryable: false,
+                ..
+            }
+        ));
     }
 }

@@ -4,8 +4,8 @@
 use mar_core::{LoggingMode, RollbackMode, RollbackScope};
 use mar_itinerary::ItineraryBuilder;
 use mar_platform::{
-    metric_keys as mk, AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome,
-    StepCtx, StepDecision,
+    metric_keys as mk, AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome, StepCtx,
+    StepDecision,
 };
 use mar_resources::{comp_undo_transfer, BankRm, DirectoryRm};
 use mar_simnet::{NodeId, SimDuration};
@@ -68,14 +68,16 @@ impl AgentBehavior for Trader {
 }
 
 fn collector_platform(seed: u64) -> Platform {
-    let mut b = PlatformBuilder::new(4).seed(seed).behavior("collector", Collector);
+    let mut b = PlatformBuilder::new(4)
+        .seed(seed)
+        .behavior("collector", Collector);
     for n in 1..4u32 {
         b = b.resources(NodeId(n), move || {
             let mut rms = RmRegistry::new();
-            rms.register(Box::new(DirectoryRm::new("dir").with_entry(
-                "offers",
-                Value::from(format!("offer-from-node-{n}")),
-            )));
+            rms.register(Box::new(
+                DirectoryRm::new("dir")
+                    .with_entry("offers", Value::from(format!("offer-from-node-{n}"))),
+            ));
             rms
         });
     }
@@ -87,7 +89,9 @@ fn collector_visits_all_nodes_and_completes() {
     let mut p = collector_platform(1);
     let it = ItineraryBuilder::main("I")
         .sub("gather", |s| {
-            s.step("collect1", 1).step("collect2", 2).step("collect3", 3);
+            s.step("collect1", 1)
+                .step("collect2", 2)
+                .step("collect3", 3);
         })
         .build()
         .unwrap();
@@ -123,10 +127,7 @@ fn deterministic_across_reruns() {
             .unwrap();
         let agent = p.launch(AgentSpec::new("collector", NodeId(0), it));
         p.run_until_settled(&[agent], SimDuration::from_secs(60));
-        (
-            p.report(agent).map(|r| r.finished_at_us),
-            p.snapshot(),
-        )
+        (p.report(agent).map(|r| r.finished_at_us), p.snapshot())
     };
     assert_eq!(run(7), run(7));
 }

@@ -47,8 +47,10 @@ impl BankRm {
 
     /// Seeds an account before the world starts.
     pub fn with_account(mut self, account: &str, initial: i64) -> Self {
-        self.store
-            .seed(format!("acct/{account}"), mar_wire::to_bytes(&initial).unwrap());
+        self.store.seed(
+            format!("acct/{account}"),
+            mar_wire::to_bytes(&initial).unwrap(),
+        );
         self
     }
 
@@ -92,7 +94,10 @@ impl BankRm {
         if next < 0 && !self.allow_overdraft {
             return Err(rejected(
                 &self.name,
-                format!("insufficient funds: {account:?} has {cur}, needs {}", -delta),
+                format!(
+                    "insufficient funds: {account:?} has {cur}, needs {}",
+                    -delta
+                ),
             ));
         }
         write_t(&mut self.store, txn, &format!("acct/{account}"), &next)?;
@@ -137,17 +142,16 @@ impl ResourceManager for BankRm {
             "deposit" => {
                 let account = p_str(op, params, "account")?.to_owned();
                 let amount = p_amount(op, params, "amount")?;
-                Ok(Value::from(self.apply_delta(ctx.txn, op, &account, amount)?))
+                Ok(Value::from(
+                    self.apply_delta(ctx.txn, op, &account, amount)?,
+                ))
             }
             "withdraw" => {
                 let account = p_str(op, params, "account")?.to_owned();
                 let amount = p_amount(op, params, "amount")?;
-                Ok(Value::from(self.apply_delta(
-                    ctx.txn,
-                    op,
-                    &account,
-                    -amount,
-                )?))
+                Ok(Value::from(
+                    self.apply_delta(ctx.txn, op, &account, -amount)?,
+                ))
             }
             "transfer" => {
                 let from = p_str(op, params, "from")?.to_owned();
@@ -258,7 +262,10 @@ mod tests {
         b.invoke(
             ctx(1),
             "deposit",
-            &Value::map([("account", Value::from("alice")), ("amount", Value::from(20i64))]),
+            &Value::map([
+                ("account", Value::from("alice")),
+                ("amount", Value::from(20i64)),
+            ]),
         )
         .unwrap();
         b.invoke(
@@ -317,7 +324,10 @@ mod tests {
         b.invoke(
             ctx(2),
             "deposit",
-            &Value::map([("account", Value::from("alice")), ("amount", Value::from(5i64))]),
+            &Value::map([
+                ("account", Value::from("alice")),
+                ("amount", Value::from(5i64)),
+            ]),
         )
         .unwrap();
         b.abort(ctx(2).txn);
@@ -351,7 +361,10 @@ mod tests {
         b.invoke(
             ctx(1),
             "open",
-            &Value::map([("account", Value::from("carol")), ("initial", Value::from(7i64))]),
+            &Value::map([
+                ("account", Value::from("carol")),
+                ("initial", Value::from(7i64)),
+            ]),
         )
         .unwrap();
         b.commit(ctx(1).txn);
@@ -364,7 +377,10 @@ mod tests {
         b.invoke(
             ctx(1),
             "deposit",
-            &Value::map([("account", Value::from("bob")), ("amount", Value::from(9i64))]),
+            &Value::map([
+                ("account", Value::from("bob")),
+                ("amount", Value::from(9i64)),
+            ]),
         )
         .unwrap();
         b.commit(ctx(1).txn);

@@ -231,10 +231,7 @@ pub fn register_all(reg: &mut CompOpRegistry) {
     });
 }
 
-fn decode<T: serde::de::DeserializeOwned>(
-    ctx: &CompCtx<'_>,
-    v: &Value,
-) -> Result<T, CompError> {
+fn decode<T: serde::de::DeserializeOwned>(ctx: &CompCtx<'_>, v: &Value) -> Result<T, CompError> {
     mar_wire::from_value(v).map_err(|e| CompError::BadParams {
         op: format!("decode@{}", ctx.now_micros()),
         reason: e.to_string(),
@@ -445,7 +442,9 @@ mod tests {
 
     fn access() -> LocalAccess {
         let mut rms = RmRegistry::new();
-        rms.register(Box::new(BankRm::new("bank", false).with_account("alice", 100)));
+        rms.register(Box::new(
+            BankRm::new("bank", false).with_account("alice", 100),
+        ));
         rms.register(Box::new(
             ShopRm::new(
                 "shop",
@@ -482,7 +481,10 @@ mod tests {
                 },
                 "bank",
                 "open",
-                &Value::map([("account", Value::from("bob")), ("initial", Value::from(0i64))]),
+                &Value::map([
+                    ("account", Value::from("bob")),
+                    ("initial", Value::from(0i64)),
+                ]),
             )
             .unwrap();
         acc.rms
@@ -503,7 +505,11 @@ mod tests {
         let (_, op) = crate::bank::comp_undo_transfer("bank", "alice", "bob", 30);
         reg.execute(&op, 0, Some(&mut acc), None).unwrap();
         let bal = acc
-            .call("bank", "balance", &Value::map([("account", Value::from("alice"))]))
+            .call(
+                "bank",
+                "balance",
+                &Value::map([("account", Value::from("alice"))]),
+            )
             .unwrap();
         assert_eq!(bal.as_i64(), Some(100));
     }
@@ -547,14 +553,16 @@ mod tests {
         let wallet = Wallet::new(); // coins already spent at purchase time
         wro.insert("wallet".to_owned(), wallet.to_value().unwrap());
 
-        let (kind, op) =
-            comp_return_cash_order("shop", "mint", &order_id, "wallet", "USD");
+        let (kind, op) = comp_return_cash_order("shop", "mint", &order_id, "wallet", "USD");
         assert_eq!(kind, EntryKind::Mixed);
         reg.execute(&op, 0, Some(&mut acc), Some(&mut wro)).unwrap();
 
         let back = Wallet::from_value(wro.get("wallet").unwrap()).unwrap();
         assert_eq!(back.cash("USD"), 45, "refund minus 10% fee");
-        assert!(back.serials()[0].starts_with("mint-"), "freshly minted serial");
+        assert!(
+            back.serials()[0].starts_with("mint-"),
+            "freshly minted serial"
+        );
     }
 
     #[test]

@@ -98,12 +98,7 @@ impl ResourceManager for DirectoryRm {
                     .ok_or_else(|| TxnError::BadRequest("publish: missing entry".into()))?;
                 let prefix = format!("e/{topic}/");
                 let n = self.store.scan_keys(ctx.txn, &prefix)?.len();
-                write_t(
-                    &mut self.store,
-                    ctx.txn,
-                    &format!("{prefix}{n:04}"),
-                    &entry,
-                )?;
+                write_t(&mut self.store, ctx.txn, &format!("{prefix}{n:04}"), &entry)?;
                 Ok(Value::Null)
             }
             other => Err(TxnError::BadRequest(format!(
@@ -149,7 +144,11 @@ mod tests {
             .with_entry("flights", Value::from("UA32"))
             .with_entry("hotels", Value::from("Ritz"));
         let r = d
-            .invoke(ctx(1), "query", &Value::map([("topic", Value::from("flights"))]))
+            .invoke(
+                ctx(1),
+                "query",
+                &Value::map([("topic", Value::from("flights"))]),
+            )
             .unwrap();
         let list = r.as_list().unwrap();
         assert_eq!(list.len(), 2);
@@ -177,7 +176,11 @@ mod tests {
     fn missing_topic_is_empty_not_error() {
         let mut d = DirectoryRm::new("dir");
         let r = d
-            .invoke(ctx(1), "query", &Value::map([("topic", Value::from("none"))]))
+            .invoke(
+                ctx(1),
+                "query",
+                &Value::map([("topic", Value::from("none"))]),
+            )
             .unwrap();
         assert!(r.as_list().unwrap().is_empty());
     }

@@ -48,8 +48,10 @@ impl ExchangeRm {
 
     /// Seeds a reserve of `amount` in `currency`.
     pub fn with_reserve(mut self, currency: &str, amount: i64) -> Self {
-        self.store
-            .seed(format!("res/{currency}"), mar_wire::to_bytes(&amount).unwrap());
+        self.store.seed(
+            format!("res/{currency}"),
+            mar_wire::to_bytes(&amount).unwrap(),
+        );
         self
     }
 

@@ -90,9 +90,10 @@ impl MintRm {
                 write_t(&mut self.store, txn, &key, &(value, CoinState::Void))?;
                 Ok(value)
             }
-            Some((_, CoinState::Void)) => {
-                Err(rejected(&self.name, format!("coin {serial:?} already void")))
-            }
+            Some((_, CoinState::Void)) => Err(rejected(
+                &self.name,
+                format!("coin {serial:?} already void"),
+            )),
             None => {
                 // Locally split coins ("a/p1") are not individually
                 // registered; accept them if their root serial is known.
@@ -128,9 +129,7 @@ impl ResourceManager for MintRm {
                 let serials = params
                     .get("serials")
                     .and_then(Value::as_list)
-                    .ok_or_else(|| {
-                        TxnError::BadRequest("void: missing serial list".to_owned())
-                    })?
+                    .ok_or_else(|| TxnError::BadRequest("void: missing serial list".to_owned()))?
                     .to_vec();
                 let mut total = 0;
                 for s in serials {
@@ -208,10 +207,18 @@ mod tests {
     fn issue_produces_unique_serials() {
         let mut m = MintRm::new("mint", "USD");
         let a = m
-            .invoke(ctx(1), "issue", &Value::map([("amount", Value::from(10i64))]))
+            .invoke(
+                ctx(1),
+                "issue",
+                &Value::map([("amount", Value::from(10i64))]),
+            )
             .unwrap();
         let b = m
-            .invoke(ctx(1), "issue", &Value::map([("amount", Value::from(10i64))]))
+            .invoke(
+                ctx(1),
+                "issue",
+                &Value::map([("amount", Value::from(10i64))]),
+            )
             .unwrap();
         let ca = coin_from_value(&a).unwrap();
         let cb = coin_from_value(&b).unwrap();
@@ -257,7 +264,11 @@ mod tests {
                 &Value::map([("serials", Value::list([Value::from(split_serial)]))]),
             )
             .unwrap();
-        assert_eq!(total.as_i64(), Some(0), "split serials carry no registered value");
+        assert_eq!(
+            total.as_i64(),
+            Some(0),
+            "split serials carry no registered value"
+        );
     }
 
     #[test]
@@ -280,14 +291,21 @@ mod tests {
         let mut m2 = MintRm::new("mint", "USD");
         m2.restore(&snap).unwrap();
         let c2 = m2.seed_issue(1);
-        assert_ne!(c1.serial, c2.serial, "serials must not repeat after recovery");
+        assert_ne!(
+            c1.serial, c2.serial,
+            "serials must not repeat after recovery"
+        );
     }
 
     #[test]
     fn abort_reverts_issuance() {
         let mut m = MintRm::new("mint", "USD");
-        m.invoke(ctx(1), "issue", &Value::map([("amount", Value::from(10i64))]))
-            .unwrap();
+        m.invoke(
+            ctx(1),
+            "issue",
+            &Value::map([("amount", Value::from(10i64))]),
+        )
+        .unwrap();
         m.abort(ctx(1).txn);
         assert_eq!(m.active_value(), 0);
     }

@@ -202,7 +202,10 @@ mod tests {
         let paid = w.take(30, "USD").unwrap();
         assert_eq!(paid.iter().map(|c| c.value).sum::<i64>(), 30);
         assert_eq!(w.cash("USD"), 70);
-        assert!(w.serials()[0].starts_with("a/c"), "change coin serial derives from original");
+        assert!(
+            w.serials()[0].starts_with("a/c"),
+            "change coin serial derives from original"
+        );
     }
 
     #[test]

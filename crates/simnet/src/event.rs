@@ -107,9 +107,7 @@ mod tests {
     use super::*;
 
     fn dummy(node: u32) -> Event {
-        Event::NodeDown {
-            node: NodeId(node),
-        }
+        Event::NodeDown { node: NodeId(node) }
     }
 
     #[test]

@@ -75,9 +75,8 @@ impl FailurePlan {
                     }
                     world.schedule_crash(t, node);
                     crashes += 1;
-                    let repair = SimDuration::from_secs_f64(
-                        rng.exp(self.node_mttr.as_secs_f64()).max(1e-6),
-                    );
+                    let repair =
+                        SimDuration::from_secs_f64(rng.exp(self.node_mttr.as_secs_f64()).max(1e-6));
                     t += repair;
                     world.schedule_recover(t, node);
                 }
@@ -145,7 +144,10 @@ mod tests {
         assert!(crashes > 0, "expected some crashes in 60s at mtbf 5s");
         w.run_to_quiescence(1_000_000);
         for n in w.node_ids() {
-            assert!(w.is_up(n), "{n} should have recovered (non-lasting crashes)");
+            assert!(
+                w.is_up(n),
+                "{n} should have recovered (non-lasting crashes)"
+            );
         }
         assert_eq!(
             w.metrics().counter(keys::NODE_CRASHES),

@@ -62,9 +62,8 @@ impl LatencyModel {
     /// Samples the latency for a message of `bytes` payload bytes.
     pub fn sample(&self, bytes: usize, rng: &mut SimRng) -> SimDuration {
         let total_bytes = (bytes + MSG_OVERHEAD_BYTES) as u64;
-        let kb_cost = SimDuration::from_micros(
-            self.per_kb.as_micros().saturating_mul(total_bytes) / 1024,
-        );
+        let kb_cost =
+            SimDuration::from_micros(self.per_kb.as_micros().saturating_mul(total_bytes) / 1024);
         let raw = self.base + kb_cost;
         if self.jitter <= 0.0 {
             raw
@@ -200,7 +199,10 @@ mod tests {
         let mut rng = SimRng::seed_from(2);
         for _ in 0..200 {
             let us = m.sample(0, &mut rng).as_micros();
-            assert!((5_000..=15_000).contains(&us), "latency {us}us out of bounds");
+            assert!(
+                (5_000..=15_000).contains(&us),
+                "latency {us}us out of bounds"
+            );
         }
     }
 

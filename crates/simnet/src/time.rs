@@ -157,7 +157,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_millis(2);
         assert_eq!(t.as_micros(), 2_000);
-        assert_eq!((t + SimDuration::from_micros(5)) - t, SimDuration::from_micros(5));
+        assert_eq!(
+            (t + SimDuration::from_micros(5)) - t,
+            SimDuration::from_micros(5)
+        );
         assert_eq!(t.since(SimTime::from_micros(3_000)), SimDuration::ZERO);
     }
 

@@ -168,7 +168,10 @@ mod tests {
     fn cap_is_enforced() {
         let mut t = Trace::new(true, 2);
         for i in 0..5 {
-            t.record(SimTime::from_micros(i), TraceKind::NodeCrashed { node: i as u32 });
+            t.record(
+                SimTime::from_micros(i),
+                TraceKind::NodeCrashed { node: i as u32 },
+            );
         }
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.dropped(), 3);
@@ -194,7 +197,11 @@ mod tests {
     fn records_serialize() {
         let r = TraceRecord {
             at: SimTime::from_micros(3),
-            kind: TraceKind::LinkChanged { a: 1, b: 2, up: false },
+            kind: TraceKind::LinkChanged {
+                a: 1,
+                b: 2,
+                up: false,
+            },
         };
         let bytes = mar_wire::to_bytes(&r).unwrap();
         let back: TraceRecord = mar_wire::from_slice(&bytes).unwrap();

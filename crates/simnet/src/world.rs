@@ -196,7 +196,8 @@ impl World {
         }
         slot.crash();
         self.metrics.inc(keys::NODE_CRASHES);
-        self.trace.record(at, TraceKind::NodeCrashed { node: node.0 });
+        self.trace
+            .record(at, TraceKind::NodeCrashed { node: node.0 });
     }
 
     /// Recovers `node` immediately: services are rebuilt from factories and
@@ -211,7 +212,8 @@ impl World {
             slot.rebuild();
         }
         self.metrics.inc(keys::NODE_RECOVERIES);
-        self.trace.record(at, TraceKind::NodeRecovered { node: node.0 });
+        self.trace
+            .record(at, TraceKind::NodeRecovered { node: node.0 });
         let names: Vec<&'static str> = self.slot(node).services.keys().copied().collect();
         for name in names {
             self.with_service(node, name, |svc, ctx| svc.on_start(ctx));
@@ -247,14 +249,8 @@ impl World {
 
     fn set_link_now(&mut self, a: NodeId, b: NodeId, up: bool) {
         self.net.set_link(a, b, up);
-        self.trace.record(
-            self.time,
-            TraceKind::LinkChanged {
-                a: a.0,
-                b: b.0,
-                up,
-            },
-        );
+        self.trace
+            .record(self.time, TraceKind::LinkChanged { a: a.0, b: b.0, up });
     }
 
     // ----- injection & inspection ------------------------------------------
@@ -439,10 +435,8 @@ impl World {
         }
         if !self.slot(to.node).up {
             self.metrics.inc(keys::MSGS_DROPPED_NODE_DOWN);
-            self.trace.record(
-                self.time,
-                TraceKind::MsgDroppedNodeDown { node: to.node.0 },
-            );
+            self.trace
+                .record(self.time, TraceKind::MsgDroppedNodeDown { node: to.node.0 });
             return;
         }
         if self.trace.enabled() {
@@ -455,8 +449,9 @@ impl World {
                 },
             );
         }
-        let delivered =
-            self.with_service(to.node, to.service, |svc, ctx| svc.on_message(ctx, from, &payload));
+        let delivered = self.with_service(to.node, to.service, |svc, ctx| {
+            svc.on_message(ctx, from, &payload)
+        });
         if delivered {
             self.metrics.inc(keys::MSGS_DELIVERED);
         }

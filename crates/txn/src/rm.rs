@@ -227,21 +227,18 @@ mod tests {
         fn invoke(&mut self, ctx: OpCtx, op: &str, params: &Value) -> Result<Value, TxnError> {
             match op {
                 "add" => {
-                    let delta = params.as_i64().ok_or_else(|| {
-                        TxnError::BadRequest("add expects an integer".to_owned())
-                    })?;
-                    let cur: i64 = mar_wire::from_slice(
-                        self.store.read(ctx.txn, "n")?.unwrap_or(&[]),
-                    )?;
+                    let delta = params
+                        .as_i64()
+                        .ok_or_else(|| TxnError::BadRequest("add expects an integer".to_owned()))?;
+                    let cur: i64 =
+                        mar_wire::from_slice(self.store.read(ctx.txn, "n")?.unwrap_or(&[]))?;
                     let next = cur + delta;
-                    self.store
-                        .write(ctx.txn, "n", mar_wire::to_bytes(&next)?)?;
+                    self.store.write(ctx.txn, "n", mar_wire::to_bytes(&next)?)?;
                     Ok(Value::from(next))
                 }
                 "get" => {
-                    let cur: i64 = mar_wire::from_slice(
-                        self.store.read(ctx.txn, "n")?.unwrap_or(&[]),
-                    )?;
+                    let cur: i64 =
+                        mar_wire::from_slice(self.store.read(ctx.txn, "n")?.unwrap_or(&[]))?;
                     Ok(Value::from(cur))
                 }
                 other => Err(TxnError::BadRequest(format!("unknown op {other}"))),
@@ -279,7 +276,8 @@ mod tests {
         assert_eq!(v.as_i64(), Some(5));
         reg.commit_all(ctx(1).txn);
 
-        reg.invoke(ctx(2), "counter", "add", &Value::from(3i64)).unwrap();
+        reg.invoke(ctx(2), "counter", "add", &Value::from(3i64))
+            .unwrap();
         reg.abort_all(ctx(2).txn);
         let v = reg.invoke(ctx(3), "counter", "get", &Value::Null).unwrap();
         assert_eq!(v.as_i64(), Some(5), "aborted add must not stick");
@@ -303,7 +301,8 @@ mod tests {
     fn snapshot_restore_via_registry() {
         let mut reg = RmRegistry::new();
         reg.register(Box::new(Counter::new()));
-        reg.invoke(ctx(1), "counter", "add", &Value::from(9i64)).unwrap();
+        reg.invoke(ctx(1), "counter", "add", &Value::from(9i64))
+            .unwrap();
         reg.commit_all(ctx(1).txn);
         let snaps = reg.snapshot_all().unwrap();
 

@@ -561,7 +561,13 @@ mod tests {
 
         let a5 = co.on_ack(txn(1), p);
         assert_eq!(a5[0], Action::ForgetDecision { txn: txn(1) });
-        assert!(matches!(a5[1], Action::Resolved { committed: true, .. }));
+        assert!(matches!(
+            a5[1],
+            Action::Resolved {
+                committed: true,
+                ..
+            }
+        ));
         assert_eq!(co.in_flight(), 0);
         assert_eq!(pa.in_doubt(), 0);
     }
@@ -576,9 +582,13 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::SendDecision { commit: false, .. })));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Resolved { committed: false, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Resolved {
+                committed: false,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -662,9 +672,7 @@ mod tests {
         co.on_ack(txn(1), p1);
         let retries = co.on_retry();
         assert_eq!(retries.len(), 1);
-        assert!(
-            matches!(retries[0], Action::SendDecision { to, commit: true, .. } if to == p2)
-        );
+        assert!(matches!(retries[0], Action::SendDecision { to, commit: true, .. } if to == p2));
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! it executes the [`Action`] lists emitted by the state machines, persists
 //! protocol records in stable storage, and retries on a timer.
 
-use mar_simnet::{
-    Address, Ctx, NodeId, Service, SimDuration, World, WorldConfig,
-};
+use mar_simnet::{Address, Ctx, NodeId, Service, SimDuration, World, WorldConfig};
 use mar_txn::{
     twopc::Action, Coordinator, Participant, PreparedEntry, RemoteWork, TxEnvelope, TxMsg, TxnId,
 };
@@ -116,10 +114,7 @@ impl Service for TmHost {
         if from.node == NodeId::EXTERNAL {
             let start: StartCommit = from_slice(payload).expect("start msg");
             let txn = TxnId::new(ctx.node(), start.seq);
-            let work = RemoteWork::new(
-                "put",
-                to_bytes(&(start.key, start.value)).unwrap(),
-            );
+            let work = RemoteWork::new("put", to_bytes(&(start.key, start.value)).unwrap());
             let actions = self.co.commit_request(txn, vec![(start.participant, work)]);
             self.run_actions(ctx, actions);
             return;
@@ -247,14 +242,15 @@ fn coordinator_crash_after_decision_recovers_and_finishes() {
     w.net_mut().set_link(a, b, false);
     w.run_for(SimDuration::from_millis(200));
     let txn = TxnId::new(a, 1);
-    let decision_persisted = w
-        .stable(a)
-        .contains(&format!("2pc/decision/{}", txn.key()));
+    let decision_persisted = w.stable(a).contains(&format!("2pc/decision/{}", txn.key()));
     w.crash_for(a, SimDuration::from_millis(300));
     w.net_mut().set_link(a, b, true);
     w.run_for(SimDuration::from_secs(5));
     if decision_persisted {
-        assert!(applied_once(&w, b, &txn), "commit must survive coordinator crash");
+        assert!(
+            applied_once(&w, b, &txn),
+            "commit must survive coordinator crash"
+        );
         assert!(
             !w.stable(a).contains(&format!("2pc/decision/{}", txn.key())),
             "decision record should be forgotten after all acks"
@@ -296,7 +292,10 @@ fn link_flaps_are_ridden_out_by_retries() {
     }
     w.run_for(SimDuration::from_secs(10));
     let txn = TxnId::new(a, 1);
-    assert!(applied_once(&w, b, &txn), "retries must eventually complete the txn");
+    assert!(
+        applied_once(&w, b, &txn),
+        "retries must eventually complete the txn"
+    );
 }
 
 #[test]
@@ -339,7 +338,10 @@ fn repeated_crashes_never_double_apply() {
         // If the coordinator committed locally, the participant must apply.
         let local = w.stable(a).contains(&format!("local_commit/{}", txn.key()));
         if local {
-            assert_eq!(count, 1, "txn {txn} committed locally but not applied remotely");
+            assert_eq!(
+                count, 1,
+                "txn {txn} committed locally but not applied remotely"
+            );
         }
     }
 }

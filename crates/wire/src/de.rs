@@ -6,8 +6,8 @@ use serde::Deserialize;
 use crate::error::{WireError, WireResult};
 use crate::ser::{
     TAG_BYTES, TAG_CHAR, TAG_F32, TAG_F64, TAG_FALSE, TAG_I64, TAG_MAP, TAG_NEWTYPE_VARIANT,
-    TAG_NULL, TAG_SEQ, TAG_SOME, TAG_STR, TAG_STRUCT_VARIANT, TAG_TRUE, TAG_TUPLE_VARIANT,
-    TAG_U64, TAG_UNIT_VARIANT,
+    TAG_NULL, TAG_SEQ, TAG_SOME, TAG_STR, TAG_STRUCT_VARIANT, TAG_TRUE, TAG_TUPLE_VARIANT, TAG_U64,
+    TAG_UNIT_VARIANT,
 };
 use crate::varint::{get_ivarint, get_uvarint};
 
@@ -67,7 +67,10 @@ impl<'de> BinDeserializer<'de> {
     }
 
     fn peek_tag(&self) -> WireResult<u8> {
-        self.buf.get(self.pos).copied().ok_or(WireError::UnexpectedEof)
+        self.buf
+            .get(self.pos)
+            .copied()
+            .ok_or(WireError::UnexpectedEof)
     }
 
     fn take_tag(&mut self) -> WireResult<u8> {
@@ -138,9 +141,8 @@ impl<'de> BinDeserializer<'de> {
             TAG_I64 => self.take_ivarint(),
             TAG_U64 => {
                 let v = self.take_uvarint()?;
-                i64::try_from(v).map_err(|_| {
-                    de::Error::custom(format!("value {v} exceeds i64 range"))
-                })
+                i64::try_from(v)
+                    .map_err(|_| de::Error::custom(format!("value {v} exceeds i64 range")))
             }
             t => Err(WireError::BadTag(t)),
         }
@@ -423,8 +425,7 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         match tag {
             TAG_UNIT_VARIANT | TAG_NEWTYPE_VARIANT | TAG_TUPLE_VARIANT | TAG_STRUCT_VARIANT => {
                 let index = self.take_uvarint()?;
-                let index =
-                    u32::try_from(index).map_err(|_| WireError::LengthOverflow(index))?;
+                let index = u32::try_from(index).map_err(|_| WireError::LengthOverflow(index))?;
                 visitor.visit_enum(EnumAcc {
                     de: self,
                     tag,
@@ -602,7 +603,10 @@ mod tests {
             a: "x".into(),
             b: Some(false),
         });
-        roundtrip(Sample::Struct { a: String::new(), b: None });
+        roundtrip(Sample::Struct {
+            a: String::new(),
+            b: None,
+        });
     }
 
     #[test]
@@ -628,10 +632,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = to_bytes(&1u8).unwrap();
         bytes.push(0);
-        assert_eq!(
-            from_slice::<u8>(&bytes),
-            Err(WireError::TrailingBytes(1))
-        );
+        assert_eq!(from_slice::<u8>(&bytes), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]

@@ -64,9 +64,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_concise() {
-        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert_eq!(
+            WireError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
         assert_eq!(WireError::BadTag(0xff).to_string(), "invalid type tag 0xff");
-        assert_eq!(WireError::TrailingBytes(3).to_string(), "3 trailing bytes after value");
+        assert_eq!(
+            WireError::TrailingBytes(3).to_string(),
+            "3 trailing bytes after value"
+        );
     }
 
     #[test]

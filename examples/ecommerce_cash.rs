@@ -19,8 +19,8 @@ use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
 };
 use mobile_agent_rollback::resources::{
-    coin_from_value, comp_convert_back, comp_return_cash_order, ExchangeRm, MintRm,
-    RefundPolicy, ShopRm, Wallet,
+    coin_from_value, comp_convert_back, comp_return_cash_order, ExchangeRm, MintRm, RefundPolicy,
+    ShopRm, Wallet,
 };
 use mobile_agent_rollback::simnet::{NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
@@ -149,12 +149,13 @@ fn main() {
     // Fund the wallet with USD coins from a home mint.
     let mut home_mint = MintRm::new("home-mint", "USD");
     let wallet = Wallet::with_coins([home_mint.seed_issue(150), home_mint.seed_issue(100)]);
-    let before_serials: Vec<String> =
-        wallet.serials().iter().map(|s| s.to_string()).collect();
+    let before_serials: Vec<String> = wallet.serials().iter().map(|s| s.to_string()).collect();
 
     let itinerary = ItineraryBuilder::main("I")
         .sub("shopping", |s| {
-            s.step("exchange", FX).step("buy", SHOP).step("evaluate", HOME);
+            s.step("exchange", FX)
+                .step("buy", SHOP)
+                .step("evaluate", HOME);
         })
         .build()
         .expect("valid itinerary");
@@ -170,8 +171,7 @@ fn main() {
     let report = platform.report(agent).expect("report");
     assert_eq!(report.outcome, ReportOutcome::Completed);
 
-    let final_wallet =
-        Wallet::from_value(report.record.data.wro("wallet").unwrap()).unwrap();
+    let final_wallet = Wallet::from_value(report.record.data.wro("wallet").unwrap()).unwrap();
     println!("\nwallet before: 250 USD, serials {before_serials:?}");
     println!(
         "wallet after:  {} USD + {} EUR, serials {:?}",

@@ -104,7 +104,10 @@ fn main() {
         .collect();
 
     let all_done = platform.run_until_settled(&agents, SimDuration::from_secs(600));
-    assert!(all_done, "every agent must finish despite the failure storm");
+    assert!(
+        all_done,
+        "every agent must finish despite the failure storm"
+    );
 
     let mut completed = 0;
     for a in &agents {

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use mobile_agent_rollback::core::{RollbackScope};
+use mobile_agent_rollback::core::RollbackScope;
 use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, StepCtx, StepDecision,
@@ -23,11 +23,8 @@ impl AgentBehavior for Scout {
             // Query the local directory; results go into a *strongly
             // reversible* vector (restored from a before-image on rollback).
             "scan_offers" => {
-                let offers = ctx.call(
-                    "dir",
-                    "query",
-                    &Value::map([("topic", Value::from("gpu"))]),
-                )?;
+                let offers =
+                    ctx.call("dir", "query", &Value::map([("topic", Value::from("gpu"))]))?;
                 ctx.sro_push("offers", offers);
                 Ok(StepDecision::Continue)
             }
@@ -98,7 +95,9 @@ fn main() {
     // truncation point) visiting the market and the bank.
     let itinerary = ItineraryBuilder::main("I")
         .sub("shop", |s| {
-            s.step("scan_offers", 1).step("reserve_budget", 2).step("evaluate", 1);
+            s.step("scan_offers", 1)
+                .step("reserve_budget", 2)
+                .step("evaluate", 1);
         })
         .build()
         .expect("valid itinerary");
@@ -110,7 +109,10 @@ fn main() {
     let report = platform.report(agent).expect("report");
     println!("\noutcome:        {:?}", report.outcome);
     println!("steps committed: {}", report.steps_committed);
-    println!("virtual time:    {:.3}s", report.finished_at_us as f64 / 1e6);
+    println!(
+        "virtual time:    {:.3}s",
+        report.finished_at_us as f64 / 1e6
+    );
 
     let m = platform.snapshot();
     println!("\nselected metrics:");

@@ -40,11 +40,7 @@ impl AgentBehavior for Rollout {
                     return Ok(StepDecision::Continue); // second pass: no-op walk-through
                 }
                 // Permission check against the server's ACL directory.
-                let acl = ctx.call(
-                    "cfg",
-                    "query",
-                    &Value::map([("topic", Value::from("acl"))]),
-                )?;
+                let acl = ctx.call("cfg", "query", &Value::map([("topic", Value::from("acl"))]))?;
                 let allowed = acl
                     .as_list()
                     .map(|l| l.iter().any(|v| v.as_str() == Some("rollout-agent")))
@@ -137,7 +133,10 @@ fn main() {
         let snap = mole.rms().get("cfg").unwrap().snapshot().unwrap();
         let entries: std::collections::BTreeMap<String, Vec<u8>> =
             mobile_agent_rollback::wire::from_slice(&snap).unwrap();
-        let configs = entries.keys().filter(|k| k.starts_with("e/config/")).count();
+        let configs = entries
+            .keys()
+            .filter(|k| k.starts_with("e/config/"))
+            .count();
         println!("node {node}: {configs} config version(s)");
         assert_eq!(configs, 1, "only v1 must remain on node {node}");
     }

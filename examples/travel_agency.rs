@@ -132,7 +132,11 @@ impl AgentBehavior for Traveller {
 
 /// Airline node: a flight service plus a local bank branch holding part of
 /// alice's travel budget (resources are node-local, §2).
-fn airline_node(flights: Vec<(&'static str, i64, i64)>, budget: i64, fee_permille: u64) -> RmRegistry {
+fn airline_node(
+    flights: Vec<(&'static str, i64, i64)>,
+    budget: i64,
+    fee_permille: u64,
+) -> RmRegistry {
     let mut rms = RmRegistry::new();
     let mut air = FlightRm::new("air", fee_permille);
     for (f, price, seats) in flights {
@@ -188,7 +192,13 @@ fn main() {
     let report = platform.report(agent).expect("report");
     println!("\noutcome: {:?}", report.outcome);
     assert_eq!(report.outcome, ReportOutcome::Completed);
-    let bookings = report.record.data.sro("bookings").unwrap().as_list().unwrap();
+    let bookings = report
+        .record
+        .data
+        .sro("bookings")
+        .unwrap()
+        .as_list()
+        .unwrap();
     println!("final bookings: {bookings:?}");
     assert_eq!(bookings.len(), 1, "only the budget booking survives");
 

@@ -72,11 +72,7 @@ impl AgentBehavior for ScriptedAgent {
                 Ok(StepDecision::Continue)
             }
             "collect" => {
-                let r = ctx.call(
-                    "dir",
-                    "query",
-                    &Value::map([("topic", Value::from("t"))]),
-                )?;
+                let r = ctx.call("dir", "query", &Value::map([("topic", Value::from("t"))]))?;
                 ctx.sro_push("notes", r);
                 Ok(StepDecision::Continue)
             }
@@ -169,7 +165,12 @@ pub fn sink_balance(p: &mut Platform, node: u32) -> i64 {
             mobile_agent_rollback::platform::MOLE,
         )
         .expect("mole");
-    let snap = mole.rms().get("ledger").expect("ledger").snapshot().unwrap();
+    let snap = mole
+        .rms()
+        .get("ledger")
+        .expect("ledger")
+        .snapshot()
+        .unwrap();
     let entries: std::collections::BTreeMap<String, Vec<u8>> =
         mobile_agent_rollback::wire::from_slice(&snap).unwrap();
     entries

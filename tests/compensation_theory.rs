@@ -4,9 +4,8 @@
 use std::rc::Rc;
 
 use mobile_agent_rollback::core::theory::{
-    classify_catalog, commute, compensates_to_identity, equivalent, is_sound, sample_states,
-    AddOp, CompensationClass, CondTransferOp, History, Operation, ReadDecideOp, SetOp,
-    WithdrawOp,
+    classify_catalog, commute, compensates_to_identity, equivalent, is_sound, sample_states, AddOp,
+    CompensationClass, CondTransferOp, History, Operation, ReadDecideOp, SetOp, WithdrawOp,
 };
 use mobile_agent_rollback::wire::Value;
 

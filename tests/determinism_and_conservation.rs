@@ -29,7 +29,8 @@ fn whole_platform_runs_are_deterministic() {
         let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
         p.run_until_settled(&[agent], SimDuration::from_secs(600));
         (
-            p.report(agent).map(|r| (r.finished_at_us, r.steps_committed)),
+            p.report(agent)
+                .map(|r| (r.finished_at_us, r.steps_committed)),
             p.snapshot(),
         )
     };
@@ -102,9 +103,7 @@ fn money_is_conserved_across_random_scenarios() {
         let after = p.money_audit(&["wallet"]);
         // All exchanges are 1:1 in the test fixture: compare the combined
         // total so currency splits don't matter.
-        let total = |m: &std::collections::BTreeMap<String, i64>| {
-            m.values().sum::<i64>()
-        };
+        let total = |m: &std::collections::BTreeMap<String, i64>| m.values().sum::<i64>();
         assert_eq!(
             total(&after),
             total(&baseline),

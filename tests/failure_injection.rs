@@ -102,7 +102,10 @@ fn rollback_completes_under_crashes_both_modes() {
             "seed {seed} mode {mode:?}"
         );
         let m = p.snapshot();
-        assert!(crashed, "seed {seed}: rollback should have been interrupted");
+        assert!(
+            crashed,
+            "seed {seed}: rollback should have been interrupted"
+        );
         assert!(m.counter("failure.node_crashes") > 0);
         assert_eq!(m.counter("rollback.started"), 1);
         assert_eq!(m.counter("rollback.completed"), 1);

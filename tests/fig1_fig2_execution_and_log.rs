@@ -99,14 +99,22 @@ fn fig2_log_structure_matches_grammar() {
             break;
         }
     }
-    assert!(seen_rich_log, "should have observed a populated log in flight");
+    assert!(
+        seen_rich_log,
+        "should have observed a populated log in flight"
+    );
 }
 
 /// Fig. 2: log sizes are accounted in bytes and grow with every step.
 #[test]
 fn fig2_log_bytes_grow_per_step() {
     let mut p = platform(3, 4);
-    let it = linear(&[("deposit", 1), ("deposit", 2), ("deposit", 1), ("deposit", 2)]);
+    let it = linear(&[
+        ("deposit", 1),
+        ("deposit", 2),
+        ("deposit", 1),
+        ("deposit", 2),
+    ]);
     let agent = launch(&mut p, it, LoggingMode::State, RollbackMode::Optimized);
     let mut sizes = Vec::new();
     let mut last_seq = u64::MAX;
@@ -126,9 +134,6 @@ fn fig2_log_bytes_grow_per_step() {
     sizes.dedup();
     assert!(sizes.len() >= 3, "observed sizes: {sizes:?}");
     for w in sizes.windows(2) {
-        assert!(
-            w[1].1 > w[0].1,
-            "log must grow with steps: {sizes:?}"
-        );
+        assert!(w[1].1 > w[0].1, "log must grow with steps: {sizes:?}");
     }
 }

@@ -16,7 +16,7 @@ use mobile_agent_rollback::wire::Value;
 fn fig3_basic_rollback_retraces_the_path() {
     let mut p = platform(5, 10);
     let it = linear(&[
-        ("collect", 1),  // SRO only: nothing to compensate
+        ("collect", 1), // SRO only: nothing to compensate
         ("deposit", 2),
         ("deposit", 3),
         ("rollback_once", 4),
@@ -76,8 +76,7 @@ fn fig5_optimized_ships_rces_instead_of_the_agent() {
     };
     let (basic_moves, basic_rce, basic_bytes, basic_ledger, basic_counter) =
         run(RollbackMode::Basic);
-    let (opt_moves, opt_rce, opt_bytes, opt_ledger, opt_counter) =
-        run(RollbackMode::Optimized);
+    let (opt_moves, opt_rce, opt_bytes, opt_ledger, opt_counter) = run(RollbackMode::Optimized);
 
     // C1: zero agent transfers in optimized mode, one RCE list per step
     // with resource effects.

@@ -55,7 +55,8 @@ fn fig6_enclosing_scope_compensates_outer_steps() {
     let it = ItineraryBuilder::main("I")
         .sub("SI3", |s| {
             s.step("deposit#s6", 1).sub("SI4", |n| {
-                n.step("deposit#s5", 2).step("rollback_enclosing_once#s4", 3);
+                n.step("deposit#s5", 2)
+                    .step("rollback_enclosing_once#s4", 3);
             });
         })
         .build()
@@ -141,7 +142,10 @@ fn fig6_log_discard_bounds_migrated_bytes() {
             for part in 0..4 {
                 builder = builder.sub(format!("part{part}"), |s| {
                     for i in 0..3 {
-                        s.step(format!("deposit#p{part}s{i}"), 1 + ((part as u32 * 3 + i) % 3));
+                        s.step(
+                            format!("deposit#p{part}s{i}"),
+                            1 + ((part as u32 * 3 + i) % 3),
+                        );
                     }
                 });
             }

@@ -1,0 +1,105 @@
+//! Collection strategies (`vec`, `btree_map`).
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A size bound for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.size_in(self.size.min, self.size.max_exclusive);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeMap`s from key/value strategies with a length in `size`
+/// (best effort: key collisions may yield fewer entries).
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = rng.size_in(self.size.min, self.size.max_exclusive);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 4 + 4 {
+            out.insert(self.keys.generate(rng), self.values.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest).
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of proptest's API the workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, [`prelude::any`], range and
+//! regex-literal strategies, [`collection::vec`] / [`collection::btree_map`],
+//! weighted [`prop_oneof!`], and the [`proptest!`] test macro with
+//! `prop_assert*` assertions.
+//!
+//! Semantics are simplified relative to upstream: generation is a
+//! deterministic xorshift stream seeded per test (override with
+//! `PROPTEST_RNG_SEED`), and failing cases are reported (inputs printed via
+//! `Debug` where available) but not shrunk.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+mod rng;
+
+pub use rng::TestRng;
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Per-test configuration (`cases` = number of generated inputs).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 96 }
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported forms (a subset of upstream proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn prop_holds(x in 0u32..10, v: u64) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let __case_seed = __rng.state();
+                    let __result = {
+                        $crate::proptest!(@bind __rng, $($params)*);
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body))
+                    };
+                    if let ::std::result::Result::Err(__panic) = __result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed (rng state 0x{:016x}; rerun with PROPTEST_RNG_SEED)",
+                            __case + 1, __cfg.cases, stringify!($name), __case_seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    // Parameter binder: `pat in strategy` and `name: Type` forms.
+    (@bind $rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty) => {
+        let $name = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::prelude::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::std::assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Builds a strategy choosing among alternatives, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,77 @@
+//! Deterministic random stream for test-case generation.
+
+/// A small, fast, deterministic RNG (splitmix64) with a recursion-depth
+/// counter used by `prop_recursive` strategies.
+pub struct TestRng {
+    state: u64,
+    rec_depth: u32,
+}
+
+impl TestRng {
+    /// Seeds the stream for a named test. `PROPTEST_RNG_SEED` (decimal or
+    /// `0x`-hex) overrides the per-name default for reproducing failures.
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                match s.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => s.parse().ok(),
+                }
+            })
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRng {
+            state: seed,
+            rec_depth: 0,
+        }
+    }
+
+    /// The raw stream state (reported when a case fails).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `lo..hi` for `usize` sizes.
+    pub fn size_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        if hi_exclusive <= lo + 1 {
+            return lo;
+        }
+        lo + self.below((hi_exclusive - lo) as u64) as usize
+    }
+
+    pub(crate) fn rec_depth(&self) -> u32 {
+        self.rec_depth
+    }
+
+    pub(crate) fn rec_enter(&mut self) {
+        self.rec_depth += 1;
+    }
+
+    pub(crate) fn rec_leave(&mut self) {
+        self.rec_depth -= 1;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | 1
+}

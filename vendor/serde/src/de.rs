@@ -1,0 +1,852 @@
+//! Deserialization half of the data model: [`Deserialize`],
+//! [`Deserializer`], the [`Visitor`] protocol, and the access traits for
+//! compound values.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type constructible from the serde data model.
+pub trait Deserialize<'de>: Sized {
+    /// Drives `deserializer` to build `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserialize`] with no borrows from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful variant of [`Deserialize`] (used to thread context into nested
+/// decoding).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Drives `deserializer` to build the value.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! unexpected {
+    ($what:expr) => {
+        Err(Error::custom(concat!("unexpected ", $what)))
+    };
+}
+
+/// Receives the value a [`Deserializer`] found in its input.
+pub trait Visitor<'de>: Sized {
+    /// The value being built.
+    type Value;
+
+    /// Describes what the visitor expects (for error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+        unexpected!("bool")
+    }
+    /// Visits an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    /// Visits an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    /// Visits an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+        unexpected!("signed integer")
+    }
+    /// Visits a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    /// Visits a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    /// Visits a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+        unexpected!("unsigned integer")
+    }
+    /// Visits an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v.into())
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+        unexpected!("float")
+    }
+    /// Visits a `char`.
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        unexpected!("string")
+    }
+    /// Visits a string slice borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        unexpected!("bytes")
+    }
+    /// Visits bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visits `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        unexpected!("none")
+    }
+    /// Visits `Some`.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(Error::custom("unexpected some"))
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        unexpected!("unit")
+    }
+    /// Visits a newtype struct.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(Error::custom("unexpected newtype struct"))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected sequence"))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected map"))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected enum"))
+    }
+}
+
+/// Element-by-element access to a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Decodes the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Decodes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Decodes the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Decodes the next value with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Decodes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Decodes the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Gives access to the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Decodes the variant tag with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Decodes the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Decodes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Decodes a newtype variant with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// Decodes a newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Decodes a tuple variant.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Decodes a struct variant.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// A source of the serde data model (one format = one implementation).
+///
+/// Every method except [`Deserializer::deserialize_any`] has a default that
+/// forwards to `deserialize_any`, which keeps trivial deserializers (like
+/// [`U32Deserializer`]) one method long. Format implementations override the
+/// hints they care about.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Decodes whatever the input holds next (self-describing formats).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Decodes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        visitor.visit_newtype_struct(self)
+    }
+    /// Decodes a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes a struct-field / variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Decodes and discards one value.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Converts a value into a [`Deserializer`] yielding exactly that value.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The produced deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Performs the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A [`Deserializer`] holding one `u32` (enum variant indices).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+/// A [`Deserializer`] holding one string slice (identifiers).
+pub struct StrDeserializer<'a, E> {
+    value: &'a str,
+    marker: PhantomData<E>,
+}
+
+impl<'de, 'a, E: Error> Deserializer<'de> for StrDeserializer<'a, E> {
+    type Error = E;
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_str(self.value)
+    }
+}
+
+impl<'de, 'a, E: Error> IntoDeserializer<'de, E> for &'a str {
+    type Deserializer = StrDeserializer<'a, E>;
+    fn into_deserializer(self) -> StrDeserializer<'a, E> {
+        StrDeserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+/// Seed used by derived enum impls: decodes a variant tag as a `u32` index,
+/// accepting either an integer or a variant-name string.
+#[doc(hidden)]
+pub struct VariantIndexSeed(pub &'static [&'static str]);
+
+impl<'de> DeserializeSeed<'de> for VariantIndexSeed {
+    type Value = u32;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<u32, D::Error> {
+        struct IdxVisitor(&'static [&'static str]);
+        impl<'de> Visitor<'de> for IdxVisitor {
+            type Value = u32;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a variant index or name")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<u32, E> {
+                u32::try_from(v).map_err(|_| E::custom("variant index out of range"))
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<u32, E> {
+                u32::try_from(v).map_err(|_| E::custom("variant index out of range"))
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<u32, E> {
+                self.0
+                    .iter()
+                    .position(|name| *name == v)
+                    .map(|i| i as u32)
+                    .ok_or_else(|| E::custom(format!("unknown variant {v:?}")))
+            }
+        }
+        deserializer.deserialize_identifier(IdxVisitor(self.0))
+    }
+}
+
+/// Placeholder that decodes and discards any single value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("anything (ignored)")
+    }
+    fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_bytes<E: Error>(self, _: &[u8]) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+        d.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+        d.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+        while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+}
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<IgnoredAny, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}
+
+// ---- std impls -------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($ty:ty => $method:ident, $expecting:literal;)*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<$ty, D::Error> {
+                struct IntVisitor;
+                impl<'de> Visitor<'de> for IntVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expecting)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        <$ty>::try_from(v)
+                            .map_err(|_| E::custom(concat!("integer out of range for ", $expecting)))
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        <$ty>::try_from(v)
+                            .map_err(|_| E::custom(concat!("integer out of range for ", $expecting)))
+                    }
+                }
+                deserializer.$method(IntVisitor)
+            }
+        })*
+    };
+}
+
+impl_de_int! {
+    i8 => deserialize_i8, "i8";
+    i16 => deserialize_i16, "i16";
+    i32 => deserialize_i32, "i32";
+    i64 => deserialize_i64, "i64";
+    isize => deserialize_i64, "isize";
+    u8 => deserialize_u8, "u8";
+    u16 => deserialize_u16, "u16";
+    u32 => deserialize_u32, "u32";
+    u64 => deserialize_u64, "u64";
+    usize => deserialize_u64, "usize";
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<bool, D::Error> {
+        struct BoolVisitor;
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+macro_rules! impl_de_float {
+    ($($ty:ty => $method:ident;)*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<$ty, D::Error> {
+                struct FloatVisitor;
+                impl<'de> Visitor<'de> for FloatVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("float")
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.$method(FloatVisitor)
+            }
+        })*
+    };
+}
+
+impl_de_float! {
+    f32 => deserialize_f32;
+    f64 => deserialize_f64;
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<char, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single char")),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<String, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<&'de str, D::Error> {
+        struct BorrowedStrVisitor;
+        impl<'de> Visitor<'de> for BorrowedStrVisitor {
+            type Value = &'de str;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("borrowed string")
+            }
+            fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<&'de str, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_str(BorrowedStrVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<(), D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Option<T>, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Box<T>, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Vec<T>, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BTreeSet<T>, D::Error> {
+        struct SetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T> {
+            type Value = BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<BTreeSet<T>, A::Error> {
+                let mut out = BTreeSet::new();
+                while let Some(v) = seq.next_element()? {
+                    out.insert(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error> {
+        struct BMapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for BMapVisitor<K, V> {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<BTreeMap<K, V>, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(BMapVisitor(PhantomData))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident),+) => $len:expr;)*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("tuple")
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(let $name = seq
+                            .next_element()?
+                            .ok_or_else(|| Error::custom("tuple is too short"))?;)+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        })*
+    };
+}
+
+impl_de_tuple! {
+    (A) => 1;
+    (A, B) => 2;
+    (A, B, C) => 3;
+    (A, B, C, D) => 4;
+    (A, B, C, D, E) => 5;
+    (A, B, C, D, E, F) => 6;
+}

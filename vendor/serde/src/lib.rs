@@ -1,0 +1,23 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the exact subset of serde's API that the workspace uses is vendored here:
+//! the `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer`
+//! data-model traits with their access/visitor helpers, implementations for
+//! the std types the wire format needs, and derive macros for plain
+//! (non-generic) structs and enums.
+//!
+//! The shim is API-compatible with upstream serde for everything this
+//! workspace does: replacing it with the real crate is a one-line change in
+//! the workspace manifest and requires no source edits.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes this workspace actually uses: non-generic structs (unit, newtype,
+//! tuple, named) and non-generic enums whose variants are unit, newtype,
+//! tuple, or struct shaped. The only recognized field attribute is
+//! `#[serde(default)]`.
+//!
+//! The generated code follows the upstream serde data model exactly (newtype
+//! structs serialize transparently, structs as field sequences, enum
+//! variants by index), so encodings are interchangeable with upstream
+//! serde + `serde_derive`.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`
+//! in the offline environment); unsupported shapes panic with a clear
+//! message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes; returns true if any of them was
+/// `#[serde(default)]` (or a `serde(...)` list containing `default`).
+fn skip_attrs(iter: &mut TokenIter) -> bool {
+    let mut has_default = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            has_default |= args.stream().into_iter().any(
+                                |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"),
+                            );
+                        }
+                    }
+                }
+            }
+            other => panic!("expected attribute body, found {other:?}"),
+        }
+    }
+    has_default
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Skips the tokens of one type, stopping after the top-level comma (or at
+/// the end of the stream). Tracks `<`/`>` nesting; `->` is handled so the
+/// `>` of a return-type arrow is not miscounted.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth: i64 = 0;
+    let mut after_dash = false;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if after_dash => {}
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+            after_dash = p.as_char() == '-';
+        } else {
+            after_dash = false;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field {name}, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut n = 0;
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_visibility(&mut iter);
+        skip_type(&mut iter);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut iter, "variant name");
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                match n {
+                    0 => VariantKind::Unit,
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match iter.next() {
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, kind });
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("explicit enum discriminants are not supported by the serde shim")
+            }
+            other => panic!("expected `,` after variant {name}, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kw = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde shim does not support generic types ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    0 => Shape::UnitStruct,
+                    1 => Shape::NewtypeStruct,
+                    n => Shape::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---- codegen: Serialize ------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::UnitStruct => {
+            let _ = write!(body, "__s.serialize_unit_struct(\"{name}\")");
+        }
+        Shape::NewtypeStruct => {
+            let _ = write!(body, "__s.serialize_newtype_struct(\"{name}\", &self.0)");
+        }
+        Shape::TupleStruct(n) => {
+            let _ = write!(
+                body,
+                "let mut __st = __s.serialize_tuple_struct(\"{name}\", {n})?;"
+            );
+            for i in 0..*n {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+        }
+        Shape::NamedStruct(fields) => {
+            let n = fields.len();
+            let _ = write!(
+                body,
+                "let mut __st = __s.serialize_struct(\"{name}\", {n})?;"
+            );
+            for f in fields {
+                let fname = &f.name;
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", &self.{fname})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => __s.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    VariantKind::Newtype => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(__f0) => __s.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({}) => {{ let mut __st = __s.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__st) },");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let n = fields.len();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => {{ let mut __st = __s.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{b}\", {b})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__st) },");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- codegen: Deserialize ----------------------------------------------------
+
+/// Emits the `visit_seq` statements reading `fields` in order into bindings
+/// named after the fields.
+fn seq_field_reads(context: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = if f.default {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::de::Error::custom(\
+                 \"{context} is missing field `{fname}`\"))"
+            )
+        };
+        let _ = write!(
+            out,
+            "let {fname} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\
+                 ::core::option::Option::Some(__v) => __v,\
+                 ::core::option::Option::None => {missing},\
+             }};"
+        );
+    }
+    out
+}
+
+/// Emits a visitor struct definition named `vis_name` whose `visit_seq`
+/// builds `constructor` from positional elements.
+fn tuple_visitor(vis_name: &str, value_ty: &str, constructor: &str, n: usize) -> String {
+    let mut reads = String::new();
+    for i in 0..n {
+        let _ = write!(
+            reads,
+            "let __e{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\
+                 ::core::option::Option::Some(__v) => __v,\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::de::Error::custom(\"{constructor} is missing element {i}\")),\
+             }};"
+        );
+    }
+    let binders: Vec<String> = (0..n).map(|i| format!("__e{i}")).collect();
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\
+                 __f.write_str(\"{constructor}\") }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\
+                 {reads} ::core::result::Result::Ok({constructor}({binders}))\
+             }}\n\
+         }}",
+        binders = binders.join(", ")
+    )
+}
+
+/// Emits a visitor struct whose `visit_seq` builds a named-field value.
+fn named_visitor(vis_name: &str, value_ty: &str, constructor: &str, fields: &[Field]) -> String {
+    let reads = seq_field_reads(constructor, fields);
+    let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\
+                 __f.write_str(\"{constructor}\") }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\
+                 {reads} ::core::result::Result::Ok({constructor} {{ {names} }})\
+             }}\n\
+         }}",
+        names = names.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\
+                     __f.write_str(\"unit struct {name}\") }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) \
+                     -> ::core::result::Result<{name}, __E> {{\
+                     ::core::result::Result::Ok({name}) }}\n\
+             }}\n\
+             __d.deserialize_unit_struct(\"{name}\", __Visitor)"
+        ),
+        Shape::NewtypeStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\
+                     __f.write_str(\"newtype struct {name}\") }}\n\
+                 fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(self, __d: __D) \
+                     -> ::core::result::Result<{name}, __D::Error> {{\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?)) }}\n\
+             }}\n\
+             __d.deserialize_newtype_struct(\"{name}\", __Visitor)"
+        ),
+        Shape::TupleStruct(n) => {
+            let visitor = tuple_visitor("__Visitor", name, name, *n);
+            format!("{visitor}\n__d.deserialize_tuple_struct(\"{name}\", {n}, __Visitor)")
+        }
+        Shape::NamedStruct(fields) => {
+            let visitor = named_visitor("__Visitor", name, name, fields);
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            format!(
+                "{visitor}\n__d.deserialize_struct(\"{name}\", &[{}], __Visitor)",
+                field_names.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                             ::core::result::Result::Ok({name}::{vname}) }},"
+                        );
+                    }
+                    VariantKind::Newtype => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let vis_name = format!("__Variant{idx}");
+                        let visitor =
+                            tuple_visitor(&vis_name, name, &format!("{name}::{vname}"), *n);
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {visitor}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {n}, {vis_name}) }},"
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let vis_name = format!("__Variant{idx}");
+                        let visitor =
+                            named_visitor(&vis_name, name, &format!("{name}::{vname}"), fields);
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {visitor}\n\
+                             ::serde::de::VariantAccess::struct_variant(__variant, &[{}], {vis_name}) }},",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "const __VARIANTS: &[&str] = &[{variant_names}];\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\
+                         __f.write_str(\"enum {name}\") }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A) \
+                         -> ::core::result::Result<{name}, __A::Error> {{\
+                         let (__idx, __variant) = ::serde::de::EnumAccess::variant_seed(\
+                             __a, ::serde::de::VariantIndexSeed(__VARIANTS))?;\
+                         match __idx {{\
+                             {arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 ::std::format!(\"invalid variant index {{__other}} for enum {name}\"))),\
+                         }}\
+                     }}\n\
+                 }}\n\
+                 __d.deserialize_enum(\"{name}\", __VARIANTS, __Visitor)",
+                variant_names = variant_names.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{ {body} }}\n\
+         }}"
+    )
+}
