@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for the workspace. Runs the formatter check, clippy with warnings
-# denied, tier-1 verify (release build + tests of every crate), and — when
-# invoked with --bench — the micro benches that refresh BENCH_log.json.
+# denied, the rustdoc gate (broken intra-doc links and missing docs fail the
+# build), tier-1 verify (release build + tests of every crate), and — when
+# invoked with --bench — the benches that refresh BENCH_log.json /
+# BENCH_macro.json, diffed against the committed baselines by bench_diff.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +13,10 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps \
+    --exclude serde --exclude serde_derive --exclude proptest
+
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -18,7 +24,22 @@ cargo test --workspace -q
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo bench -p mar-bench (writes BENCH_log.json / BENCH_macro.json)"
+    baseline_dir=$(mktemp -d)
+    trap 'rm -rf "$baseline_dir"' EXIT
+    # Baseline = the *committed* reports (HEAD), so repeated local runs
+    # cannot ratchet the baseline; fall back to the working copy only if a
+    # report was never committed.
+    for f in BENCH_log.json BENCH_macro.json; do
+        if ! git show "HEAD:$f" > "$baseline_dir/$f" 2>/dev/null; then
+            if [[ -f "$f" ]]; then cp "$f" "$baseline_dir/$f"; fi
+        fi
+    done
     cargo bench -p mar-bench
+    echo "==> bench trend check against committed baselines"
+    for f in BENCH_log.json BENCH_macro.json; do
+        cargo run --release -q -p mar-bench --bin bench_diff -- \
+            "$baseline_dir/$f" "$f" --max-regression 3.0
+    done
 fi
 
 echo "ci: all green"

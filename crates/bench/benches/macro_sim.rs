@@ -5,8 +5,45 @@
 
 use mar_bench::harness::Bench;
 use mar_bench::Scenario;
-use mar_core::RollbackMode;
+use mar_core::{LoggingMode, RollbackMode};
 use std::hint::black_box;
+
+/// Runs the savepoint-heavy compaction scenario with the pre-transfer
+/// compaction toggle off and on, recording the deterministic
+/// `agent.transfer_bytes.*` totals and the derived savings in the report.
+/// These are virtual-time metrics (identical on every machine), which makes
+/// them diffable baselines for `ci.sh --bench`.
+fn compaction_experiment(b: &mut Bench, name: &str, logging: LoggingMode, pad: usize) {
+    let base = Scenario::savepoint_heavy(8, 4, pad, logging, 5);
+    let off = base.clone().run();
+    let on = base.with_compaction(true).run();
+    let bytes_off = off.bytes_fwd + off.bytes_rbk;
+    let bytes_on = on.bytes_fwd + on.bytes_rbk;
+    assert_eq!(off.steps, on.steps, "compaction must not change execution");
+    assert_eq!(off.rounds, on.rounds);
+    b.derive(
+        format!("compaction/{name}/transfer_bytes/raw"),
+        bytes_off as f64,
+    );
+    b.derive(
+        format!("compaction/{name}/transfer_bytes/compacted"),
+        bytes_on as f64,
+    );
+    b.derive(
+        format!("compaction/{name}/savings_pct"),
+        100.0 * (1.0 - bytes_on as f64 / bytes_off as f64),
+    );
+    b.derive(
+        format!("compaction/{name}/saved_bytes"),
+        on.compaction_saved as f64,
+    );
+    eprintln!(
+        "compaction/{name}: transfer bytes {bytes_off} -> {bytes_on} \
+         ({:.1}% smaller, {} compaction passes)",
+        100.0 * (1.0 - bytes_on as f64 / bytes_off as f64),
+        on.compactions,
+    );
+}
 
 fn main() {
     let mut b = Bench::new();
@@ -37,6 +74,18 @@ fn main() {
     b.run("e4_modes_depth12/optimized_all_mixed", 8, 1, || {
         black_box(Scenario::rollback(12, 4, Some(1), 256, RollbackMode::Optimized, 11).run());
     });
+
+    // E6 — pre-transfer log compaction: simulator wall-clock cost of the
+    // compacting run, plus the deterministic transfer-byte before/after.
+    b.run("e6_compaction/state_pad1024/compacting_run", 8, 1, || {
+        black_box(
+            Scenario::savepoint_heavy(8, 4, 1024, LoggingMode::State, 5)
+                .with_compaction(true)
+                .run(),
+        );
+    });
+    compaction_experiment(&mut b, "state_pad1024", LoggingMode::State, 1024);
+    compaction_experiment(&mut b, "transition_pad1024", LoggingMode::Transition, 1024);
 
     b.write_report("BENCH_macro.json");
 }

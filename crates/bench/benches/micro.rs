@@ -326,6 +326,84 @@ fn bench_savepoint_ops(b: &mut Bench) {
     }
 }
 
+/// Builds identical savepoint-heavy logs (segment-indexed and flat
+/// reference) where every savepoint repeats the same `image_bytes`-byte SRO
+/// image — the duplicate-image redundancy compaction removes.
+fn build_redundant_pair(savepoints: usize, image_bytes: usize) -> (RollbackLog, NaiveLog) {
+    let main = samples::fig6();
+    let cursor = Cursor::new(&main);
+    let image: mar_core::ObjectMap = [("notes".to_owned(), Value::Bytes(vec![0xA5; image_bytes]))]
+        .into_iter()
+        .collect();
+    let mut log = RollbackLog::new();
+    let mut naive = NaiveLog::new();
+    for seq in 0..savepoints as u64 {
+        let sp = LogEntry::Savepoint(SpEntry {
+            id: SavepointId(seq),
+            sub_id: None,
+            explicit: true,
+            cursor: cursor.clone(),
+            table: SavepointTable::new(),
+            sro: SroPayload::Full(image.clone()),
+        });
+        log.push(sp.clone());
+        naive.push(sp);
+        let frame = [
+            LogEntry::BeginOfStep(BosEntry {
+                node: 1,
+                step_seq: seq,
+                method: format!("m{seq}"),
+            }),
+            LogEntry::EndOfStep(EosEntry {
+                node: 1,
+                step_seq: seq,
+                method: format!("m{seq}"),
+                has_mixed: false,
+                alt_nodes: vec![],
+            }),
+        ];
+        for e in frame {
+            log.push(e.clone());
+            naive.push(e);
+        }
+    }
+    (log, naive)
+}
+
+fn bench_compaction(b: &mut Bench) {
+    for savepoints in [8usize, 64] {
+        let (log, naive) = build_redundant_pair(savepoints, 512);
+        // One op per sample: each timed pass compacts a fresh clone (a
+        // second pass on the same log would be a cheap no-op and skew the
+        // median).
+        b.run_batched(
+            format!("log/compact/segment/{savepoints}"),
+            20,
+            1,
+            || log.clone(),
+            |log| {
+                black_box(log.compact(None));
+            },
+        );
+        b.run_batched(
+            format!("log/compact/naive/{savepoints}"),
+            20,
+            1,
+            || naive.clone(),
+            |naive| {
+                black_box(naive.compact(None));
+            },
+        );
+        // The deterministic payoff: fraction of the log the pass removes.
+        let mut compacted = log.clone();
+        let report = compacted.compact(None);
+        b.derive(
+            format!("compaction_saved_fraction_{savepoints}"),
+            report.saved_bytes() as f64 / report.bytes_before as f64,
+        );
+    }
+}
+
 fn main() {
     let mut b = Bench::new();
     bench_wire(&mut b);
@@ -333,6 +411,7 @@ fn main() {
     bench_planner(&mut b);
     bench_delta(&mut b);
     bench_savepoint_ops(&mut b);
+    bench_compaction(&mut b);
     b.write_report("BENCH_log.json");
 
     // The acceptance bar for the segment refactor: ≥5× on savepoint

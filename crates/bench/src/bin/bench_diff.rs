@@ -1,0 +1,156 @@
+//! Compares two benchmark reports (`BENCH_log.json` / `BENCH_macro.json`)
+//! and fails on hot-path regressions — the `ci.sh --bench` trend gate.
+//!
+//! ```sh
+//! bench_diff <baseline.json> <fresh.json> [--max-regression 3.0]
+//! ```
+//!
+//! Timing entries are compared as `fresh / baseline` ratios; anything
+//! slower than the `--max-regression` factor (default 3×, deliberately
+//! loose: CI machines are noisy) fails the run. Derived entries (speedups,
+//! byte savings) are printed side by side for the record but never fail the
+//! gate — they are either deterministic or already asserted by tests.
+//!
+//! The parser is hand-rolled for exactly the shape
+//! [`mar_bench::harness::Bench::to_json`] emits; there is no JSON crate in
+//! the offline build environment.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One `{"name": ..., "ns_per_op": ...}` result line.
+fn parse_result_line(line: &str) -> Option<(String, f64)> {
+    let name = line.split("\"name\": \"").nth(1)?.split('"').next()?;
+    let ns = line
+        .split("\"ns_per_op\": ")
+        .nth(1)?
+        .split(&[',', '}'][..])
+        .next()?
+        .trim()
+        .parse()
+        .ok()?;
+    Some((name.to_owned(), ns))
+}
+
+/// One `"key": value` derived line.
+fn parse_derived_line(line: &str) -> Option<(String, f64)> {
+    let line = line.trim().trim_end_matches(',');
+    let (key, value) = line.split_once("\": ")?;
+    let key = key.trim().strip_prefix('"')?;
+    Some((key.to_owned(), value.trim().parse().ok()?))
+}
+
+/// Parsed report: timing results and derived quantities.
+#[derive(Default)]
+struct Report {
+    results: BTreeMap<String, f64>,
+    derived: BTreeMap<String, f64>,
+}
+
+fn parse_report(text: &str) -> Report {
+    let mut report = Report::default();
+    let mut in_derived = false;
+    for line in text.lines() {
+        if line.contains("\"derived\"") {
+            in_derived = true;
+        }
+        if !in_derived {
+            if let Some((name, ns)) = parse_result_line(line) {
+                report.results.insert(name, ns);
+            }
+        } else if let Some((name, v)) = parse_derived_line(line) {
+            if name != "derived" {
+                report.derived.insert(name, v);
+            }
+        }
+    }
+    report
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 3.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regression" => {
+                max_regression = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(max_regression);
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [--max-regression X]");
+        return ExitCode::from(2);
+    };
+
+    let Ok(old_text) = std::fs::read_to_string(old_path) else {
+        println!("bench_diff: no baseline at {old_path}; nothing to compare");
+        return ExitCode::SUCCESS;
+    };
+    let new_text = match std::fs::read_to_string(new_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read fresh report {new_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let old = parse_report(&old_text);
+    let new = parse_report(&new_text);
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "fresh", "ratio"
+    );
+    let mut regressions = Vec::new();
+    for (name, fresh) in &new.results {
+        match old.results.get(name) {
+            Some(base) if *base > 0.0 => {
+                let ratio = fresh / base;
+                let flag = if ratio > max_regression {
+                    "  <-- REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{name:<48} {base:>10.1}ns {fresh:>10.1}ns {ratio:>7.2}x{flag}");
+                if ratio > max_regression {
+                    regressions.push((name.clone(), ratio));
+                }
+            }
+            _ => println!("{name:<48} {:>12} {fresh:>10.1}ns        ", "(new)"),
+        }
+    }
+    for name in old.results.keys().filter(|n| !new.results.contains_key(*n)) {
+        println!("{name:<48} (dropped from fresh report)");
+    }
+
+    if !new.derived.is_empty() {
+        println!("\n{:<48} {:>12} {:>12}", "derived", "baseline", "fresh");
+        for (name, fresh) in &new.derived {
+            match old.derived.get(name) {
+                Some(base) => println!("{name:<48} {base:>12.3} {fresh:>12.3}"),
+                None => println!("{name:<48} {:>12} {fresh:>12.3}", "(new)"),
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("\nbench_diff: no regression beyond {max_regression:.1}x");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench_diff: {} benchmark(s) regressed beyond {max_regression:.1}x: {}",
+            regressions.len(),
+            regressions
+                .iter()
+                .map(|(n, r)| format!("{n} ({r:.2}x)"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

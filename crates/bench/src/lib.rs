@@ -18,6 +18,10 @@ use mar_wire::Value;
 pub enum StepKind {
     /// Resource-only work: ledger transfer + RCE.
     Rce,
+    /// Like [`StepKind::Rce`], plus an explicit savepoint at the end of the
+    /// step — the savepoint-heavy pattern the log-compaction experiment
+    /// measures.
+    RceSave,
     /// Currency exchange against the wallet: logs a mixed entry.
     Mixed,
     /// SRO-only information gathering: pads the `notes` SRO with `usize`
@@ -40,7 +44,7 @@ impl AgentBehavior for BenchAgent {
             return Ok(StepDecision::Continue);
         }
         match base {
-            "rce" => {
+            "rce" | "rcesp" => {
                 ctx.call(
                     "ledger",
                     "transfer",
@@ -51,6 +55,9 @@ impl AgentBehavior for BenchAgent {
                     ]),
                 )?;
                 ctx.compensate(comp_undo_transfer("ledger", "reserve", "sink", 5))?;
+                if base == "rcesp" {
+                    ctx.request_savepoint();
+                }
                 Ok(StepDecision::Continue)
             }
             "mixed" => {
@@ -106,6 +113,9 @@ pub struct Scenario {
     pub steps: Vec<(StepKind, u32)>,
     /// Network latency model.
     pub latency: LatencyModel,
+    /// Compact the rollback log before every remote transfer (the
+    /// `agent.transfer_bytes.*` experiment toggle).
+    pub compact: bool,
 }
 
 impl Scenario {
@@ -138,7 +148,48 @@ impl Scenario {
             logging: LoggingMode::State,
             steps,
             latency: LatencyModel::lan(),
+            compact: false,
         }
+    }
+
+    /// The log-compaction scenario: one `sro_pad`-byte information-
+    /// gathering step establishes a fat SRO state, then `depth` resource
+    /// steps each end with an explicit savepoint while never touching the
+    /// SROs again. Under state logging every one of those savepoints
+    /// repeats the identical image — the redundancy
+    /// [`RollbackLog::compact`](mar_core::RollbackLog::compact) removes
+    /// before each transfer; under transition logging they carry empty
+    /// deltas that compaction demotes to markers. Finishes with one
+    /// rollback of the sub so the compacted log also drives a full
+    /// compensation run.
+    pub fn savepoint_heavy(
+        depth: usize,
+        nodes: u32,
+        sro_pad: usize,
+        logging: LoggingMode,
+        seed: u64,
+    ) -> Scenario {
+        let mut steps = vec![(StepKind::Sro(sro_pad), 1)];
+        for i in 0..depth {
+            let node = 1 + (i as u32 % (nodes - 1));
+            steps.push((StepKind::RceSave, node));
+        }
+        steps.push((StepKind::RollbackOnce, 1 + (depth as u32 % (nodes - 1))));
+        Scenario {
+            nodes,
+            seed,
+            mode: RollbackMode::Optimized,
+            logging,
+            steps,
+            latency: LatencyModel::lan(),
+            compact: false,
+        }
+    }
+
+    /// Toggles pre-transfer log compaction.
+    pub fn with_compaction(mut self, on: bool) -> Scenario {
+        self.compact = on;
+        self
     }
 
     /// A forward-only scenario: `depth` steps with `sro_pad` bytes of SRO
@@ -161,6 +212,7 @@ impl Scenario {
             logging: LoggingMode::State,
             steps,
             latency: LatencyModel::lan(),
+            compact: false,
         }
     }
 
@@ -170,6 +222,7 @@ impl Scenario {
                 for (i, (kind, node)) in self.steps.iter().enumerate() {
                     let name = match kind {
                         StepKind::Rce => format!("rce#{i}"),
+                        StepKind::RceSave => format!("rcesp#{i}"),
                         StepKind::Mixed => format!("mixed#{i}"),
                         StepKind::Sro(n) => format!("sro:{n}#{i}"),
                         StepKind::RollbackOnce => format!("rollback#{i}"),
@@ -186,6 +239,7 @@ impl Scenario {
         let mut b = PlatformBuilder::new(self.nodes as usize)
             .seed(self.seed)
             .latency(self.latency)
+            .compact_on_transfer(self.compact)
             .behavior("bench", BenchAgent);
         for n in 1..self.nodes {
             b = b.resources(NodeId(n), move || {
@@ -260,6 +314,10 @@ pub struct RunStats {
     pub rce_bytes: u64,
     /// Compensation rounds committed.
     pub rounds: u64,
+    /// Pre-transfer log compaction passes that changed the log.
+    pub compactions: u64,
+    /// Bytes shaved off rollback logs by pre-transfer compaction.
+    pub compaction_saved: u64,
     /// Total network bytes sent.
     pub net_bytes: u64,
     /// Raw metrics for anything else.
@@ -278,6 +336,8 @@ impl RunStats {
             rce_shipped: m.counter("rollback.rce_shipped"),
             rce_bytes: m.counter("rollback.rce_bytes"),
             rounds: m.counter("rollback.rounds"),
+            compactions: m.counter("log.compactions"),
+            compaction_saved: m.counter("log.compaction_saved_bytes"),
             net_bytes: m.counter("net.bytes_sent"),
             metrics: m,
         }
@@ -303,5 +363,36 @@ mod tests {
         assert_eq!(basic.rounds, opt.rounds);
         assert_eq!(opt.transfers_rbk, 0);
         assert_eq!(basic.transfers_rbk, 4);
+    }
+
+    #[test]
+    fn compaction_shrinks_transfers_without_changing_outcomes() {
+        let base = Scenario::savepoint_heavy(8, 4, 1024, LoggingMode::State, 5);
+        let off = base.clone().run();
+        let on = base.with_compaction(true).run();
+        // Same execution, fewer bytes on the wire.
+        assert_eq!(off.steps, on.steps);
+        assert_eq!(off.rounds, on.rounds);
+        assert_eq!(off.transfers_fwd, on.transfers_fwd);
+        assert_eq!(off.transfers_rbk, on.transfers_rbk);
+        assert_eq!(off.compactions, 0);
+        assert!(on.compactions > 0, "compaction passes must have run");
+        assert!(on.compaction_saved > 0);
+        let total_off = off.bytes_fwd + off.bytes_rbk;
+        let total_on = on.bytes_fwd + on.bytes_rbk;
+        assert!(
+            (total_on as f64) < 0.8 * total_off as f64,
+            "expected >= 20% transfer-byte reduction, got {total_off} -> {total_on}"
+        );
+    }
+
+    #[test]
+    fn compaction_under_transition_logging_is_safe() {
+        let base = Scenario::savepoint_heavy(6, 4, 512, LoggingMode::Transition, 9);
+        let off = base.clone().run();
+        let on = base.with_compaction(true).run();
+        assert_eq!(off.steps, on.steps);
+        assert_eq!(off.rounds, on.rounds);
+        assert!(on.bytes_fwd + on.bytes_rbk <= off.bytes_fwd + off.bytes_rbk);
     }
 }

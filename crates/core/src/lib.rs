@@ -15,7 +15,10 @@
 //!   (compensated by operations), §4.1.
 //! * [`RollbackLog`] — the agent-attached log of savepoint, begin-of-step,
 //!   operation, and end-of-step entries, with state or transition logging of
-//!   SRO images, §4.2.
+//!   SRO images, §4.2 — plus the pre-migration compaction pass
+//!   ([`log::compact`], [`RollbackLog::compact`]) that shrinks redundant
+//!   savepoint payloads without changing rollback behaviour or the wire
+//!   format.
 //! * [`comp`] — compensating operations with the three entry types of
 //!   §4.4.1 (resource / agent / mixed) and their access enforcement.
 //! * [`SavepointTable`] — itinerary-integrated savepoints: automatic
@@ -48,7 +51,7 @@ pub mod theory;
 pub use costmodel::{CostModel, LinkParams};
 pub use data::{DataSpace, ObjectMap, SroDelta};
 pub use error::{CompError, CoreError};
-pub use log::{LoggingMode, RollbackLog};
+pub use log::{CompactionReport, LoggingMode, RollbackLog};
 pub use planner::{
     compensation_round, start_rollback, AfterRound, Destination, RestorePlan, RollbackMode,
     RoundPlan, StartPlan,

@@ -47,14 +47,16 @@ use std::cell::Cell;
 pub struct RollbackLog {
     /// Entries logged before the first savepoint entry.
     head: Tail,
-    /// One segment per savepoint entry, oldest first.
-    segments: Vec<Segment>,
+    /// One segment per savepoint entry, oldest first. Visible to the
+    /// sibling [`compact`](crate::log::compact) module, which walks and
+    /// rewrites savepoint payloads in place.
+    pub(super) segments: Vec<Segment>,
     /// Savepoint id → position in `segments`.
     index: BTreeMap<SavepointId, usize>,
     /// Total encoded size of all entries (always exact; serialized).
     bytes: usize,
     /// Per-kind entry counts (always exact).
-    counts: Counts,
+    pub(super) counts: Counts,
     /// Per-kind byte totals; `None` until first demanded (deserialized
     /// logs learn entry sizes lazily), maintained incrementally afterwards.
     rollup: Cell<Option<ByteRollup>>,
@@ -162,6 +164,27 @@ impl RollbackLog {
     /// operation entry per compensation in logged order, and the
     /// end-of-step entry with the mixed flag (§4.2). Returns whether any
     /// entry was a mixed compensation entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mar_core::comp::{CompOp, EntryKind};
+    /// use mar_core::log::RollbackLog;
+    /// use mar_wire::Value;
+    ///
+    /// let mut log = RollbackLog::new();
+    /// let mixed = log.append_step(
+    ///     2,              // node the step ran on
+    ///     0,              // step sequence number
+    ///     "reserve",      // step method (diagnostics)
+    ///     [(EntryKind::Resource, CompOp::new("bank.undo_transfer", Value::Null))],
+    ///     vec![],         // alternative compensation nodes
+    /// );
+    /// assert!(!mixed);
+    /// // One BOS + one OE + one EOS, in log order.
+    /// assert_eq!(log.len(), 3);
+    /// assert_eq!(log.last_eos().unwrap().step_seq, 0);
+    /// ```
     pub fn append_step(
         &mut self,
         node: u32,
@@ -279,12 +302,17 @@ impl RollbackLog {
     /// Removes the savepoint entry `id` when its sub-itinerary completes
     /// (§4.4.2), preserving restorability of every other savepoint:
     ///
-    /// * **Transition logging:** the removed delta is absorbed — composed
-    ///   into the next (newer) delta savepoint if one exists, otherwise
-    ///   applied to the agent's shadow copy (the removed savepoint *was* the
-    ///   newest). This is the "non-trivial task" the paper alludes to.
+    /// * **Transition logging:** the removed delta is absorbed by the first
+    ///   savepoint above that pops after it in the shadow walk — composed
+    ///   into a delta savepoint, or carried verbatim by a marker that
+    ///   referenced the removed savepoint (such markers share its state);
+    ///   with nothing above, it is applied to the agent's shadow copy (the
+    ///   removed savepoint *was* the newest). This is the "non-trivial
+    ///   task" the paper alludes to.
     /// * **State logging:** if a newer marker references the removed
     ///   savepoint, the marker is upgraded in place to carry the full image.
+    /// * **Markers:** removing a marker re-points newer markers that
+    ///   referenced it at its own target, so no marker ever dangles.
     ///
     /// The removed segment's tail entries are spliced into the previous
     /// segment; only savepoint entries above the removal point are
@@ -296,6 +324,29 @@ impl RollbackLog {
     /// # Errors
     ///
     /// [`CoreError::CorruptLog`] on payload inconsistencies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mar_core::log::{LoggingMode, RollbackLog, SroPayload};
+    /// use mar_core::{DataSpace, SavepointTable};
+    /// use mar_itinerary::{samples, Cursor};
+    ///
+    /// let main = samples::fig6();
+    /// let cursor = Cursor::new(&main);
+    /// let (mut data, mut table, mut log) =
+    ///     (DataSpace::new(), SavepointTable::new(), RollbackLog::new());
+    /// let a = table.on_enter_sub("A", &mut data, &cursor, &mut log, LoggingMode::State);
+    /// let b = table.on_enter_sub("B", &mut data, &cursor, &mut log, LoggingMode::State);
+    /// // B is a marker onto A; removing A upgrades B to carry the image.
+    /// assert_eq!(log.find_savepoint(b).unwrap().sro, SroPayload::Ref(a));
+    /// assert!(log.remove_savepoint(a, &mut data).unwrap());
+    /// assert!(matches!(
+    ///     log.find_savepoint(b).unwrap().sro,
+    ///     SroPayload::Full(_)
+    /// ));
+    /// assert!(!log.remove_savepoint(a, &mut data).unwrap(), "already gone");
+    /// ```
     pub fn remove_savepoint(
         &mut self,
         id: SavepointId,
@@ -324,26 +375,64 @@ impl RollbackLog {
 
         match &removed.sro {
             SroPayload::Delta(delta) => {
-                // The next *delta* savepoint above absorbs the removed
-                // delta; segments after `pos` are exactly the newer ones.
-                let next_delta = (pos..self.segments.len()).find(|&j| {
-                    matches!(
-                        self.segments[j].sp.entry.as_savepoint().map(|sp| &sp.sro),
-                        Some(SroPayload::Delta(_))
-                    )
+                // The removed backward delta must be absorbed by whatever
+                // the rollback shadow walk pops right after it: the first
+                // savepoint above that is a delta savepoint (compose the
+                // deltas) **or** a marker referencing the removed savepoint
+                // (the §4.4.2 marker rule and compaction demotions both
+                // create such markers; their state *is* the removed
+                // savepoint's state, so the marker becomes the delta's new
+                // carrier — composing past it would make rollbacks to the
+                // marker restore the state *below* the removed savepoint).
+                let carrier = (pos..self.segments.len()).find(|&j| {
+                    match self.segments[j].sp.entry.as_savepoint().map(|sp| &sp.sro) {
+                        Some(SroPayload::Delta(_)) => true,
+                        Some(SroPayload::Ref(r)) => *r == id,
+                        _ => false,
+                    }
                 });
-                match next_delta {
+                match carrier {
                     Some(j) => {
+                        let carrier_sp = self.segments[j]
+                            .sp
+                            .entry
+                            .as_savepoint()
+                            .expect("segments start at savepoint entries");
+                        let carrier_id = carrier_sp.id;
+                        let was_marker = carrier_sp.sro.is_marker();
                         let (old, new) = self.segments[j].sp.remeasure(|entry| {
                             let LogEntry::Savepoint(sp) = entry else {
                                 unreachable!("segments start at savepoint entries");
                             };
-                            let SroPayload::Delta(next) = &sp.sro else {
-                                unreachable!("matched delta payload above");
+                            sp.sro = match &sp.sro {
+                                SroPayload::Delta(next) => SroPayload::Delta(next.compose(delta)),
+                                SroPayload::Ref(_) => SroPayload::Delta(delta.clone()),
+                                SroPayload::Full(_) => {
+                                    unreachable!("carrier scan matched delta or ref")
+                                }
                             };
-                            sp.sro = SroPayload::Delta(next.compose(delta));
                         });
+                        if was_marker {
+                            self.counts.markers -= 1;
+                        }
                         self.resize_savepoint_bytes(old, new);
+                        // Any further markers that referenced the removed
+                        // savepoint now reference its carrier (same state).
+                        for k in (j + 1)..self.segments.len() {
+                            let refs_removed = matches!(
+                                self.segments[k].sp.entry.as_savepoint().map(|sp| &sp.sro),
+                                Some(SroPayload::Ref(r)) if *r == id
+                            );
+                            if refs_removed {
+                                let (old, new) = self.segments[k].sp.remeasure(|entry| {
+                                    let LogEntry::Savepoint(sp) = entry else {
+                                        unreachable!("segments start at savepoint entries");
+                                    };
+                                    sp.sro = SroPayload::Ref(carrier_id);
+                                });
+                                self.resize_savepoint_bytes(old, new);
+                            }
+                        }
                     }
                     None => {
                         // Removed the newest delta savepoint: the shadow
@@ -372,8 +461,27 @@ impl RollbackLog {
                     }
                 }
             }
-            SroPayload::Ref(_) => {
-                // Markers hold no data; nothing to absorb.
+            SroPayload::Ref(target) => {
+                // Markers hold no data, but newer markers may reference the
+                // removed one (compaction demotions create such chains).
+                // Re-point them at the removed marker's own target so no
+                // marker ever dangles.
+                let target = *target;
+                for j in pos..self.segments.len() {
+                    let refs_removed = matches!(
+                        self.segments[j].sp.entry.as_savepoint().map(|sp| &sp.sro),
+                        Some(SroPayload::Ref(r)) if *r == id
+                    );
+                    if refs_removed {
+                        let (old, new) = self.segments[j].sp.remeasure(|entry| {
+                            let LogEntry::Savepoint(sp) = entry else {
+                                unreachable!("segments start at savepoint entries");
+                            };
+                            sp.sro = SroPayload::Ref(target);
+                        });
+                        self.resize_savepoint_bytes(old, new);
+                    }
+                }
             }
         }
         Ok(true)
@@ -403,7 +511,7 @@ impl RollbackLog {
 
     /// Adjusts totals after an in-place mutation of a savepoint entry's
     /// payload (the only entries ever mutated in place).
-    fn resize_savepoint_bytes(&mut self, old: usize, new: usize) {
+    pub(super) fn resize_savepoint_bytes(&mut self, old: usize, new: usize) {
         self.bytes = self.bytes.saturating_sub(old) + new;
         if let Some(mut rollup) = self.rollup.get() {
             rollup.savepoint_bytes = rollup.savepoint_bytes.saturating_sub(old) + new;

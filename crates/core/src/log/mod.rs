@@ -7,6 +7,13 @@
 //! rolled back to. It is persisted together with the agent at every
 //! transaction commit.
 
+//! Because the log migrates with the agent, its encoded size is a
+//! first-class cost: the [`compact`] module shrinks redundant savepoint
+//! payloads before a transfer without changing anything rollback or
+//! savepoint removal can observe (see `docs/WIRE.md` for the wire-level
+//! compatibility invariant).
+
+pub mod compact;
 mod entry;
 #[allow(clippy::module_inception)]
 mod log;
@@ -14,6 +21,7 @@ pub mod reference;
 mod segment;
 mod stats;
 
+pub use compact::CompactionReport;
 pub use entry::{BosEntry, EosEntry, LogEntry, OpEntry, SpEntry, SroPayload};
 pub use log::RollbackLog;
 pub use stats::LogStats;

@@ -223,20 +223,38 @@ fn resolve_restore(record: &AgentRecord, sp: &SpEntry) -> Result<RestorePlan, Co
         LoggingMode::State => match &sp.sro {
             SroPayload::Full(image) => image.clone(),
             SroPayload::Ref(ref_id) => {
-                // Marker: the referenced (earlier) savepoint carries the
-                // image; it is still in the log because references always
-                // point below the target.
-                let referenced = record
-                    .log
-                    .find_savepoint(*ref_id)
-                    .ok_or(CoreError::UnknownSavepoint(*ref_id))?;
-                match &referenced.sro {
-                    SroPayload::Full(image) => image.clone(),
-                    other => {
-                        return Err(CoreError::CorruptLog(format!(
-                            "marker {} references non-image savepoint ({:?})",
-                            sp.id, other
-                        )));
+                // Marker: an earlier savepoint carries the image; it is
+                // still in the log because references always point below
+                // the target. Marker *chains* (log compaction demotes
+                // duplicate images to markers, and a marker written after
+                // such a demotion references a marker) are followed to
+                // their data-bearing root; the walk is bounded so a corrupt
+                // cyclic log errors instead of spinning.
+                let mut cur = *ref_id;
+                let mut hops = 0usize;
+                loop {
+                    let referenced = record
+                        .log
+                        .find_savepoint(cur)
+                        .ok_or(CoreError::UnknownSavepoint(cur))?;
+                    match &referenced.sro {
+                        SroPayload::Full(image) => break image.clone(),
+                        SroPayload::Ref(next) => {
+                            hops += 1;
+                            if hops > record.log.segment_count() {
+                                return Err(CoreError::CorruptLog(format!(
+                                    "marker cycle while resolving {}",
+                                    sp.id
+                                )));
+                            }
+                            cur = *next;
+                        }
+                        other => {
+                            return Err(CoreError::CorruptLog(format!(
+                                "marker {} resolves to non-image savepoint ({:?})",
+                                sp.id, other
+                            )));
+                        }
                     }
                 }
             }

@@ -134,6 +134,17 @@ impl AgentRecord {
         self.encoded_size().saturating_sub(self.log.size_bytes())
     }
 
+    /// Compacts the rollback log in place (see
+    /// [`RollbackLog::compact`](crate::log::RollbackLog::compact)),
+    /// supplying the transition-logging shadow when the data space carries
+    /// one. The platform calls this before every remote transfer when
+    /// compaction is enabled; it is also safe to call at any quiescent
+    /// point — the compacted record is observationally equivalent for
+    /// rollback and strictly no larger on the wire.
+    pub fn compact_log(&mut self) -> crate::log::CompactionReport {
+        self.log.compact(self.data.shadow())
+    }
+
     /// Applies a restore plan: SROs are restored from the savepoint image,
     /// the cursor and savepoint bookkeeping rewind, and the agent switches
     /// back to forward execution. WROs are left exactly as the compensating

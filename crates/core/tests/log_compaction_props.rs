@@ -1,0 +1,277 @@
+//! Property tests for rollback-log compaction (`RollbackLog::compact`).
+//!
+//! Random but *well-formed* agent histories are built through the real
+//! bookkeeping (`SavepointTable` + `RollbackLog::append_step`) under both
+//! logging modes, then compacted at the end — like the platform does before
+//! a migration. The compacted record must be **observationally equivalent**
+//! to the uncompacted one:
+//!
+//! * identical savepoint set, with only payloads rewritten;
+//! * identical rollback: for every live savepoint, the full planner run
+//!   (`compensation_round` until `Reached`) produces identical `RoundPlan`s
+//!   and an identical final `RestorePlan` — same compensating operations,
+//!   same destinations, same restored SRO state;
+//! * wire compatible: the compacted log serializes to a flat layout the
+//!   unchanged readers (the segment log *and* the flat `NaiveLog`, the
+//!   pre-refactor reader) still decode, and it never grew;
+//! * idempotent: compacting twice changes nothing.
+
+use proptest::prelude::*;
+
+use mar_core::comp::{CompOp, EntryKind};
+use mar_core::log::reference::NaiveLog;
+use mar_core::log::LogStats;
+use mar_core::{
+    compensation_round, AfterRound, AgentId, AgentRecord, DataSpace, LoggingMode, RollbackLog,
+    RollbackMode,
+};
+use mar_itinerary::samples;
+use mar_wire::Value;
+
+/// One event of a generated agent history.
+#[derive(Debug, Clone)]
+enum HistOp {
+    /// Commit a step on `node` with `nops` compensating operations; if
+    /// `sro_write` is set, the step also wrote an SRO key first (index mod
+    /// 3 picks the key, the value is a fresh mutation counter).
+    Step {
+        node: u32,
+        nops: u8,
+        sro_write: Option<u8>,
+    },
+    /// Enter a (uniquely named) sub-itinerary: automatic savepoint.
+    EnterSub,
+    /// Leave the innermost sub-itinerary (savepoint GC), if any.
+    LeaveSub,
+    /// Constitute an explicit savepoint.
+    ExplicitSp,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<HistOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => (1u32..4, 0u8..3, any::<bool>(), 0u8..6).prop_map(|(node, nops, write, k)| {
+                HistOp::Step { node, nops, sro_write: write.then_some(k) }
+            }),
+            3 => Just(HistOp::EnterSub),
+            2 => Just(HistOp::LeaveSub),
+            3 => Just(HistOp::ExplicitSp),
+        ],
+        1..28,
+    )
+}
+
+/// Replays a history into a fresh record, driving the real savepoint
+/// bookkeeping so markers, images, and deltas arise exactly as they do in
+/// the platform.
+fn build_record(mode: LoggingMode, ops: &[HistOp]) -> AgentRecord {
+    let mut data = DataSpace::new();
+    // A chunky SRO object makes image redundancy (and its removal) visible.
+    data.set_sro("blob", Value::Bytes(vec![0xA5; 96]));
+    let mut rec = AgentRecord::new(
+        AgentId(7),
+        "prop",
+        0,
+        data,
+        samples::fig6(),
+        mode,
+        RollbackMode::Optimized,
+    );
+    let mut sub_seq = 0u64;
+    let mut mutation = 0i64;
+    for op in ops {
+        let cursor = rec.cursor.clone();
+        match op {
+            HistOp::Step {
+                node,
+                nops,
+                sro_write,
+            } => {
+                if let Some(k) = sro_write {
+                    mutation += 1;
+                    rec.data
+                        .set_sro(format!("k{}", k % 3), Value::from(mutation));
+                }
+                let seq = rec.step_seq;
+                let ops = (0..*nops).map(|i| {
+                    let kind = match i % 3 {
+                        0 => EntryKind::Resource,
+                        1 => EntryKind::Agent,
+                        _ => EntryKind::Mixed,
+                    };
+                    (kind, CompOp::new("undo", Value::from(i64::from(i))))
+                });
+                rec.log
+                    .append_step(*node, seq, &format!("m{seq}"), ops, vec![]);
+                rec.step_seq += 1;
+                rec.table.on_step_committed();
+            }
+            HistOp::EnterSub => {
+                sub_seq += 1;
+                rec.table.on_enter_sub(
+                    &format!("S{sub_seq}"),
+                    &mut rec.data,
+                    &cursor,
+                    &mut rec.log,
+                    mode,
+                );
+            }
+            HistOp::LeaveSub => {
+                if let Some(frame) = rec.table.stack().last() {
+                    let sub_id = frame.sub_id.clone();
+                    rec.table
+                        .on_leave_sub(&sub_id, false, &mut rec.data, &mut rec.log)
+                        .expect("innermost sub leaves cleanly");
+                }
+            }
+            HistOp::ExplicitSp => {
+                rec.table
+                    .explicit_savepoint(&mut rec.data, &cursor, &mut rec.log, mode);
+            }
+        }
+    }
+    rec.log.validate().expect("generated log is well-formed");
+    rec
+}
+
+/// Runs the full rollback of both records to `target`, requiring every
+/// planned round — and the final restore — to be identical.
+fn assert_same_rollback(a: &AgentRecord, b: &AgentRecord, target: mar_core::SavepointId) {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    for round_no in 0.. {
+        let ra = compensation_round(&mut a, target)
+            .unwrap_or_else(|e| panic!("uncompacted round {round_no} to {target}: {e}"));
+        let rb = compensation_round(&mut b, target)
+            .unwrap_or_else(|e| panic!("compacted round {round_no} to {target}: {e}"));
+        assert_eq!(ra, rb, "round {round_no} to {target} diverged");
+        if matches!(ra.after, AfterRound::Reached(_)) {
+            break;
+        }
+    }
+    // The popped-down logs and the shadow evolution agree too.
+    assert_eq!(a.data.shadow(), b.data.shadow());
+    assert_eq!(a.log.len(), b.log.len());
+}
+
+fn check(mode: LoggingMode, ops: Vec<HistOp>) {
+    let rec = build_record(mode, &ops);
+    let raw_bytes = mar_wire::to_bytes(&rec.log).expect("uncompacted log encodes");
+
+    let mut compacted = rec.clone();
+    let report = compacted.compact_log();
+
+    // --- structure: only payloads may differ -------------------------------
+    assert_eq!(report.bytes_before, rec.log.size_bytes());
+    assert_eq!(report.bytes_after, compacted.log.size_bytes());
+    assert!(compacted.log.size_bytes() <= rec.log.size_bytes());
+    assert_eq!(compacted.log.len(), rec.log.len());
+    compacted.log.validate().expect("compacted log stays valid");
+    assert_eq!(compacted.log.stats(), LogStats::of(&compacted.log));
+    let ids: Vec<_> = rec.log.savepoint_ids().collect();
+    assert_eq!(compacted.log.savepoint_ids().collect::<Vec<_>>(), ids);
+    for id in &ids {
+        let before = rec.log.find_savepoint(*id).unwrap();
+        let after = compacted.log.find_savepoint(*id).unwrap();
+        assert_eq!(before.id, after.id);
+        assert_eq!(before.sub_id, after.sub_id);
+        assert_eq!(before.explicit, after.explicit);
+        assert_eq!(before.cursor, after.cursor);
+        assert_eq!(before.table, after.table);
+    }
+
+    // --- wire compatibility ------------------------------------------------
+    let compact_bytes = mar_wire::to_bytes(&compacted.log).expect("compacted log encodes");
+    assert!(compact_bytes.len() <= raw_bytes.len());
+    let as_segment: RollbackLog =
+        mar_wire::from_slice(&compact_bytes).expect("unchanged segment reader decodes");
+    assert_eq!(as_segment, compacted.log);
+    let as_flat: NaiveLog =
+        mar_wire::from_slice(&compact_bytes).expect("pre-refactor flat reader decodes");
+    assert!(as_flat.iter().eq(compacted.log.iter()));
+    assert_eq!(as_flat.size_bytes(), compacted.log.size_bytes());
+
+    // --- rollback equivalence to every live savepoint ----------------------
+    for id in &ids {
+        assert_same_rollback(&rec, &compacted, *id);
+    }
+
+    // --- savepoint removal commutes with compaction ------------------------
+    // Removing any savepoint (the §4.4.2 maintenance op) from the compacted
+    // log must leave every remaining savepoint restorable to the same state
+    // as removing it from the uncompacted log — including markers whose
+    // referenced delta savepoint is the one removed.
+    for id in &ids {
+        let mut a = rec.clone();
+        let mut b = compacted.clone();
+        assert!(a.log.remove_savepoint(*id, &mut a.data).unwrap());
+        assert!(b.log.remove_savepoint(*id, &mut b.data).unwrap());
+        assert_eq!(a.data.shadow(), b.data.shadow());
+        let remaining: Vec<_> = a.log.savepoint_ids().collect();
+        assert_eq!(b.log.savepoint_ids().collect::<Vec<_>>(), remaining);
+        for target in &remaining {
+            assert_same_rollback(&a, &b, *target);
+        }
+    }
+
+    // --- idempotence -------------------------------------------------------
+    let mut twice = compacted.clone();
+    let second = twice.compact_log();
+    assert!(!second.changed(), "second pass must be a no-op: {second}");
+    assert_eq!(mar_wire::to_bytes(&twice.log).unwrap(), compact_bytes);
+
+    // --- compaction commutes with deserialization --------------------------
+    // A freshly decoded log (lazy entry sizes) must compact to the same
+    // bytes as the in-memory original.
+    let mut decoded = rec.clone();
+    decoded.log = mar_wire::from_slice(&raw_bytes).expect("decodes");
+    let decoded_report = decoded.log.compact(decoded.data.shadow());
+    assert_eq!(decoded_report, report);
+    assert_eq!(mar_wire::to_bytes(&decoded.log).unwrap(), compact_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compaction_preserves_rollback_state_logging(ops in ops_strategy()) {
+        check(LoggingMode::State, ops);
+    }
+
+    #[test]
+    fn compaction_preserves_rollback_transition_logging(ops in ops_strategy()) {
+        check(LoggingMode::Transition, ops);
+    }
+}
+
+/// Deterministic worked example mirroring `docs/ARCHITECTURE.md`: steps
+/// that never touch the SRO state produce duplicate full images, which
+/// compaction demotes into a marker chain collapsed onto the first image.
+#[test]
+fn worked_example_state_logging_dedup() {
+    let ops = vec![
+        HistOp::EnterSub,
+        HistOp::Step {
+            node: 1,
+            nops: 1,
+            sro_write: None,
+        },
+        HistOp::ExplicitSp,
+        HistOp::Step {
+            node: 2,
+            nops: 1,
+            sro_write: None,
+        },
+        HistOp::ExplicitSp,
+    ];
+    let rec = build_record(LoggingMode::State, &ops);
+    let mut compacted = rec.clone();
+    let report = compacted.compact_log();
+    // Sub entry holds the image; the two explicit savepoints repeated it.
+    assert_eq!(report.images_demoted, 2);
+    assert!(report.saved_bytes() >= 2 * 90, "two ~96-byte blobs dropped");
+    let ids: Vec<_> = rec.log.savepoint_ids().collect();
+    for id in &ids {
+        assert_same_rollback(&rec, &compacted, *id);
+    }
+}

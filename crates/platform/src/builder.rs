@@ -99,6 +99,16 @@ impl PlatformBuilder {
         self
     }
 
+    /// Enables (or disables) rollback-log compaction before every remote
+    /// agent transfer: duplicate savepoint images and empty deltas are
+    /// demoted to markers, shrinking `agent.transfer_bytes.*` without
+    /// changing rollback behaviour. See
+    /// [`mar_core::RollbackLog::compact`]. Off by default.
+    pub fn compact_on_transfer(mut self, on: bool) -> Self {
+        self.mole_cfg.compact_on_transfer = on;
+        self
+    }
+
     /// Registers an agent behaviour.
     pub fn behavior(
         mut self,

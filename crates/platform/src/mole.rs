@@ -89,6 +89,11 @@ pub mod keys {
     pub const LOG_DISCARD_BYTES: &str = "log.discard_bytes";
     /// Savepoint entries removed when sub-itineraries completed.
     pub const SAVEPOINTS_REMOVED: &str = "log.savepoints_removed";
+    /// Pre-transfer log compaction passes that rewrote at least one
+    /// savepoint payload.
+    pub const LOG_COMPACTIONS: &str = "log.compactions";
+    /// Bytes shaved off rollback logs by pre-transfer compaction.
+    pub const LOG_COMPACTION_SAVED_BYTES: &str = "log.compaction_saved_bytes";
     /// Distributed transactions committed at this coordinator.
     pub const TXN_COMMITTED: &str = "txn.committed";
     /// Distributed transactions aborted at this coordinator.
@@ -110,6 +115,14 @@ pub struct MoleCfg {
     /// failed instead of retried — the escalation strategy for
     /// unresolvable (compensation) failures the paper defers to \[4\]/\[10\].
     pub max_attempts: u32,
+    /// Compact the rollback log before every *remote* transfer
+    /// ([`mar_core::RollbackLog::compact`]): duplicate savepoint images and
+    /// empty deltas become markers, shrinking `agent.transfer_bytes.*`.
+    /// Local re-enqueues are never compacted (nothing crosses the wire).
+    /// Off by default so transfer byte counts stay comparable with earlier
+    /// experiments; enable via
+    /// [`PlatformBuilder::compact_on_transfer`](crate::PlatformBuilder::compact_on_transfer).
+    pub compact_on_transfer: bool,
 }
 
 impl Default for MoleCfg {
@@ -120,6 +133,7 @@ impl Default for MoleCfg {
             retry_max_exp: 6,
             tm_retry: SimDuration::from_millis(50),
             max_attempts: 40,
+            compact_on_transfer: false,
         }
     }
 }
@@ -672,6 +686,31 @@ impl MoleService {
         self.run_actions(ctx, actions);
     }
 
+    /// Serializes a record that is about to cross the network, compacting
+    /// its rollback log first when the runtime is configured to
+    /// (`MoleCfg::compact_on_transfer`). Compaction happens *inside* the
+    /// transaction that ships the record: an abort simply re-reads the
+    /// uncompacted record from stable storage and re-plans, and the pass is
+    /// idempotent, so crash-retries are harmless.
+    fn encode_for_transfer(
+        &self,
+        ctx: &mut Ctx<'_>,
+        rec: &mut AgentRecord,
+    ) -> Result<Vec<u8>, ItemError> {
+        if self.cfg.compact_on_transfer {
+            let report = rec.compact_log();
+            if report.changed() {
+                ctx.metrics().inc(keys::LOG_COMPACTIONS);
+                ctx.metrics().add(
+                    keys::LOG_COMPACTION_SAVED_BYTES,
+                    report.saved_bytes() as u64,
+                );
+            }
+        }
+        rec.to_bytes()
+            .map_err(|e| ItemError::Permanent(e.to_string()))
+    }
+
     fn process_forward(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -719,9 +758,7 @@ impl MoleService {
         // Misplaced agent (e.g. after a restore): forward it to the step's
         // node without executing anything.
         if primary != ctx.node().0 {
-            let bytes = rec
-                .to_bytes()
-                .map_err(|e| ItemError::Permanent(e.to_string()))?;
+            let bytes = self.encode_for_transfer(ctx, &mut rec)?;
             let effects = Effects {
                 delete_queue: vec![key.to_owned()],
                 ..Effects::default()
@@ -811,15 +848,17 @@ impl MoleService {
                         Ok(())
                     }
                     NextHop::Step(next_node) => {
-                        let bytes = rec
-                            .to_bytes()
-                            .map_err(|e| ItemError::Permanent(e.to_string()))?;
                         if next_node == ctx.node().0 {
                             // Next step is local: the agent still goes through
-                            // stable storage between steps (§2).
+                            // stable storage between steps (§2), but nothing
+                            // crosses the wire, so no compaction.
+                            let bytes = rec
+                                .to_bytes()
+                                .map_err(|e| ItemError::Permanent(e.to_string()))?;
                             effects.put_queue.push((key.to_owned(), bytes));
                             self.commit_with(ctx, txn, key, effects, Vec::new());
                         } else {
+                            let bytes = self.encode_for_transfer(ctx, &mut rec)?;
                             let work = RemoteWork::new("enqueue-fwd", bytes);
                             self.commit_with(
                                 ctx,
@@ -880,9 +919,7 @@ impl MoleService {
                 Ok(())
             }
             StartPlan::Go(Destination::Node(n)) => {
-                let bytes = rb
-                    .to_bytes()
-                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = self.encode_for_transfer(ctx, &mut rb)?;
                 let work = RemoteWork::new("enqueue-rbk", bytes);
                 self.commit_with(ctx, txn, key, effects, vec![(NodeId(n), work)]);
                 Ok(())
@@ -897,7 +934,7 @@ impl MoleService {
         ctx: &mut Ctx<'_>,
         txn: TxnId,
         key: &str,
-        rec: AgentRecord,
+        mut rec: AgentRecord,
         mut effects: Effects,
         kind: &str,
     ) -> Result<(), ItemError> {
@@ -905,16 +942,17 @@ impl MoleService {
             .cursor
             .current_step(&rec.itinerary)
             .map(|s| s.loc.primary().0);
-        let bytes = rec
-            .to_bytes()
-            .map_err(|e| ItemError::Permanent(e.to_string()))?;
         match dest {
             Some(n) if n != ctx.node().0 => {
+                let bytes = self.encode_for_transfer(ctx, &mut rec)?;
                 let work = RemoteWork::new(kind, bytes);
                 self.commit_with(ctx, txn, key, effects, vec![(NodeId(n), work)]);
             }
             _ => {
                 // Local (or no current step yet: next processing advances).
+                let bytes = rec
+                    .to_bytes()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
                 self.commit_with(ctx, txn, key, effects, Vec::new());
             }
@@ -996,14 +1034,17 @@ impl MoleService {
                     .cursor
                     .current_step(&rb.itinerary)
                     .map(|s| s.loc.primary().0);
-                let bytes = rb
-                    .to_bytes()
-                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 match dest {
                     Some(n) if n != ctx.node().0 => {
+                        let bytes = self.encode_for_transfer(ctx, &mut rb)?;
                         branches.push((NodeId(n), RemoteWork::new("enqueue-fwd", bytes)));
                     }
-                    _ => effects.put_queue.push((key.to_owned(), bytes)),
+                    _ => {
+                        let bytes = rb
+                            .to_bytes()
+                            .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                        effects.put_queue.push((key.to_owned(), bytes));
+                    }
                 }
                 self.commit_with(ctx, txn, key, effects, branches);
                 Ok(())
@@ -1017,9 +1058,7 @@ impl MoleService {
                 Ok(())
             }
             AfterRound::Continue(Destination::Node(n)) => {
-                let bytes = rb
-                    .to_bytes()
-                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                let bytes = self.encode_for_transfer(ctx, &mut rb)?;
                 branches.push((NodeId(n), RemoteWork::new("enqueue-rbk", bytes)));
                 self.commit_with(ctx, txn, key, effects, branches);
                 Ok(())

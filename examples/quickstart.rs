@@ -26,6 +26,9 @@ impl AgentBehavior for Scout {
                 let offers =
                     ctx.call("dir", "query", &Value::map([("topic", Value::from("gpu"))]))?;
                 ctx.sro_push("offers", offers);
+                // Checkpoint the gathered offers: an explicit savepoint is
+                // constituted at the end of this step.
+                ctx.request_savepoint();
                 Ok(StepDecision::Continue)
             }
             // Reserve budget by moving money to an escrow account, logging
@@ -42,6 +45,10 @@ impl AgentBehavior for Scout {
                     ]),
                 )?;
                 ctx.compensate(comp_undo_transfer("bank", "scout", "escrow", 500))?;
+                // Another checkpoint. No SRO changed since the last one, so
+                // this savepoint's image duplicates it — exactly what the
+                // pre-transfer log compaction demotes to a marker.
+                ctx.request_savepoint();
                 Ok(StepDecision::Continue)
             }
             // Program logic: if we've not yet retried, decide the strategy
@@ -68,8 +75,11 @@ impl AgentBehavior for Scout {
 
 fn main() {
     // Three nodes: 0 = the agent's home, 1 = market, 2 = bank branch.
+    // Compaction rewrites redundant savepoint payloads before every remote
+    // transfer (see the byte counts printed at the end).
     let mut platform = PlatformBuilder::new(3)
         .seed(42)
+        .compact_on_transfer(true)
         .behavior("scout", Scout)
         .resources(NodeId(1), || {
             let mut rms = RmRegistry::new();
@@ -123,9 +133,25 @@ fn main() {
         "rollback.rounds",
         "agent.transfers.forward",
         "agent.transfers.rollback",
+        "agent.transfer_bytes.forward",
+        "log.compactions",
+        "log.compaction_saved_bytes",
     ] {
         println!("  {key:<28} {}", m.counter(key));
     }
+
+    // Final log accounting: what the agent carried home, raw vs compacted.
+    // (The top-level sub completed, so most of the log was discarded; the
+    // in-flight savings show up in log.compaction_saved_bytes above.)
+    let mut final_rec = report.record.clone();
+    let raw_bytes = final_rec.log.size_bytes();
+    final_rec.compact_log();
+    println!("\nfinal log:       {}", final_rec.log.stats());
+    println!(
+        "compacted vs raw: {} B -> {} B",
+        raw_bytes,
+        final_rec.log.size_bytes()
+    );
 
     // Money never leaks, even across the rollback.
     let money = platform.money_audit(&[]);

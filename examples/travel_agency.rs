@@ -76,6 +76,11 @@ impl AgentBehavior for Traveller {
                     "agent: taking the {} route",
                     if budget_route { "budget" } else { "premium" }
                 );
+                // Checkpoint the route decision. The step wrote no strongly
+                // reversible object, so this savepoint's image duplicates
+                // the one taken at sub entry — pre-transfer log compaction
+                // demotes it to a marker.
+                ctx.request_savepoint();
                 Ok(StepDecision::Continue)
             }
             "book_leg1" | "book_leg2" => {
@@ -152,6 +157,7 @@ fn airline_node(
 fn main() {
     let mut platform = PlatformBuilder::new(5)
         .seed(2026)
+        .compact_on_transfer(true)
         .behavior("traveller", Traveller)
         .resources(NodeId(AIR_A), || {
             airline_node(vec![("PA-100", 300, 5)], 600, 100)
@@ -183,7 +189,27 @@ fn main() {
         .build()
         .expect("valid itinerary");
 
-    let agent = platform.launch(AgentSpec::new("traveller", NodeId(HOME), itinerary));
+    // The traveller carries its trip requirements as strongly reversible
+    // state: every savepoint image repeats them, so checkpoints taken while
+    // they are unchanged are pure redundancy for compaction to remove.
+    let mut spec = AgentSpec::new("traveller", NodeId(HOME), itinerary);
+    spec.data.set_sro(
+        "requirements",
+        Value::map([
+            ("passenger", Value::from("alice")),
+            (
+                "route",
+                Value::list([Value::from("HOME"), Value::from("A"), Value::from("B")]),
+            ),
+            ("class", Value::from("premium-or-budget")),
+            ("max_total", Value::from(800i64)),
+            (
+                "notes",
+                Value::from("window seat; late checkout; refundable only"),
+            ),
+        ]),
+    );
+    let agent = platform.launch(spec);
     assert!(
         platform.run_until_settled(&[agent], SimDuration::from_secs(300)),
         "agent should settle"
@@ -212,9 +238,25 @@ fn main() {
         "comp.ops",
         "agent.transfers.forward",
         "agent.transfers.rollback",
+        "agent.transfer_bytes.forward",
+        "agent.transfer_bytes.rollback",
+        "log.compactions",
+        "log.compaction_saved_bytes",
     ] {
         println!("  {key:<28} {}", m.counter(key));
     }
+
+    // Final log accounting, raw vs compacted (the in-flight savings are the
+    // log.compaction_saved_bytes counter above).
+    let mut final_rec = report.record.clone();
+    let raw_bytes = final_rec.log.size_bytes();
+    final_rec.compact_log();
+    println!("\nfinal log:       {}", final_rec.log.stats());
+    println!(
+        "compacted vs raw: {} B -> {} B",
+        raw_bytes,
+        final_rec.log.size_bytes()
+    );
 
     // The premium bookings were compensated — but the cancellation fees
     // stayed with the airlines: the rollback produced an *equivalent*, not
