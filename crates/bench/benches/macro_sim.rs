@@ -45,6 +45,78 @@ fn compaction_experiment(b: &mut Bench, name: &str, logging: LoggingMode, pad: u
     );
 }
 
+/// E7 — batched compensation rounds: the same deep same-node rollback run
+/// with round fusion off and on, recording the compensation 2PC count
+/// (`rollback.batched_rounds` — one per compensation transaction) and the
+/// rollback transfer bytes, at asserted-equal final state. A third arm adds
+/// cost-model routing (ship-vs-migrate per batch) on top of batching.
+fn batching_experiment(b: &mut Bench, name: &str, mode: RollbackMode) {
+    let base = Scenario::rollback_chain(16, 4, 8, mode, 13);
+    let unbatched = base.clone().with_batching(false).run();
+    let batched = base.clone().with_batching(true).run();
+    assert_eq!(
+        unbatched.steps, batched.steps,
+        "batching must not change execution"
+    );
+    assert_eq!(unbatched.rounds, batched.rounds, "same compensated steps");
+    assert_eq!(
+        unbatched.final_record, batched.final_record,
+        "batched and unbatched rollback must reach the identical final state"
+    );
+    assert!(
+        batched.batched_rounds < unbatched.batched_rounds,
+        "batched mode must commit strictly fewer compensation 2PCs \
+         ({} vs {})",
+        batched.batched_rounds,
+        unbatched.batched_rounds
+    );
+    b.derive(
+        format!("batching/{name}/comp_2pcs/unbatched"),
+        unbatched.batched_rounds as f64,
+    );
+    b.derive(
+        format!("batching/{name}/comp_2pcs/batched"),
+        batched.batched_rounds as f64,
+    );
+    b.derive(
+        format!("batching/{name}/rounds_saved"),
+        batched.rounds_saved as f64,
+    );
+    b.derive(
+        format!("batching/{name}/rollback_transfer_bytes/unbatched"),
+        unbatched.bytes_rbk as f64,
+    );
+    b.derive(
+        format!("batching/{name}/rollback_transfer_bytes/batched"),
+        batched.bytes_rbk as f64,
+    );
+    eprintln!(
+        "batching/{name}: compensation 2PCs {} -> {} ({} rounds fused), \
+         rollback transfer bytes {} -> {}",
+        unbatched.batched_rounds,
+        batched.batched_rounds,
+        batched.rounds_saved,
+        unbatched.bytes_rbk,
+        batched.bytes_rbk,
+    );
+    if mode == RollbackMode::Optimized {
+        let routed = base.with_cost_routing(true).run();
+        assert_eq!(routed.final_record, batched.final_record);
+        b.derive(
+            format!("batching/{name}/cost_migrations"),
+            routed.cost_migrations as f64,
+        );
+        b.derive(
+            format!("batching/{name}/rce_shipped/routed"),
+            routed.rce_shipped as f64,
+        );
+        b.derive(
+            format!("batching/{name}/rce_shipped/mode_split"),
+            batched.rce_shipped as f64,
+        );
+    }
+}
+
 fn main() {
     let mut b = Bench::new();
 
@@ -86,6 +158,14 @@ fn main() {
     });
     compaction_experiment(&mut b, "state_pad1024", LoggingMode::State, 1024);
     compaction_experiment(&mut b, "transition_pad1024", LoggingMode::Transition, 1024);
+
+    // E7 — batched compensation rounds: simulator wall-clock of the batched
+    // run, plus the deterministic 2PC / transfer-byte before/after.
+    b.run("e7_batching/chain16x8/batched_run", 8, 1, || {
+        black_box(Scenario::rollback_chain(16, 4, 8, RollbackMode::Optimized, 13).run());
+    });
+    batching_experiment(&mut b, "basic_chain16x8", RollbackMode::Basic);
+    batching_experiment(&mut b, "optimized_chain16x8", RollbackMode::Optimized);
 
     b.write_report("BENCH_macro.json");
 }

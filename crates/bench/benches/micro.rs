@@ -144,6 +144,82 @@ fn bench_planner(b: &mut Bench) {
     }
 }
 
+/// Like [`record_with_log`] but every step ran on the same node — the deep
+/// same-node chain the batching layer fuses into a single plan.
+fn chain_record(depth: usize) -> (AgentRecord, SavepointId) {
+    let (mut rec, sp) = record_with_log(0);
+    for i in 0..depth {
+        let seq = i as u64;
+        rec.log.append_step(
+            1,
+            seq,
+            &format!("m{i}"),
+            [
+                (
+                    EntryKind::Resource,
+                    CompOp::new(
+                        "bank.undo_transfer",
+                        Value::map([("amount", Value::from(10i64))]),
+                    ),
+                ),
+                (
+                    EntryKind::Agent,
+                    CompOp::new(
+                        "bank.undo_transfer",
+                        Value::map([("amount", Value::from(10i64))]),
+                    ),
+                ),
+            ],
+            vec![],
+        );
+        rec.step_seq += 1;
+        rec.table.on_step_committed();
+    }
+    (rec, sp)
+}
+
+/// The batching layer on its hot input: a deep same-node chain planned as
+/// one fused batch vs one round at a time, plus the pure cursor lookahead.
+fn bench_batch_planner(b: &mut Bench) {
+    for depth in [16usize, 64] {
+        b.run_batched(
+            format!("planner/batch/fused_plan_chain/{depth}"),
+            15,
+            1,
+            || chain_record(depth),
+            |(rec, sp)| loop {
+                let batch = mar_core::plan_batch(rec, *sp).unwrap();
+                if matches!(batch.after, mar_core::AfterRound::Reached(_)) {
+                    break;
+                }
+            },
+        );
+        b.run_batched(
+            format!("planner/batch/single_rounds_chain/{depth}"),
+            15,
+            1,
+            || chain_record(depth),
+            |(rec, sp)| loop {
+                let round = compensation_round(rec, *sp).unwrap();
+                if matches!(round.after, mar_core::AfterRound::Reached(_)) {
+                    break;
+                }
+            },
+        );
+        let (rec, sp) = chain_record(depth);
+        b.run(
+            format!("planner/batch/cursor_lookahead/{depth}"),
+            20,
+            50,
+            || {
+                let mut cursor =
+                    mar_core::RollbackCursor::new(&rec.log, mar_core::RollbackMode::Optimized, sp);
+                black_box(cursor.next_run());
+            },
+        );
+    }
+}
+
 fn bench_delta(b: &mut Bench) {
     let mk = |offset: i64| -> mar_core::ObjectMap {
         (0..64)
@@ -409,6 +485,7 @@ fn main() {
     bench_wire(&mut b);
     bench_log_basics(&mut b);
     bench_planner(&mut b);
+    bench_batch_planner(&mut b);
     bench_delta(&mut b);
     bench_savepoint_ops(&mut b);
     bench_compaction(&mut b);

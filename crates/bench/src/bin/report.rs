@@ -32,6 +32,7 @@ fn main() {
     e7_migration_overhead();
     e8_rpc_vs_migration();
     e9_failure_sweep();
+    e10_batched_rollback();
     println!("\nAll experiment tables regenerated.");
 }
 
@@ -382,6 +383,58 @@ fn e8_rpc_vs_migration() {
                 format!("{:>10}", log_kb),
                 format!("{:>16}", k),
             ]);
+        }
+    }
+}
+
+/// E10 — batched compensation rounds: compensation 2PCs, rollback
+/// transfers/bytes, and completion time on same-node chains, unbatched vs
+/// batched (planner::batch fusion), per run length. This is the same
+/// experiment family as the macro bench's `e7_batching`/`batching/*`
+/// entries in `BENCH_macro.json` — the table numbers of this binary and
+/// the macro-bench experiment ids are independent sequences (this E7 is
+/// the migration-cost table below).
+fn e10_batched_rollback() {
+    header("E10 Batched compensation rounds (depth 16, 4 nodes, LAN)");
+    row(&[
+        format!("{:>8}", "run len"),
+        format!("{:>6}", "mode"),
+        format!("{:>8}", "batched"),
+        format!("{:>10}", "comp 2PCs"),
+        format!("{:>10}", "rbk moves"),
+        format!("{:>12}", "rbk bytes"),
+        format!("{:>10}", "sim ms"),
+    ]);
+    for run_len in [1usize, 4, 8, 16] {
+        for mode in [RollbackMode::Basic, RollbackMode::Optimized] {
+            let mode_s = match mode {
+                RollbackMode::Basic => "basic",
+                RollbackMode::Optimized => "opt",
+            };
+            let mut rows = Vec::new();
+            for batch in [false, true] {
+                let stats = Scenario::rollback_chain(16, 4, run_len, mode, 13)
+                    .with_batching(batch)
+                    .run();
+                rows.push((batch, stats));
+            }
+            let (_, ref unbatched) = rows[0];
+            let (_, ref batched) = rows[1];
+            assert_eq!(
+                unbatched.final_record, batched.final_record,
+                "equal final state is the premise of the comparison"
+            );
+            for (batch, stats) in &rows {
+                row(&[
+                    format!("{:>8}", run_len),
+                    format!("{:>6}", mode_s),
+                    format!("{:>8}", if *batch { "yes" } else { "no" }),
+                    format!("{:>10}", stats.batched_rounds),
+                    format!("{:>10}", stats.transfers_rbk),
+                    format!("{:>12}", stats.bytes_rbk),
+                    format!("{:>10.2}", stats.sim_us as f64 / 1000.0),
+                ]);
+            }
         }
     }
 }

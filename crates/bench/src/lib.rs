@@ -116,9 +116,37 @@ pub struct Scenario {
     /// Compact the rollback log before every remote transfer (the
     /// `agent.transfer_bytes.*` experiment toggle).
     pub compact: bool,
+    /// Fuse same-destination compensation rounds into one transaction (the
+    /// E7 batched-vs-unbatched experiment toggle).
+    pub batch: bool,
+    /// Route batches with remote RCEs through the cost model
+    /// (ship-vs-migrate) instead of the fixed mode split.
+    pub cost_routing: bool,
 }
 
 impl Scenario {
+    /// Shared constructor defaults: LAN latency, state logging, raw
+    /// transfers (compaction per experiment toggle), batching on, fixed
+    /// mode-split routing. Every scenario family starts here so a new
+    /// runtime knob has exactly one default site.
+    fn base(nodes: u32, seed: u64, mode: RollbackMode, steps: Vec<(StepKind, u32)>) -> Scenario {
+        assert!(
+            nodes >= 2,
+            "scenarios need a home node plus >= 1 resource node"
+        );
+        Scenario {
+            nodes,
+            seed,
+            mode,
+            logging: LoggingMode::State,
+            steps,
+            latency: LatencyModel::lan(),
+            compact: false,
+            batch: true,
+            cost_routing: false,
+        }
+    }
+
     /// A rollback scenario: `depth` work steps round-robin over the nodes,
     /// then one rollback trigger. `mixed_every = Some(k)` makes every k-th
     /// step a mixed one; `sro_pad` adds that many SRO bytes per step.
@@ -141,15 +169,7 @@ impl Scenario {
             steps.push((kind, node));
         }
         steps.push((StepKind::RollbackOnce, 1 + (depth as u32 % (nodes - 1))));
-        Scenario {
-            nodes,
-            seed,
-            mode,
-            logging: LoggingMode::State,
-            steps,
-            latency: LatencyModel::lan(),
-            compact: false,
-        }
+        Scenario::base(nodes, seed, mode, steps)
     }
 
     /// The log-compaction scenario: one `sro_pad`-byte information-
@@ -176,19 +196,51 @@ impl Scenario {
         }
         steps.push((StepKind::RollbackOnce, 1 + (depth as u32 % (nodes - 1))));
         Scenario {
-            nodes,
-            seed,
-            mode: RollbackMode::Optimized,
             logging,
-            steps,
-            latency: LatencyModel::lan(),
-            compact: false,
+            ..Scenario::base(nodes, seed, RollbackMode::Optimized, steps)
         }
+    }
+
+    /// The batching scenario (macro experiment E7; table E10 in the
+    /// `report` binary): `depth` resource steps in *runs* of `run_len`
+    /// consecutive steps on the same node (cycling through the nodes run
+    /// by run), then one rollback of the whole sub. Unbatched, the
+    /// rollback commits one compensation transaction (one 2PC) per step;
+    /// batched, each same-node run fuses into a single transaction — and
+    /// in basic mode into a single agent hop.
+    pub fn rollback_chain(
+        depth: usize,
+        nodes: u32,
+        run_len: usize,
+        mode: RollbackMode,
+        seed: u64,
+    ) -> Scenario {
+        let run_len = run_len.max(1);
+        let mut steps = Vec::new();
+        for i in 0..depth {
+            let node = 1 + ((i / run_len) as u32 % (nodes - 1));
+            steps.push((StepKind::Rce, node));
+        }
+        let trigger = steps.last().map_or(1, |(_, n)| *n);
+        steps.push((StepKind::RollbackOnce, trigger));
+        Scenario::base(nodes, seed, mode, steps)
     }
 
     /// Toggles pre-transfer log compaction.
     pub fn with_compaction(mut self, on: bool) -> Scenario {
         self.compact = on;
+        self
+    }
+
+    /// Toggles batched compensation rounds.
+    pub fn with_batching(mut self, on: bool) -> Scenario {
+        self.batch = on;
+        self
+    }
+
+    /// Toggles cost-model rollback routing (ship-vs-migrate per batch).
+    pub fn with_cost_routing(mut self, on: bool) -> Scenario {
+        self.cost_routing = on;
         self
     }
 
@@ -205,15 +257,7 @@ impl Scenario {
                 }
             })
             .collect();
-        Scenario {
-            nodes,
-            seed,
-            mode: RollbackMode::Optimized,
-            logging: LoggingMode::State,
-            steps,
-            latency: LatencyModel::lan(),
-            compact: false,
-        }
+        Scenario::base(nodes, seed, RollbackMode::Optimized, steps)
     }
 
     fn itinerary(&self) -> Itinerary {
@@ -240,6 +284,12 @@ impl Scenario {
             .seed(self.seed)
             .latency(self.latency)
             .compact_on_transfer(self.compact)
+            .batch_rollback(self.batch)
+            .rollback_routing(if self.cost_routing {
+                mar_platform::RollbackRouting::CostModel
+            } else {
+                mar_platform::RollbackRouting::ModeSplit
+            })
             .behavior("bench", BenchAgent);
         for n in 1..self.nodes {
             b = b.resources(NodeId(n), move || {
@@ -289,7 +339,13 @@ impl Scenario {
             ReportOutcome::Completed,
             "scenario failed: {self:?}"
         );
-        RunStats::collect(report.finished_at_us, report.steps_committed, p.snapshot())
+        let final_record = report.record.to_bytes().expect("final record encodes");
+        RunStats::collect(
+            report.finished_at_us,
+            report.steps_committed,
+            final_record,
+            p.snapshot(),
+        )
     }
 }
 
@@ -312,20 +368,33 @@ pub struct RunStats {
     pub rce_shipped: u64,
     /// Bytes of shipped RCE lists.
     pub rce_bytes: u64,
-    /// Compensation rounds committed.
+    /// Compensation rounds committed (one per compensated step, batched or
+    /// not).
     pub rounds: u64,
+    /// Batched compensation transactions committed — the compensation 2PC
+    /// count (equals `rounds` when batching is off).
+    pub batched_rounds: u64,
+    /// Compensation transactions saved by fusion.
+    pub rounds_saved: u64,
+    /// Batches the cost model routed as an agent migration.
+    pub cost_migrations: u64,
     /// Pre-transfer log compaction passes that changed the log.
     pub compactions: u64,
+    /// Pre-transfer compaction passes skipped by the clean-bit / cost gate.
+    pub compactions_skipped: u64,
     /// Bytes shaved off rollback logs by pre-transfer compaction.
     pub compaction_saved: u64,
     /// Total network bytes sent.
     pub net_bytes: u64,
+    /// The finished agent's serialized record — the final stable state, for
+    /// equal-state assertions between experiment arms.
+    pub final_record: Vec<u8>,
     /// Raw metrics for anything else.
     pub metrics: MetricsSnapshot,
 }
 
 impl RunStats {
-    fn collect(sim_us: u64, steps: u64, m: MetricsSnapshot) -> RunStats {
+    fn collect(sim_us: u64, steps: u64, final_record: Vec<u8>, m: MetricsSnapshot) -> RunStats {
         RunStats {
             sim_us,
             steps,
@@ -336,9 +405,14 @@ impl RunStats {
             rce_shipped: m.counter("rollback.rce_shipped"),
             rce_bytes: m.counter("rollback.rce_bytes"),
             rounds: m.counter("rollback.rounds"),
+            batched_rounds: m.counter("rollback.batched_rounds"),
+            rounds_saved: m.counter("rollback.rounds_saved"),
+            cost_migrations: m.counter("rollback.cost_migrations"),
             compactions: m.counter("log.compactions"),
+            compactions_skipped: m.counter("log.compactions_skipped"),
             compaction_saved: m.counter("log.compaction_saved_bytes"),
             net_bytes: m.counter("net.bytes_sent"),
+            final_record,
             metrics: m,
         }
     }
@@ -394,5 +468,56 @@ mod tests {
         assert_eq!(off.steps, on.steps);
         assert_eq!(off.rounds, on.rounds);
         assert!(on.bytes_fwd + on.bytes_rbk <= off.bytes_fwd + off.bytes_rbk);
+    }
+
+    #[test]
+    fn batching_cuts_compensation_transactions_at_equal_final_state() {
+        for mode in [RollbackMode::Basic, RollbackMode::Optimized] {
+            let base = Scenario::rollback_chain(12, 4, 6, mode, 17);
+            let unbatched = base.clone().with_batching(false).run();
+            let batched = base.clone().with_batching(true).run();
+            // Same execution, same compensated work, identical final state.
+            assert_eq!(unbatched.steps, batched.steps, "{mode:?}");
+            assert_eq!(unbatched.rounds, batched.rounds, "{mode:?}");
+            assert_eq!(unbatched.final_record, batched.final_record, "{mode:?}");
+            // Unbatched: one transaction per round; batched: one per
+            // same-node run (12 steps in runs of 6 → 2 transactions).
+            assert_eq!(unbatched.batched_rounds, unbatched.rounds, "{mode:?}");
+            assert_eq!(unbatched.rounds_saved, 0, "{mode:?}");
+            assert!(
+                batched.batched_rounds < unbatched.batched_rounds,
+                "{mode:?}: {} !< {}",
+                batched.batched_rounds,
+                unbatched.batched_rounds
+            );
+            assert_eq!(
+                batched.rounds_saved,
+                unbatched.rounds - batched.batched_rounds,
+                "{mode:?}"
+            );
+            if mode == RollbackMode::Basic {
+                // Fusion also fuses the backward walk: one hop per run.
+                assert!(
+                    batched.transfers_rbk < unbatched.transfers_rbk,
+                    "basic-mode batching must save agent hops"
+                );
+                assert!(batched.bytes_rbk < unbatched.bytes_rbk);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_routing_converges_and_preserves_final_state() {
+        let base = Scenario::rollback_chain(12, 4, 6, RollbackMode::Optimized, 21);
+        let split = base.clone().run();
+        let routed = base.clone().with_cost_routing(true).run();
+        assert_eq!(split.steps, routed.steps);
+        assert_eq!(split.rounds, routed.rounds);
+        assert_eq!(split.final_record, routed.final_record);
+        // The small bench agent beats the fused RCE lists on a LAN, so the
+        // cost model migrates at least one batch — and whenever it does,
+        // that batch's list is not shipped.
+        assert!(routed.cost_migrations > 0, "cost model never fired");
+        assert!(routed.rce_shipped < split.rce_shipped);
     }
 }

@@ -82,6 +82,42 @@ impl CostModel {
             < self.rpc_us(n_ops, req_bytes, resp_bytes)
     }
 
+    /// Decides RCE delivery for one batched compensation round: `true` to
+    /// migrate the agent (record + rollback log) to the resource node,
+    /// `false` to ship the RCE list. Unlike the per-op RPC pattern of
+    /// [`Self::prefer_migration`], a fused RCE list crosses the wire *once*
+    /// regardless of how many operations it carries, so this compares a
+    /// one-way agent migration (the rollback continues from the resource
+    /// node; nothing comes back) against a single list-sized message plus
+    /// its vote-sized 2PC reply.
+    pub fn migrate_for_batch(
+        &self,
+        agent_bytes: usize,
+        log_bytes: usize,
+        rce_list_bytes: usize,
+    ) -> bool {
+        /// Encoded size of a 2PC vote message — the reply leg of a shipped
+        /// RCE list.
+        const VOTE_BYTES: usize = 32;
+        self.prefer_migration(agent_bytes, log_bytes, false, 1, rce_list_bytes, VOTE_BYTES)
+    }
+
+    /// Whether a pre-transfer log compaction pass can pay for itself on
+    /// this link: the pass can shave at most `candidate_bytes` (the log's
+    /// savepoint payload bytes — step frames are never touched) off the
+    /// wire, each worth [`LinkParams::per_kb_us`], against a CPU cost of a
+    /// small fixed setup plus `cpu_us_per_kb` per payload kilobyte scanned.
+    /// Sub-kilobyte payloads round to zero wire savings and are always
+    /// skipped — there is nothing worth saving; a free link
+    /// (`per_kb_us == 0`) never pays.
+    pub fn compaction_pays(&self, candidate_bytes: usize, cpu_us_per_kb: u64) -> bool {
+        /// Setup cost of one pass (state reconstruction buffers, the
+        /// oldest→newest walk scaffolding), in microseconds.
+        const PASS_BASE_US: u64 = 2;
+        let kb = (candidate_bytes as u64) / 1024;
+        self.link.per_kb_us * kb > PASS_BASE_US + cpu_us_per_kb * kb
+    }
+
     /// The smallest number of operations at which migration becomes cheaper
     /// than RPC (the crossover point of the \[16\]-style model), or `None` if
     /// RPC always wins (zero-cost RPC is impossible, so this only happens
@@ -154,6 +190,33 @@ mod tests {
             large > small,
             "a bigger rollback log must make migration less attractive ({small} vs {large})"
         );
+    }
+
+    #[test]
+    fn batch_delivery_weighs_list_size_against_agent_size() {
+        let m = model();
+        // Small agent, fat RCE list: carrying the list inside the agent's
+        // one-way hop beats shipping it.
+        assert!(m.migrate_for_batch(1_000, 500, 40_000));
+        // Fat agent + log, slim list: ship the list.
+        assert!(!m.migrate_for_batch(60_000, 120_000, 300));
+    }
+
+    #[test]
+    fn compaction_gate_follows_link_and_payload_size() {
+        let m = model();
+        // 32 KiB of savepoint payload on a LAN: the pass pays easily.
+        assert!(m.compaction_pays(32 * 1024, 1));
+        // Tiny payloads round to zero wire savings: skip.
+        assert!(!m.compaction_pays(512, 1));
+        // A free link can never be paid for.
+        let free = CostModel::new(LinkParams {
+            base_us: 1_000,
+            per_kb_us: 0,
+        });
+        assert!(!free.compaction_pays(1 << 20, 1));
+        // CPU slower than the wire: skip.
+        assert!(!m.compaction_pays(32 * 1024, 1_000));
     }
 
     #[test]

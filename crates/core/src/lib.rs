@@ -53,8 +53,9 @@ pub use data::{DataSpace, ObjectMap, SroDelta};
 pub use error::{CompError, CoreError};
 pub use log::{CompactionReport, LoggingMode, RollbackLog};
 pub use planner::{
-    compensation_round, start_rollback, AfterRound, Destination, RestorePlan, RollbackMode,
-    RoundPlan, StartPlan,
+    compensation_round, plan_batch, plan_single, start_rollback, AfterRound, BatchPlan, BatchRun,
+    CompUnit, Destination, FusedStep, RestorePlan, RollbackCursor, RollbackMode, RoundPlan,
+    StartPlan,
 };
 pub use record::{AgentId, AgentRecord, AgentStatus};
 pub use savepoint::{LeaveOutcome, RollbackScope, SavepointId, SavepointTable, SubSavepoints};

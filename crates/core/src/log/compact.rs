@@ -296,6 +296,7 @@ impl RollbackLog {
         }
 
         report.bytes_after = self.size_bytes();
+        self.mark_compacted();
         report
     }
 }

@@ -60,6 +60,11 @@ pub struct RollbackLog {
     /// Per-kind byte totals; `None` until first demanded (deserialized
     /// logs learn entry sizes lazily), maintained incrementally afterwards.
     rollup: Cell<Option<ByteRollup>>,
+    /// Whether a mutation since the last [`compact`](Self::compact) pass
+    /// could have introduced savepoint-payload redundancy. Not serialized
+    /// (the wire format is frozen), so deserialized logs start
+    /// conservatively dirty when they hold any savepoint.
+    dirty: bool,
 }
 
 impl RollbackLog {
@@ -86,6 +91,9 @@ impl RollbackLog {
                     !self.index.contains_key(&id),
                     "duplicate savepoint id {id} pushed"
                 );
+                // A new savepoint payload may duplicate an older one (or, as
+                // a marker, start a chain): the log may have redundancy again.
+                self.dirty = true;
                 self.index.insert(id, self.segments.len());
                 self.segments.push(Segment::new(stored));
             }
@@ -235,6 +243,24 @@ impl RollbackLog {
         self.segments.len()
     }
 
+    /// Whether a [`compact`](Self::compact) pass could still find something
+    /// to rewrite: `false` directly after a pass (and for logs that never
+    /// gained a savepoint since), until a mutation that can reintroduce
+    /// savepoint-payload redundancy — pushing a savepoint entry or removing
+    /// one (removal composes deltas and upgrades markers). Popping entries
+    /// never sets it: payloads below the top are untouched and compaction
+    /// relationships only point downward. The flag is not serialized, so a
+    /// deserialized log is conservatively dirty when it holds savepoints.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Clears the dirty flag (compaction just ran, or the caller proved the
+    /// log redundancy-free by other means).
+    pub(super) fn mark_compacted(&mut self) {
+        self.dirty = false;
+    }
+
     /// The ids of all savepoint entries currently in the log, oldest first.
     pub fn savepoint_ids(&self) -> impl Iterator<Item = SavepointId> + '_ {
         self.segments
@@ -245,6 +271,18 @@ impl RollbackLog {
     /// Iterates oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
         self.stored_iter().map(|s| &s.entry)
+    }
+
+    /// Iterates newest-first — the rollback direction. Suffix walks (the
+    /// batch planner's lookahead stops at its target savepoint) never touch
+    /// entries below the stop point.
+    pub fn iter_rev(&self) -> impl Iterator<Item = &LogEntry> {
+        self.segments
+            .iter()
+            .rev()
+            .flat_map(|seg| seg.tail.iter_rev().chain(std::iter::once(&seg.sp)))
+            .chain(self.head.iter_rev())
+            .map(|s| &s.entry)
     }
 
     fn stored_iter(&self) -> impl Iterator<Item = &Stored> {
@@ -355,6 +393,9 @@ impl RollbackLog {
         let Some(pos) = self.index.remove(&id) else {
             return Ok(false);
         };
+        // Removal rewrites payloads above the removal point (delta
+        // composition, marker upgrades): re-minimization may apply again.
+        self.dirty = true;
         let seg = self.segments.remove(pos);
         for p in self.index.values_mut() {
             if *p > pos {
@@ -619,6 +660,9 @@ impl RollbackLog {
                 },
             }
         }
+        // The wire carries no compaction state; anything with savepoint
+        // payloads might benefit from a pass.
+        log.dirty = !log.segments.is_empty();
         log
     }
 }
@@ -1012,6 +1056,65 @@ mod tests {
         log.push(oe(1));
         assert_eq!(log.stats(), LogStats::of(&log));
         assert_eq!(log.stats().total_bytes, log.size_bytes());
+    }
+
+    #[test]
+    fn iter_rev_is_exact_reverse_of_iter() {
+        let mut log = RollbackLog::new();
+        log.push(bos(0));
+        log.push(eos(0));
+        log.push(sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())));
+        log.push(bos(1));
+        log.push(oe(1));
+        log.push(eos(1));
+        log.push(sp_entry(1, SroPayload::Ref(SavepointId(0))));
+        let fwd: Vec<&LogEntry> = log.iter().collect();
+        let mut rev: Vec<&LogEntry> = log.iter_rev().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn dirty_bit_tracks_compaction_opportunities() {
+        let mut log = RollbackLog::new();
+        let mut data = DataSpace::new();
+        assert!(!log.is_dirty(), "an empty log has nothing to compact");
+        log.push(bos(0));
+        log.push(eos(0));
+        assert!(!log.is_dirty(), "step frames alone carry no redundancy");
+        log.push(sp_entry(0, SroPayload::Full(crate::data::ObjectMap::new())));
+        assert!(log.is_dirty(), "a new savepoint payload may be redundant");
+        log.compact(None);
+        assert!(!log.is_dirty(), "a pass leaves the log clean");
+        log.push(bos(1));
+        log.push(eos(1));
+        assert!(
+            !log.is_dirty(),
+            "appended frames keep a compacted log clean"
+        );
+        log.push(sp_entry(1, SroPayload::Full(crate::data::ObjectMap::new())));
+        assert!(log.is_dirty());
+        log.compact(None);
+        assert!(!log.is_dirty());
+        log.pop().unwrap();
+        assert!(
+            !log.is_dirty(),
+            "pops never create redundancy below the top"
+        );
+        log.remove_savepoint(SavepointId(0), &mut data).unwrap();
+        assert!(log.is_dirty(), "removal rewrites payloads above it");
+        // The wire carries no compaction state: decoded logs with
+        // savepoints are conservatively dirty, savepoint-free ones clean.
+        log.push(sp_entry(2, SroPayload::Full(crate::data::ObjectMap::new())));
+        let bytes = mar_wire::to_bytes(&log).unwrap();
+        let back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+        assert!(back.is_dirty());
+        let mut frames_only = RollbackLog::new();
+        frames_only.push(bos(0));
+        frames_only.push(eos(0));
+        let bytes = mar_wire::to_bytes(&frames_only).unwrap();
+        let back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
+        assert!(!back.is_dirty());
     }
 
     #[test]

@@ -7,9 +7,18 @@
 //! actual compensation transaction. Because planning is pure, a transaction
 //! abort (crash, lock conflict) simply re-plans from the unchanged stable
 //! state, which is precisely the paper's restart argument (§4.3).
+//!
+//! [`compensation_round`] is the single-round planner (one transaction per
+//! compensated step); the [`batch`] layer fuses maximal same-destination
+//! runs of such rounds into one [`BatchPlan`] — one transaction, one 2PC —
+//! which is what the platform executes by default.
 
+pub mod batch;
 mod plan;
 
+pub use batch::{
+    plan_batch, plan_single, BatchPlan, BatchRun, CompUnit, FusedStep, RollbackCursor,
+};
 pub use plan::{AfterRound, Destination, RestorePlan, RollbackMode, RoundPlan, StartPlan};
 
 use crate::data::ObjectMap;
@@ -228,11 +237,19 @@ fn resolve_restore(record: &AgentRecord, sp: &SpEntry) -> Result<RestorePlan, Co
                 // the target. Marker *chains* (log compaction demotes
                 // duplicate images to markers, and a marker written after
                 // such a demotion references a marker) are followed to
-                // their data-bearing root; the walk is bounded so a corrupt
-                // cyclic log errors instead of spinning.
+                // their data-bearing root. A visited set detects (corrupt)
+                // reference cycles exactly: unlike a hop-count bound tied
+                // to the *post-rollback* segment count, it can never
+                // misreport a legitimate long chain near the log head.
                 let mut cur = *ref_id;
-                let mut hops = 0usize;
+                let mut visited = std::collections::BTreeSet::from([sp.id]);
                 loop {
+                    if !visited.insert(cur) {
+                        return Err(CoreError::CorruptLog(format!(
+                            "marker cycle while resolving {}",
+                            sp.id
+                        )));
+                    }
                     let referenced = record
                         .log
                         .find_savepoint(cur)
@@ -240,13 +257,6 @@ fn resolve_restore(record: &AgentRecord, sp: &SpEntry) -> Result<RestorePlan, Co
                     match &referenced.sro {
                         SroPayload::Full(image) => break image.clone(),
                         SroPayload::Ref(next) => {
-                            hops += 1;
-                            if hops > record.log.segment_count() {
-                                return Err(CoreError::CorruptLog(format!(
-                                    "marker cycle while resolving {}",
-                                    sp.id
-                                )));
-                            }
                             cur = *next;
                         }
                         other => {

@@ -287,6 +287,204 @@ fn corrupt_log_is_detected() {
     ));
 }
 
+// ---- batching layer ---------------------------------------------------------
+
+use crate::planner::{plan_batch, plan_single, RollbackCursor};
+
+/// Drives the batch planner to completion, recording each batch.
+fn run_batched(rec: &mut AgentRecord, target: SavepointId) -> Vec<crate::planner::BatchPlan> {
+    let mut batches = Vec::new();
+    loop {
+        let batch = plan_batch(rec, target).expect("batch");
+        let done = matches!(batch.after, AfterRound::Reached(_));
+        batches.push(batch);
+        if done {
+            return batches;
+        }
+        assert!(batches.len() < 100, "batched rollback did not terminate");
+    }
+}
+
+#[test]
+fn cursor_partitions_same_node_runs() {
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    let sp = savepoint(&mut rec, "S");
+    for node in [1, 1, 1, 2, 2, 3] {
+        commit_step(&mut rec, node, &[(EntryKind::Resource, "r")]);
+    }
+    let runs = RollbackCursor::new(&rec.log, RollbackMode::Basic, sp).runs();
+    // Newest-first: 3 alone, then the node-2 pair, then the node-1 triple.
+    let shape: Vec<(u32, usize)> = runs.iter().map(|r| (r.node, r.len)).collect();
+    assert_eq!(shape, [(3, 1), (2, 2), (1, 3)]);
+    assert_eq!(runs[2].newest_seq, 2);
+    assert_eq!(runs[2].oldest_seq, 0);
+    // The cursor is read-only: the log is untouched.
+    assert_eq!(rec.log.last_eos().unwrap().step_seq, 5);
+}
+
+#[test]
+fn cursor_stops_at_target_and_skips_savepoints() {
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    let _outer = savepoint(&mut rec, "A");
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r")]);
+    let target = savepoint(&mut rec, "B");
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r")]);
+    let _inner = savepoint(&mut rec, "C"); // savepoint *between* steps
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r")]);
+    let runs = RollbackCursor::new(&rec.log, RollbackMode::Basic, target).runs();
+    // Only the two steps above B; the intervening savepoint C does not
+    // break the run.
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].len, 2);
+}
+
+#[test]
+fn basic_mode_fuses_same_node_chain_into_one_batch() {
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    let sp = savepoint(&mut rec, "S");
+    for _ in 0..4 {
+        commit_step(
+            &mut rec,
+            2,
+            &[(EntryKind::Resource, "r"), (EntryKind::Agent, "a")],
+        );
+    }
+    let batches = run_batched(&mut rec, sp);
+    assert_eq!(batches.len(), 1, "one transaction instead of four");
+    assert_eq!(batches[0].rounds_fused(), 4);
+    assert_eq!(batches[0].step_node(), Some(2));
+    // Ops still newest-first across the fused steps.
+    let seqs: Vec<u64> = batches[0].steps.iter().map(|s| s.step_seq).collect();
+    assert_eq!(seqs, [3, 2, 1, 0]);
+    assert_eq!(batches[0].op_count(), 8);
+    match &batches[0].after {
+        AfterRound::Reached(plan) => assert_eq!(plan.savepoint, sp),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(rec.log.len(), 1, "log popped down to the savepoint");
+}
+
+#[test]
+fn optimized_mode_fuses_rce_lists_and_isolates_mixed_steps() {
+    let mut rec = record(RollbackMode::Optimized, LoggingMode::State);
+    let sp = savepoint(&mut rec, "S");
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r0")]);
+    commit_step(
+        &mut rec,
+        1,
+        &[(EntryKind::Resource, "r1"), (EntryKind::Agent, "a1")],
+    );
+    commit_step(&mut rec, 1, &[(EntryKind::Mixed, "x2")]);
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r3")]);
+    let batches = run_batched(&mut rec, sp);
+    // Newest-first: [step3], [step2 mixed, solo], [steps 1+0 fused].
+    let shape: Vec<usize> = batches.iter().map(|b| b.rounds_fused()).collect();
+    assert_eq!(shape, [1, 1, 2]);
+    assert!(batches[1].mixed());
+    // The fused batch ships ONE list carrying both steps' RCEs,
+    // newest-first, and keeps the ACE local.
+    let rces: Vec<&str> = batches[2]
+        .remote_rces()
+        .map(|o| o.op.name.as_str())
+        .collect();
+    assert_eq!(rces, ["r1", "r0"]);
+    let locals: Vec<&str> = batches[2].local_ops().map(|o| o.op.name.as_str()).collect();
+    assert_eq!(locals, ["a1"]);
+}
+
+#[test]
+fn different_nodes_do_not_fuse() {
+    let mut rec = record(RollbackMode::Optimized, LoggingMode::State);
+    let sp = savepoint(&mut rec, "S");
+    commit_step(&mut rec, 1, &[(EntryKind::Resource, "r0")]);
+    commit_step(&mut rec, 2, &[(EntryKind::Resource, "r1")]);
+    let batches = run_batched(&mut rec, sp);
+    assert_eq!(batches.len(), 2);
+    assert_eq!(batches[0].step_node(), Some(2));
+    assert_eq!(batches[1].step_node(), Some(1));
+}
+
+#[test]
+fn savepoints_only_batch_is_empty_and_reaches() {
+    let mut rec = record(RollbackMode::Optimized, LoggingMode::State);
+    let target = savepoint(&mut rec, "A");
+    let _marker = savepoint(&mut rec, "B");
+    let batch = plan_batch(&mut rec, target).unwrap();
+    assert_eq!(batch.rounds_fused(), 0);
+    assert_eq!(batch.step_node(), None);
+    assert!(!batch.has_remote_rces());
+    match &batch.after {
+        AfterRound::Reached(plan) => assert_eq!(plan.savepoint, target),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn plan_single_never_fuses() {
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    let sp = savepoint(&mut rec, "S");
+    for _ in 0..3 {
+        commit_step(&mut rec, 2, &[(EntryKind::Resource, "r")]);
+    }
+    let batch = plan_single(&mut rec, sp).unwrap();
+    assert_eq!(batch.rounds_fused(), 1);
+    match &batch.after {
+        AfterRound::Continue(d) => assert_eq!(*d, Destination::Node(2)),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn batch_rejects_unknown_savepoint() {
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    savepoint(&mut rec, "S");
+    assert!(matches!(
+        plan_batch(&mut rec, SavepointId(777)),
+        Err(crate::CoreError::UnknownSavepoint(_))
+    ));
+}
+
+/// Regression for the marker-cycle bound: a legitimate chain is followed no
+/// matter how long, while an actual reference cycle still errors (the old
+/// hop bound used the *post-rollback* segment count, which a visited set
+/// replaces exactly).
+#[test]
+fn marker_chains_resolve_and_cycles_error() {
+    use crate::log::{LogEntry, SpEntry, SroPayload};
+    use mar_itinerary::Cursor;
+
+    let mut rec = record(RollbackMode::Basic, LoggingMode::State);
+    let push_sp = |rec: &mut AgentRecord, id: u64, sro: SroPayload| {
+        let cursor = Cursor::new(&rec.itinerary);
+        rec.log.push(LogEntry::Savepoint(SpEntry {
+            id: SavepointId(id),
+            sub_id: None,
+            explicit: true,
+            cursor,
+            table: rec.table.clone(),
+            sro,
+        }));
+    };
+    // A long legitimate chain: SP0 carries the image, SP1..SP8 are markers.
+    push_sp(&mut rec, 0, SroPayload::Full(crate::data::ObjectMap::new()));
+    for id in 1..=8u64 {
+        push_sp(&mut rec, id, SroPayload::Ref(SavepointId(id - 1)));
+    }
+    match start_rollback(&rec, SavepointId(8)).unwrap() {
+        StartPlan::AlreadyAtTarget(plan) => assert_eq!(plan.savepoint, SavepointId(8)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A corrupt two-marker cycle must be detected, not spun on.
+    let mut bad = record(RollbackMode::Basic, LoggingMode::State);
+    push_sp(&mut bad, 1, SroPayload::Ref(SavepointId(2)));
+    push_sp(&mut bad, 2, SroPayload::Ref(SavepointId(1)));
+    assert!(matches!(
+        start_rollback(&bad, SavepointId(2)),
+        Err(crate::CoreError::CorruptLog(_))
+    ));
+}
+
 /// Random forward histories: basic and optimized rollback must produce the
 /// same restore plan and compensate the same multiset of operations.
 fn arb_steps() -> impl Strategy<Value = Vec<(u32, Vec<EntryKind>)>> {

@@ -1,0 +1,265 @@
+//! Property tests for the batching planner layer (`plan_batch`):
+//! batched and unbatched rollback of the *same* record must be
+//! observationally equivalent, with the single-round planner
+//! (`compensation_round`) as the executable specification.
+//!
+//! For random well-formed agent histories (built through the real savepoint
+//! bookkeeping, both logging modes) and both rollback modes:
+//!
+//! * the fused steps, flattened across batches, equal the unbatched
+//!   `RoundPlan`s field for field — same steps, same compensating
+//!   operations in the same (newest-first) order, same local/remote split;
+//! * the final `RestorePlan`s are identical, and the two records end in
+//!   the identical stable state (byte-identical serialization);
+//! * the batch partition matches an *independent* oracle: maximal
+//!   same-destination runs computed directly from the original log's EOS
+//!   sequence, so fusion is maximal and never crosses a destination change,
+//!   a mixed step (optimized mode), or the target savepoint.
+
+use proptest::prelude::*;
+
+use mar_core::comp::{CompOp, EntryKind};
+use mar_core::log::LogEntry;
+use mar_core::{
+    compensation_round, plan_batch, plan_single, AfterRound, AgentId, AgentRecord, DataSpace,
+    LoggingMode, RollbackMode, RoundPlan, SavepointId,
+};
+use mar_itinerary::samples;
+use mar_wire::Value;
+
+/// One event of a generated agent history.
+#[derive(Debug, Clone)]
+enum HistOp {
+    /// Commit a step on `node` with `nops` compensating operations; if
+    /// `sro_write` is set, the step also wrote an SRO key first.
+    Step {
+        node: u32,
+        nops: u8,
+        sro_write: Option<u8>,
+    },
+    /// Enter a (uniquely named) sub-itinerary: automatic savepoint.
+    EnterSub,
+    /// Constitute an explicit savepoint.
+    ExplicitSp,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<HistOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Few nodes on purpose: consecutive same-node steps (fusable
+            // runs) must be common, not a corner case.
+            6 => (1u32..3, 0u8..4, any::<bool>(), 0u8..6).prop_map(|(node, nops, write, k)| {
+                HistOp::Step { node, nops, sro_write: write.then_some(k) }
+            }),
+            2 => Just(HistOp::EnterSub),
+            2 => Just(HistOp::ExplicitSp),
+        ],
+        1..24,
+    )
+}
+
+/// Replays a history into a fresh record through the real bookkeeping.
+fn build_record(mode: LoggingMode, rollback: RollbackMode, ops: &[HistOp]) -> AgentRecord {
+    let mut data = DataSpace::new();
+    data.set_sro("blob", Value::Bytes(vec![0xA5; 64]));
+    let mut rec = AgentRecord::new(AgentId(7), "prop", 0, data, samples::fig6(), mode, rollback);
+    let mut sub_seq = 0u64;
+    let mut mutation = 0i64;
+    for op in ops {
+        let cursor = rec.cursor.clone();
+        match op {
+            HistOp::Step {
+                node,
+                nops,
+                sro_write,
+            } => {
+                if let Some(k) = sro_write {
+                    mutation += 1;
+                    rec.data
+                        .set_sro(format!("k{}", k % 3), Value::from(mutation));
+                }
+                let seq = rec.step_seq;
+                let ops = (0..*nops).map(|i| {
+                    let kind = match i % 3 {
+                        0 => EntryKind::Resource,
+                        1 => EntryKind::Agent,
+                        _ => EntryKind::Mixed,
+                    };
+                    (kind, CompOp::new("undo", Value::from(i64::from(i))))
+                });
+                rec.log
+                    .append_step(*node, seq, &format!("m{seq}"), ops, vec![]);
+                rec.step_seq += 1;
+                rec.table.on_step_committed();
+            }
+            HistOp::EnterSub => {
+                sub_seq += 1;
+                rec.table.on_enter_sub(
+                    &format!("S{sub_seq}"),
+                    &mut rec.data,
+                    &cursor,
+                    &mut rec.log,
+                    mode,
+                );
+            }
+            HistOp::ExplicitSp => {
+                rec.table
+                    .explicit_savepoint(&mut rec.data, &cursor, &mut rec.log, mode);
+            }
+        }
+    }
+    rec.log.validate().expect("generated log is well-formed");
+    rec
+}
+
+/// Independent fusion oracle: the `(node, mixed)` projection of the EOS
+/// entries above `target`, newest first, partitioned into maximal runs by
+/// the documented rule — computed from the log's plain entry iterator,
+/// without the planner or the cursor.
+fn expected_runs(rec: &AgentRecord, target: SavepointId) -> Vec<Vec<(u32, bool)>> {
+    let mut units: Vec<(u32, bool)> = Vec::new();
+    let mut above = false;
+    for entry in rec.log.iter() {
+        match entry {
+            LogEntry::Savepoint(sp) if sp.id == target => above = true,
+            LogEntry::EndOfStep(eos) if above => units.push((eos.node, eos.has_mixed)),
+            _ => {}
+        }
+    }
+    units.reverse(); // newest-first, the rollback direction
+    let mut runs: Vec<Vec<(u32, bool)>> = Vec::new();
+    for unit in units {
+        let extends = runs.last().is_some_and(|run| {
+            let (node, mixed) = run[0];
+            match rec.rollback_mode {
+                RollbackMode::Basic => node == unit.0,
+                RollbackMode::Optimized => !mixed && !unit.1 && node == unit.0,
+            }
+        });
+        if extends {
+            runs.last_mut().expect("just checked").push(unit);
+        } else {
+            runs.push(vec![unit]);
+        }
+    }
+    runs
+}
+
+/// Drives the unbatched planner to completion.
+fn run_unbatched(rec: &mut AgentRecord, target: SavepointId) -> Vec<RoundPlan> {
+    let mut rounds = Vec::new();
+    loop {
+        let round = compensation_round(rec, target).expect("unbatched round plans");
+        let done = matches!(round.after, AfterRound::Reached(_));
+        rounds.push(round);
+        if done {
+            return rounds;
+        }
+        assert!(rounds.len() < 200, "unbatched rollback did not terminate");
+    }
+}
+
+fn check(mode: LoggingMode, rollback: RollbackMode, ops: &[HistOp]) {
+    let rec = build_record(mode, rollback, ops);
+    let targets: Vec<SavepointId> = rec.log.savepoint_ids().collect();
+    for target in targets {
+        let runs = expected_runs(&rec, target);
+
+        let mut unbatched = rec.clone();
+        let rounds = run_unbatched(&mut unbatched, target);
+
+        let mut batched = rec.clone();
+        let mut batches = Vec::new();
+        loop {
+            let batch = plan_batch(&mut batched, target).expect("batch plans");
+            let done = matches!(batch.after, AfterRound::Reached(_));
+            batches.push(batch);
+            if done {
+                break;
+            }
+            assert!(batches.len() < 200, "batched rollback did not terminate");
+        }
+
+        // Partition: exactly the oracle's maximal runs (modulo the op-less
+        // savepoints-only round both planners emit when nothing is left).
+        let step_counts: Vec<usize> = batches
+            .iter()
+            .map(mar_core::BatchPlan::rounds_fused)
+            .filter(|n| *n > 0)
+            .collect();
+        let expected_counts: Vec<usize> = runs.iter().map(Vec::len).collect();
+        assert_eq!(
+            step_counts, expected_counts,
+            "batch partition diverged from the fusion oracle (target {target})"
+        );
+        assert!(batches.len() <= rounds.len(), "batching never adds rounds");
+
+        // Step-for-step equivalence against the single-round spec: same
+        // steps, same ops, same order, same local/remote split.
+        let fused: Vec<&mar_core::FusedStep> =
+            batches.iter().flat_map(|b| b.steps.iter()).collect();
+        let real_rounds: Vec<&RoundPlan> = rounds.iter().filter(|r| !r.method.is_empty()).collect();
+        assert_eq!(fused.len(), real_rounds.len());
+        for (step, round) in fused.iter().zip(&real_rounds) {
+            assert!(
+                step.matches_round(round),
+                "fused step {step:?} != round {round:?}"
+            );
+        }
+
+        // Identical final restore.
+        let (AfterRound::Reached(a), AfterRound::Reached(b)) = (
+            &rounds.last().expect("at least one round").after,
+            &batches.last().expect("at least one batch").after,
+        ) else {
+            panic!("both planners must reach the target");
+        };
+        assert_eq!(a, b, "restore plans diverged (target {target})");
+
+        // Identical final stable state: popped-down log, shadow, data —
+        // the whole record, byte for byte.
+        assert_eq!(
+            unbatched.to_bytes().unwrap(),
+            batched.to_bytes().unwrap(),
+            "final records diverged (target {target})"
+        );
+
+        // `plan_single` is the unbatched planner in the batch interface.
+        let mut single = rec.clone();
+        let mut single_steps = 0usize;
+        loop {
+            let batch = plan_single(&mut single, target).expect("single plans");
+            assert!(batch.rounds_fused() <= 1);
+            single_steps += batch.rounds_fused();
+            if matches!(batch.after, AfterRound::Reached(_)) {
+                break;
+            }
+        }
+        assert_eq!(single_steps, real_rounds.len());
+        assert_eq!(single.to_bytes().unwrap(), batched.to_bytes().unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_equals_unbatched_state_basic(ops in ops_strategy()) {
+        check(LoggingMode::State, RollbackMode::Basic, &ops);
+    }
+
+    #[test]
+    fn batched_equals_unbatched_state_optimized(ops in ops_strategy()) {
+        check(LoggingMode::State, RollbackMode::Optimized, &ops);
+    }
+
+    #[test]
+    fn batched_equals_unbatched_transition_basic(ops in ops_strategy()) {
+        check(LoggingMode::Transition, RollbackMode::Basic, &ops);
+    }
+
+    #[test]
+    fn batched_equals_unbatched_transition_optimized(ops in ops_strategy()) {
+        check(LoggingMode::Transition, RollbackMode::Optimized, &ops);
+    }
+}

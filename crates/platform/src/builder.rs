@@ -103,9 +103,36 @@ impl PlatformBuilder {
     /// agent transfer: duplicate savepoint images and empty deltas are
     /// demoted to markers, shrinking `agent.transfer_bytes.*` without
     /// changing rollback behaviour. See
-    /// [`mar_core::RollbackLog::compact`]. Off by default.
+    /// [`mar_core::RollbackLog::compact`]. **On by default**; disable to
+    /// reproduce the raw-byte transfer experiments.
     pub fn compact_on_transfer(mut self, on: bool) -> Self {
         self.mole_cfg.compact_on_transfer = on;
+        self
+    }
+
+    /// Enables (or disables) batched compensation rounds: maximal
+    /// same-destination runs of rollback rounds fuse into one compensation
+    /// transaction — one 2PC instead of one per compensated step
+    /// ([`mar_core::plan_batch`]). **On by default**; disable for the
+    /// unbatched one-round-per-transaction control behaviour.
+    pub fn batch_rollback(mut self, on: bool) -> Self {
+        self.mole_cfg.batch_rollback = on;
+        self
+    }
+
+    /// Selects how batches with remote resource compensation entries are
+    /// routed: the fixed Fig. 5 mode split (default) or the per-batch
+    /// cost-model decision between shipping the RCE list and migrating the
+    /// agent ([`crate::RollbackRouting::CostModel`]).
+    pub fn rollback_routing(mut self, routing: crate::RollbackRouting) -> Self {
+        self.mole_cfg.rollback_routing = routing;
+        self
+    }
+
+    /// Overrides the link cost model used by the compaction gate and by
+    /// cost-model rollback routing. Defaults to the LAN parameters.
+    pub fn cost_model(mut self, cost: mar_core::CostModel) -> Self {
+        self.mole_cfg.cost_model = cost;
         self
     }
 

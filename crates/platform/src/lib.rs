@@ -27,6 +27,6 @@ mod stepctx;
 
 pub use behavior::{AgentBehavior, BehaviorRegistry, StepDecision};
 pub use builder::{AgentSpec, Platform, PlatformBuilder};
-pub use mole::{keys as metric_keys, MoleCfg, MoleService, MOLE};
+pub use mole::{keys as metric_keys, MoleCfg, MoleService, RollbackRouting, MOLE};
 pub use msg::{AgentReport, MoleMsg, RceList, ReportOutcome};
 pub use stepctx::{RmAccess, StepCtx};

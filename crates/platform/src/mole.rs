@@ -17,8 +17,8 @@ use std::rc::Rc;
 
 use mar_core::comp::CompOpRegistry;
 use mar_core::{
-    compensation_round, start_rollback, AfterRound, AgentRecord, AgentStatus, CompError,
-    Destination, StartPlan,
+    plan_batch, plan_single, start_rollback, AfterRound, AgentRecord, AgentStatus, CompError,
+    CostModel, Destination, StartPlan,
 };
 use mar_simnet::{Address, Ctx, NodeId, Service, SimDuration};
 use mar_txn::{
@@ -36,6 +36,11 @@ pub const MOLE: &str = "mole";
 const TAG_RETRY_2PC: u64 = 1;
 const TAG_KICK: u64 = 2;
 const ITEM_TAG_BASE: u64 = 1 << 32;
+
+/// CPU cost of one compaction pass per savepoint-payload kilobyte, in
+/// microseconds — the measured `log/compact/segment/*` microbench rate
+/// (~0.75 µs/KiB in `BENCH_log.json`), rounded up.
+const COMPACTION_CPU_US_PER_KB: u64 = 1;
 
 const KEY_QSEQ: &str = "qseq";
 const KEY_TXNSEQ: &str = "txnseq";
@@ -71,8 +76,19 @@ pub mod keys {
     pub const ROLLBACK_STARTED: &str = "rollback.started";
     /// Rollbacks that reached their savepoint.
     pub const ROLLBACK_COMPLETED: &str = "rollback.completed";
-    /// Compensation transactions (rounds) committed.
+    /// Compensation rounds committed — one per compensated step, whether
+    /// or not several were fused into one transaction (so the count stays
+    /// comparable with unbatched runs).
     pub const ROLLBACK_ROUNDS: &str = "rollback.rounds";
+    /// Batched compensation transactions committed (each is one 2PC; fuses
+    /// one or more rounds).
+    pub const ROLLBACK_BATCHED_ROUNDS: &str = "rollback.batched_rounds";
+    /// Compensation transactions (and their 2PCs) saved by fusion:
+    /// `rounds - batched_rounds`, accumulated per batch.
+    pub const ROLLBACK_ROUNDS_SAVED: &str = "rollback.rounds_saved";
+    /// Batches the cost model routed as an agent migration instead of a
+    /// shipped RCE list ([`CostModel`](super::RollbackRouting::CostModel)).
+    pub const ROLLBACK_COST_MIGRATIONS: &str = "rollback.cost_migrations";
     /// RCE lists shipped to resource nodes (optimized mode).
     pub const RCE_SHIPPED: &str = "rollback.rce_shipped";
     /// Bytes of shipped RCE lists.
@@ -92,12 +108,32 @@ pub mod keys {
     /// Pre-transfer log compaction passes that rewrote at least one
     /// savepoint payload.
     pub const LOG_COMPACTIONS: &str = "log.compactions";
+    /// Pre-transfer compaction passes skipped because the log was clean
+    /// since its last pass or the cost model said the CPU time cannot pay
+    /// for the bytes saved.
+    pub const LOG_COMPACTIONS_SKIPPED: &str = "log.compactions_skipped";
     /// Bytes shaved off rollback logs by pre-transfer compaction.
     pub const LOG_COMPACTION_SAVED_BYTES: &str = "log.compaction_saved_bytes";
     /// Distributed transactions committed at this coordinator.
     pub const TXN_COMMITTED: &str = "txn.committed";
     /// Distributed transactions aborted at this coordinator.
     pub const TXN_ABORTED: &str = "txn.aborted";
+}
+
+/// How the runtime decides, per compensation batch with remote resource
+/// compensation entries, where that work executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RollbackRouting {
+    /// Fig. 5's fixed rule: non-mixed batches always ship their RCE list to
+    /// the resource node; the agent never moves for them.
+    #[default]
+    ModeSplit,
+    /// The \[16\]-style decision of §4.4.1
+    /// ([`CostModel::migrate_for_batch`]): per batch, compare shipping the
+    /// fused RCE list against migrating the agent (record + log) to the
+    /// resource node, and take the cheaper route under
+    /// [`MoleCfg::cost_model`].
+    CostModel,
 }
 
 /// Tunables of a node runtime.
@@ -118,11 +154,26 @@ pub struct MoleCfg {
     /// Compact the rollback log before every *remote* transfer
     /// ([`mar_core::RollbackLog::compact`]): duplicate savepoint images and
     /// empty deltas become markers, shrinking `agent.transfer_bytes.*`.
-    /// Local re-enqueues are never compacted (nothing crosses the wire).
-    /// Off by default so transfer byte counts stay comparable with earlier
-    /// experiments; enable via
-    /// [`PlatformBuilder::compact_on_transfer`](crate::PlatformBuilder::compact_on_transfer).
+    /// Local re-enqueues are never compacted (nothing crosses the wire),
+    /// and a pass is skipped when the log is clean since its last pass or
+    /// the [`cost_model`](Self::cost_model) says the CPU time cannot pay
+    /// for the bytes saved. On by default now that the experiment baselines
+    /// carry compacted numbers (`BENCH_macro.json` keeps a raw-bytes
+    /// control run); disable via
+    /// [`PlatformBuilder::compact_on_transfer`](crate::PlatformBuilder::compact_on_transfer)
+    /// to reproduce the raw-byte experiments.
     pub compact_on_transfer: bool,
+    /// Fuse maximal same-destination runs of compensation rounds into one
+    /// transaction ([`mar_core::plan_batch`]); off falls back to one
+    /// transaction per compensated step ([`mar_core::plan_single`], the
+    /// unbatched Fig. 4b/5b behaviour, kept for control experiments).
+    pub batch_rollback: bool,
+    /// Where a batch's remote resource compensation entries execute.
+    pub rollback_routing: RollbackRouting,
+    /// Link cost model used by the compaction gate and by
+    /// [`RollbackRouting::CostModel`]. Defaults to the LAN parameters of
+    /// the simulator's default latency model.
+    pub cost_model: CostModel,
 }
 
 impl Default for MoleCfg {
@@ -133,7 +184,10 @@ impl Default for MoleCfg {
             retry_max_exp: 6,
             tm_retry: SimDuration::from_millis(50),
             max_attempts: 40,
-            compact_on_transfer: false,
+            compact_on_transfer: true,
+            batch_rollback: true,
+            rollback_routing: RollbackRouting::default(),
+            cost_model: CostModel::default(),
         }
     }
 }
@@ -692,19 +746,36 @@ impl MoleService {
     /// transaction that ships the record: an abort simply re-reads the
     /// uncompacted record from stable storage and re-plans, and the pass is
     /// idempotent, so crash-retries are harmless.
+    ///
+    /// The pass is skipped when it cannot help: a log with no
+    /// redundancy-introducing mutation since its last pass
+    /// ([`mar_core::RollbackLog::is_dirty`]), or one whose savepoint
+    /// payload is too small for the wire savings to pay for the CPU time
+    /// under [`MoleCfg::cost_model`] (ROADMAP "Compaction policy").
     fn encode_for_transfer(
         &self,
         ctx: &mut Ctx<'_>,
         rec: &mut AgentRecord,
     ) -> Result<Vec<u8>, ItemError> {
         if self.cfg.compact_on_transfer {
-            let report = rec.compact_log();
-            if report.changed() {
-                ctx.metrics().inc(keys::LOG_COMPACTIONS);
-                ctx.metrics().add(
-                    keys::LOG_COMPACTION_SAVED_BYTES,
-                    report.saved_bytes() as u64,
-                );
+            // Savepoint payloads are the only bytes a pass can reclaim;
+            // short-circuiting keeps the stats read off the clean path.
+            if !rec.log.is_dirty()
+                || !self
+                    .cfg
+                    .cost_model
+                    .compaction_pays(rec.log.stats().savepoint_bytes, COMPACTION_CPU_US_PER_KB)
+            {
+                ctx.metrics().inc(keys::LOG_COMPACTIONS_SKIPPED);
+            } else {
+                let report = rec.compact_log();
+                if report.changed() {
+                    ctx.metrics().inc(keys::LOG_COMPACTIONS);
+                    ctx.metrics().add(
+                        keys::LOG_COMPACTION_SAVED_BYTES,
+                        report.saved_bytes() as u64,
+                    );
+                }
             }
         }
         rec.to_bytes()
@@ -960,7 +1031,9 @@ impl MoleService {
         Ok(())
     }
 
-    /// Fig. 4b / Fig. 5b: one compensation transaction.
+    /// One batched compensation transaction: a maximal same-destination run
+    /// of Fig. 4b / Fig. 5b rounds fused into a single commit (one round per
+    /// transaction when batching is disabled).
     fn process_rollback(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -970,14 +1043,66 @@ impl MoleService {
     ) -> Result<(), ItemError> {
         let mut rb = record.clone();
         let txn = self.alloc_txn(ctx);
-        let round = compensation_round(&mut rb, target)
-            .map_err(|e| ItemError::Permanent(format!("rollback: {e}")))?;
+        let batch = if self.cfg.batch_rollback {
+            plan_batch(&mut rb, target)
+        } else {
+            plan_single(&mut rb, target)
+        }
+        .map_err(|e| ItemError::Permanent(format!("rollback: {e}")))?;
 
-        // Execute the local operations (everything in basic/mixed rounds,
-        // the agent compensation entries in split rounds).
+        // RCEs whose resource node is *this* node run inside the local
+        // transaction directly — no point 2PC-ing a branch to ourselves.
+        let fold_rces_local = batch.step_node() == Some(ctx.node().0);
+
+        // The batch's fused RCE list, encoded once: it prices the
+        // ship-vs-migrate decision below and, if shipping wins, becomes the
+        // 2PC branch payload as is.
+        let rce_payload = (!fold_rces_local && batch.has_remote_rces()).then(|| {
+            let list = RceList {
+                agent: rb.id,
+                step_seq: batch.steps[0].step_seq,
+                ops: batch.remote_rces().cloned().collect(),
+            };
+            mar_wire::to_bytes(&list).expect("rce list encodes")
+        });
+
+        // Cost-model routing: before executing anything, check whether
+        // migrating the agent to the resource node beats shipping the fused
+        // RCE list. If it does, ship the *unplanned* record there instead —
+        // the batch re-plans at the destination, where its RCEs are local.
+        if let Some(payload) = &rce_payload {
+            if self.cfg.rollback_routing == RollbackRouting::CostModel
+                && !batch.mixed()
+                && self.cfg.cost_model.migrate_for_batch(
+                    record.encoded_size_without_log(),
+                    record.log.size_bytes(),
+                    payload.len(),
+                )
+            {
+                let mut fresh = record.clone();
+                let bytes = self.encode_for_transfer(ctx, &mut fresh)?;
+                let effects = Effects {
+                    delete_queue: vec![key.to_owned()],
+                    metrics: vec![(keys::ROLLBACK_COST_MIGRATIONS, 1)],
+                    ..Effects::default()
+                };
+                let node = batch.step_node().expect("has_remote_rces implies steps");
+                let work = RemoteWork::new("enqueue-rbk", bytes);
+                self.commit_with(ctx, txn, key, effects, vec![(NodeId(node), work)]);
+                return Ok(());
+            }
+        }
+
+        // Execute the local operations (everything in basic/mixed batches,
+        // the agent compensation entries in split batches, plus the RCEs of
+        // batches whose resource node is this node), newest step first.
         let now = ctx.now();
         let now_us = now.as_micros();
-        for entry in &round.local_ops {
+        let folded = fold_rces_local
+            .then(|| batch.remote_rces())
+            .into_iter()
+            .flatten();
+        for entry in batch.local_ops().chain(folded) {
             let result = {
                 let mut access = RmAccess::new(&mut self.rms, txn, now);
                 self.comps.execute(
@@ -1006,27 +1131,32 @@ impl MoleService {
             }
         }
 
-        // Ship resource compensation entries to the step's node (optimized
-        // mode), to run concurrently inside the same transaction.
+        // Ship the fused resource compensation entries of the whole batch
+        // to its node (optimized mode) as ONE list in ONE 2PC branch, to
+        // run concurrently inside the same transaction.
         let mut branches: Vec<(NodeId, RemoteWork)> = Vec::new();
-        if !round.remote_rces.is_empty() {
-            let list = RceList {
-                agent: rb.id,
-                step_seq: round.step_seq,
-                ops: round.remote_rces.clone(),
-            };
-            let payload = mar_wire::to_bytes(&list).expect("rce list encodes");
+        if let Some(payload) = rce_payload {
             ctx.metrics().inc(keys::RCE_SHIPPED);
             ctx.metrics().add(keys::RCE_BYTES, payload.len() as u64);
-            branches.push((NodeId(round.step_node), RemoteWork::new("rce", payload)));
+            let node = batch.step_node().expect("has_remote_rces implies steps");
+            branches.push((NodeId(node), RemoteWork::new("rce", payload)));
         }
 
+        // Round accounting stays per compensated step (an op-less
+        // savepoints-only batch still counts as the one round it was), so
+        // batched and unbatched runs report identical `rollback.rounds`;
+        // the transaction savings show up in `batched_rounds`/`rounds_saved`.
+        let rounds = batch.rounds_fused().max(1) as u64;
         let mut effects = Effects {
             delete_queue: vec![key.to_owned()],
-            metrics: vec![(keys::ROLLBACK_ROUNDS, 1)],
+            metrics: vec![
+                (keys::ROLLBACK_ROUNDS, rounds),
+                (keys::ROLLBACK_BATCHED_ROUNDS, 1),
+                (keys::ROLLBACK_ROUNDS_SAVED, rounds - 1),
+            ],
             ..Effects::default()
         };
-        match round.after {
+        match batch.after {
             AfterRound::Reached(restore) => {
                 rb.apply_restore(*restore);
                 effects.metrics.push((keys::ROLLBACK_COMPLETED, 1));
@@ -1089,7 +1219,13 @@ impl Service for MoleService {
             MoleMsg::Tx { from, msg } => {
                 let actions = match msg {
                     TxMsg::Prepare { txn, work } => {
-                        let accept = self.validate_work(ctx, txn, &work);
+                        // A retransmitted prepare for a branch this
+                        // participant already holds (or settled) must not
+                        // re-execute the work — a second tentative RCE run
+                        // under the same transaction would double-apply the
+                        // compensations at commit. `on_prepare` just
+                        // re-sends the vote for known transactions.
+                        let accept = self.pa.is_known(txn) || self.validate_work(ctx, txn, &work);
                         self.pa.on_prepare(txn, from, work, accept)
                     }
                     TxMsg::Vote { txn, ok } => self.co.on_vote(txn, from, ok),

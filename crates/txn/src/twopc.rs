@@ -499,6 +499,14 @@ impl Participant {
     pub fn is_done(&self, txn: TxnId) -> bool {
         self.done.contains(&txn)
     }
+
+    /// Whether this participant already holds or settled `txn`'s branch —
+    /// a retransmitted `Prepare` for such a transaction must not be
+    /// validated (= tentatively executed) again by the host;
+    /// [`Self::on_prepare`] will simply re-send the vote.
+    pub fn is_known(&self, txn: TxnId) -> bool {
+        self.done.contains(&txn) || self.prepared.contains_key(&txn)
+    }
 }
 
 #[cfg(test)]

@@ -46,8 +46,12 @@ impl AgentBehavior for Scout {
                 )?;
                 ctx.compensate(comp_undo_transfer("bank", "scout", "escrow", 500))?;
                 // Another checkpoint. No SRO changed since the last one, so
-                // this savepoint's image duplicates it — exactly what the
-                // pre-transfer log compaction demotes to a marker.
+                // this savepoint's image duplicates it — the redundancy
+                // pre-transfer log compaction demotes to a marker. (This
+                // scout's log is tiny, though: the cost model concludes the
+                // wire bytes saved cannot pay for the pass and *skips* it —
+                // watch `log.compactions_skipped` below. The travel_agency
+                // example carries a fat enough state to make it fire.)
                 ctx.request_savepoint();
                 Ok(StepDecision::Continue)
             }
@@ -135,7 +139,10 @@ fn main() {
         "agent.transfers.rollback",
         "agent.transfer_bytes.forward",
         "log.compactions",
+        "log.compactions_skipped",
         "log.compaction_saved_bytes",
+        "rollback.batched_rounds",
+        "rollback.rounds_saved",
     ] {
         println!("  {key:<28} {}", m.counter(key));
     }

@@ -207,6 +207,11 @@ fn main() {
                 "notes",
                 Value::from("window seat; late checkout; refundable only"),
             ),
+            // A scanned visa page travels with the requirements: the fat
+            // payload every savepoint image repeats, which makes the
+            // pre-transfer compaction pass worth its CPU under the cost
+            // model (sub-kilobyte logs are skipped — see quickstart).
+            ("visa_scan", Value::Bytes(vec![0x42; 2048])),
         ]),
     );
     let agent = platform.launch(spec);
@@ -241,7 +246,10 @@ fn main() {
         "agent.transfer_bytes.forward",
         "agent.transfer_bytes.rollback",
         "log.compactions",
+        "log.compactions_skipped",
         "log.compaction_saved_bytes",
+        "rollback.batched_rounds",
+        "rollback.rounds_saved",
     ] {
         println!("  {key:<28} {}", m.counter(key));
     }
