@@ -22,6 +22,12 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 
+echo "==> example smoke stage (all five examples, release)"
+for ex in quickstart travel_agency ecommerce_cash systems_management failure_storm; do
+    echo "    --example $ex"
+    cargo run -q --release --example "$ex" > /dev/null
+done
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo bench -p mar-bench (writes BENCH_log.json / BENCH_macro.json)"
     baseline_dir=$(mktemp -d)

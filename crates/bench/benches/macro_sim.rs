@@ -4,7 +4,7 @@
 //! benches track the simulator's own efficiency on the same workloads.
 
 use mar_bench::harness::Bench;
-use mar_bench::Scenario;
+use mar_bench::{FleetScenario, Scenario};
 use mar_core::{LoggingMode, RollbackMode};
 use std::hint::black_box;
 
@@ -117,6 +117,48 @@ fn batching_experiment(b: &mut Bench, name: &str, mode: RollbackMode) {
     }
 }
 
+/// E8 — fleet driving through the handle API: N agents launched with one
+/// `launch_fleet`, settled through home-node driver mailboxes. Records the
+/// settle latency (virtual time of the last completion) and the
+/// driver-cost counters that pin completion detection at O(completions):
+/// exactly one mailbox event per agent, zero whole-store driver scans —
+/// instead of the pre-handle O(ticks × nodes × stable-keys) polling.
+fn fleet_experiment(b: &mut Bench, agents: usize) {
+    let stats = FleetScenario {
+        agents,
+        nodes: 4,
+        steps: 3,
+        seed: 29,
+    }
+    .run();
+    assert_eq!(stats.mbox_events, stats.agents);
+    assert_eq!(stats.deep_scans, 0);
+    b.derive(
+        format!("fleet/agents{agents}/settle_ms"),
+        stats.settle_us as f64 / 1_000.0,
+    );
+    b.derive(
+        format!("fleet/agents{agents}/driver_mbox_events"),
+        stats.mbox_events as f64,
+    );
+    b.derive(
+        format!("fleet/agents{agents}/driver_mbox_scans"),
+        stats.mbox_scans as f64,
+    );
+    b.derive(
+        format!("fleet/agents{agents}/driver_deep_scans"),
+        stats.deep_scans as f64,
+    );
+    eprintln!(
+        "fleet/agents{agents}: settled in {:.1} ms virtual, {} mailbox events, \
+         {} mailbox probes, {} deep scans",
+        stats.settle_us as f64 / 1_000.0,
+        stats.mbox_events,
+        stats.mbox_scans,
+        stats.deep_scans,
+    );
+}
+
 fn main() {
     let mut b = Bench::new();
 
@@ -166,6 +208,21 @@ fn main() {
     });
     batching_experiment(&mut b, "basic_chain16x8", RollbackMode::Basic);
     batching_experiment(&mut b, "optimized_chain16x8", RollbackMode::Optimized);
+
+    // E8 — fleet driving: simulator wall-clock of the 100-agent run, plus
+    // the deterministic settle-latency / driver-counter numbers.
+    b.run("e8_fleet/agents100/run", 4, 1, || {
+        black_box(
+            FleetScenario {
+                agents: 100,
+                nodes: 4,
+                steps: 3,
+                seed: 29,
+            }
+            .run(),
+        );
+    });
+    fleet_experiment(&mut b, 100);
 
     b.write_report("BENCH_macro.json");
 }

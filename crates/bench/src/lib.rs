@@ -3,12 +3,14 @@
 
 pub mod harness;
 
-use mar_core::{AgentId, LoggingMode, RollbackMode, RollbackScope};
+use mar_core::{LoggingMode, RollbackMode, RollbackScope};
 use mar_itinerary::{Itinerary, ItineraryBuilder};
 use mar_platform::{
-    AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
+    AgentBehavior, AgentHandle, AgentSpec, Platform, PlatformBuilder, ReportOutcome, StepCtx,
+    StepDecision,
 };
-use mar_resources::{comp_convert_back, comp_undo_transfer, BankRm, ExchangeRm};
+use mar_resources::ops::{ConvertCash, Transfer};
+use mar_resources::{BankRm, ExchangeRm};
 use mar_simnet::{LatencyModel, MetricsSnapshot, NodeId, SimDuration};
 use mar_txn::{RmRegistry, TxnError};
 use mar_wire::Value;
@@ -45,16 +47,10 @@ impl AgentBehavior for BenchAgent {
         }
         match base {
             "rce" | "rcesp" => {
-                ctx.call(
-                    "ledger",
-                    "transfer",
-                    &Value::map([
-                        ("from", Value::from("reserve")),
-                        ("to", Value::from("sink")),
-                        ("amount", Value::from(5i64)),
-                    ]),
-                )?;
-                ctx.compensate(comp_undo_transfer("ledger", "reserve", "sink", 5))?;
+                // Typed op: forward transfer + derived RCE in one call
+                // (byte-identical log frame to the raw pair, so the bench
+                // baselines stay comparable).
+                ctx.invoke(&Transfer::new("ledger", "reserve", "sink", 5))?;
                 if base == "rcesp" {
                     ctx.request_savepoint();
                 }
@@ -68,20 +64,9 @@ impl AgentBehavior for BenchAgent {
                     resource: "wallet".into(),
                     reason: format!("short {s}"),
                 })?;
-                let coin_v = ctx.call(
-                    "fx",
-                    "convert",
-                    &Value::map([
-                        ("from", Value::from("USD")),
-                        ("to", Value::from("EUR")),
-                        ("amount", Value::from(2i64)),
-                    ]),
-                )?;
-                let coin = mar_resources::coin_from_value(&coin_v)?;
-                let got = coin.value;
+                let coin = ctx.invoke(&ConvertCash::new("fx", "USD", "EUR", 2, "wallet"))?;
                 wallet.add_coin(coin);
                 ctx.set_wro("wallet", wallet.to_value().unwrap());
-                ctx.compensate(comp_convert_back("fx", "USD", "EUR", got, "wallet"))?;
                 Ok(StepDecision::Continue)
             }
             "rollback" => {
@@ -279,7 +264,7 @@ impl Scenario {
     }
 
     /// Builds the platform and launches the agent.
-    pub fn start(&self) -> (Platform, AgentId) {
+    pub fn start(&self) -> (Platform, AgentHandle) {
         let mut b = PlatformBuilder::new(self.nodes as usize)
             .seed(self.seed)
             .latency(self.latency)
@@ -347,6 +332,106 @@ impl Scenario {
             p.snapshot(),
         )
     }
+}
+
+/// The fleet scenario (macro experiment E8): `agents` agents, each walking
+/// `steps` ledger-transfer steps round-robin over the resource nodes, all
+/// launched in one [`Platform::launch_fleet`] call and settled through the
+/// home-node driver mailboxes. The stats expose the driver-cost counters
+/// that pin completion detection at O(completions): one mailbox event per
+/// agent, zero whole-store scans.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// Fleet size.
+    pub agents: usize,
+    /// Number of nodes (node 0 = shared home).
+    pub nodes: u32,
+    /// Resource steps per agent.
+    pub steps: usize,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl FleetScenario {
+    /// Runs the fleet to completion and collects the numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any agent fails to settle or complete.
+    pub fn run(&self) -> FleetStats {
+        let mut b = PlatformBuilder::new(self.nodes as usize)
+            .seed(self.seed)
+            .behavior("bench", BenchAgent);
+        for n in 1..self.nodes {
+            b = b.resources(NodeId(n), move || {
+                let mut rms = RmRegistry::new();
+                rms.register(Box::new(
+                    BankRm::new("ledger", false)
+                        .with_account("sink", 0)
+                        .with_account("reserve", 1_000_000),
+                ));
+                rms
+            });
+        }
+        let mut p = b.build();
+        let nodes = self.nodes;
+        let steps = self.steps;
+        let specs = (0..self.agents).map(|a| {
+            let itinerary = ItineraryBuilder::main("I")
+                .sub("S", |s| {
+                    for i in 0..steps {
+                        // Stagger starting nodes so the fleet spreads over
+                        // the ledgers instead of convoying on node 1.
+                        let node = 1 + ((a + i) as u32 % (nodes - 1));
+                        s.step(format!("rce#{i}"), node);
+                    }
+                })
+                .build()
+                .expect("valid fleet itinerary");
+            AgentSpec::new("bench", NodeId(0), itinerary)
+        });
+        let handles = p.launch_fleet(specs);
+        let settled = p.run_until_settled(&handles, SimDuration::from_secs(36_000));
+        assert!(settled, "fleet did not settle: {self:?}");
+        let mut settle_us = 0;
+        for h in &handles {
+            let report = p.report(*h).expect("report");
+            assert_eq!(report.outcome, ReportOutcome::Completed, "{h}: {self:?}");
+            settle_us = settle_us.max(report.finished_at_us);
+        }
+        let m = p.snapshot();
+        FleetStats {
+            agents: self.agents as u64,
+            settle_us,
+            completed: m.counter("agent.completed"),
+            mbox_events: m.counter("driver.mbox_events"),
+            mbox_scans: m.counter("driver.mbox_scans"),
+            deep_scans: m.counter("driver.deep_scans"),
+            steps_committed: m.counter("steps.committed"),
+            metrics: m,
+        }
+    }
+}
+
+/// The measured quantities of one [`FleetScenario`] run.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Fleet size.
+    pub agents: u64,
+    /// Virtual time at which the *last* agent finished (settle latency).
+    pub settle_us: u64,
+    /// Agents completed.
+    pub completed: u64,
+    /// Driver mailbox events consumed — O(completions) by construction.
+    pub mbox_events: u64,
+    /// Driver mailbox probes (one per distinct home node per drain).
+    pub mbox_scans: u64,
+    /// Whole-store fallback scans the driver performed (0 in handle runs).
+    pub deep_scans: u64,
+    /// Step transactions committed across the fleet.
+    pub steps_committed: u64,
+    /// Raw metrics for anything else.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The measured quantities of one scenario run.
@@ -421,6 +506,22 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_settles_with_one_mailbox_event_per_agent() {
+        let stats = FleetScenario {
+            agents: 100,
+            nodes: 4,
+            steps: 2,
+            seed: 23,
+        }
+        .run();
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.mbox_events, 100, "one completion event per agent");
+        assert_eq!(stats.deep_scans, 0, "no whole-store driver scans");
+        assert_eq!(stats.steps_committed, 200);
+        assert!(stats.settle_us > 0);
+    }
 
     #[test]
     fn forward_scenario_runs() {

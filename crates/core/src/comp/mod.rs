@@ -17,7 +17,9 @@
 mod access;
 mod op;
 mod registry;
+mod resource_op;
 
 pub use access::{CompCtx, ResourceAccess};
 pub use op::{CompOp, EntryKind};
 pub use registry::{CompHandler, CompOpRegistry};
+pub use resource_op::{Compensable, ResourceOp, WroOp};

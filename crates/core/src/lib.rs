@@ -57,5 +57,5 @@ pub use planner::{
     CompUnit, Destination, FusedStep, RestorePlan, RollbackCursor, RollbackMode, RoundPlan,
     StartPlan,
 };
-pub use record::{AgentId, AgentRecord, AgentStatus};
+pub use record::{AgentId, AgentRecord, AgentStatus, RecordDataPeek, RecordHeader};
 pub use savepoint::{LeaveOutcome, RollbackScope, SavepointId, SavepointTable, SubSavepoints};

@@ -123,6 +123,32 @@ impl AgentRecord {
         Ok(mar_wire::from_slice(bytes)?)
     }
 
+    /// Decodes only the identifying prefix of a serialized record — id,
+    /// behaviour type (borrowed from `bytes`), home node — without touching
+    /// the itinerary, savepoint table, or rollback log. Driver-side queue
+    /// scans (`residence_count` and friends) use this instead of
+    /// [`AgentRecord::from_bytes`], which deep-copies every log entry.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for inputs that do not start with a record.
+    pub fn peek_header(bytes: &[u8]) -> Result<RecordHeader<'_>, crate::CoreError> {
+        let (header, _) = mar_wire::from_slice_prefix(bytes)?;
+        Ok(header)
+    }
+
+    /// Like [`AgentRecord::peek_header`], but also decodes the private data
+    /// space (the fourth field) so audits can inspect weakly reversible
+    /// objects without deserializing the rest of the record.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for inputs that do not start with a record.
+    pub fn peek_data(bytes: &[u8]) -> Result<RecordDataPeek, crate::CoreError> {
+        let (peek, _) = mar_wire::from_slice_prefix(bytes)?;
+        Ok(peek)
+    }
+
     /// Encoded size in bytes — what a migration transfers (agent + log).
     pub fn encoded_size(&self) -> usize {
         mar_wire::encoded_size(self).unwrap_or(0)
@@ -160,6 +186,112 @@ impl AgentRecord {
         let subs: Vec<&str> = path.iter().skip(1).copied().collect();
         self.table.reconcile_with_path(&subs, plan.savepoint);
         self.status = AgentStatus::Forward;
+    }
+}
+
+/// The identifying prefix of a serialized [`AgentRecord`]: the first three
+/// fields of the wire layout, decoded borrowed (`agent_type` points into the
+/// input buffer) and without reading anything beyond them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordHeader<'a> {
+    /// Unique id.
+    pub id: AgentId,
+    /// Behaviour type name, borrowed from the serialized record.
+    pub agent_type: &'a str,
+    /// Home node index.
+    pub home: u32,
+}
+
+impl<'de> Deserialize<'de> for RecordHeader<'de> {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = RecordHeader<'de>;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an agent record prefix")
+            }
+
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<Self::Value, A::Error> {
+                use serde::de::Error;
+                let id = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing id"))?;
+                let agent_type = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing agent_type"))?;
+                let home = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing home"))?;
+                // The remaining fields are intentionally left unread: the
+                // caller decodes a prefix and discards the rest.
+                Ok(RecordHeader {
+                    id,
+                    agent_type,
+                    home,
+                })
+            }
+        }
+        // Structs are encoded as field-value sequences; reusing the record's
+        // own field-count header keeps this aligned with `AgentRecord`.
+        de.deserialize_struct("AgentRecord", &["id", "agent_type", "home"], V)
+    }
+}
+
+/// The prefix of a serialized [`AgentRecord`] up to and including the data
+/// space — everything a money/state audit needs, still skipping the
+/// itinerary, cursor, savepoint table, and rollback log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordDataPeek {
+    /// Unique id.
+    pub id: AgentId,
+    /// Behaviour type name.
+    pub agent_type: String,
+    /// Home node index.
+    pub home: u32,
+    /// Private data space (SRO + WRO).
+    pub data: DataSpace,
+}
+
+impl<'de> Deserialize<'de> for RecordDataPeek {
+    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = RecordDataPeek;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an agent record prefix with data")
+            }
+
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<Self::Value, A::Error> {
+                use serde::de::Error;
+                let id = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing id"))?;
+                let agent_type = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing agent_type"))?;
+                let home = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing home"))?;
+                let data = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("record missing data"))?;
+                Ok(RecordDataPeek {
+                    id,
+                    agent_type,
+                    home,
+                    data,
+                })
+            }
+        }
+        de.deserialize_struct("AgentRecord", &["id", "agent_type", "home", "data"], V)
     }
 }
 
@@ -211,5 +343,34 @@ mod tests {
     fn size_without_log_subtracts_log_bytes() {
         let r = record();
         assert_eq!(r.encoded_size_without_log(), r.encoded_size());
+    }
+
+    #[test]
+    fn peek_header_reads_prefix_borrowed() {
+        let r = record();
+        let bytes = r.to_bytes().unwrap();
+        let h = AgentRecord::peek_header(&bytes).unwrap();
+        assert_eq!(h.id, r.id);
+        assert_eq!(h.agent_type, "shopper");
+        assert_eq!(h.home, 0);
+        // The borrowed name points into the serialized buffer.
+        let range = bytes.as_ptr_range();
+        assert!(range.contains(&h.agent_type.as_ptr()));
+    }
+
+    #[test]
+    fn peek_data_stops_before_the_log() {
+        let r = record();
+        let bytes = r.to_bytes().unwrap();
+        let p = AgentRecord::peek_data(&bytes).unwrap();
+        assert_eq!(p.id, r.id);
+        assert_eq!(p.home, 0);
+        assert_eq!(p.data, r.data);
+        assert_eq!(p.data.wro("wallet").and_then(Value::as_i64), Some(100));
+    }
+
+    #[test]
+    fn peek_rejects_garbage() {
+        assert!(AgentRecord::peek_header(&[0xff, 0x01]).is_err());
     }
 }

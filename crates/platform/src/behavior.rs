@@ -40,6 +40,21 @@ pub trait AgentBehavior {
     fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError>;
 }
 
+/// A behaviour name was registered twice. Agent types are a platform-wide
+/// namespace (every node resolves against the same registry), so a
+/// collision is a configuration bug — surfaced as a value instead of a
+/// panic so builders can report it as a build error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateBehavior(pub String);
+
+impl std::fmt::Display for DuplicateBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "agent type {:?} registered twice", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateBehavior {}
+
 /// Platform-wide registry of agent behaviours, shared by all nodes.
 #[derive(Default)]
 pub struct BehaviorRegistry {
@@ -54,17 +69,21 @@ impl BehaviorRegistry {
 
     /// Registers a behaviour under `agent_type`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on duplicate names.
+    /// [`DuplicateBehavior`] when the name is already taken; the registry
+    /// keeps the first registration.
     pub fn register(
         &mut self,
         agent_type: impl Into<String>,
         behavior: impl AgentBehavior + 'static,
-    ) {
+    ) -> Result<(), DuplicateBehavior> {
         let name = agent_type.into();
-        let prev = self.map.insert(name.clone(), Rc::new(behavior));
-        assert!(prev.is_none(), "agent type {name:?} registered twice");
+        if self.map.contains_key(&name) {
+            return Err(DuplicateBehavior(name));
+        }
+        self.map.insert(name, Rc::new(behavior));
+        Ok(())
     }
 
     /// Resolves a behaviour by type name.
@@ -100,17 +119,19 @@ mod tests {
     #[test]
     fn register_and_resolve() {
         let mut reg = BehaviorRegistry::new();
-        reg.register("nop", Nop);
+        reg.register("nop", Nop).unwrap();
         assert!(reg.get("nop").is_some());
         assert!(reg.get("other").is_none());
         assert_eq!(reg.names(), ["nop"]);
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn duplicates_panic() {
+    fn duplicates_rejected_first_wins() {
         let mut reg = BehaviorRegistry::new();
-        reg.register("nop", Nop);
-        reg.register("nop", Nop);
+        reg.register("nop", Nop).unwrap();
+        let err = reg.register("nop", Nop).unwrap_err();
+        assert_eq!(err, DuplicateBehavior("nop".to_owned()));
+        assert!(err.to_string().contains("registered twice"));
+        assert!(reg.get("nop").is_some());
     }
 }

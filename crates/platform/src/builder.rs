@@ -1,17 +1,18 @@
-//! Building and driving a platform: a simulated network of Mole-like nodes.
+//! Building a platform: a simulated network of Mole-like nodes.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::rc::Rc;
 
 use mar_core::comp::CompOpRegistry;
-use mar_core::{AgentId, AgentRecord, DataSpace, LoggingMode, RollbackMode};
+use mar_core::{DataSpace, LoggingMode, RollbackMode};
 use mar_itinerary::Itinerary;
-use mar_simnet::{Address, LatencyModel, MetricsSnapshot, NodeId, SimDuration, World, WorldConfig};
+use mar_simnet::{LatencyModel, NodeId, World, WorldConfig};
 use mar_txn::RmRegistry;
 
 use crate::behavior::BehaviorRegistry;
+use crate::driver::Platform;
 use crate::mole::{MoleCfg, MoleService, MOLE};
-use crate::msg::{AgentReport, MoleMsg};
 
 /// Everything needed to launch one agent.
 #[derive(Debug, Clone)]
@@ -44,6 +45,33 @@ impl AgentSpec {
     }
 }
 
+/// A configuration error surfaced by [`PlatformBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An agent type was registered twice (the first registration wins
+    /// until the build fails).
+    DuplicateBehavior(String),
+    /// The typed-op manifest disagrees with the compensation registry — a
+    /// derived compensation is unregistered or registered under a different
+    /// entry kind than its op declares.
+    MiswiredCompensation(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateBehavior(name) => {
+                write!(f, "agent type {name:?} registered twice")
+            }
+            BuildError::MiswiredCompensation(msg) => {
+                write!(f, "typed-op compensation wiring: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Builds a [`Platform`].
 pub struct PlatformBuilder {
     nodes: usize,
@@ -54,6 +82,7 @@ pub struct PlatformBuilder {
     behaviors: BehaviorRegistry,
     comps: CompOpRegistry,
     resources: BTreeMap<u32, Rc<dyn Fn() -> RmRegistry>>,
+    errors: Vec<BuildError>,
 }
 
 impl PlatformBuilder {
@@ -72,6 +101,7 @@ impl PlatformBuilder {
             behaviors: BehaviorRegistry::new(),
             comps,
             resources: BTreeMap::new(),
+            errors: Vec::new(),
         }
     }
 
@@ -136,13 +166,18 @@ impl PlatformBuilder {
         self
     }
 
-    /// Registers an agent behaviour.
+    /// Registers an agent behaviour. A duplicate name is recorded and
+    /// surfaces as a [`BuildError`] from [`PlatformBuilder::try_build`] —
+    /// the first registration stays active, so the error cannot be masked
+    /// by silent replacement.
     pub fn behavior(
         mut self,
         agent_type: impl Into<String>,
         behavior: impl crate::behavior::AgentBehavior + 'static,
     ) -> Self {
-        self.behaviors.register(agent_type, behavior);
+        if let Err(dup) = self.behaviors.register(agent_type, behavior) {
+            self.errors.push(BuildError::DuplicateBehavior(dup.0));
+        }
         self
     }
 
@@ -161,8 +196,22 @@ impl PlatformBuilder {
         self
     }
 
-    /// Builds and starts the platform.
-    pub fn build(self) -> Platform {
+    /// Builds and starts the platform, surfacing configuration errors as
+    /// values: duplicate behaviour names, and a typed-op manifest that
+    /// disagrees with the compensation registry (the op-definition-time
+    /// kind validation — a miswired compensation fails the build instead of
+    /// a step, or worse, a rollback).
+    ///
+    /// # Errors
+    ///
+    /// The first [`BuildError`] recorded while configuring.
+    pub fn try_build(self) -> Result<Platform, BuildError> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        if let Err(msg) = mar_resources::validate_typed_ops(&self.comps) {
+            return Err(BuildError::MiswiredCompensation(msg));
+        }
         let mut cfg = WorldConfig::with_seed(self.seed);
         cfg.latency = self.latency;
         cfg.trace = self.trace;
@@ -187,168 +236,50 @@ impl PlatformBuilder {
             });
         }
         world.start();
-        Platform {
-            world,
-            next_agent: 1,
-        }
+        Ok(Platform::new(world))
+    }
+
+    /// Builds and starts the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`BuildError`]; examples and tests use this, programs
+    /// that want the error as a value use [`PlatformBuilder::try_build`].
+    pub fn build(self) -> Platform {
+        self.try_build().expect("platform configuration")
     }
 }
 
-/// A running platform: the simulated agent system plus driver conveniences.
-pub struct Platform {
-    world: World,
-    next_agent: u64,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::AgentBehavior;
+    use crate::{StepCtx, StepDecision};
+    use mar_txn::TxnError;
 
-impl Platform {
-    /// Launches an agent, returning its id. The agent starts processing
-    /// once the simulation runs.
-    pub fn launch(&mut self, spec: AgentSpec) -> AgentId {
-        let id = AgentId(self.next_agent);
-        self.next_agent += 1;
-        let record = AgentRecord::new(
-            id,
-            spec.agent_type,
-            spec.home.0,
-            spec.data,
-            spec.itinerary,
-            spec.logging,
-            spec.mode,
-        );
-        let msg = MoleMsg::Launch {
-            record: record.to_bytes().expect("record encodes"),
-        };
-        self.world.post(Address::new(spec.home, MOLE), msg.encode());
-        id
-    }
-
-    /// Runs the simulation for a span of virtual time.
-    pub fn run_for(&mut self, d: SimDuration) {
-        self.world.run_for(d);
-    }
-
-    /// Runs until all listed agents have reports or `deadline` virtual time
-    /// elapses. Returns `true` if everyone finished.
-    pub fn run_until_settled(&mut self, agents: &[AgentId], deadline: SimDuration) -> bool {
-        let end = self.world.now() + deadline;
-        while self.world.now() < end {
-            if agents.iter().all(|a| self.report(*a).is_some()) {
-                return true;
-            }
-            self.world.run_for(SimDuration::from_millis(50));
+    struct Nop;
+    impl AgentBehavior for Nop {
+        fn step(&self, _m: &str, _ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
+            Ok(StepDecision::Continue)
         }
-        agents.iter().all(|a| self.report(*a).is_some())
     }
 
-    /// The report of a finished agent, if any (checks every node).
-    pub fn report(&self, agent: AgentId) -> Option<AgentReport> {
-        let key = format!("done/{}", agent.0);
-        for node in self.world.node_ids() {
-            if let Some(bytes) = self.world.stable(node).get(&key) {
-                return AgentReport::decode(bytes).ok();
-            }
-        }
-        None
+    #[test]
+    fn duplicate_behavior_fails_the_build() {
+        let err = PlatformBuilder::new(1)
+            .behavior("a", Nop)
+            .behavior("a", Nop)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::DuplicateBehavior("a".to_owned()));
     }
 
-    /// How many stable queue entries currently hold this agent — the
-    /// exactly-once residence invariant says this is ≤ 1 at quiescence (0
-    /// once finished).
-    pub fn residence_count(&self, agent: AgentId) -> usize {
-        let mut count = 0;
-        for node in self.world.node_ids() {
-            for key in self.world.stable(node).keys_with_prefix("q/") {
-                if let Some(bytes) = self.world.stable(node).get(&key) {
-                    if let Ok(rec) = AgentRecord::from_bytes(bytes) {
-                        if rec.id == agent {
-                            count += 1;
-                        }
-                    }
-                }
-            }
-        }
-        count
-    }
-
-    /// All agent records currently sitting in stable queues.
-    pub fn queued_records(&self) -> Vec<(NodeId, AgentRecord)> {
-        let mut out = Vec::new();
-        for node in self.world.node_ids() {
-            for key in self.world.stable(node).keys_with_prefix("q/") {
-                if let Some(bytes) = self.world.stable(node).get(&key) {
-                    if let Ok(rec) = AgentRecord::from_bytes(bytes) {
-                        out.push((node, rec));
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Sums all committed money in the system per currency: resource
-    /// holdings plus wallet coins and credit notes stored under the given
-    /// WRO keys (in queued records and final reports). Meaningful at
-    /// quiescent points.
-    pub fn money_audit(&mut self, wallet_keys: &[&str]) -> BTreeMap<String, i64> {
-        let mut total: BTreeMap<String, i64> = BTreeMap::new();
-        for node in self.world.node_ids() {
-            if let Some(mole) = self.world.service_mut::<MoleService>(node, MOLE) {
-                for (cur, amount) in mole.rms().audit_money() {
-                    *total.entry(cur).or_insert(0) += amount;
-                }
-            }
-        }
-        let mut wallets = |rec: &AgentRecord| {
-            for key in wallet_keys {
-                if let Some(v) = rec.data.wro(key) {
-                    if let Ok(w) = mar_resources::Wallet::from_value(v) {
-                        for coin in &w.coins {
-                            *total.entry(coin.currency.clone()).or_insert(0) += coin.value;
-                        }
-                        for note in &w.credit_notes {
-                            *total.entry(note.currency.clone()).or_insert(0) += note.amount;
-                        }
-                    }
-                }
-            }
-        };
-        for (_, rec) in self.queued_records() {
-            wallets(&rec);
-        }
-        // Finished agents: their final records live in "done/" reports.
-        for node in self.world.node_ids() {
-            for key in self.world.stable(node).keys_with_prefix("done/") {
-                if let Some(bytes) = self.world.stable(node).get(&key) {
-                    if let Ok(report) = AgentReport::decode(bytes) {
-                        wallets(&report.record);
-                    }
-                }
-            }
-        }
-        total
-    }
-
-    /// The current metrics snapshot.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        self.world.snapshot()
-    }
-
-    /// The underlying world (crash injection, link control, inspection).
-    pub fn world(&self) -> &World {
-        &self.world
-    }
-
-    /// Mutable world access.
-    pub fn world_mut(&mut self) -> &mut World {
-        &mut self.world
-    }
-}
-
-impl std::fmt::Debug for Platform {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Platform")
-            .field("now", &self.world.now())
-            .field("nodes", &self.world.node_count())
-            .finish()
+    #[test]
+    fn clean_build_succeeds() {
+        let p = PlatformBuilder::new(2)
+            .behavior("a", Nop)
+            .try_build()
+            .unwrap();
+        assert_eq!(p.world().node_count(), 2);
     }
 }

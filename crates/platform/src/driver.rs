@@ -1,0 +1,340 @@
+//! Driving a running platform: launching agents and harvesting their
+//! reports.
+//!
+//! [`Platform::launch`] returns an [`AgentHandle`] — the agent's id plus
+//! its home node. Completion is event-driven: when an agent finishes, the
+//! completing mole persists the report, ships it to the home node (stable
+//! outbox, retransmitted until acked), and the home mole posts one entry to
+//! its *driver mailbox*. [`Platform::drain_reports`] consumes those
+//! entries, so driving a fleet costs O(completions) stable reads — not the
+//! O(ticks × nodes × stable-keys) of scanning every node's store each poll
+//! tick (the `driver.*` metrics make this measurable).
+
+use std::collections::BTreeMap;
+
+use mar_core::{AgentId, AgentRecord};
+use mar_simnet::{Address, MetricsSnapshot, NodeId, SimDuration, World};
+
+use crate::mole::{
+    keys, MoleService, HOME_REPORT_PREFIX, MBOX_PREFIX, MOLE, Q_PREFIX, REPORT_PREFIX,
+};
+use crate::msg::{AgentReport, MoleMsg};
+use crate::AgentSpec;
+
+/// How long [`Platform::run_until_settled`] lets virtual time advance
+/// between mailbox drains.
+const SETTLE_TICK: SimDuration = SimDuration::from_millis(50);
+
+/// A launched agent: its id plus the home node its report will arrive at.
+///
+/// The handle is the unit of driving — [`Platform::run_until_settled`]
+/// waits on handles, [`Platform::report`] accepts them (or raw
+/// [`AgentId`]s) — and it is `Copy`, so it can be passed around freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AgentHandle {
+    id: AgentId,
+    home: NodeId,
+}
+
+impl AgentHandle {
+    /// The agent's unique id.
+    pub fn id(&self) -> AgentId {
+        self.id
+    }
+
+    /// The node the agent's report arrives at.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+}
+
+impl From<AgentHandle> for AgentId {
+    fn from(h: AgentHandle) -> AgentId {
+        h.id
+    }
+}
+
+impl std::fmt::Display for AgentHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.id, self.home)
+    }
+}
+
+/// A running platform: the simulated agent system plus driver conveniences.
+pub struct Platform {
+    pub(crate) world: World,
+    pub(crate) next_agent: u64,
+    /// Home node of every agent launched through this driver.
+    homes: BTreeMap<AgentId, NodeId>,
+    /// Reports already drained from home mailboxes.
+    reports: BTreeMap<AgentId, AgentReport>,
+}
+
+impl Platform {
+    pub(crate) fn new(world: World) -> Self {
+        Platform {
+            world,
+            next_agent: 1,
+            homes: BTreeMap::new(),
+            reports: BTreeMap::new(),
+        }
+    }
+
+    /// Launches an agent, returning its handle. The agent starts processing
+    /// once the simulation runs; its completion report arrives at the
+    /// handle's home node.
+    pub fn launch(&mut self, spec: AgentSpec) -> AgentHandle {
+        let id = AgentId(self.next_agent);
+        self.next_agent += 1;
+        let home = spec.home;
+        let record = AgentRecord::new(
+            id,
+            spec.agent_type,
+            home.0,
+            spec.data,
+            spec.itinerary,
+            spec.logging,
+            spec.mode,
+        );
+        let msg = MoleMsg::Launch {
+            record: record.to_bytes().expect("record encodes"),
+        };
+        self.world.post(Address::new(home, MOLE), msg.encode());
+        self.homes.insert(id, home);
+        AgentHandle { id, home }
+    }
+
+    /// Launches a whole fleet in one call, returning a handle per spec (in
+    /// order). Sugar over [`Platform::launch`] sized for the N-agent
+    /// scenarios [`Platform::drain_reports`] is built to drive.
+    pub fn launch_fleet(&mut self, specs: impl IntoIterator<Item = AgentSpec>) -> Vec<AgentHandle> {
+        specs.into_iter().map(|s| self.launch(s)).collect()
+    }
+
+    /// Runs the simulation for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Consumes every completion event currently waiting in the driver
+    /// mailboxes of the launched agents' home nodes, returning the newly
+    /// arrived reports (oldest first per node). Already-drained reports are
+    /// not returned again; [`Platform::report`] serves them from cache.
+    ///
+    /// Cost: one bounded prefix probe per distinct home node plus one
+    /// stable read per *new* completion — O(completions) over a whole run.
+    pub fn drain_reports(&mut self) -> Vec<AgentReport> {
+        let homes: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = self.homes.values().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut fresh = Vec::new();
+        for node in homes {
+            self.world.metrics_mut().inc(keys::DRIVER_MBOX_SCANS);
+            for key in self.world.stable(node).keys_with_prefix(MBOX_PREFIX) {
+                let raw_id = self
+                    .world
+                    .stable(node)
+                    .get(&key)
+                    .and_then(|b| mar_wire::from_slice::<u64>(b).ok());
+                // The mailbox is owned by the driver: consuming the event
+                // deletes it, so a whole run reads each completion once.
+                self.world.stable_mut(node).delete(&key);
+                let Some(raw_id) = raw_id else { continue };
+                let agent = AgentId(raw_id);
+                self.world.metrics_mut().inc(keys::DRIVER_MBOX_EVENTS);
+                if self.reports.contains_key(&agent) {
+                    continue;
+                }
+                let report = self
+                    .world
+                    .stable(node)
+                    .get(&format!("{HOME_REPORT_PREFIX}{raw_id}"))
+                    .and_then(|b| AgentReport::decode(b).ok());
+                if let Some(report) = report {
+                    self.reports.insert(agent, report.clone());
+                    fresh.push(report);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Runs until all listed agents have reports or `deadline` virtual time
+    /// elapses. Returns `true` if everyone finished.
+    ///
+    /// Completion is detected through the home mailboxes
+    /// ([`Platform::drain_reports`]): per tick this costs one probe per
+    /// distinct home node, and one stable read per completion overall —
+    /// independent of node count, queue depth, and log sizes.
+    pub fn run_until_settled(&mut self, agents: &[AgentHandle], deadline: SimDuration) -> bool {
+        // Completions that arrived while the caller drove the world by hand
+        // are already waiting in the mailboxes: drain before deciding
+        // anything (also makes a zero deadline an honest "are we done?").
+        self.drain_reports();
+        let mut pending: Vec<AgentId> = agents
+            .iter()
+            .map(|h| h.id)
+            .filter(|id| !self.reports.contains_key(id))
+            .collect();
+        let end = self.world.now() + deadline;
+        while !pending.is_empty() && self.world.now() < end {
+            self.world.run_for(SETTLE_TICK);
+            self.drain_reports();
+            pending.retain(|id| !self.reports.contains_key(id));
+        }
+        pending.is_empty()
+    }
+
+    /// The report of a finished agent, if any.
+    ///
+    /// Agents launched through this driver resolve via the home mailbox
+    /// (drained on demand, served from cache afterwards). For records
+    /// injected behind the driver's back the old exhaustive scan over every
+    /// node's `done/` reports remains as a fallback — and is counted in
+    /// `driver.deep_scans`, so a hot loop leaning on it shows up in the
+    /// metrics.
+    pub fn report(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
+        let agent = agent.into();
+        if let Some(r) = self.reports.get(&agent) {
+            return Some(r.clone());
+        }
+        if self.homes.contains_key(&agent) {
+            self.drain_reports();
+            return self.reports.get(&agent).cloned();
+        }
+        self.world.metrics_mut().inc(keys::DRIVER_DEEP_SCANS);
+        let key = format!("{REPORT_PREFIX}{}", agent.0);
+        for node in self.world.node_ids() {
+            if let Some(bytes) = self.world.stable(node).get(&key) {
+                return AgentReport::decode(bytes).ok();
+            }
+        }
+        None
+    }
+
+    /// How many stable queue entries currently hold this agent — the
+    /// exactly-once residence invariant says this is ≤ 1 at quiescence (0
+    /// once finished). Queue entries are identified by a borrowed header
+    /// peek ([`AgentRecord::peek_header`]); no rollback log is decoded.
+    pub fn residence_count(&self, agent: impl Into<AgentId>) -> usize {
+        let agent = agent.into();
+        self.queued_agents()
+            .into_iter()
+            .filter(|(_, id)| *id == agent)
+            .count()
+    }
+
+    /// The agents currently sitting in stable queues, identified by a
+    /// borrowed header peek per entry — the cheap scan for "where is
+    /// everyone" questions. For deep inspection of an in-flight record use
+    /// [`Platform::queued_records`].
+    pub fn queued_agents(&self) -> Vec<(NodeId, AgentId)> {
+        let mut out = Vec::new();
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix(Q_PREFIX) {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(header) = AgentRecord::peek_header(bytes) {
+                        out.push((node, header.id));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All agent records currently sitting in stable queues, fully decoded
+    /// (rollback log included) — the expensive deep-inspection walk, kept
+    /// for tests that assert on in-flight log contents.
+    pub fn queued_records(&self) -> Vec<(NodeId, AgentRecord)> {
+        let mut out = Vec::new();
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix(Q_PREFIX) {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(rec) = AgentRecord::from_bytes(bytes) {
+                        out.push((node, rec));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sums all committed money in the system per currency: resource
+    /// holdings plus wallet coins and credit notes stored under the given
+    /// WRO keys (in queued records and final reports). Meaningful at
+    /// quiescent points. Read-only: resources are inspected through
+    /// [`World::service`], and queued records / reports are decoded only up
+    /// to their data space ([`AgentRecord::peek_data`]) — the rollback logs
+    /// never leave stable storage.
+    pub fn money_audit(&self, wallet_keys: &[&str]) -> BTreeMap<String, i64> {
+        let mut total: BTreeMap<String, i64> = BTreeMap::new();
+        for node in self.world.node_ids() {
+            if let Some(mole) = self.world.service::<MoleService>(node, MOLE) {
+                for (cur, amount) in mole.rms().audit_money() {
+                    *total.entry(cur).or_insert(0) += amount;
+                }
+            }
+        }
+        let mut wallets = |data: &mar_core::DataSpace| {
+            for key in wallet_keys {
+                if let Some(v) = data.wro(key) {
+                    if let Ok(w) = mar_resources::Wallet::from_value(v) {
+                        for coin in &w.coins {
+                            *total.entry(coin.currency.clone()).or_insert(0) += coin.value;
+                        }
+                        for note in &w.credit_notes {
+                            *total.entry(note.currency.clone()).or_insert(0) += note.amount;
+                        }
+                    }
+                }
+            }
+        };
+        for node in self.world.node_ids() {
+            for key in self.world.stable(node).keys_with_prefix(Q_PREFIX) {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(peek) = AgentRecord::peek_data(bytes) {
+                        wallets(&peek.data);
+                    }
+                }
+            }
+            // Finished agents: their final records live in "done/" reports.
+            for key in self.world.stable(node).keys_with_prefix(REPORT_PREFIX) {
+                if let Some(bytes) = self.world.stable(node).get(&key) {
+                    if let Ok(data) = AgentReport::peek_record_data(bytes) {
+                        wallets(&data);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// The current metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.world.snapshot()
+    }
+
+    /// The underlying world (crash injection, link control, inspection).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("now", &self.world.now())
+            .field("nodes", &self.world.node_count())
+            .field("launched", &self.homes.len())
+            .field("reports", &self.reports.len())
+            .finish()
+    }
+}

@@ -8,25 +8,35 @@
 //!
 //! Quick tour:
 //!
-//! * implement [`AgentBehavior`] for your agent's step methods,
+//! * implement [`AgentBehavior`] for your agent's step methods — inside a
+//!   step, typed resource ops run and log their compensation in one call
+//!   ([`StepCtx::invoke`]); `ctx.call`/`ctx.compensate` remain the raw
+//!   escape hatch,
 //! * describe *where* steps run with a `mar_itinerary::Itinerary`,
-//! * wire nodes and resources with [`PlatformBuilder`],
-//! * [`Platform::launch`] agents, run virtual time, and read
-//!   [`Platform::report`].
+//! * wire nodes and resources with [`PlatformBuilder`]
+//!   ([`PlatformBuilder::try_build`] surfaces configuration errors),
+//! * [`Platform::launch`] (or [`Platform::launch_fleet`]) returns
+//!   [`AgentHandle`]s; [`Platform::run_until_settled`] and
+//!   [`Platform::drain_reports`] resolve completions through per-home-node
+//!   driver mailboxes in O(completions).
 //!
-//! See the repository's `examples/` directory for complete scenarios.
+//! See the repository's `examples/` directory for complete scenarios and
+//! `docs/API.md` for the API guide (including migration notes from the raw
+//! pre-handle surface).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod behavior;
 mod builder;
+mod driver;
 mod mole;
 mod msg;
 mod stepctx;
 
-pub use behavior::{AgentBehavior, BehaviorRegistry, StepDecision};
-pub use builder::{AgentSpec, Platform, PlatformBuilder};
+pub use behavior::{AgentBehavior, BehaviorRegistry, DuplicateBehavior, StepDecision};
+pub use builder::{AgentSpec, BuildError, PlatformBuilder};
+pub use driver::{AgentHandle, Platform};
 pub use mole::{keys as metric_keys, MoleCfg, MoleService, RollbackRouting, MOLE};
 pub use msg::{AgentReport, MoleMsg, RceList, ReportOutcome};
 pub use stepctx::{RmAccess, StepCtx};

@@ -44,13 +44,20 @@ const COMPACTION_CPU_US_PER_KB: u64 = 1;
 
 const KEY_QSEQ: &str = "qseq";
 const KEY_TXNSEQ: &str = "txnseq";
-const Q_PREFIX: &str = "q/";
+const KEY_MBOXSEQ: &str = "mboxseq";
+pub(crate) const Q_PREFIX: &str = "q/";
 const RM_PREFIX: &str = "rm/";
 const DECISION_PREFIX: &str = "2pc/decision/";
 const PREPARED_PREFIX: &str = "2pc/prepared/";
 const DONE2PC_PREFIX: &str = "2pc/done/";
-const REPORT_PREFIX: &str = "done/";
-const HOME_REPORT_PREFIX: &str = "report/";
+pub(crate) const REPORT_PREFIX: &str = "done/";
+pub(crate) const HOME_REPORT_PREFIX: &str = "report/";
+/// Stable outbox of reports awaiting the home node's ack (retransmitted on
+/// the 2PC retry timer; survives crashes of the completing node).
+const OUTBOX_PREFIX: &str = "report-outbox/";
+/// The home node's driver mailbox: one entry per completed agent, consumed
+/// (and deleted) by the driving [`Platform`](crate::Platform).
+pub(crate) const MBOX_PREFIX: &str = "mbox/";
 
 /// Platform metric names.
 pub mod keys {
@@ -118,6 +125,19 @@ pub mod keys {
     pub const TXN_COMMITTED: &str = "txn.committed";
     /// Distributed transactions aborted at this coordinator.
     pub const TXN_ABORTED: &str = "txn.aborted";
+    /// Report retransmissions from a completing node's stable outbox (the
+    /// home node's ack was lost or late).
+    pub const REPORT_RETRANSMITS: &str = "report.retransmits";
+    /// Completion events consumed from driver mailboxes — one per finished
+    /// agent, however long the run.
+    pub const DRIVER_MBOX_EVENTS: &str = "driver.mbox_events";
+    /// Driver passes over home-node mailboxes (each is one bounded prefix
+    /// probe, not a store walk).
+    pub const DRIVER_MBOX_SCANS: &str = "driver.mbox_scans";
+    /// Full stable-store scans the driver fell back to (legacy
+    /// [`Platform::report`](crate::Platform::report) path for agents not
+    /// launched through a handle; zero in handle-driven runs).
+    pub const DRIVER_DEEP_SCANS: &str = "driver.deep_scans";
 }
 
 /// How the runtime decides, per compensation batch with remote resource
@@ -412,6 +432,14 @@ impl MoleService {
             let decoded = AgentReport::decode(report).expect("own report decodes");
             ctx.stable_put(format!("{REPORT_PREFIX}{}", decoded.id.0), report.clone());
             if *home != ctx.node().0 {
+                // Stable outbox first: the report is retransmitted on the
+                // retry timer until the home node acks, so the completion
+                // event reaches the home mailbox despite crashes and lost
+                // messages (delivery is idempotent on the home side).
+                ctx.stable_put(
+                    format!("{OUTBOX_PREFIX}{}", decoded.id.0),
+                    mar_wire::to_bytes(&(*home, report)).expect("outbox entry encodes"),
+                );
                 ctx.send(
                     Address::new(NodeId(*home), MOLE),
                     MoleMsg::Report {
@@ -420,16 +448,59 @@ impl MoleService {
                     .encode(),
                 );
             } else {
-                ctx.stable_put(
-                    format!("{HOME_REPORT_PREFIX}{}", decoded.id.0),
-                    report.clone(),
-                );
+                self.deliver_report_home(ctx, decoded.id, report.clone());
             }
         }
         for (name, n) in &effects.metrics {
             ctx.metrics().add(name, *n);
         }
         ctx.metrics().inc(keys::TXN_COMMITTED);
+    }
+
+    /// Home-node side of report delivery: persists the report under the
+    /// agent's id and posts one completion event to the driver mailbox.
+    /// Idempotent — a retransmitted report neither duplicates the mailbox
+    /// entry nor overwrites the persisted report.
+    fn deliver_report_home(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        agent: mar_core::AgentId,
+        report: Vec<u8>,
+    ) {
+        let report_key = format!("{HOME_REPORT_PREFIX}{}", agent.0);
+        if ctx.stable().contains(&report_key) {
+            return;
+        }
+        ctx.stable_put(report_key, report);
+        let seq: u64 = ctx
+            .stable_get(KEY_MBOXSEQ)
+            .and_then(|b| mar_wire::from_slice(b).ok())
+            .unwrap_or(0)
+            + 1;
+        ctx.stable_put(KEY_MBOXSEQ, mar_wire::to_bytes(&seq).unwrap());
+        ctx.stable_put(
+            format!("{MBOX_PREFIX}{seq:012}"),
+            mar_wire::to_bytes(&agent.0).unwrap(),
+        );
+    }
+
+    /// Retransmits every report still waiting in the stable outbox (ack
+    /// lost, home node down, or our own crash between commit and send).
+    fn retransmit_reports(&mut self, ctx: &mut Ctx<'_>) {
+        for key in ctx.stable().keys_with_prefix(OUTBOX_PREFIX) {
+            let Some(bytes) = ctx.stable_get(&key).map(<[u8]>::to_vec) else {
+                continue;
+            };
+            let Ok((home, report)) = mar_wire::from_slice::<(u32, Vec<u8>)>(&bytes) else {
+                ctx.stable_delete(&key);
+                continue;
+            };
+            ctx.metrics().inc(keys::REPORT_RETRANSMITS);
+            ctx.send(
+                Address::new(NodeId(home), MOLE),
+                MoleMsg::Report { report }.encode(),
+            );
+        }
     }
 
     fn resolved(&mut self, ctx: &mut Ctx<'_>, txn: TxnId, committed: bool) {
@@ -1198,7 +1269,7 @@ impl MoleService {
 }
 
 impl Service for MoleService {
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Address, payload: &[u8]) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Address, payload: &[u8]) {
         let msg = match MoleMsg::decode(payload) {
             Ok(m) => m,
             Err(e) => {
@@ -1213,8 +1284,17 @@ impl Service for MoleService {
             }
             MoleMsg::Report { report } => {
                 if let Ok(r) = AgentReport::decode(&report) {
-                    ctx.stable_put(format!("{HOME_REPORT_PREFIX}{}", r.id.0), report);
+                    self.deliver_report_home(ctx, r.id, report);
+                    if from.node != NodeId::EXTERNAL {
+                        ctx.send(
+                            Address::new(from.node, MOLE),
+                            MoleMsg::ReportAck { agent: r.id }.encode(),
+                        );
+                    }
                 }
+            }
+            MoleMsg::ReportAck { agent } => {
+                ctx.stable_delete(&format!("{OUTBOX_PREFIX}{}", agent.0));
             }
             MoleMsg::Tx { from, msg } => {
                 let actions = match msg {
@@ -1244,6 +1324,7 @@ impl Service for MoleService {
                 let mut actions = self.co.on_retry();
                 actions.extend(self.pa.on_retry());
                 self.run_actions(ctx, actions);
+                self.retransmit_reports(ctx);
                 ctx.set_timer(self.cfg.tm_retry, TAG_RETRY_2PC);
             }
             TAG_KICK => self.scan_queue(ctx),

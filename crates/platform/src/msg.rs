@@ -21,10 +21,21 @@ pub enum MoleMsg {
         /// The protocol message.
         msg: TxMsg,
     },
-    /// A copy of a finished agent's report, sent to its home node.
+    /// A copy of a finished agent's report, sent to its home node. The home
+    /// node persists it, posts a completion event to its driver mailbox,
+    /// and answers with [`MoleMsg::ReportAck`]; the completing node keeps
+    /// the report in a stable outbox and retransmits until acked, so
+    /// completion events reach the home mailbox exactly once despite
+    /// crashes and lost messages.
     Report {
         /// Serialized [`AgentReport`].
         report: Vec<u8>,
+    },
+    /// Home-node acknowledgement that an agent's report was persisted and
+    /// its completion event posted to the driver mailbox.
+    ReportAck {
+        /// The acknowledged agent.
+        agent: AgentId,
     },
 }
 
@@ -91,6 +102,60 @@ impl AgentReport {
     pub fn decode(bytes: &[u8]) -> Result<Self, mar_wire::WireError> {
         mar_wire::from_slice(bytes)
     }
+
+    /// Decodes only the final record's data space from a serialized report
+    /// — what a money audit needs — skipping the record's itinerary,
+    /// cursor, savepoint table, and rollback log entirely
+    /// ([`mar_core::AgentRecord::peek_data`] applied inside the report).
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for inputs that do not start with a report.
+    pub fn peek_record_data(bytes: &[u8]) -> Result<mar_core::DataSpace, mar_wire::WireError> {
+        struct Peek(mar_core::DataSpace);
+        impl<'de> Deserialize<'de> for Peek {
+            fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> serde::de::Visitor<'de> for V {
+                    type Value = Peek;
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str("an agent report prefix")
+                    }
+
+                    fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Peek, A::Error> {
+                        use serde::de::Error;
+                        let missing = || A::Error::custom("truncated report");
+                        let _id: AgentId = seq.next_element()?.ok_or_else(missing)?;
+                        let _outcome: ReportOutcome = seq.next_element()?.ok_or_else(missing)?;
+                        let _finished: u64 = seq.next_element()?.ok_or_else(missing)?;
+                        let _steps: u64 = seq.next_element()?.ok_or_else(missing)?;
+                        // The record is the last field read: its own trailing
+                        // fields (and ours) stay untouched in the buffer.
+                        let record: mar_core::RecordDataPeek =
+                            seq.next_element()?.ok_or_else(missing)?;
+                        Ok(Peek(record.data))
+                    }
+                }
+                de.deserialize_struct(
+                    "AgentReport",
+                    &[
+                        "id",
+                        "outcome",
+                        "finished_at_us",
+                        "steps_committed",
+                        "record",
+                    ],
+                    V,
+                )
+            }
+        }
+        let (peek, _) = mar_wire::from_slice_prefix::<Peek>(bytes)?;
+        Ok(peek.0)
+    }
 }
 
 /// Payload of a remote RCE branch: which agent is being compensated and the
@@ -127,6 +192,32 @@ mod tests {
         for m in msgs {
             assert_eq!(MoleMsg::decode(&m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn report_peek_reads_only_the_data_space() {
+        let mut data = mar_core::DataSpace::new();
+        data.set_wro("wallet", mar_wire::Value::from(9i64));
+        let record = mar_core::AgentRecord::new(
+            AgentId(5),
+            "t",
+            1,
+            data,
+            mar_itinerary::samples::fig6(),
+            mar_core::LoggingMode::State,
+            mar_core::planner::RollbackMode::Optimized,
+        );
+        let report = AgentReport {
+            id: AgentId(5),
+            outcome: ReportOutcome::Completed,
+            finished_at_us: 77,
+            steps_committed: 3,
+            record: record.clone(),
+        };
+        let bytes = report.encode();
+        let peeked = AgentReport::peek_record_data(&bytes).unwrap();
+        assert_eq!(peeked, record.data);
+        assert!(AgentReport::peek_record_data(&[0xff]).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The context handed to agent step methods, and the resource-access bridge
 //! used by compensating operations.
 
-use mar_core::comp::{CompOp, EntryKind, ResourceAccess};
+use mar_core::comp::{CompOp, Compensable, EntryKind, ResourceAccess, ResourceOp, WroOp};
 use mar_core::{CompError, DataSpace};
 use mar_simnet::{NodeId, SimRng, SimTime};
 use mar_txn::{OpCtx, RmRegistry, TxnError, TxnId};
@@ -68,8 +68,14 @@ pub struct StepCtx<'a> {
 }
 
 impl<'a> StepCtx<'a> {
+    /// Builds a step context over explicit registries.
+    ///
+    /// The platform constructs one per step execution; it is public so
+    /// behaviours can be unit-tested against a local [`RmRegistry`] without
+    /// standing up a simulated world (see the `typed_ops_props` integration
+    /// test for the pattern).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
+    pub fn new(
         txn: TxnId,
         now: SimTime,
         node: NodeId,
@@ -140,6 +146,73 @@ impl<'a> StepCtx<'a> {
             op,
             params,
         )
+    }
+
+    /// Executes a typed, compensable resource operation: the forward call
+    /// runs inside the step transaction and — in the same call — the
+    /// compensation derived from the op and its result is logged for the
+    /// step's rollback-log frame. This is the primary way to touch
+    /// resources (§4.4.1's invariant that every forward effect carries its
+    /// compensating operation, enforced by the type instead of by
+    /// discipline); [`StepCtx::call`] + [`StepCtx::compensate`] remain the
+    /// raw escape hatch and produce byte-identical log frames.
+    ///
+    /// The entry kind comes from the op definition
+    /// ([`Compensable::KIND`]), validated against the registry when the
+    /// platform was built — no per-step registry lookup.
+    ///
+    /// # Errors
+    ///
+    /// Forward-call errors as in [`StepCtx::call`];
+    /// [`TxnError::BadRequest`] when the result cannot be decoded (a
+    /// wiring bug in the typed op, not a business refusal).
+    pub fn invoke<O: Compensable>(&mut self, op: &O) -> Result<O::Output, TxnError> {
+        let raw = self.call(op.resource(), op.op(), &op.params())?;
+        let out = op.decode(&raw).map_err(|e| {
+            TxnError::BadRequest(format!(
+                "{}.{}: result decode failed: {e}",
+                op.resource(),
+                op.op()
+            ))
+        })?;
+        self.pending_comps.push(op.entry(&out));
+        Ok(out)
+    }
+
+    /// Executes a typed read-only resource operation — same as
+    /// [`StepCtx::invoke`] but nothing is logged (the op type does not
+    /// implement [`Compensable`], so there is nothing to compensate).
+    ///
+    /// # Errors
+    ///
+    /// As for [`StepCtx::invoke`].
+    pub fn query<O: ResourceOp>(&mut self, op: &O) -> Result<O::Output, TxnError> {
+        let raw = self.call(op.resource(), op.op(), &op.params())?;
+        op.decode(&raw).map_err(|e| {
+            TxnError::BadRequest(format!(
+                "{}.{}: result decode failed: {e}",
+                op.resource(),
+                op.op()
+            ))
+        })
+    }
+
+    /// Applies a typed weakly-reversible-object mutation and logs the agent
+    /// compensation entry it derives (the ACE analogue of
+    /// [`StepCtx::invoke`]): write and undo-entry happen in one call, with
+    /// the before-state captured by the op itself.
+    pub fn apply<O: WroOp>(&mut self, op: &O) -> O::Output {
+        let (out, comp) = op.apply(self.data);
+        self.pending_comps.push((EntryKind::Agent, comp));
+        out
+    }
+
+    /// The compensation entries collected so far — what the runtime writes
+    /// into the rollback log as this step's frame at commit
+    /// ([`mar_core::RollbackLog::append_step`]). Exposed for behaviour
+    /// harnesses and the typed-vs-raw equivalence tests.
+    pub fn pending_compensations(&self) -> &[(EntryKind, CompOp)] {
+        &self.pending_comps
     }
 
     /// The agent's private data space.
@@ -251,7 +324,7 @@ mod tests {
         reg
     }
 
-    fn with_ctx<R>(f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
+    fn with_ctx<R>(f: impl for<'a> FnOnce(StepCtx<'a>) -> R) -> R {
         let mut rms = RmRegistry::new();
         rms.register(Box::new(
             mar_resources::BankRm::new("bank", false).with_account("a", 100),
@@ -259,7 +332,7 @@ mod tests {
         let mut data = DataSpace::new();
         let mut rng = SimRng::seed_from(1);
         let comps = comps();
-        let mut ctx = StepCtx::new(
+        let ctx = StepCtx::new(
             TxnId::new(NodeId(0), 1),
             SimTime::ZERO,
             NodeId(0),
@@ -270,12 +343,12 @@ mod tests {
             &mut rng,
             &comps,
         );
-        f(&mut ctx)
+        f(ctx)
     }
 
     #[test]
     fn resource_calls_work() {
-        with_ctx(|ctx| {
+        with_ctx(|mut ctx| {
             let r = ctx
                 .call(
                     "bank",
@@ -289,7 +362,7 @@ mod tests {
 
     #[test]
     fn sro_push_creates_and_appends() {
-        with_ctx(|ctx| {
+        with_ctx(|mut ctx| {
             ctx.sro_push("notes", Value::from(1i64));
             ctx.sro_push("notes", Value::from(2i64));
             assert_eq!(ctx.sro("notes").unwrap().as_list().unwrap().len(), 2);
@@ -298,7 +371,7 @@ mod tests {
 
     #[test]
     fn compensate_validates_kind() {
-        with_ctx(|ctx| {
+        with_ctx(|mut ctx| {
             // Correct kind accepted.
             ctx.compensate(mar_resources::comp_undo_withdraw("bank", "a", 5))
                 .unwrap();
@@ -309,6 +382,45 @@ mod tests {
             assert!(ctx
                 .compensate((EntryKind::Agent, CompOp::new("ghost", Value::Null)))
                 .is_err());
+        });
+    }
+
+    #[test]
+    fn invoke_executes_and_logs_in_one_call() {
+        with_ctx(|mut ctx| {
+            let op = mar_resources::ops::Withdraw::new("bank", "a", 30);
+            let balance = ctx.invoke(&op).unwrap();
+            assert_eq!(balance, 70);
+            // The derived compensation is pending for the step frame and is
+            // identical to the raw builder's entry.
+            let (pending, _, _) = ctx.into_effects();
+            assert_eq!(
+                pending,
+                vec![mar_resources::comp_undo_withdraw("bank", "a", 30)]
+            );
+        });
+    }
+
+    #[test]
+    fn query_logs_nothing() {
+        with_ctx(|mut ctx| {
+            let balance = ctx
+                .query(&mar_resources::ops::Balance::new("bank", "a"))
+                .unwrap();
+            assert_eq!(balance, 100);
+            let (pending, _, _) = ctx.into_effects();
+            assert!(pending.is_empty());
+        });
+    }
+
+    #[test]
+    fn apply_mutates_wro_and_derives_ace() {
+        with_ctx(|mut ctx| {
+            let n = ctx.apply(&mar_resources::ops::WroAdd::new("counter", 3));
+            assert_eq!(n, 3);
+            assert_eq!(ctx.wro("counter").and_then(Value::as_i64), Some(3));
+            let (pending, _, _) = ctx.into_effects();
+            assert_eq!(pending, vec![mar_resources::comp_wro_add("counter", -3)]);
         });
     }
 

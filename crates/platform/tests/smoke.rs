@@ -132,7 +132,7 @@ fn deterministic_across_reruns() {
     assert_eq!(run(7), run(7));
 }
 
-fn trader_platform(seed: u64, mode: RollbackMode) -> (Platform, mar_core::AgentId) {
+fn trader_platform(seed: u64, mode: RollbackMode) -> (Platform, mar_platform::AgentHandle) {
     let mut p = PlatformBuilder::new(3)
         .seed(seed)
         .behavior("trader", Trader)
@@ -197,6 +197,62 @@ fn trader_rolls_back_and_recovers_basic() {
 #[test]
 fn trader_rolls_back_and_recovers_optimized() {
     assert_trader_run(RollbackMode::Optimized);
+}
+
+/// The acceptance bar of the handle-based driver API: a ≥100-agent fleet
+/// settles through `launch_fleet`/`drain_reports`, with completion
+/// detection costing one mailbox event per agent — not a stable-store scan
+/// per tick per node.
+#[test]
+fn fleet_of_100_settles_with_mailbox_events_only() {
+    const FLEET: usize = 100;
+    let mut p = collector_platform(11);
+    let it = || {
+        ItineraryBuilder::main("I")
+            .sub("gather", |s| {
+                s.step("collect1", 1).step("collect2", 2);
+            })
+            .build()
+            .unwrap()
+    };
+    let handles = p.launch_fleet((0..FLEET).map(|_| AgentSpec::new("collector", NodeId(0), it())));
+    assert_eq!(handles.len(), FLEET);
+    assert!(
+        p.run_until_settled(&handles, SimDuration::from_secs(600)),
+        "fleet should settle"
+    );
+    for h in &handles {
+        let report = p.report(*h).unwrap();
+        assert_eq!(report.outcome, ReportOutcome::Completed, "{h}");
+    }
+    let m = p.snapshot();
+    assert_eq!(m.counter(mk::AGENT_COMPLETED), FLEET as u64);
+    // Exactly one mailbox event per completion was consumed, and no
+    // deep (whole-store) driver scan ever ran.
+    assert_eq!(m.counter(mk::DRIVER_MBOX_EVENTS), FLEET as u64);
+    assert_eq!(m.counter(mk::DRIVER_DEEP_SCANS), 0);
+    // Reports flowed once: local completions plus acked remote deliveries.
+    assert!(m.counter(mk::DRIVER_MBOX_SCANS) > 0);
+}
+
+/// Completions reached by hand-driven `run_for` must be visible to a
+/// zero-deadline `run_until_settled` (it drains the mailboxes before
+/// deciding, like the pre-handle implementation checked reports up front).
+#[test]
+fn settle_with_zero_deadline_sees_already_finished_agents() {
+    let mut p = collector_platform(13);
+    let it = ItineraryBuilder::main("I")
+        .sub("gather", |s| {
+            s.step("collect1", 1);
+        })
+        .build()
+        .unwrap();
+    let agent = p.launch(AgentSpec::new("collector", NodeId(0), it));
+    p.run_for(SimDuration::from_secs(30)); // manual drive, no drain
+    assert!(
+        p.run_until_settled(&[agent], SimDuration::ZERO),
+        "finished agent must be visible without advancing time"
+    );
 }
 
 #[test]

@@ -194,6 +194,17 @@ pub fn register_all(reg: &mut CompOpRegistry) {
         write_wallet(ctx, &wallet_key, &wallet)
     });
 
+    reg.register("mint.void_coin", EntryKind::Resource, |ctx| {
+        let mint = ctx.param_str("mint")?.to_owned();
+        let serial = ctx.param_str("serial")?.to_owned();
+        ctx.resources()?.call(
+            &mint,
+            "void",
+            &Value::map([("serials", Value::list([Value::from(serial)]))]),
+        )?;
+        Ok(())
+    });
+
     reg.register("dir.retract", EntryKind::Resource, |ctx| {
         let dir = ctx.param_str("dir")?.to_owned();
         let topic = ctx.param_str("topic")?.to_owned();
@@ -348,6 +359,20 @@ pub fn comp_cancel_booking(
                 ("bank", Value::from(bank)),
                 ("account", Value::from(account)),
             ]),
+        ),
+    )
+}
+
+/// Compensation for a mint `issue`: void the issued coin again. The serial
+/// comes from the forward result — the natural fit for the typed
+/// [`IssueCoins`](crate::ops::IssueCoins) op, which derives this entry from
+/// the coin it received.
+pub fn comp_void_coin(mint: &str, serial: &str) -> (EntryKind, CompOp) {
+    (
+        EntryKind::Resource,
+        CompOp::new(
+            "mint.void_coin",
+            Value::map([("mint", Value::from(mint)), ("serial", Value::from(serial))]),
         ),
     )
 }

@@ -21,6 +21,12 @@
 //! into a [`mar_core::comp::CompOpRegistry`]; the `comp_*` builders produce
 //! the operation entries agents append to their rollback logs during
 //! forward execution.
+//!
+//! The [`ops`] module is the *typed* surface over the same resources: one
+//! struct per operation, with its compensation derived from the op and its
+//! result ([`mar_core::comp::Compensable`]). `ctx.invoke(&op)` executes and
+//! logs in one call; the raw `ctx.call` + `comp_*` pair remains the escape
+//! hatch and produces byte-identical rollback-log frames.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +37,7 @@ mod directory;
 mod exchange;
 mod flight;
 mod mint;
+pub mod ops;
 mod shop;
 mod util;
 mod wallet;
@@ -38,12 +45,13 @@ mod wallet;
 pub use bank::{comp_undo_deposit, comp_undo_transfer, comp_undo_withdraw, BankAudit, BankRm};
 pub use comp_ops::{
     comp_cancel_booking, comp_convert_back, comp_dir_retract, comp_return_account_order,
-    comp_return_cash_order, comp_wro_add, comp_wro_list_pop, comp_wro_set,
+    comp_return_cash_order, comp_void_coin, comp_wro_add, comp_wro_list_pop, comp_wro_set,
     register_all as register_compensations,
 };
 pub use directory::DirectoryRm;
 pub use exchange::ExchangeRm;
 pub use flight::FlightRm;
 pub use mint::{coin_from_value, MintRm};
+pub use ops::{typed_op_manifest, validate_typed_ops};
 pub use shop::{refund_from_value, RefundOutcome, RefundPolicy, ShopRm};
 pub use wallet::{Coin, CreditNote, Wallet};

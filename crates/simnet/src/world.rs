@@ -294,6 +294,16 @@ impl World {
         any.downcast_mut::<T>()
     }
 
+    /// Read-only access to a hosted service instance — the non-mutating
+    /// sibling of [`World::service_mut`], for driver-side inspection
+    /// (audits, test assertions) that must not require `&mut World`.
+    pub fn service<T: Service>(&self, node: NodeId, name: &'static str) -> Option<&T> {
+        let slot = self.slot(node);
+        let svc = slot.services.get(name)?;
+        let any: &dyn std::any::Any = svc.as_ref();
+        any.downcast_ref::<T>()
+    }
+
     /// The metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

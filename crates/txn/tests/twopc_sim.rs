@@ -314,6 +314,99 @@ fn many_concurrent_transactions_all_settle() {
     }
 }
 
+/// ROADMAP "duplicate-prepare regression test at the txn layer": a delayed
+/// vote opens a `Prepare` retransmit window. A host that guards tentative
+/// work execution with [`Participant::is_known`] (as the agent platform's
+/// mole does for RCE lists) must validate — i.e. tentatively execute — the
+/// branch exactly once, re-vote on the retransmission, and apply the work
+/// exactly once after the late vote finally lands. This pins the protocol
+/// contract the platform-level chain test exercises end to end.
+#[test]
+fn retransmitted_prepare_is_validated_once() {
+    let a = NodeId(0);
+    let b = NodeId(1);
+    let txn = TxnId::new(a, 1);
+    let work = RemoteWork::new("put", to_bytes(&("k".to_owned(), vec![1u8])).unwrap());
+
+    let mut co = mar_txn::Coordinator::new();
+    let mut pa = Participant::new();
+    // Host-side mimic of the mole's prepare admission: the tentative
+    // execution (here just a counter) runs ONLY for unknown transactions.
+    let mut validations = 0u32;
+
+    // 1. The coordinator starts the commit and sends the Prepare.
+    let actions = co.commit_request(txn, vec![(b, work.clone())]);
+    assert!(actions
+        .iter()
+        .any(|ac| matches!(ac, Action::SendPrepare { to, .. } if *to == b)));
+
+    // The host pattern under test: tentative execution only for unknown
+    // branches, exactly how the mole admits RCE prepares.
+    let admit = |pa: &mut Participant, validations: &mut u32| {
+        if !pa.is_known(txn) {
+            *validations += 1; // the tentative RCE execution in the mole
+        }
+        pa.on_prepare(txn, a, work.clone(), true)
+    };
+
+    // 2. The participant admits the branch (one validation) and votes —
+    //    but the vote is delayed in the network.
+    let v1 = admit(&mut pa, &mut validations);
+    assert!(v1
+        .iter()
+        .any(|ac| matches!(ac, Action::SendVote { ok: true, .. })));
+    assert!(v1
+        .iter()
+        .any(|ac| matches!(ac, Action::PersistPrepared { .. })));
+
+    // 3. No vote has arrived: the coordinator's retry timer re-sends the
+    //    Prepare — the retransmit window.
+    let retry = co.on_retry();
+    assert!(
+        retry.iter().any(
+            |ac| matches!(ac, Action::SendPrepare { to, txn: t, .. } if *to == b && *t == txn)
+        ),
+        "coordinator must retransmit the unanswered prepare"
+    );
+
+    // 4. The retransmitted Prepare reaches the participant. The branch is
+    //    known — the host must NOT validate (tentatively execute) again;
+    //    the state machine just re-votes, without re-persisting.
+    assert!(pa.is_known(txn), "prepared branch must be known");
+    let v2 = admit(&mut pa, &mut validations);
+    assert_eq!(validations, 1, "retransmit re-validated the branch");
+    assert!(v2
+        .iter()
+        .any(|ac| matches!(ac, Action::SendVote { ok: true, .. })));
+    assert!(
+        !v2.iter()
+            .any(|ac| matches!(ac, Action::PersistPrepared { .. })),
+        "no second persist for a retransmitted prepare"
+    );
+
+    // 5. The delayed vote (and its duplicate) finally arrive; the first
+    //    decides commit, the duplicate must not restart the protocol.
+    let d1 = co.on_vote(txn, b, true);
+    assert!(d1
+        .iter()
+        .any(|ac| matches!(ac, Action::SendDecision { commit: true, .. })));
+    let _ = co.on_vote(txn, b, true);
+
+    // 6. The decision applies the work exactly once; a duplicate decision
+    //    only re-acks.
+    let dec = pa.on_decision(txn, true, a);
+    assert_eq!(
+        dec.iter()
+            .filter(|ac| matches!(ac, Action::ApplyWork { .. }))
+            .count(),
+        1
+    );
+    assert!(pa.is_known(txn), "settled branch stays known (done set)");
+    let dup = pa.on_decision(txn, true, a);
+    assert!(!dup.iter().any(|ac| matches!(ac, Action::ApplyWork { .. })));
+    assert!(dup.iter().any(|ac| matches!(ac, Action::SendAck { .. })));
+}
+
 #[test]
 fn repeated_crashes_never_double_apply() {
     let (mut w, a, b) = build_world(7);

@@ -18,10 +18,8 @@ use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
 };
-use mobile_agent_rollback::resources::{
-    coin_from_value, comp_convert_back, comp_return_cash_order, ExchangeRm, MintRm, RefundPolicy,
-    ShopRm, Wallet,
-};
+use mobile_agent_rollback::resources::ops::{BuyWithCash, ConvertCash};
+use mobile_agent_rollback::resources::{ExchangeRm, MintRm, RefundPolicy, ShopRm, Wallet};
 use mobile_agent_rollback::simnet::{NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
 use mobile_agent_rollback::wire::Value;
@@ -59,20 +57,12 @@ impl AgentBehavior for CashShopper {
                         resource: "wallet".into(),
                         reason: format!("short {short} USD"),
                     })?;
-                let coin_v = ctx.call(
-                    "fx",
-                    "convert",
-                    &Value::map([
-                        ("from", Value::from("USD")),
-                        ("to", Value::from("EUR")),
-                        ("amount", Value::from(200i64)),
-                    ]),
-                )?;
-                let coin = coin_from_value(&coin_v)?;
-                let received = coin.value;
+                // One call: the conversion runs and its mixed compensation
+                // entry — parameterized by the *received* coin's value — is
+                // logged for the rollback log.
+                let coin = ctx.invoke(&ConvertCash::new("fx", "USD", "EUR", 200, "wallet"))?;
                 wallet.add_coin(coin);
                 Self::store_wallet(ctx, &wallet);
-                ctx.compensate(comp_convert_back("fx", "USD", "EUR", received, "wallet"))?;
                 Ok(StepDecision::Continue)
             }
             // Buy the data set with EUR cash.
@@ -88,21 +78,11 @@ impl AgentBehavior for CashShopper {
                         resource: "wallet".into(),
                         reason: format!("short {short} EUR"),
                     })?;
-                let r = ctx.call(
-                    "shop",
-                    "buy_paid",
-                    &Value::map([
-                        ("sku", Value::from("dataset")),
-                        ("qty", Value::from(1i64)),
-                        ("paid", Value::from(price)),
-                    ]),
-                )?;
-                let order_id = r.get("order_id").unwrap().as_str().unwrap().to_owned();
-                Self::store_wallet(ctx, &wallet);
-                ctx.compensate(comp_return_cash_order(
-                    "shop", "mint", &order_id, "wallet", "EUR",
+                let order = ctx.invoke(&BuyWithCash::new(
+                    "shop", "mint", "dataset", 1, price, "wallet", "EUR",
                 ))?;
-                ctx.sro_push("orders", Value::from(order_id));
+                Self::store_wallet(ctx, &wallet);
+                ctx.sro_push("orders", Value::from(order.order_id));
                 Ok(StepDecision::Continue)
             }
             // Buyer's remorse: the data set is not what the owner needed.

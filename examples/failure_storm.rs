@@ -15,7 +15,8 @@ use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
 };
-use mobile_agent_rollback::resources::{comp_undo_deposit, BankRm};
+use mobile_agent_rollback::resources::ops::Deposit;
+use mobile_agent_rollback::resources::BankRm;
 use mobile_agent_rollback::simnet::{FailurePlan, NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
 use mobile_agent_rollback::wire::Value;
@@ -29,15 +30,9 @@ impl AgentBehavior for Depositor {
     fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
         match method {
             "deposit" => {
-                ctx.call(
-                    "ledger",
-                    "deposit",
-                    &Value::map([
-                        ("account", Value::from("sink")),
-                        ("amount", Value::from(10i64)),
-                    ]),
-                )?;
-                ctx.compensate(comp_undo_deposit("ledger", "sink", 10))?;
+                // Typed op: the deposit and its (failable, §3.2)
+                // compensating withdrawal are logged together.
+                ctx.invoke(&Deposit::new("ledger", "sink", 10))?;
                 Ok(StepDecision::Continue)
             }
             "maybe_rollback" => {

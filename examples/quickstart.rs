@@ -8,7 +8,8 @@ use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, StepCtx, StepDecision,
 };
-use mobile_agent_rollback::resources::{comp_undo_transfer, BankRm, DirectoryRm};
+use mobile_agent_rollback::resources::ops::{QueryTopic, Transfer};
+use mobile_agent_rollback::resources::{BankRm, DirectoryRm};
 use mobile_agent_rollback::simnet::{NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
 use mobile_agent_rollback::wire::Value;
@@ -22,29 +23,24 @@ impl AgentBehavior for Scout {
         match method {
             // Query the local directory; results go into a *strongly
             // reversible* vector (restored from a before-image on rollback).
+            // Read-only typed op: `query` decodes the result and logs
+            // nothing — there is nothing to compensate.
             "scan_offers" => {
-                let offers =
-                    ctx.call("dir", "query", &Value::map([("topic", Value::from("gpu"))]))?;
-                ctx.sro_push("offers", offers);
+                let offers = ctx.query(&QueryTopic::new("dir", "gpu"))?;
+                ctx.sro_push("offers", Value::List(offers));
                 // Checkpoint the gathered offers: an explicit savepoint is
                 // constituted at the end of this step.
                 ctx.request_savepoint();
                 Ok(StepDecision::Continue)
             }
-            // Reserve budget by moving money to an escrow account, logging
-            // the compensating transfer (a pure resource compensation entry,
-            // §4.4.1).
+            // Reserve budget by moving money to an escrow account. The
+            // typed op executes the transfer AND logs its compensating
+            // transfer (a pure resource compensation entry, §4.4.1) in one
+            // call — the raw pair `ctx.call(..)` +
+            // `ctx.compensate(comp_undo_transfer(..))` remains available as
+            // the escape hatch and writes the identical log frame.
             "reserve_budget" => {
-                ctx.call(
-                    "bank",
-                    "transfer",
-                    &Value::map([
-                        ("from", Value::from("scout")),
-                        ("to", Value::from("escrow")),
-                        ("amount", Value::from(500i64)),
-                    ]),
-                )?;
-                ctx.compensate(comp_undo_transfer("bank", "scout", "escrow", 500))?;
+                ctx.invoke(&Transfer::new("bank", "scout", "escrow", 500))?;
                 // Another checkpoint. No SRO changed since the last one, so
                 // this savepoint's image duplicates it — the redundancy
                 // pre-transfer log compaction demotes to a marker. (This

@@ -15,7 +15,8 @@ use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
 };
-use mobile_agent_rollback::resources::{comp_dir_retract, DirectoryRm};
+use mobile_agent_rollback::resources::ops::{PublishEntry, QueryTopic};
+use mobile_agent_rollback::resources::DirectoryRm;
 use mobile_agent_rollback::simnet::{NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
 use mobile_agent_rollback::wire::Value;
@@ -39,12 +40,10 @@ impl AgentBehavior for Rollout {
                 if abandoned {
                     return Ok(StepDecision::Continue); // second pass: no-op walk-through
                 }
-                // Permission check against the server's ACL directory.
-                let acl = ctx.call("cfg", "query", &Value::map([("topic", Value::from("acl"))]))?;
-                let allowed = acl
-                    .as_list()
-                    .map(|l| l.iter().any(|v| v.as_str() == Some("rollout-agent")))
-                    .unwrap_or(false);
+                // Permission check against the server's ACL directory — a
+                // read-only typed op, nothing logged.
+                let acl = ctx.query(&QueryTopic::new("cfg", "acl"))?;
+                let allowed = acl.iter().any(|v| v.as_str() == Some("rollout-agent"));
                 if !allowed {
                     // The paper's §1 case: lacking permission cannot be
                     // fixed by restarting the step — roll back the whole
@@ -57,15 +56,12 @@ impl AgentBehavior for Rollout {
                     ctx.rollback_memo("abandoned", Value::Bool(true));
                     return Ok(StepDecision::Rollback(RollbackScope::Enclosing(1)));
                 }
-                ctx.call(
+                // Publish + derived retraction, atomically logged.
+                ctx.invoke(&PublishEntry::new(
                     "cfg",
-                    "publish",
-                    &Value::map([
-                        ("topic", Value::from("config")),
-                        ("entry", Value::from("v2: enable-tls=true")),
-                    ]),
-                )?;
-                ctx.compensate(comp_dir_retract("cfg", "config"))?;
+                    "config",
+                    Value::from("v2: enable-tls=true"),
+                ))?;
                 ctx.sro_push("updated", Value::from(ctx.node().0 as i64));
                 Ok(StepDecision::Continue)
             }

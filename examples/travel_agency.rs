@@ -13,9 +13,8 @@ use mobile_agent_rollback::itinerary::ItineraryBuilder;
 use mobile_agent_rollback::platform::{
     AgentBehavior, AgentSpec, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
 };
-use mobile_agent_rollback::resources::{
-    comp_cancel_booking, BankRm, FlightRm, RefundPolicy, ShopRm,
-};
+use mobile_agent_rollback::resources::ops::BookFlight;
+use mobile_agent_rollback::resources::{BankRm, FlightRm, RefundPolicy, ShopRm};
 use mobile_agent_rollback::simnet::{NodeId, SimDuration};
 use mobile_agent_rollback::txn::{RmRegistry, TxnError};
 use mobile_agent_rollback::wire::Value;
@@ -32,6 +31,11 @@ impl Traveller {
     /// Pays the fare from the local bank branch and books the flight; the
     /// whole pair is compensated by ONE resource compensation entry: the
     /// cancellation refunds the fare minus the fee back to the account.
+    ///
+    /// The withdrawal is a deliberate use of the raw escape hatch — it logs
+    /// no compensation of its own, because the typed booking op derives the
+    /// pair's entry from its result (the `booking_id`): cancelling refunds
+    /// the fare back to the account.
     fn book_flight(ctx: &mut StepCtx<'_>, flight: &str, price: i64) -> Result<(), TxnError> {
         ctx.call(
             "bank",
@@ -41,22 +45,10 @@ impl Traveller {
                 ("amount", Value::from(price)),
             ]),
         )?;
-        let r = ctx.call(
-            "air",
-            "book",
-            &Value::map([
-                ("flight", Value::from(flight)),
-                ("passenger", Value::from("alice")),
-                ("paid", Value::from(price)),
-            ]),
-        )?;
-        let booking_id = r
-            .get("booking_id")
-            .and_then(Value::as_str)
-            .expect("booking id")
-            .to_owned();
-        ctx.compensate(comp_cancel_booking("air", &booking_id, "bank", "alice"))?;
-        ctx.sro_push("bookings", Value::from(booking_id));
+        let booking = ctx.invoke(&BookFlight::new(
+            "air", flight, "alice", price, "bank", "alice",
+        ))?;
+        ctx.sro_push("bookings", Value::from(booking.booking_id));
         Ok(())
     }
 

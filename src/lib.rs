@@ -32,7 +32,18 @@ pub use mar_simnet as simnet;
 pub use mar_txn as txn;
 pub use mar_wire as wire;
 
-/// One-stop imports for writing agents and scenarios.
+/// One-stop imports for writing agents and scenarios: the behaviour
+/// surface (step context, typed-op traits, decisions), the driving surface
+/// (builder, handles, reports), and the wire value type.
 pub mod prelude {
+    pub use mar_core::comp::{Compensable, ResourceOp, WroOp};
+    pub use mar_core::{AgentId, LoggingMode, RollbackMode, RollbackScope};
+    pub use mar_itinerary::ItineraryBuilder;
+    pub use mar_platform::{
+        AgentBehavior, AgentHandle, AgentSpec, BuildError, Platform, PlatformBuilder,
+        ReportOutcome, StepCtx, StepDecision,
+    };
+    pub use mar_simnet::{NodeId, SimDuration};
+    pub use mar_txn::{RmRegistry, TxnError};
     pub use mar_wire::{from_value, to_value, Value};
 }

@@ -138,7 +138,7 @@ pub fn launch(
     itinerary: Itinerary,
     logging: LoggingMode,
     mode: RollbackMode,
-) -> mobile_agent_rollback::core::AgentId {
+) -> mobile_agent_rollback::platform::AgentHandle {
     let mut spec = AgentSpec::new("scripted", NodeId(0), itinerary);
     spec.logging = logging;
     spec.mode = mode;

@@ -79,7 +79,7 @@ fn money_is_conserved_across_random_scenarios() {
         };
         let with_failures = rng.chance(0.5);
 
-        let mut fresh = platform(nodes, seed);
+        let fresh = platform(nodes, seed);
         let mut baseline = fresh.money_audit(&["wallet"]);
         *baseline.entry("USD".to_owned()).or_insert(0) += 100; // launched wallet
 

@@ -78,9 +78,9 @@ fn rollback_completes_under_crashes_both_modes() {
             p.run_for(SimDuration::from_millis(2));
             if !crashed && p.snapshot().counter("rollback.started") > 0 {
                 let holder = p
-                    .queued_records()
+                    .queued_agents()
                     .iter()
-                    .find(|(_, r)| r.id == agent)
+                    .find(|(_, id)| *id == agent.id())
                     .map(|(n, _)| *n);
                 if let Some(n) = holder {
                     p.world_mut().crash_for(n, SimDuration::from_millis(400));
@@ -117,7 +117,7 @@ fn rollback_completes_under_crashes_both_modes() {
         // 3 full nodes with: ledger 10_000+10? ledgers get deposits, but
         // totals are conserved: initial = 4 * (10_000 ledger + 20_000 fx
         // reserves) + 100 wallet... compute from a fresh platform instead.
-        let mut fresh = platform(5, seed);
+        let fresh = platform(5, seed);
         let baseline = fresh.money_audit(&["wallet"]);
         let baseline_usd = baseline.get("USD").copied().unwrap_or(0) + 100; // + wallet
         let baseline_eur = baseline.get("EUR").copied().unwrap_or(0);
@@ -147,9 +147,9 @@ fn targeted_crash_during_rollback() {
         p.run_for(SimDuration::from_millis(3));
         if p.snapshot().counter("rollback.started") > 0 && !crashed {
             let holders: Vec<NodeId> = p
-                .queued_records()
+                .queued_agents()
                 .iter()
-                .filter(|(_, r)| r.id == agent)
+                .filter(|(_, id)| *id == agent.id())
                 .map(|(n, _)| *n)
                 .collect();
             if let Some(&n) = holders.first() {

@@ -77,7 +77,7 @@ fn fig2_log_structure_matches_grammar() {
     for _ in 0..200 {
         p.run_for(SimDuration::from_millis(2));
         for (_, rec) in p.queued_records() {
-            if rec.id != agent {
+            if rec.id != agent.id() {
                 continue;
             }
             rec.log.validate().expect("log grammar");
@@ -121,7 +121,7 @@ fn fig2_log_bytes_grow_per_step() {
     for _ in 0..400 {
         p.run_for(SimDuration::from_millis(2));
         for (_, rec) in p.queued_records() {
-            if rec.id == agent && rec.step_seq != last_seq {
+            if rec.id == agent.id() && rec.step_seq != last_seq {
                 last_seq = rec.step_seq;
                 sizes.push((rec.step_seq, rec.log.size_bytes()));
             }

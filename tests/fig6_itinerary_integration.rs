@@ -101,7 +101,7 @@ fn fig6_immediate_nesting_uses_markers() {
     for _ in 0..300 {
         p.run_for(SimDuration::from_millis(2));
         for (_, rec) in p.queued_records() {
-            if rec.id != agent {
+            if rec.id != agent.id() {
                 continue;
             }
             let sps: Vec<&SroPayload> = rec
