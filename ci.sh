@@ -22,6 +22,9 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 
+echo "==> mar-core with --features sync-log (Sync rollback logs)"
+cargo test -p mar-core --features sync-log -q
+
 echo "==> example smoke stage (all five examples, release)"
 for ex in quickstart travel_agency ecommerce_cash systems_management failure_storm; do
     echo "    --example $ex"
@@ -42,10 +45,16 @@ if [[ "${1:-}" == "--bench" ]]; then
     done
     cargo bench -p mar-bench
     echo "==> bench trend check against committed baselines"
-    for f in BENCH_log.json BENCH_macro.json; do
-        cargo run --release -q -p mar-bench --bin bench_diff -- \
-            "$baseline_dir/$f" "$f" --max-regression 3.0
-    done
+    # --require pins coverage: each tracked benchmark family must appear in
+    # the fresh report (a refactor that drops one fails, instead of passing
+    # an empty diff).
+    cargo run --release -q -p mar-bench --bin bench_diff -- \
+        "$baseline_dir/BENCH_log.json" BENCH_log.json --max-regression 3.0 \
+        --require "record/lazy_decode/" --require "record/splice_encode/" \
+        --require "log/" --require "planner/"
+    cargo run --release -q -p mar-bench --bin bench_diff -- \
+        "$baseline_dir/BENCH_macro.json" BENCH_macro.json --max-regression 3.0 \
+        --require "e1_forward/" --require "e9_resident/" --require "e8_fleet/"
 fi
 
 echo "ci: all green"

@@ -129,6 +129,7 @@ fn fleet_experiment(b: &mut Bench, agents: usize) {
         nodes: 4,
         steps: 3,
         seed: 29,
+        resident_cache: true,
     }
     .run();
     assert_eq!(stats.mbox_events, stats.agents);
@@ -156,6 +157,92 @@ fn fleet_experiment(b: &mut Bench, agents: usize) {
         stats.mbox_events,
         stats.mbox_scans,
         stats.deep_scans,
+    );
+}
+
+/// E9 — the resident-record step path: E1's forward scenario and E8's
+/// fleet re-run with the per-node resident cache on (the platform default)
+/// vs off (the decode-every-step control). The deterministic equality
+/// asserts pin that the cache changes nothing observable; the wall-clock
+/// arms record what the O(delta) step path is worth. The cache-off arm
+/// still uses lazy decode + splice encode — the cache column isolates the
+/// memory-residency share of the win.
+fn resident_cache_experiment(b: &mut Bench) {
+    let base = Scenario::forward(32, 4, 256, 42);
+    let on = base.clone().run();
+    let off = base.clone().with_resident_cache(false).run();
+    assert_eq!(on.steps, off.steps, "cache must not change execution");
+    assert_eq!(
+        on.final_record, off.final_record,
+        "resident cache must be observationally invisible"
+    );
+    assert_eq!(on.bytes_fwd, off.bytes_fwd);
+    b.run("e9_resident/e1_forward32/cache_on", 8, 1, || {
+        black_box(base.clone().run());
+    });
+    b.run("e9_resident/e1_forward32/cache_off", 8, 1, || {
+        black_box(base.clone().with_resident_cache(false).run());
+    });
+    let on_ns = b.ns_per_op("e9_resident/e1_forward32/cache_on").unwrap();
+    let off_ns = b.ns_per_op("e9_resident/e1_forward32/cache_off").unwrap();
+    b.derive("e9_resident/e1_forward32/cache_speedup", off_ns / on_ns);
+
+    // The locality arm: 32 steps in same-node runs of 8 — within a run
+    // every step after the first is served from the resident cache.
+    let runs = Scenario::forward_runs(32, 4, 8, 256, 42);
+    let runs_on = runs.clone().run();
+    let runs_off = runs.clone().with_resident_cache(false).run();
+    assert_eq!(runs_on.final_record, runs_off.final_record);
+    let hits = runs_on.metrics.counter("resident.hits");
+    assert!(hits > 0, "same-node runs must hit the resident cache");
+    b.run("e9_resident/forward_runs32x8/cache_on", 8, 1, || {
+        black_box(runs.clone().run());
+    });
+    b.run("e9_resident/forward_runs32x8/cache_off", 8, 1, || {
+        black_box(runs.clone().with_resident_cache(false).run());
+    });
+    let on_ns = b
+        .ns_per_op("e9_resident/forward_runs32x8/cache_on")
+        .unwrap();
+    let off_ns = b
+        .ns_per_op("e9_resident/forward_runs32x8/cache_off")
+        .unwrap();
+    b.derive("e9_resident/forward_runs32x8/cache_speedup", off_ns / on_ns);
+    b.derive("e9_resident/forward_runs32x8/resident_hits", hits as f64);
+
+    let fleet = |cache| FleetScenario {
+        agents: 100,
+        nodes: 4,
+        steps: 3,
+        seed: 29,
+        resident_cache: cache,
+    };
+    let fs_on = fleet(true).run();
+    let fs_off = fleet(false).run();
+    assert_eq!(fs_on.completed, fs_off.completed);
+    assert_eq!(fs_on.settle_us, fs_off.settle_us, "identical virtual time");
+    b.run("e9_resident/fleet100/cache_on", 4, 1, || {
+        black_box(fleet(true).run());
+    });
+    b.run("e9_resident/fleet100/cache_off", 4, 1, || {
+        black_box(fleet(false).run());
+    });
+    let on_ns = b.ns_per_op("e9_resident/fleet100/cache_on").unwrap();
+    let off_ns = b.ns_per_op("e9_resident/fleet100/cache_off").unwrap();
+    b.derive("e9_resident/fleet100/cache_speedup", off_ns / on_ns);
+    eprintln!(
+        "e9_resident: e1/32 {:.2}ms on vs {:.2}ms off; runs32x8 {:.2}ms on vs {:.2}ms off \
+         ({hits} hits); fleet100 {:.1}ms on vs {:.1}ms off",
+        b.ns_per_op("e9_resident/e1_forward32/cache_on").unwrap() / 1e6,
+        b.ns_per_op("e9_resident/e1_forward32/cache_off").unwrap() / 1e6,
+        b.ns_per_op("e9_resident/forward_runs32x8/cache_on")
+            .unwrap()
+            / 1e6,
+        b.ns_per_op("e9_resident/forward_runs32x8/cache_off")
+            .unwrap()
+            / 1e6,
+        b.ns_per_op("e9_resident/fleet100/cache_on").unwrap() / 1e6,
+        b.ns_per_op("e9_resident/fleet100/cache_off").unwrap() / 1e6,
     );
 }
 
@@ -218,11 +305,15 @@ fn main() {
                 nodes: 4,
                 steps: 3,
                 seed: 29,
+                resident_cache: true,
             }
             .run(),
         );
     });
     fleet_experiment(&mut b, 100);
+
+    // E9 — resident-record step path: E1/E8 with the cache on vs off.
+    resident_cache_experiment(&mut b);
 
     b.write_report("BENCH_macro.json");
 }

@@ -96,6 +96,93 @@ fn record_with_log(depth: usize) -> (AgentRecord, SavepointId) {
     (rec, sp)
 }
 
+/// The resident-record step path primitives against their wholesale
+/// counterparts: lazy parse (log left as bytes) vs full decode, and the
+/// O(delta) splice encode of one appended step vs re-encoding the whole
+/// record.
+fn bench_record_paths(b: &mut Bench) {
+    use mar_core::{LazyRecord, ResidentRecord};
+    for depth in [8usize, 64, 256] {
+        let (rec, _) = record_with_log(depth);
+        let bytes = rec.to_bytes().unwrap();
+
+        b.run(format!("record/lazy_decode/full/{depth}"), 20, 50, || {
+            black_box(AgentRecord::from_bytes(black_box(&bytes)).unwrap());
+        });
+        b.run(format!("record/lazy_decode/lazy/{depth}"), 20, 50, || {
+            black_box(LazyRecord::parse(black_box(&bytes)).unwrap());
+        });
+        let full = b
+            .ns_per_op(&format!("record/lazy_decode/full/{depth}"))
+            .unwrap();
+        let lazy = b
+            .ns_per_op(&format!("record/lazy_decode/lazy/{depth}"))
+            .unwrap();
+        b.derive(format!("record_lazy_decode_speedup_{depth}"), full / lazy);
+
+        // Encode one freshly appended step: the full path re-encodes every
+        // log entry, the splice path encodes only the three new entries and
+        // memcpys the retained bytes.
+        b.run_batched(
+            format!("record/splice_encode/full/{depth}"),
+            20,
+            20,
+            || {
+                let mut r = rec.clone();
+                r.log.append_step(
+                    1,
+                    r.step_seq,
+                    "delta",
+                    [(
+                        EntryKind::Resource,
+                        CompOp::new("bank.undo_transfer", Value::from(1i64)),
+                    )],
+                    vec![],
+                );
+                r
+            },
+            |r| {
+                black_box(r.to_bytes().unwrap());
+            },
+        );
+        b.run_batched(
+            format!("record/splice_encode/splice/{depth}"),
+            20,
+            20,
+            || {
+                let mut r = ResidentRecord::from_bytes(&bytes).unwrap();
+                r.log.for_append().append_step(
+                    1,
+                    r.step_seq,
+                    "delta",
+                    [(
+                        EntryKind::Resource,
+                        CompOp::new("bank.undo_transfer", Value::from(1i64)),
+                    )],
+                    vec![],
+                );
+                // Prime the splice: the first encode folds the appended
+                // entries, later ones (the measured steady state) splice.
+                let _ = r.to_bytes().unwrap();
+                r
+            },
+            |r| {
+                black_box(r.to_bytes().unwrap());
+            },
+        );
+        let full_e = b
+            .ns_per_op(&format!("record/splice_encode/full/{depth}"))
+            .unwrap();
+        let splice = b
+            .ns_per_op(&format!("record/splice_encode/splice/{depth}"))
+            .unwrap();
+        b.derive(
+            format!("record_splice_encode_speedup_{depth}"),
+            full_e / splice,
+        );
+    }
+}
+
 fn bench_log_basics(b: &mut Bench) {
     b.run_batched(
         "log/push_pop_step",
@@ -483,6 +570,7 @@ fn bench_compaction(b: &mut Bench) {
 fn main() {
     let mut b = Bench::new();
     bench_wire(&mut b);
+    bench_record_paths(&mut b);
     bench_log_basics(&mut b);
     bench_planner(&mut b);
     bench_batch_planner(&mut b);

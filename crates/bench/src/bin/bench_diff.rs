@@ -2,7 +2,8 @@
 //! and fails on hot-path regressions — the `ci.sh --bench` trend gate.
 //!
 //! ```sh
-//! bench_diff <baseline.json> <fresh.json> [--max-regression 3.0]
+//! bench_diff <baseline.json> <fresh.json> [--max-regression 3.0] \
+//!     [--require <name-prefix>]...
 //! ```
 //!
 //! Timing entries are compared as `fresh / baseline` ratios; anything
@@ -10,6 +11,12 @@
 //! loose: CI machines are noisy) fails the run. Derived entries (speedups,
 //! byte savings) are printed side by side for the record but never fail the
 //! gate — they are either deterministic or already asserted by tests.
+//!
+//! `--require P` (repeatable) additionally fails the run unless the fresh
+//! report contains at least one timing entry whose name starts with `P` —
+//! the coverage half of the gate: a refactor that silently drops a tracked
+//! benchmark family (e.g. `record/` or `e9_resident/`) fails CI instead of
+//! trivially passing an empty diff.
 //!
 //! The parser is hand-rolled for exactly the shape
 //! [`mar_bench::harness::Bench::to_json`] emits; there is no JSON crate in
@@ -71,6 +78,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut max_regression = 3.0f64;
+    let mut required: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -80,11 +88,19 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(max_regression);
             }
+            "--require" => {
+                if let Some(p) = it.next() {
+                    required.push(p.clone());
+                }
+            }
             _ => paths.push(a.clone()),
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [--max-regression X]");
+        eprintln!(
+            "usage: bench_diff <baseline.json> <fresh.json> \
+             [--max-regression X] [--require PREFIX]..."
+        );
         return ExitCode::from(2);
     };
 
@@ -136,6 +152,22 @@ fn main() -> ExitCode {
                 None => println!("{name:<48} {:>12} {fresh:>12.3}", "(new)"),
             }
         }
+    }
+
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|p| !new.results.keys().any(|n| n.starts_with(p.as_str())))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "\nbench_diff: fresh report covers no benchmark under: {}",
+            missing
+                .iter()
+                .map(|p| format!("{p}*"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
     }
 
     if regressions.is_empty() {

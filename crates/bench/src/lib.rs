@@ -107,6 +107,9 @@ pub struct Scenario {
     /// Route batches with remote RCEs through the cost model
     /// (ship-vs-migrate) instead of the fixed mode split.
     pub cost_routing: bool,
+    /// Keep decoded agent records resident in volatile node memory between
+    /// same-node steps (the E9 experiment toggle; platform default is on).
+    pub resident_cache: bool,
 }
 
 impl Scenario {
@@ -129,6 +132,7 @@ impl Scenario {
             compact: false,
             batch: true,
             cost_routing: false,
+            resident_cache: true,
         }
     }
 
@@ -229,12 +233,47 @@ impl Scenario {
         self
     }
 
+    /// Toggles the per-node resident-record cache (E9 control arm).
+    pub fn with_resident_cache(mut self, on: bool) -> Scenario {
+        self.resident_cache = on;
+        self
+    }
+
     /// A forward-only scenario: `depth` steps with `sro_pad` bytes of SRO
     /// growth per step.
     pub fn forward(depth: usize, nodes: u32, sro_pad: usize, seed: u64) -> Scenario {
         let steps = (0..depth)
             .map(|i| {
                 let node = 1 + (i as u32 % (nodes - 1));
+                if sro_pad > 0 {
+                    (StepKind::Sro(sro_pad), node)
+                } else {
+                    (StepKind::Rce, node)
+                }
+            })
+            .collect();
+        Scenario::base(nodes, seed, RollbackMode::Optimized, steps)
+    }
+
+    /// Like [`Scenario::forward`], but the steps come in *runs* of
+    /// `run_len` consecutive steps on the same node (cycling through the
+    /// nodes run by run) — the locality pattern the resident-record cache
+    /// serves: within a run, only the first step decodes anything.
+    pub fn forward_runs(
+        depth: usize,
+        nodes: u32,
+        run_len: usize,
+        sro_pad: usize,
+        seed: u64,
+    ) -> Scenario {
+        assert!(
+            nodes >= 2,
+            "scenarios need a home node plus >= 1 resource node"
+        );
+        let run_len = run_len.max(1);
+        let steps = (0..depth)
+            .map(|i| {
+                let node = 1 + ((i / run_len) as u32 % (nodes - 1));
                 if sro_pad > 0 {
                     (StepKind::Sro(sro_pad), node)
                 } else {
@@ -270,6 +309,7 @@ impl Scenario {
             .latency(self.latency)
             .compact_on_transfer(self.compact)
             .batch_rollback(self.batch)
+            .resident_cache(self.resident_cache)
             .rollback_routing(if self.cost_routing {
                 mar_platform::RollbackRouting::CostModel
             } else {
@@ -350,6 +390,9 @@ pub struct FleetScenario {
     pub steps: usize,
     /// World seed.
     pub seed: u64,
+    /// Keep decoded agent records resident between same-node steps (the
+    /// E9 experiment toggle; platform default is on).
+    pub resident_cache: bool,
 }
 
 impl FleetScenario {
@@ -361,6 +404,7 @@ impl FleetScenario {
     pub fn run(&self) -> FleetStats {
         let mut b = PlatformBuilder::new(self.nodes as usize)
             .seed(self.seed)
+            .resident_cache(self.resident_cache)
             .behavior("bench", BenchAgent);
         for n in 1..self.nodes {
             b = b.resources(NodeId(n), move || {
@@ -514,6 +558,7 @@ mod tests {
             nodes: 4,
             steps: 2,
             seed: 23,
+            resident_cache: true,
         }
         .run();
         assert_eq!(stats.completed, 100);

@@ -45,6 +45,7 @@ mod error;
 pub mod log;
 pub mod planner;
 mod record;
+mod resident;
 mod savepoint;
 pub mod theory;
 
@@ -58,4 +59,5 @@ pub use planner::{
     StartPlan,
 };
 pub use record::{AgentId, AgentRecord, AgentStatus, RecordDataPeek, RecordHeader};
+pub use resident::{LazyRecord, ResidentLog, ResidentRecord, SealedLog};
 pub use savepoint::{LeaveOutcome, RollbackScope, SavepointId, SavepointTable, SubSavepoints};

@@ -19,10 +19,12 @@
 //!   is maintained incrementally from cached sizes; entries are encoded at
 //!   most once to be measured, never cloned.
 //!
-//! The cached sizes use interior mutability (`Cell`), so the log is not
-//! `Sync`; the platform is single-threaded per node, and a migrating agent
-//! is owned by exactly one node at a time (§2), so nothing shares a log
-//! across threads.
+//! The cached sizes use interior mutability (`Cell` by default), so the log
+//! is not `Sync`; the platform is single-threaded per node, and a migrating
+//! agent is owned by exactly one node at a time (§2), so nothing shares a
+//! log across threads. The opt-in `sync-log` feature swaps the caches for
+//! atomics/locks (wire format and behaviour unchanged), making the log
+//! `Sync` for a future multi-threaded simulator.
 
 use serde::de::{SeqAccess, Visitor};
 use serde::ser::{SerializeSeq, SerializeStruct};
@@ -34,10 +36,9 @@ use crate::comp::{CompOp, EntryKind};
 use crate::data::DataSpace;
 use crate::error::CoreError;
 use crate::log::entry::{BosEntry, EosEntry, LogEntry, OpEntry, SpEntry, SroPayload};
-use crate::log::segment::{ByteRollup, Counts, Segment, Stored, Tail};
+use crate::log::segment::{ByteRollup, Counts, RollupCell, Segment, Stored, Tail};
 use crate::log::stats::LogStats;
 use crate::savepoint::SavepointId;
-use std::cell::Cell;
 
 /// The agent rollback log: a stack of [`LogEntry`]s with byte-size
 /// accounting (the log migrates with the agent, so its size is a
@@ -59,7 +60,7 @@ pub struct RollbackLog {
     pub(super) counts: Counts,
     /// Per-kind byte totals; `None` until first demanded (deserialized
     /// logs learn entry sizes lazily), maintained incrementally afterwards.
-    rollup: Cell<Option<ByteRollup>>,
+    rollup: RollupCell,
     /// Whether a mutation since the last [`compact`](Self::compact) pass
     /// could have introduced savepoint-payload redundancy. Not serialized
     /// (the wire format is frozen), so deserialized logs start
@@ -78,7 +79,13 @@ impl RollbackLog {
     /// Appends an entry. A savepoint entry opens a new segment; anything
     /// else joins the newest segment's tail.
     pub fn push(&mut self, entry: LogEntry) {
-        let stored = Stored::measured(entry);
+        self.push_stored(Stored::measured(entry));
+    }
+
+    /// Appends an already-wrapped entry, reusing its cached encoded size —
+    /// the move path of [`absorb`](Self::absorb) and the reason merging two
+    /// logs never re-encodes an entry.
+    pub(crate) fn push_stored(&mut self, stored: Stored) {
         self.account_add(&stored);
         match &stored.entry {
             LogEntry::Savepoint(sp) => {
@@ -296,6 +303,32 @@ impl RollbackLog {
     /// Discards everything (top-level sub-itinerary completion, §4.4.2).
     pub fn clear(&mut self) {
         *self = RollbackLog::default();
+    }
+
+    /// Appends every entry of `other` after this log's entries, in order,
+    /// moving the stored entries so their cached encoded sizes survive —
+    /// no entry is cloned or re-encoded. This is how a sealed (still
+    /// encoded) log prefix is merged with the entries appended since it was
+    /// sealed when a resident record materializes its log.
+    pub fn absorb(&mut self, other: RollbackLog) {
+        for stored in other.into_stored() {
+            self.push_stored(stored);
+        }
+    }
+
+    fn into_stored(self) -> impl Iterator<Item = Stored> {
+        self.head.into_iter_stored().chain(
+            self.segments
+                .into_iter()
+                .flat_map(|seg| std::iter::once(seg.sp).chain(seg.tail.into_iter_stored())),
+        )
+    }
+
+    /// Rebuilds a log from decoded wire parts: the flat entry sequence and
+    /// the serialized total byte count. Entry sizes stay lazily measured,
+    /// exactly like full-record deserialization.
+    pub(crate) fn from_wire_parts(entries: Vec<LogEntry>, bytes: usize) -> RollbackLog {
+        RollbackLog::from_entries_with_bytes(entries, bytes)
     }
 
     // ----- savepoint queries (index-backed) --------------------------------
@@ -1115,6 +1148,16 @@ mod tests {
         let bytes = mar_wire::to_bytes(&frames_only).unwrap();
         let back: RollbackLog = mar_wire::from_slice(&bytes).unwrap();
         assert!(!back.is_dirty());
+    }
+
+    /// The whole point of the `sync-log` feature: the size caches stop
+    /// blocking `Sync`, so a future multi-threaded simulator can share
+    /// read access to a log.
+    #[cfg(feature = "sync-log")]
+    #[test]
+    fn sync_log_feature_makes_the_log_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RollbackLog>();
     }
 
     #[test]

@@ -12,16 +12,99 @@
 //! via deserialization) and invalidated when the entry is mutated in place.
 //! Nothing in this module ever clones an entry to measure it.
 
-use std::cell::Cell;
-
 use crate::log::entry::LogEntry;
+
+/// The lazily computed entry-size cache: a plain `Cell` by default, an
+/// atomic under the `sync-log` feature (making [`Stored`] — and with the
+/// sibling [`RollupCell`] the whole log — `Sync` for a future
+/// multi-threaded simulator). Same API, same observable behaviour.
+#[cfg(not(feature = "sync-log"))]
+#[derive(Debug, Default)]
+pub(crate) struct SizeCell(std::cell::Cell<usize>);
+
+#[cfg(not(feature = "sync-log"))]
+impl SizeCell {
+    pub(crate) fn get(&self) -> usize {
+        self.0.get()
+    }
+
+    pub(crate) fn set(&self, v: usize) {
+        self.0.set(v);
+    }
+}
+
+/// Atomic variant of the entry-size cache (`sync-log`).
+#[cfg(feature = "sync-log")]
+#[derive(Debug, Default)]
+pub(crate) struct SizeCell(std::sync::atomic::AtomicUsize);
+
+#[cfg(feature = "sync-log")]
+impl SizeCell {
+    pub(crate) fn get(&self) -> usize {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    pub(crate) fn set(&self, v: usize) {
+        self.0.store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Clone for SizeCell {
+    fn clone(&self) -> Self {
+        let cell = SizeCell::default();
+        cell.set(self.get());
+        cell
+    }
+}
+
+/// The lazily built per-kind byte-rollup cache ([`ByteRollup`]): `Cell` by
+/// default, a lock under `sync-log`. Accessed only through copy-in/copy-out
+/// `get`/`set`, so the lock is held for a copy of three words.
+#[cfg(not(feature = "sync-log"))]
+#[derive(Debug, Default)]
+pub(crate) struct RollupCell(std::cell::Cell<Option<ByteRollup>>);
+
+#[cfg(not(feature = "sync-log"))]
+impl RollupCell {
+    pub(crate) fn get(&self) -> Option<ByteRollup> {
+        self.0.get()
+    }
+
+    pub(crate) fn set(&self, v: Option<ByteRollup>) {
+        self.0.set(v);
+    }
+}
+
+/// Locked variant of the rollup cache (`sync-log`).
+#[cfg(feature = "sync-log")]
+#[derive(Debug, Default)]
+pub(crate) struct RollupCell(std::sync::Mutex<Option<ByteRollup>>);
+
+#[cfg(feature = "sync-log")]
+impl RollupCell {
+    pub(crate) fn get(&self) -> Option<ByteRollup> {
+        *self.0.lock().expect("rollup cache lock")
+    }
+
+    pub(crate) fn set(&self, v: Option<ByteRollup>) {
+        *self.0.lock().expect("rollup cache lock") = v;
+    }
+}
+
+impl Clone for RollupCell {
+    fn clone(&self) -> Self {
+        let cell = RollupCell::default();
+        cell.set(self.get());
+        cell
+    }
+}
 
 /// One log entry plus its cached encoded size (`0` = not yet computed; real
 /// encodings are never empty).
 #[derive(Debug, Clone)]
 pub(crate) struct Stored {
     pub(crate) entry: LogEntry,
-    size: Cell<usize>,
+    size: SizeCell,
 }
 
 impl Stored {
@@ -29,7 +112,7 @@ impl Stored {
     pub(crate) fn deferred(entry: LogEntry) -> Stored {
         Stored {
             entry,
-            size: Cell::new(0),
+            size: SizeCell::default(),
         }
     }
 
@@ -113,6 +196,10 @@ impl Tail {
 
     pub(crate) fn iter_rev(&self) -> impl Iterator<Item = &Stored> {
         self.chunks.iter().rev().flat_map(|c| c.iter().rev())
+    }
+
+    pub(crate) fn into_iter_stored(self) -> impl Iterator<Item = Stored> {
+        self.chunks.into_iter().flatten()
     }
 }
 

@@ -166,6 +166,18 @@ impl PlatformBuilder {
         self
     }
 
+    /// Enables (or disables) the per-node resident-record cache: while an
+    /// agent stays on a node, its decoded record lives in volatile memory
+    /// between steps (installed only by committing step transactions) and
+    /// the stable queue write is a spliced O(delta) encode. Durability and
+    /// crash recovery are unchanged — stable bytes are written on every
+    /// commit and recovery re-decodes them. **On by default**; disable for
+    /// the E9 control arm.
+    pub fn resident_cache(mut self, on: bool) -> Self {
+        self.mole_cfg.resident_cache = on;
+        self
+    }
+
     /// Registers an agent behaviour. A duplicate name is recorded and
     /// surfaces as a [`BuildError`] from [`PlatformBuilder::try_build`] —
     /// the first registration stays active, so the error cannot be masked

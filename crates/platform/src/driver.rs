@@ -16,7 +16,8 @@ use mar_core::{AgentId, AgentRecord};
 use mar_simnet::{Address, MetricsSnapshot, NodeId, SimDuration, World};
 
 use crate::mole::{
-    keys, MoleService, HOME_REPORT_PREFIX, MBOX_PREFIX, MOLE, Q_PREFIX, REPORT_PREFIX,
+    keys, MoleService, HOME_REPORT_PREFIX, MBOX_PREFIX, MOLE, OUTBOX_PREFIX, Q_PREFIX,
+    REPORT_PREFIX,
 };
 use crate::msg::{AgentReport, MoleMsg};
 use crate::AgentSpec;
@@ -97,7 +98,7 @@ impl Platform {
             spec.mode,
         );
         let msg = MoleMsg::Launch {
-            record: record.to_bytes().expect("record encodes"),
+            record: record.to_bytes().expect("record encodes").into(),
         };
         self.world.post(Address::new(home, MOLE), msg.encode());
         self.homes.insert(id, home);
@@ -145,7 +146,13 @@ impl Platform {
                 let Some(raw_id) = raw_id else { continue };
                 let agent = AgentId(raw_id);
                 self.world.metrics_mut().inc(keys::DRIVER_MBOX_EVENTS);
-                if self.reports.contains_key(&agent) {
+                if let Some(known) = self.reports.get(&agent) {
+                    // A late duplicate delivery (lost ack + crash-driven
+                    // retransmission) re-created artifacts that were
+                    // already collected once: collect them again, without
+                    // surfacing the report a second time.
+                    let finished = known.finished_node;
+                    self.gc_report_artifacts(node, finished, raw_id);
                     continue;
                 }
                 let report = self
@@ -154,12 +161,36 @@ impl Platform {
                     .get(&format!("{HOME_REPORT_PREFIX}{raw_id}"))
                     .and_then(|b| AgentReport::decode(b).ok());
                 if let Some(report) = report {
+                    self.gc_report_artifacts(node, report.finished_node, raw_id);
+                    self.world.metrics_mut().inc(keys::DRIVER_REPORTS_GC);
                     self.reports.insert(agent, report.clone());
                     fresh.push(report);
                 }
             }
         }
         fresh
+    }
+
+    /// Driver-acknowledged retention: once a report is safely in the
+    /// driver's cache, its stable artifacts — the home node's `report/<id>`
+    /// copy, and the completing node's `done/<id>` record plus its outbox
+    /// entry — are deleted, so long-lived fleets do not grow stable storage
+    /// by one full record per finished agent. Deleting the outbox entry
+    /// first means no further retransmission can resurrect the report
+    /// (idempotent: re-running on an already-collected agent deletes
+    /// nothing). The metric counts agents, not passes: the late-duplicate
+    /// re-collection above deletes again without incrementing.
+    fn gc_report_artifacts(&mut self, home: NodeId, finished_node: u32, id: u64) {
+        let finished = NodeId(finished_node);
+        self.world
+            .stable_mut(finished)
+            .delete(&format!("{OUTBOX_PREFIX}{id}"));
+        self.world
+            .stable_mut(finished)
+            .delete(&format!("{REPORT_PREFIX}{id}"));
+        self.world
+            .stable_mut(home)
+            .delete(&format!("{HOME_REPORT_PREFIX}{id}"));
     }
 
     /// Runs until all listed agents have reports or `deadline` virtual time
@@ -300,7 +331,8 @@ impl Platform {
                     }
                 }
             }
-            // Finished agents: their final records live in "done/" reports.
+            // Finished agents not yet drained by the driver: their final
+            // records live in "done/" reports.
             for key in self.world.stable(node).keys_with_prefix(REPORT_PREFIX) {
                 if let Some(bytes) = self.world.stable(node).get(&key) {
                     if let Ok(data) = AgentReport::peek_record_data(bytes) {
@@ -308,6 +340,12 @@ impl Platform {
                     }
                 }
             }
+        }
+        // Drained reports: their stable artifacts were garbage-collected
+        // (exactly when the report entered this cache), so the cache is the
+        // one remaining copy — no agent is ever counted twice.
+        for report in self.reports.values() {
+            wallets(&report.record.data);
         }
         total
     }

@@ -18,7 +18,7 @@ use std::rc::Rc;
 use mar_core::comp::CompOpRegistry;
 use mar_core::{
     plan_batch, plan_single, start_rollback, AfterRound, AgentRecord, AgentStatus, CompError,
-    CostModel, Destination, StartPlan,
+    CostModel, Destination, ResidentRecord, StartPlan,
 };
 use mar_simnet::{Address, Ctx, NodeId, Service, SimDuration};
 use mar_txn::{
@@ -54,7 +54,7 @@ pub(crate) const REPORT_PREFIX: &str = "done/";
 pub(crate) const HOME_REPORT_PREFIX: &str = "report/";
 /// Stable outbox of reports awaiting the home node's ack (retransmitted on
 /// the 2PC retry timer; survives crashes of the completing node).
-const OUTBOX_PREFIX: &str = "report-outbox/";
+pub(crate) const OUTBOX_PREFIX: &str = "report-outbox/";
 /// The home node's driver mailbox: one entry per completed agent, consumed
 /// (and deleted) by the driving [`Platform`](crate::Platform).
 pub(crate) const MBOX_PREFIX: &str = "mbox/";
@@ -138,6 +138,16 @@ pub mod keys {
     /// [`Platform::report`](crate::Platform::report) path for agents not
     /// launched through a handle; zero in handle-driven runs).
     pub const DRIVER_DEEP_SCANS: &str = "driver.deep_scans";
+    /// Finished-agent artifacts garbage-collected after the driver drained
+    /// the report: the home `report/<id>` copy, the completing node's
+    /// `done/<id>` record and its outbox entry — one increment per agent.
+    pub const DRIVER_REPORTS_GC: &str = "driver.reports_gc";
+    /// Queue items served from the node's volatile resident-record cache —
+    /// steps that decoded nothing at all.
+    pub const RESIDENT_HITS: &str = "resident.hits";
+    /// Queue items parsed from stable bytes (cache cold, disabled, or the
+    /// agent just arrived / retried).
+    pub const RESIDENT_MISSES: &str = "resident.misses";
 }
 
 /// How the runtime decides, per compensation batch with remote resource
@@ -194,6 +204,14 @@ pub struct MoleCfg {
     /// [`RollbackRouting::CostModel`]. Defaults to the LAN parameters of
     /// the simulator's default latency model.
     pub cost_model: CostModel,
+    /// Keep the decoded record of an agent resident in volatile memory
+    /// between steps on the same node (keyed by queue key, installed only
+    /// when the step transaction commits). Steps served from the cache
+    /// decode nothing; stable durability is unchanged — the record is
+    /// still written through to the stable queue on every commit, and a
+    /// crash simply falls back to re-parsing those bytes. On by default;
+    /// disable for the E9 control arm.
+    pub resident_cache: bool,
 }
 
 impl Default for MoleCfg {
@@ -208,6 +226,7 @@ impl Default for MoleCfg {
             batch_rollback: true,
             rollback_routing: RollbackRouting::default(),
             cost_model: CostModel::default(),
+            resident_cache: true,
         }
     }
 }
@@ -223,6 +242,11 @@ struct Effects {
 struct ActiveTxn {
     queue_key: String,
     effects: Effects,
+    /// The post-step resident record to install in the cache if (and only
+    /// if) this transaction commits — its splice-encoded bytes are the
+    /// `put_queue` entry for the same key, so cache and stable storage can
+    /// never diverge. Dropped on abort.
+    resident: Option<ResidentRecord>,
 }
 
 enum ItemError {
@@ -250,6 +274,21 @@ pub struct MoleService {
     attempts: BTreeMap<String, u32>,
     tag_seq: u64,
     tag_map: BTreeMap<u64, String>,
+    /// Virtual time of the last (re)transmission per stable-outbox report
+    /// key, so the retry timer only retransmits entries that actually
+    /// waited a full retry period — not ones whose ack is still in flight.
+    /// Volatile on purpose: after a crash every surviving outbox entry is
+    /// retransmitted immediately, exactly as before.
+    outbox_sent: BTreeMap<String, u64>,
+    /// Volatile per-queue-key cache of decoded agent records
+    /// ([`MoleCfg::resident_cache`]): while an agent stays on this node,
+    /// its working record never leaves memory between steps. Entries are
+    /// taken out at the start of processing and re-installed only by a
+    /// committing transaction; migration, rollback hand-off, completion,
+    /// aborts and crashes (the service is rebuilt) all leave the cache
+    /// without the key, so recovery re-decodes from stable bytes exactly
+    /// as before.
+    resident: BTreeMap<String, ResidentRecord>,
 }
 
 impl MoleService {
@@ -274,6 +313,8 @@ impl MoleService {
             attempts: BTreeMap::new(),
             tag_seq: 0,
             tag_map: BTreeMap::new(),
+            outbox_sent: BTreeMap::new(),
+            resident: BTreeMap::new(),
         }
     }
 
@@ -422,33 +463,43 @@ impl MoleService {
             return;
         };
         let effects = std::mem::take(&mut at.effects);
+        let resident = at.resident.take();
+        let queue_key = at.queue_key.clone();
         for key in &effects.delete_queue {
             ctx.stable_delete(key);
         }
-        for (key, bytes) in &effects.put_queue {
-            ctx.stable_put(key.clone(), bytes.clone());
+        for (key, bytes) in effects.put_queue {
+            ctx.stable_put(key, bytes);
         }
-        if let Some((home, report)) = &effects.report {
-            let decoded = AgentReport::decode(report).expect("own report decodes");
-            ctx.stable_put(format!("{REPORT_PREFIX}{}", decoded.id.0), report.clone());
-            if *home != ctx.node().0 {
+        // The stable bytes for the key are down; the volatile twin may now
+        // be (re-)installed.
+        if let Some(rec) = resident {
+            self.resident.insert(queue_key, rec);
+        }
+        if let Some((home, report)) = effects.report {
+            let agent = AgentReport::peek_id(&report).expect("own report decodes");
+            ctx.stable_put(format!("{REPORT_PREFIX}{}", agent.0), report.clone());
+            if home != ctx.node().0 {
                 // Stable outbox first: the report is retransmitted on the
                 // retry timer until the home node acks, so the completion
                 // event reaches the home mailbox despite crashes and lost
                 // messages (delivery is idempotent on the home side).
+                let entry = (home, mar_wire::Bytes::from(report.as_slice()));
                 ctx.stable_put(
-                    format!("{OUTBOX_PREFIX}{}", decoded.id.0),
-                    mar_wire::to_bytes(&(*home, report)).expect("outbox entry encodes"),
+                    format!("{OUTBOX_PREFIX}{}", agent.0),
+                    mar_wire::to_bytes(&entry).expect("outbox entry encodes"),
                 );
+                self.outbox_sent
+                    .insert(format!("{OUTBOX_PREFIX}{}", agent.0), ctx.now().as_micros());
                 ctx.send(
-                    Address::new(NodeId(*home), MOLE),
+                    Address::new(NodeId(home), MOLE),
                     MoleMsg::Report {
-                        report: report.clone(),
+                        report: report.into(),
                     }
                     .encode(),
                 );
             } else {
-                self.deliver_report_home(ctx, decoded.id, report.clone());
+                self.deliver_report_home(ctx, agent, report);
             }
         }
         for (name, n) in &effects.metrics {
@@ -486,16 +537,35 @@ impl MoleService {
 
     /// Retransmits every report still waiting in the stable outbox (ack
     /// lost, home node down, or our own crash between commit and send).
+    /// Entries whose last transmission is younger than one retry period are
+    /// skipped — their ack is plausibly still in flight, and a gratuitous
+    /// duplicate would re-create report artifacts the driver has already
+    /// garbage-collected. After a crash the volatile send-time map is
+    /// empty, so every surviving entry retransmits immediately.
     fn retransmit_reports(&mut self, ctx: &mut Ctx<'_>) {
-        for key in ctx.stable().keys_with_prefix(OUTBOX_PREFIX) {
+        let now_us = ctx.now().as_micros();
+        let period_us = self.cfg.tm_retry.as_micros();
+        let live = ctx.stable().keys_with_prefix(OUTBOX_PREFIX);
+        // Send times for entries that no longer exist in stable storage
+        // (acked, or garbage-collected by the driver before the ack
+        // arrived) would otherwise accumulate forever.
+        self.outbox_sent
+            .retain(|key, _| live.binary_search(key).is_ok());
+        for key in live {
+            if let Some(sent) = self.outbox_sent.get(&key) {
+                if now_us.saturating_sub(*sent) < period_us {
+                    continue;
+                }
+            }
             let Some(bytes) = ctx.stable_get(&key).map(<[u8]>::to_vec) else {
                 continue;
             };
-            let Ok((home, report)) = mar_wire::from_slice::<(u32, Vec<u8>)>(&bytes) else {
+            let Ok((home, report)) = mar_wire::from_slice::<(u32, mar_wire::Bytes)>(&bytes) else {
                 ctx.stable_delete(&key);
                 continue;
             };
             ctx.metrics().inc(keys::REPORT_RETRANSMITS);
+            self.outbox_sent.insert(key, now_us);
             ctx.send(
                 Address::new(NodeId(home), MOLE),
                 MoleMsg::Report { report }.encode(),
@@ -581,7 +651,7 @@ impl MoleService {
                 };
                 ctx.metrics().inc(metric.0);
                 ctx.metrics().add(metric.1, work.payload.len() as u64);
-                self.enqueue_local(ctx, work.payload);
+                self.enqueue_local(ctx, work.payload.into_vec());
             }
             "batch" => {
                 if let Ok(works) = mar_wire::from_slice::<Vec<RemoteWork>>(&work.payload) {
@@ -614,32 +684,65 @@ impl MoleService {
 
     // ----- item processing --------------------------------------------------
 
+    /// Processes one queue item, preferring the node's volatile resident
+    /// record over re-decoding the stable bytes. The cache entry is *taken*
+    /// here; only a committing step transaction puts one back, so retries
+    /// and aborts always fall back to the stable (pre-step) bytes.
     fn run_item(&mut self, ctx: &mut Ctx<'_>, key: &str) {
-        let Some(bytes) = ctx.stable_get(key).map(<[u8]>::to_vec) else {
-            self.processing.remove(key);
-            return;
-        };
-        let record = match AgentRecord::from_bytes(&bytes) {
-            Ok(r) => r,
-            Err(e) => {
-                // Unreadable queue item: drop it (cannot even fail the agent).
-                ctx.trace("bad-queue-item", e.to_string());
-                ctx.stable_delete(key);
-                self.processing.remove(key);
-                return;
+        let resident = match self.resident.remove(key) {
+            Some(r) => {
+                ctx.metrics().inc(keys::RESIDENT_HITS);
+                r
+            }
+            None => {
+                let parsed = match ctx.stable_get(key) {
+                    // The borrow of the stable slice ends inside this arm:
+                    // `from_bytes` copies only the log section.
+                    Some(bytes) => ResidentRecord::from_bytes(bytes),
+                    None => {
+                        self.processing.remove(key);
+                        return;
+                    }
+                };
+                ctx.metrics().inc(keys::RESIDENT_MISSES);
+                match parsed {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Unreadable queue item: drop it (cannot even fail
+                        // the agent).
+                        ctx.trace("bad-queue-item", e.to_string());
+                        ctx.stable_delete(key);
+                        self.processing.remove(key);
+                        return;
+                    }
+                }
             }
         };
         if self.attempts.get(key).copied().unwrap_or(0) > self.cfg.max_attempts {
-            self.fail_agent(ctx, key, record, "retries exhausted".to_owned());
+            match resident.into_record() {
+                Ok(record) => self.fail_agent(ctx, key, record, "retries exhausted".to_owned()),
+                Err(e) => {
+                    ctx.trace("bad-queue-item", e.to_string());
+                    ctx.stable_delete(key);
+                    self.processing.remove(key);
+                }
+            }
             return;
         }
-        let result = match &record.status {
-            AgentStatus::Forward => self.process_forward(ctx, key, &record),
-            AgentStatus::RollingBack { target } => {
-                let target = *target;
-                self.process_rollback(ctx, key, &record, target)
-            }
-            AgentStatus::Completed | AgentStatus::Failed(_) => {
+        enum Kind {
+            Forward,
+            Rollback(mar_core::SavepointId),
+            Finalized,
+        }
+        let kind = match &resident.status {
+            AgentStatus::Forward => Kind::Forward,
+            AgentStatus::RollingBack { target } => Kind::Rollback(*target),
+            AgentStatus::Completed | AgentStatus::Failed(_) => Kind::Finalized,
+        };
+        let result = match kind {
+            Kind::Forward => self.process_forward(ctx, key, resident),
+            Kind::Rollback(target) => self.process_rollback(ctx, key, resident, target),
+            Kind::Finalized => {
                 // Should have been finalized; clean up idempotently.
                 ctx.stable_delete(key);
                 self.processing.remove(key);
@@ -654,9 +757,25 @@ impl MoleService {
                 self.schedule_retry(ctx, key);
             }
             Err(ItemError::Permanent(reason)) => {
-                self.fail_agent(ctx, key, record, reason);
+                // The working copy was consumed by the failed attempt; the
+                // pristine pre-step record is still in stable storage.
+                match self.stable_record(ctx, key) {
+                    Some(record) => self.fail_agent(ctx, key, record, reason),
+                    None => {
+                        ctx.trace("bad-queue-item", reason);
+                        ctx.stable_delete(key);
+                        self.processing.remove(key);
+                    }
+                }
             }
         }
+    }
+
+    /// Decodes the full pristine record from the stable queue — the cold
+    /// paths' (failure, rollback start, cost migration) source of truth.
+    fn stable_record(&self, ctx: &Ctx<'_>, key: &str) -> Option<AgentRecord> {
+        let bytes = ctx.stable_get(key)?;
+        AgentRecord::from_bytes(bytes).ok()
     }
 
     fn fail_agent(
@@ -668,17 +787,20 @@ impl MoleService {
     ) {
         let txn = self.alloc_txn(ctx);
         record.status = AgentStatus::Failed(reason.clone());
+        let home = record.home;
         let report = AgentReport {
             id: record.id,
             outcome: ReportOutcome::Failed(reason),
             finished_at_us: ctx.now().as_micros(),
             steps_committed: record.step_seq,
-            record: record.clone(),
+            finished_node: ctx.node().0,
+            // The record moves into its own report — nothing is cloned.
+            record,
         };
         let effects = Effects {
             delete_queue: vec![key.to_owned()],
             put_queue: Vec::new(),
-            report: Some((record.home, report.encode())),
+            report: Some((home, report.encode())),
             metrics: vec![(keys::AGENT_FAILED, 1)],
         };
         self.active.insert(
@@ -686,6 +808,7 @@ impl MoleService {
             ActiveTxn {
                 queue_key: key.to_owned(),
                 effects,
+                resident: None,
             },
         );
         let actions = self.co.commit_request(txn, Vec::new());
@@ -694,34 +817,56 @@ impl MoleService {
 
     /// Walks the cursor to the next step, constituting savepoints for
     /// entered sub-itineraries and truncating the log for completed ones.
+    ///
+    /// Runs on the resident record: the cursor advances against the record's
+    /// own itinerary (no clone), savepoint entries are *appended* without
+    /// touching the sealed log prefix, and only leaving a sub-itinerary —
+    /// which removes savepoint entries — materializes the log.
     fn advance_and_book(
         &mut self,
         ctx: &mut Ctx<'_>,
-        rec: &mut AgentRecord,
+        rec: &mut ResidentRecord,
     ) -> Result<NextHop, ItemError> {
         use mar_itinerary::CursorEvent;
-        let events = {
-            let itinerary = rec.itinerary.clone();
-            rec.cursor
-                .advance(&itinerary)
-                .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?
-        };
+        let events = rec
+            .cursor
+            .advance(&rec.itinerary)
+            .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?;
         for ev in &events {
             match ev {
                 CursorEvent::EnterSub { id, .. } => {
-                    let cursor = rec.cursor.clone();
                     rec.table.on_enter_sub(
                         id,
                         &mut rec.data,
-                        &cursor,
-                        &mut rec.log,
+                        &rec.cursor,
+                        rec.log.for_append(),
                         rec.logging_mode,
                     );
                 }
                 CursorEvent::LeaveSub { id, top_level, .. } => {
+                    if *top_level {
+                        // Whole-log discard: decoding a sealed log only to
+                        // clear it would waste the entire lazy win on the
+                        // itinerary's last event. Run the table bookkeeping
+                        // against an empty log and drop the sealed bytes,
+                        // accounting the freed size from the seal.
+                        let freed = rec.log.size_bytes();
+                        let mut discarded = mar_core::RollbackLog::new();
+                        rec.table
+                            .on_leave_sub(id, true, &mut rec.data, &mut discarded)
+                            .map_err(|e| ItemError::Permanent(format!("savepoints: {e}")))?;
+                        rec.log = mar_core::ResidentLog::Full(discarded);
+                        ctx.metrics().inc(keys::LOG_DISCARDS);
+                        ctx.metrics().add(keys::LOG_DISCARD_BYTES, freed as u64);
+                        continue;
+                    }
+                    let log = rec
+                        .log
+                        .materialize()
+                        .map_err(|e| ItemError::Permanent(format!("log: {e}")))?;
                     let outcome = rec
                         .table
-                        .on_leave_sub(id, *top_level, &mut rec.data, &mut rec.log)
+                        .on_leave_sub(id, false, &mut rec.data, log)
                         .map_err(|e| ItemError::Permanent(format!("savepoints: {e}")))?;
                     match outcome {
                         mar_core::LeaveOutcome::LogDiscarded { freed_bytes } => {
@@ -747,28 +892,36 @@ impl MoleService {
         }
     }
 
+    /// Builds the commit effects of a completed agent. Consumes the record:
+    /// it moves into its own report (materializing the log — the report
+    /// carries the full final record).
     fn finalize_effects(
         &mut self,
         ctx: &mut Ctx<'_>,
         key: &str,
-        rec: &AgentRecord,
+        rec: ResidentRecord,
         extra_metrics: Vec<(&'static str, u64)>,
-    ) -> Effects {
+    ) -> Result<Effects, ItemError> {
+        let record = rec
+            .into_record()
+            .map_err(|e| ItemError::Permanent(e.to_string()))?;
+        let home = record.home;
         let report = AgentReport {
-            id: rec.id,
+            id: record.id,
             outcome: ReportOutcome::Completed,
             finished_at_us: ctx.now().as_micros(),
-            steps_committed: rec.step_seq,
-            record: rec.clone(),
+            steps_committed: record.step_seq,
+            finished_node: ctx.node().0,
+            record,
         };
         let mut metrics = vec![(keys::AGENT_COMPLETED, 1)];
         metrics.extend(extra_metrics);
-        Effects {
+        Ok(Effects {
             delete_queue: vec![key.to_owned()],
             put_queue: Vec::new(),
-            report: Some((rec.home, report.encode())),
+            report: Some((home, report.encode())),
             metrics,
-        }
+        })
     }
 
     fn commit_with(
@@ -779,11 +932,27 @@ impl MoleService {
         effects: Effects,
         branches: Vec<(NodeId, RemoteWork)>,
     ) {
+        self.commit_with_resident(ctx, txn, key, effects, branches, None);
+    }
+
+    /// Like [`commit_with`](Self::commit_with), additionally carrying the
+    /// post-step resident record to install in the volatile cache when (and
+    /// only when) the transaction commits.
+    fn commit_with_resident(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        txn: TxnId,
+        key: &str,
+        effects: Effects,
+        branches: Vec<(NodeId, RemoteWork)>,
+        resident: Option<ResidentRecord>,
+    ) {
         self.active.insert(
             txn,
             ActiveTxn {
                 queue_key: key.to_owned(),
                 effects,
+                resident,
             },
         );
         // 2PC tracks one branch per participant: multiple works for the
@@ -826,40 +995,63 @@ impl MoleService {
     fn encode_for_transfer(
         &self,
         ctx: &mut Ctx<'_>,
-        rec: &mut AgentRecord,
+        rec: &mut ResidentRecord,
     ) -> Result<Vec<u8>, ItemError> {
         if self.cfg.compact_on_transfer {
-            // Savepoint payloads are the only bytes a pass can reclaim;
-            // short-circuiting keeps the stats read off the clean path.
-            if !rec.log.is_dirty()
-                || !self
-                    .cfg
-                    .cost_model
-                    .compaction_pays(rec.log.stats().savepoint_bytes, COMPACTION_CPU_US_PER_KB)
+            // Cheap pre-gate on the *total* log size, available without
+            // decoding a sealed log: savepoint payloads are a subset of the
+            // log and `compaction_pays` is monotone in the byte count, so a
+            // total that cannot pay proves the precise check could not
+            // either — the steady-state small-log case ships without ever
+            // materializing.
+            if !self
+                .cfg
+                .cost_model
+                .compaction_pays(rec.log.size_bytes(), COMPACTION_CPU_US_PER_KB)
             {
                 ctx.metrics().inc(keys::LOG_COMPACTIONS_SKIPPED);
             } else {
-                let report = rec.compact_log();
-                if report.changed() {
-                    ctx.metrics().inc(keys::LOG_COMPACTIONS);
-                    ctx.metrics().add(
-                        keys::LOG_COMPACTION_SAVED_BYTES,
-                        report.saved_bytes() as u64,
-                    );
+                let log = rec
+                    .log
+                    .materialize()
+                    .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                // Savepoint payloads are the only bytes a pass can reclaim;
+                // short-circuiting keeps the stats read off the clean path.
+                if !log.is_dirty()
+                    || !self
+                        .cfg
+                        .cost_model
+                        .compaction_pays(log.stats().savepoint_bytes, COMPACTION_CPU_US_PER_KB)
+                {
+                    ctx.metrics().inc(keys::LOG_COMPACTIONS_SKIPPED);
+                } else {
+                    let report = rec
+                        .compact_log()
+                        .map_err(|e| ItemError::Permanent(e.to_string()))?;
+                    if report.changed() {
+                        ctx.metrics().inc(keys::LOG_COMPACTIONS);
+                        ctx.metrics().add(
+                            keys::LOG_COMPACTION_SAVED_BYTES,
+                            report.saved_bytes() as u64,
+                        );
+                    }
                 }
             }
         }
-        rec.to_bytes()
+        rec.to_transfer_bytes()
             .map_err(|e| ItemError::Permanent(e.to_string()))
     }
 
+    /// One forward step on the resident record. The record is mutated in
+    /// place — no working clone: a committing transaction persists (and
+    /// possibly caches) the mutated record, every failure path drops it and
+    /// falls back to the pristine bytes still sitting in the stable queue.
     fn process_forward(
         &mut self,
         ctx: &mut Ctx<'_>,
         key: &str,
-        record: &AgentRecord,
+        mut rec: ResidentRecord,
     ) -> Result<(), ItemError> {
-        let mut rec = record.clone();
         let txn = self.alloc_txn(ctx);
 
         // A fresh launch (or an explicit-savepoint restore) has no current
@@ -868,7 +1060,7 @@ impl MoleService {
             match self.advance_and_book(ctx, &mut rec)? {
                 NextHop::Finished => {
                     rec.status = AgentStatus::Completed;
-                    let effects = self.finalize_effects(ctx, key, &rec, vec![]);
+                    let effects = self.finalize_effects(ctx, key, rec, vec![])?;
                     self.commit_with(ctx, txn, key, effects, Vec::new());
                     return Ok(());
                 }
@@ -876,7 +1068,7 @@ impl MoleService {
             }
         } else if rec.cursor.is_finished() {
             rec.status = AgentStatus::Completed;
-            let effects = self.finalize_effects(ctx, key, &rec, vec![]);
+            let effects = self.finalize_effects(ctx, key, rec, vec![])?;
             self.commit_with(ctx, txn, key, effects, Vec::new());
             return Ok(());
         }
@@ -950,28 +1142,39 @@ impl MoleService {
                 Err(ItemError::Permanent(reason))
             }
             StepDecision::Rollback(scope) => {
-                // Fig. 4a: abort the step transaction first.
+                // Fig. 4a: abort the step transaction first. The rollback
+                // starts from the *pristine* record (the aborted step's
+                // data-space writes must not survive) — re-read it from the
+                // stable queue; this is the cold path.
                 self.rms.abort_all(txn);
-                self.start_rollback_txn(ctx, key, record, scope, rollback_memos)
+                drop(rec);
+                let original = self
+                    .stable_record(ctx, key)
+                    .ok_or_else(|| ItemError::Permanent("queue item vanished".to_owned()))?;
+                self.start_rollback_txn(ctx, key, original, scope, rollback_memos)
             }
             StepDecision::Continue => {
                 // Log the step's entries (§4.2): BOS, OEs in logged order,
-                // EOS with the mixed flag and alternative nodes — one
-                // segment-tail append per entry.
+                // EOS with the mixed flag and alternative nodes — appended
+                // behind the sealed log prefix, which stays encoded.
                 let step_seq = rec.step_seq;
-                rec.log
-                    .append_step(ctx.node().0, step_seq, &method, pending_comps, alternatives);
+                rec.log.for_append().append_step(
+                    ctx.node().0,
+                    step_seq,
+                    &method,
+                    pending_comps,
+                    alternatives,
+                );
                 rec.cursor
                     .step_done()
                     .map_err(|e| ItemError::Permanent(format!("cursor: {e}")))?;
                 rec.step_seq += 1;
                 rec.table.on_step_committed();
                 if savepoint_requested {
-                    let cursor = rec.cursor.clone();
                     rec.table.explicit_savepoint(
                         &mut rec.data,
-                        &cursor,
-                        &mut rec.log,
+                        &rec.cursor,
+                        rec.log.for_append(),
                         rec.logging_mode,
                     );
                 }
@@ -985,20 +1188,23 @@ impl MoleService {
                     NextHop::Finished => {
                         rec.status = AgentStatus::Completed;
                         let fx =
-                            self.finalize_effects(ctx, key, &rec, vec![(keys::STEPS_COMMITTED, 1)]);
+                            self.finalize_effects(ctx, key, rec, vec![(keys::STEPS_COMMITTED, 1)])?;
                         self.commit_with(ctx, txn, key, fx, Vec::new());
                         Ok(())
                     }
                     NextHop::Step(next_node) => {
                         if next_node == ctx.node().0 {
                             // Next step is local: the agent still goes through
-                            // stable storage between steps (§2), but nothing
-                            // crosses the wire, so no compaction.
+                            // stable storage between steps (§2) — spliced, so
+                            // the write is O(delta) — but nothing crosses the
+                            // wire (no compaction), and the decoded record
+                            // stays resident for the next step.
                             let bytes = rec
                                 .to_bytes()
                                 .map_err(|e| ItemError::Permanent(e.to_string()))?;
                             effects.put_queue.push((key.to_owned(), bytes));
-                            self.commit_with(ctx, txn, key, effects, Vec::new());
+                            let resident = self.cfg.resident_cache.then_some(rec);
+                            self.commit_with_resident(ctx, txn, key, effects, Vec::new(), resident);
                         } else {
                             let bytes = self.encode_for_transfer(ctx, &mut rec)?;
                             let work = RemoteWork::new("enqueue-fwd", bytes);
@@ -1018,16 +1224,17 @@ impl MoleService {
     }
 
     /// Fig. 4a / Fig. 5a: resolve the scope, mark the agent as rolling
-    /// back, and route it to the first compensation destination.
+    /// back, and route it to the first compensation destination. Consumes
+    /// the pristine record.
     fn start_rollback_txn(
         &mut self,
         ctx: &mut Ctx<'_>,
         key: &str,
-        record: &AgentRecord,
+        record: AgentRecord,
         scope: mar_core::RollbackScope,
         memos: Vec<(String, mar_wire::Value)>,
     ) -> Result<(), ItemError> {
-        let mut rb = record.clone();
+        let mut rb = record;
         // Rollback invocation parameters survive as (uncompensated) weakly
         // reversible state — the aborting step's own writes do not.
         for (k, v) in memos {
@@ -1046,6 +1253,7 @@ impl MoleService {
             metrics: vec![(keys::ROLLBACK_STARTED, 1)],
             ..Effects::default()
         };
+        let mut rb = ResidentRecord::from_record(rb);
         match plan {
             StartPlan::AlreadyAtTarget(restore) => {
                 rb.apply_restore(*restore);
@@ -1057,7 +1265,8 @@ impl MoleService {
                     .to_bytes()
                     .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
-                self.commit_with(ctx, txn, key, effects, Vec::new());
+                let resident = self.cfg.resident_cache.then_some(rb);
+                self.commit_with_resident(ctx, txn, key, effects, Vec::new(), resident);
                 Ok(())
             }
             StartPlan::Go(Destination::Node(n)) => {
@@ -1070,13 +1279,14 @@ impl MoleService {
     }
 
     /// Routes an updated record to wherever its current step runs (local
-    /// re-enqueue or remote transfer), as part of transaction `txn`.
+    /// re-enqueue or remote transfer), as part of transaction `txn`. Local
+    /// re-enqueues keep the record resident.
     fn route_record(
         &mut self,
         ctx: &mut Ctx<'_>,
         txn: TxnId,
         key: &str,
-        mut rec: AgentRecord,
+        mut rec: ResidentRecord,
         mut effects: Effects,
         kind: &str,
     ) -> Result<(), ItemError> {
@@ -1096,7 +1306,8 @@ impl MoleService {
                     .to_bytes()
                     .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
-                self.commit_with(ctx, txn, key, effects, Vec::new());
+                let resident = self.cfg.resident_cache.then_some(rec);
+                self.commit_with_resident(ctx, txn, key, effects, Vec::new(), resident);
             }
         }
         Ok(())
@@ -1109,10 +1320,18 @@ impl MoleService {
         &mut self,
         ctx: &mut Ctx<'_>,
         key: &str,
-        record: &AgentRecord,
+        resident: ResidentRecord,
         target: mar_core::SavepointId,
     ) -> Result<(), ItemError> {
-        let mut rb = record.clone();
+        // Rollback needs the log's entries: materialize (a resident record
+        // cached by a previous local round is already materialized).
+        let mut rb = resident
+            .into_record()
+            .map_err(|e| ItemError::Permanent(e.to_string()))?;
+        // Sizes of the unplanned record, for the ship-vs-migrate pricing
+        // below (planning pops log entries).
+        let pristine_agent_bytes = rb.encoded_size_without_log();
+        let pristine_log_bytes = rb.log.size_bytes();
         let txn = self.alloc_txn(ctx);
         let batch = if self.cfg.batch_rollback {
             plan_batch(&mut rb, target)
@@ -1145,12 +1364,18 @@ impl MoleService {
             if self.cfg.rollback_routing == RollbackRouting::CostModel
                 && !batch.mixed()
                 && self.cfg.cost_model.migrate_for_batch(
-                    record.encoded_size_without_log(),
-                    record.log.size_bytes(),
+                    pristine_agent_bytes,
+                    pristine_log_bytes,
                     payload.len(),
                 )
             {
-                let mut fresh = record.clone();
+                // Ship the *unplanned* record (the batch re-plans at the
+                // destination): re-read it from the stable queue.
+                let mut fresh = ResidentRecord::from_bytes(
+                    ctx.stable_get(key)
+                        .ok_or_else(|| ItemError::Permanent("queue item vanished".to_owned()))?,
+                )
+                .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 let bytes = self.encode_for_transfer(ctx, &mut fresh)?;
                 let effects = Effects {
                     delete_queue: vec![key.to_owned()],
@@ -1227,6 +1452,7 @@ impl MoleService {
             ],
             ..Effects::default()
         };
+        let mut rb = ResidentRecord::from_record(rb);
         match batch.after {
             AfterRound::Reached(restore) => {
                 rb.apply_restore(*restore);
@@ -1239,15 +1465,17 @@ impl MoleService {
                     Some(n) if n != ctx.node().0 => {
                         let bytes = self.encode_for_transfer(ctx, &mut rb)?;
                         branches.push((NodeId(n), RemoteWork::new("enqueue-fwd", bytes)));
+                        self.commit_with(ctx, txn, key, effects, branches);
                     }
                     _ => {
                         let bytes = rb
                             .to_bytes()
                             .map_err(|e| ItemError::Permanent(e.to_string()))?;
                         effects.put_queue.push((key.to_owned(), bytes));
+                        let resident = self.cfg.resident_cache.then_some(rb);
+                        self.commit_with_resident(ctx, txn, key, effects, branches, resident);
                     }
                 }
-                self.commit_with(ctx, txn, key, effects, branches);
                 Ok(())
             }
             AfterRound::Continue(Destination::Local) => {
@@ -1255,7 +1483,8 @@ impl MoleService {
                     .to_bytes()
                     .map_err(|e| ItemError::Permanent(e.to_string()))?;
                 effects.put_queue.push((key.to_owned(), bytes));
-                self.commit_with(ctx, txn, key, effects, branches);
+                let resident = self.cfg.resident_cache.then_some(rb);
+                self.commit_with_resident(ctx, txn, key, effects, branches, resident);
                 Ok(())
             }
             AfterRound::Continue(Destination::Node(n)) => {
@@ -1280,21 +1509,23 @@ impl Service for MoleService {
         match msg {
             MoleMsg::Launch { record } => {
                 ctx.metrics().inc(keys::AGENT_LAUNCHED);
-                self.enqueue_local(ctx, record);
+                self.enqueue_local(ctx, record.into_vec());
             }
             MoleMsg::Report { report } => {
-                if let Ok(r) = AgentReport::decode(&report) {
-                    self.deliver_report_home(ctx, r.id, report);
+                if let Ok(agent) = AgentReport::peek_id(&report) {
+                    self.deliver_report_home(ctx, agent, report.into_vec());
                     if from.node != NodeId::EXTERNAL {
                         ctx.send(
                             Address::new(from.node, MOLE),
-                            MoleMsg::ReportAck { agent: r.id }.encode(),
+                            MoleMsg::ReportAck { agent }.encode(),
                         );
                     }
                 }
             }
             MoleMsg::ReportAck { agent } => {
-                ctx.stable_delete(&format!("{OUTBOX_PREFIX}{}", agent.0));
+                let key = format!("{OUTBOX_PREFIX}{}", agent.0);
+                ctx.stable_delete(&key);
+                self.outbox_sent.remove(&key);
             }
             MoleMsg::Tx { from, msg } => {
                 let actions = match msg {
@@ -1337,6 +1568,11 @@ impl Service for MoleService {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // A crash rebuilds the service from its factory, so the resident
+        // cache is naturally empty here; clear defensively anyway — the
+        // crash contract is that recovery re-decodes queue items from
+        // stable bytes only.
+        self.resident.clear();
         // Transaction id allocator: never reuse ids from before the crash.
         let floor: u64 = ctx
             .stable_get(KEY_TXNSEQ)

@@ -12,7 +12,7 @@ pub enum MoleMsg {
     /// injection from the agent's owner).
     Launch {
         /// Serialized [`AgentRecord`].
-        record: Vec<u8>,
+        record: mar_wire::Bytes,
     },
     /// Distributed-commit protocol traffic.
     Tx {
@@ -29,7 +29,7 @@ pub enum MoleMsg {
     /// crashes and lost messages.
     Report {
         /// Serialized [`AgentReport`].
-        report: Vec<u8>,
+        report: mar_wire::Bytes,
     },
     /// Home-node acknowledgement that an agent's report was persisted and
     /// its completion event posted to the driver mailbox.
@@ -80,6 +80,10 @@ pub struct AgentReport {
     pub finished_at_us: u64,
     /// Committed steps over the whole run.
     pub steps_committed: u64,
+    /// The node the agent finished on — where its `done/<id>` record (and,
+    /// for remote homes, the report outbox entry) live, so the driver can
+    /// garbage-collect them after draining the report.
+    pub finished_node: u32,
     /// The final agent record (data spaces, cursor, log).
     pub record: AgentRecord,
 }
@@ -101,6 +105,43 @@ impl AgentReport {
     /// Codec errors for malformed payloads.
     pub fn decode(bytes: &[u8]) -> Result<Self, mar_wire::WireError> {
         mar_wire::from_slice(bytes)
+    }
+
+    /// Decodes only the agent id from a serialized report — what the
+    /// commit/delivery bookkeeping needs — without touching the outcome,
+    /// the record, or its rollback log.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for inputs that do not start with a report.
+    pub fn peek_id(bytes: &[u8]) -> Result<AgentId, mar_wire::WireError> {
+        struct Peek(AgentId);
+        impl<'de> Deserialize<'de> for Peek {
+            fn deserialize<D: serde::Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> serde::de::Visitor<'de> for V {
+                    type Value = Peek;
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str("an agent report prefix")
+                    }
+
+                    fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Peek, A::Error> {
+                        use serde::de::Error;
+                        let id: AgentId = seq
+                            .next_element()?
+                            .ok_or_else(|| A::Error::custom("truncated report"))?;
+                        Ok(Peek(id))
+                    }
+                }
+                de.deserialize_struct("AgentReport", &["id"], V)
+            }
+        }
+        let (peek, _) = mar_wire::from_slice_prefix::<Peek>(bytes)?;
+        Ok(peek.0)
     }
 
     /// Decodes only the final record's data space from a serialized report
@@ -133,6 +174,7 @@ impl AgentReport {
                         let _outcome: ReportOutcome = seq.next_element()?.ok_or_else(missing)?;
                         let _finished: u64 = seq.next_element()?.ok_or_else(missing)?;
                         let _steps: u64 = seq.next_element()?.ok_or_else(missing)?;
+                        let _node: u32 = seq.next_element()?.ok_or_else(missing)?;
                         // The record is the last field read: its own trailing
                         // fields (and ours) stay untouched in the buffer.
                         let record: mar_core::RecordDataPeek =
@@ -147,6 +189,7 @@ impl AgentReport {
                         "outcome",
                         "finished_at_us",
                         "steps_committed",
+                        "finished_node",
                         "record",
                     ],
                     V,
@@ -179,7 +222,7 @@ mod tests {
     fn mole_msgs_roundtrip() {
         let msgs = vec![
             MoleMsg::Launch {
-                record: vec![1, 2, 3],
+                record: vec![1, 2, 3].into(),
             },
             MoleMsg::Tx {
                 from: NodeId(3),
@@ -187,7 +230,9 @@ mod tests {
                     txn: mar_txn::TxnId::new(NodeId(1), 7),
                 },
             },
-            MoleMsg::Report { report: vec![9] },
+            MoleMsg::Report {
+                report: vec![9].into(),
+            },
         ];
         for m in msgs {
             assert_eq!(MoleMsg::decode(&m.encode()).unwrap(), m);
@@ -212,12 +257,15 @@ mod tests {
             outcome: ReportOutcome::Completed,
             finished_at_us: 77,
             steps_committed: 3,
+            finished_node: 2,
             record: record.clone(),
         };
         let bytes = report.encode();
         let peeked = AgentReport::peek_record_data(&bytes).unwrap();
         assert_eq!(peeked, record.data);
         assert!(AgentReport::peek_record_data(&[0xff]).is_err());
+        assert_eq!(AgentReport::peek_id(&bytes).unwrap(), AgentId(5));
+        assert!(AgentReport::peek_id(&[0xff]).is_err());
     }
 
     #[test]

@@ -235,6 +235,43 @@ fn fleet_of_100_settles_with_mailbox_events_only() {
     assert!(m.counter(mk::DRIVER_MBOX_SCANS) > 0);
 }
 
+/// Report / mailbox GC: after the driver drains a report, the stable
+/// artifacts of the finished agent — the home `report/<id>` copy, the
+/// completing node's `done/<id>` record and its outbox entry — are gone,
+/// so a long-lived fleet platform does not grow stable storage per
+/// finished agent. The report itself stays served from the driver cache,
+/// and the money audit still sees the drained wallets.
+#[test]
+fn drained_reports_are_garbage_collected_from_stable_storage() {
+    const FLEET: usize = 20;
+    let mut p = collector_platform(17);
+    let it = || {
+        ItineraryBuilder::main("I")
+            .sub("gather", |s| {
+                s.step("collect1", 1).step("collect2", 2);
+            })
+            .build()
+            .unwrap()
+    };
+    let handles = p.launch_fleet((0..FLEET).map(|_| AgentSpec::new("collector", NodeId(0), it())));
+    assert!(p.run_until_settled(&handles, SimDuration::from_secs(600)));
+    let m = p.snapshot();
+    assert_eq!(m.counter(mk::DRIVER_REPORTS_GC), FLEET as u64);
+    for node in p.world().node_ids() {
+        for prefix in ["report/", "done/", "report-outbox/"] {
+            assert_eq!(
+                p.world().stable(node).keys_with_prefix(prefix),
+                Vec::<String>::new(),
+                "stale {prefix} artifacts on {node}"
+            );
+        }
+    }
+    // Reports still resolve (from the driver cache), exactly once each.
+    for h in &handles {
+        assert_eq!(p.report(*h).unwrap().outcome, ReportOutcome::Completed);
+    }
+}
+
 /// Completions reached by hand-driven `run_for` must be visible to a
 /// zero-deadline `run_until_settled` (it drains the mailboxes before
 /// deciding, like the pre-handle implementation checked reports up front).

@@ -8,20 +8,25 @@ use crate::id::TxnId;
 /// A unit of remote work prepared at a participant: the host interprets
 /// `kind` (e.g. `"enqueue-agent"`, `"run-rce-list"`) and applies `payload`
 /// when the transaction commits.
+///
+/// The payload is a [`mar_wire::Bytes`] buffer: work items routinely carry
+/// whole serialized agent records, and the compact `TAG_BYTES` framing
+/// hands them through prepare/persist/apply as single memcpys instead of
+/// re-transcoding them byte by byte.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemoteWork {
     /// Host-interpreted discriminator.
     pub kind: String,
     /// Opaque encoded work description.
-    pub payload: Vec<u8>,
+    pub payload: mar_wire::Bytes,
 }
 
 impl RemoteWork {
     /// Constructs a work item.
-    pub fn new(kind: impl Into<String>, payload: Vec<u8>) -> Self {
+    pub fn new(kind: impl Into<String>, payload: impl Into<mar_wire::Bytes>) -> Self {
         RemoteWork {
             kind: kind.into(),
-            payload,
+            payload: payload.into(),
         }
     }
 

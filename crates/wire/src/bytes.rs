@@ -1,0 +1,145 @@
+//! A byte buffer with compact wire framing.
+//!
+//! Serde serializes `Vec<u8>` element-wise — `TAG_SEQ` plus one tagged
+//! varint *per byte* — which roughly triples the wire size and costs a
+//! serializer dispatch per byte on both ends. For opaque payloads that
+//! embed already-encoded values (agent records inside 2PC work items,
+//! report copies, stable outbox entries), that turns every O(1) hand-off
+//! into an O(payload) re-transcode.
+//!
+//! [`Bytes`] is a drop-in owned buffer that serializes with the format's
+//! native `TAG_BYTES` framing: a length prefix and one memcpy.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// An owned byte buffer serialized as a single `TAG_BYTES` value (length
+/// prefix + raw bytes) instead of serde's element-wise `Vec<u8>` sequence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Wraps a buffer.
+    pub fn new(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+
+    /// Unwraps into the inner buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for an empty buffer.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} bytes]", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for Bytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Serialize for Bytes {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Bytes {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = Bytes;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a byte buffer")
+            }
+
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<Bytes, E> {
+                Ok(Bytes(v.to_vec()))
+            }
+
+            fn visit_byte_buf<E: serde::de::Error>(self, v: Vec<u8>) -> Result<Bytes, E> {
+                Ok(Bytes(v))
+            }
+        }
+        de.deserialize_byte_buf(V)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_slice, to_bytes};
+
+    #[test]
+    fn roundtrips_compactly() {
+        let b = Bytes::from(vec![0u8, 1, 2, 250, 255]);
+        let wire = to_bytes(&b).unwrap();
+        // TAG_BYTES + varint(5) + 5 raw bytes.
+        assert_eq!(wire.len(), 2 + 5);
+        let back: Bytes = from_slice(&wire).unwrap();
+        assert_eq!(back, b);
+        // The element-wise Vec<u8> encoding is strictly larger.
+        assert!(to_bytes(&b.to_vec()).unwrap().len() > wire.len());
+    }
+
+    #[test]
+    fn deref_and_conversions() {
+        let mut b = Bytes::from(&[1u8, 2][..]);
+        assert_eq!(&b[..], &[1, 2]);
+        b[0] = 9;
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        let v: Vec<u8> = b.clone().into();
+        assert_eq!(v, vec![9, 2]);
+        assert_eq!(Bytes::new(v.clone()).into_vec(), v);
+        assert_eq!(format!("{b}"), "[2 bytes]");
+    }
+}

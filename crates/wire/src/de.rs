@@ -566,6 +566,117 @@ impl<'de> de::VariantAccess<'de> for EnumAcc<'_, 'de> {
     }
 }
 
+// ----- raw structural scanning -----------------------------------------------
+
+/// Reads the header of a sequence (or struct/tuple — they share the `SEQ`
+/// framing) at the start of `bytes`, returning `(element_count,
+/// header_len)` without touching any element.
+///
+/// Together with [`skip_value`] this lets callers slice out the encoding of
+/// individual fields — the lazy-decode path of agent records keeps the
+/// rollback-log section as raw bytes this way.
+///
+/// # Errors
+///
+/// [`WireError::BadTag`] when the value is not a sequence, plus the usual
+/// truncation errors.
+pub fn read_seq_header(bytes: &[u8]) -> WireResult<(u64, usize)> {
+    let tag = *bytes.first().ok_or(WireError::UnexpectedEof)?;
+    if tag != TAG_SEQ {
+        return Err(WireError::BadTag(tag));
+    }
+    let mut pos = 1usize;
+    let n = get_uvarint(bytes, &mut pos)?;
+    if n > (bytes.len() - pos) as u64 {
+        // Every element takes at least one byte.
+        return Err(WireError::LengthOverflow(n));
+    }
+    Ok((n, pos))
+}
+
+/// Returns the encoded length of the single value at the start of `bytes`,
+/// walking its structure without building anything — no allocation, no
+/// UTF-8 validation, no value construction. This is the cheapest possible
+/// full validation of the framing: tags are checked, every declared length
+/// is bounds-checked, and truncated input is an error.
+///
+/// Iterative (explicit work counter instead of recursion), so adversarially
+/// nested input cannot overflow the stack.
+///
+/// # Errors
+///
+/// [`WireError::BadTag`] / truncation errors describing the first framing
+/// violation.
+pub fn skip_value(bytes: &[u8]) -> WireResult<usize> {
+    let mut pos = 0usize;
+    // Number of complete values still to skip.
+    let mut pending: u64 = 1;
+    while pending > 0 {
+        pending -= 1;
+        let tag = *bytes.get(pos).ok_or(WireError::UnexpectedEof)?;
+        pos += 1;
+        match tag {
+            TAG_NULL | TAG_TRUE | TAG_FALSE => {}
+            TAG_I64 => {
+                get_ivarint(bytes, &mut pos)?;
+            }
+            TAG_U64 | TAG_CHAR | TAG_UNIT_VARIANT => {
+                get_uvarint(bytes, &mut pos)?;
+            }
+            TAG_F32 => {
+                if bytes.len() - pos < 4 {
+                    return Err(WireError::UnexpectedEof);
+                }
+                pos += 4;
+            }
+            TAG_F64 => {
+                if bytes.len() - pos < 8 {
+                    return Err(WireError::UnexpectedEof);
+                }
+                pos += 8;
+            }
+            TAG_STR | TAG_BYTES => {
+                let n = get_uvarint(bytes, &mut pos)?;
+                if n > (bytes.len() - pos) as u64 {
+                    return Err(WireError::LengthOverflow(n));
+                }
+                pos += n as usize;
+            }
+            TAG_SOME => pending += 1,
+            TAG_NEWTYPE_VARIANT => {
+                get_uvarint(bytes, &mut pos)?;
+                pending += 1;
+            }
+            TAG_SEQ => {
+                let n = get_uvarint(bytes, &mut pos)?;
+                if n > (bytes.len() - pos) as u64 {
+                    return Err(WireError::LengthOverflow(n));
+                }
+                pending += n;
+            }
+            TAG_MAP => {
+                let n = get_uvarint(bytes, &mut pos)?;
+                if n > (bytes.len() - pos) as u64 {
+                    return Err(WireError::LengthOverflow(n));
+                }
+                // A key and a value per entry; entries need ≥ 2 bytes, so
+                // the bound above keeps `pending` within 2 × input size.
+                pending += 2 * n;
+            }
+            TAG_TUPLE_VARIANT | TAG_STRUCT_VARIANT => {
+                get_uvarint(bytes, &mut pos)?;
+                let n = get_uvarint(bytes, &mut pos)?;
+                if n > (bytes.len() - pos) as u64 {
+                    return Err(WireError::LengthOverflow(n));
+                }
+                pending += n;
+            }
+            other => return Err(WireError::BadTag(other)),
+        }
+    }
+    Ok(pos)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

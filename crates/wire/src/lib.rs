@@ -30,13 +30,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bytes;
 mod de;
 mod error;
 mod ser;
 mod value;
 pub mod varint;
 
-pub use de::{from_slice, from_slice_prefix, BinDeserializer};
+pub use bytes::Bytes;
+pub use de::{from_slice, from_slice_prefix, read_seq_header, skip_value, BinDeserializer};
 pub use error::{WireError, WireResult};
 pub use ser::{encoded_size, to_bytes, BinSerializer};
 pub use value::Value;
@@ -103,6 +105,32 @@ mod tests {
         }
 
         #[test]
+        fn skip_value_consumes_exactly_one_encoding(v in value_strategy()) {
+            let mut bytes = to_bytes(&v).unwrap();
+            let own_len = bytes.len();
+            bytes.extend(to_bytes(&0u8).unwrap());
+            prop_assert_eq!(skip_value(&bytes).unwrap(), own_len);
+        }
+
+        #[test]
+        fn skip_value_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = skip_value(&bytes);
+        }
+
+        #[test]
+        fn spliced_seq_equals_direct_encoding(vs in proptest::collection::vec(value_strategy(), 0..5)) {
+            // Assemble Vec<Value> out of individually encoded elements via
+            // the splice API; must be byte-identical to the direct encoding.
+            let direct = to_bytes(&vs).unwrap();
+            let mut ser = BinSerializer::new();
+            ser.begin_seq(vs.len());
+            for v in &vs {
+                ser.raw_value_bytes(&to_bytes(v).unwrap());
+            }
+            prop_assert_eq!(ser.into_bytes(), direct);
+        }
+
+        #[test]
         fn encoded_size_is_exact(v in value_strategy()) {
             prop_assert_eq!(encoded_size(&v).unwrap(), to_bytes(&v).unwrap().len());
         }
@@ -111,6 +139,62 @@ mod tests {
         fn decoding_random_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
             let _ = from_slice::<Value>(&bytes);
         }
+    }
+
+    #[test]
+    fn seq_header_and_skip_slice_out_struct_fields() {
+        #[derive(serde::Serialize)]
+        struct S {
+            a: u32,
+            b: Vec<String>,
+            c: bool,
+        }
+        let s = S {
+            a: 9,
+            b: vec!["x".into(), "yy".into()],
+            c: true,
+        };
+        let bytes = to_bytes(&s).unwrap();
+        let (fields, mut off) = read_seq_header(&bytes).unwrap();
+        assert_eq!(fields, 3);
+        // Field a.
+        let a_len = skip_value(&bytes[off..]).unwrap();
+        assert_eq!(to_bytes(&9u32).unwrap(), bytes[off..off + a_len]);
+        off += a_len;
+        // Field b, sliced without decoding.
+        let b_len = skip_value(&bytes[off..]).unwrap();
+        assert_eq!(
+            to_bytes(&vec!["x".to_owned(), "yy".to_owned()]).unwrap(),
+            bytes[off..off + b_len]
+        );
+        off += b_len;
+        // Field c ends the value exactly.
+        off += skip_value(&bytes[off..]).unwrap();
+        assert_eq!(off, bytes.len());
+    }
+
+    #[test]
+    fn read_seq_header_rejects_non_seq_and_overflow() {
+        assert!(matches!(
+            read_seq_header(&to_bytes(&1u8).unwrap()),
+            Err(WireError::BadTag(_))
+        ));
+        assert!(matches!(
+            read_seq_header(&[]),
+            Err(WireError::UnexpectedEof)
+        ));
+        // A 1000-element sequence in 3 bytes.
+        assert!(matches!(
+            read_seq_header(&[0x0b, 0xe8, 0x07]),
+            Err(WireError::LengthOverflow(1000))
+        ));
+    }
+
+    #[test]
+    fn skip_value_rejects_truncation() {
+        let bytes = to_bytes(&"hello").unwrap();
+        assert!(skip_value(&bytes[..bytes.len() - 1]).is_err());
+        assert!(matches!(skip_value(&[]), Err(WireError::UnexpectedEof)));
     }
 
     #[test]

@@ -72,9 +72,65 @@ impl BinSerializer {
         BinSerializer { out: Vec::new() }
     }
 
+    /// Creates an empty serializer with `cap` bytes of reserved output.
+    pub fn with_capacity(cap: usize) -> Self {
+        BinSerializer {
+            out: Vec::with_capacity(cap),
+        }
+    }
+
     /// Consumes the serializer, returning the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.out
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    // ----- splice API -------------------------------------------------------
+    //
+    // Incremental encoders (`mar-core`'s resident-record splice path) build
+    // a value out of already-encoded fragments plus freshly serialized
+    // parts. These methods expose exactly the framing the serde impls above
+    // emit, so a hand-assembled value is byte-identical to a `to_bytes` of
+    // the equivalent in-memory value.
+
+    /// Writes the header of a struct/tuple with `fields` fields — identical
+    /// to what serializing a struct of that arity emits. The caller must
+    /// follow with exactly `fields` values ([`BinSerializer::value`] or
+    /// [`BinSerializer::raw_value_bytes`]).
+    pub fn begin_struct(&mut self, fields: usize) {
+        self.begin_seq(fields);
+    }
+
+    /// Writes the header of a sequence with `len` elements (structs, tuples
+    /// and sequences share the `TAG_SEQ` framing).
+    pub fn begin_seq(&mut self, len: usize) {
+        self.out.push(TAG_SEQ);
+        put_uvarint(&mut self.out, len as u64);
+    }
+
+    /// Appends already-encoded wire bytes verbatim: the encoding of zero or
+    /// more complete values, e.g. a retained run of sequence elements. The
+    /// caller is responsible for the bytes being valid at this position.
+    pub fn raw_value_bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Serializes one value into the output at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`to_bytes`].
+    pub fn value<T: Serialize + ?Sized>(&mut self, v: &T) -> WireResult<()> {
+        v.serialize(self)
     }
 
     fn put_str(&mut self, s: &str) {
