@@ -3,20 +3,27 @@
 //!
 //! ```sh
 //! bench_diff <baseline.json> <fresh.json> [--max-regression 3.0] \
-//!     [--require <name-prefix>]...
+//!     [--require <name-prefix>]... [--min-derived <name>:<min>]...
 //! ```
 //!
 //! Timing entries are compared as `fresh / baseline` ratios; anything
 //! slower than the `--max-regression` factor (default 3×, deliberately
 //! loose: CI machines are noisy) fails the run. Derived entries (speedups,
-//! byte savings) are printed side by side for the record but never fail the
-//! gate — they are either deterministic or already asserted by tests.
+//! byte savings) are printed side by side for the record; by default they
+//! never fail the gate — they are either deterministic or already asserted
+//! by tests.
 //!
 //! `--require P` (repeatable) additionally fails the run unless the fresh
 //! report contains at least one timing entry whose name starts with `P` —
 //! the coverage half of the gate: a refactor that silently drops a tracked
 //! benchmark family (e.g. `record/` or `e9_resident/`) fails CI instead of
 //! trivially passing an empty diff.
+//!
+//! `--min-derived NAME:MIN` (repeatable) fails the run unless the fresh
+//! report's derived entry `NAME` exists and is `>= MIN` — the floor gate
+//! for derived quantities that *are* stable across machines, such as the
+//! critical-path speedup of the sharded kernel
+//! (`e8_fleet/agents1000/speedup_shards4:2.0`).
 //!
 //! The parser is hand-rolled for exactly the shape
 //! [`mar_bench::harness::Bench::to_json`] emits; there is no JSON crate in
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut max_regression = 3.0f64;
     let mut required: Vec<String> = Vec::new();
+    let mut min_derived: Vec<(String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -93,13 +101,24 @@ fn main() -> ExitCode {
                     required.push(p.clone());
                 }
             }
+            "--min-derived" => {
+                let Some((name, min)) = it
+                    .next()
+                    .and_then(|v| v.rsplit_once(':'))
+                    .and_then(|(n, m)| Some((n.to_owned(), m.parse::<f64>().ok()?)))
+                else {
+                    eprintln!("bench_diff: --min-derived expects NAME:MIN");
+                    return ExitCode::from(2);
+                };
+                min_derived.push((name, min));
+            }
             _ => paths.push(a.clone()),
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
         eprintln!(
             "usage: bench_diff <baseline.json> <fresh.json> \
-             [--max-regression X] [--require PREFIX]..."
+             [--max-regression X] [--require PREFIX]... [--min-derived NAME:MIN]..."
         );
         return ExitCode::from(2);
     };
@@ -166,6 +185,22 @@ fn main() -> ExitCode {
                 .map(|p| format!("{p}*"))
                 .collect::<Vec<_>>()
                 .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut floor_failures = Vec::new();
+    for (name, min) in &min_derived {
+        match new.derived.get(name) {
+            Some(v) if v >= min => {}
+            Some(v) => floor_failures.push(format!("{name} = {v:.3} < {min:.3}")),
+            None => floor_failures.push(format!("{name} missing (need >= {min:.3})")),
+        }
+    }
+    if !floor_failures.is_empty() {
+        eprintln!(
+            "\nbench_diff: derived floor(s) not met: {}",
+            floor_failures.join(", ")
         );
         return ExitCode::FAILURE;
     }

@@ -393,6 +393,14 @@ pub struct FleetScenario {
     /// Keep decoded agent records resident between same-node steps (the
     /// E9 experiment toggle; platform default is on).
     pub resident_cache: bool,
+    /// Worker-thread shards the simulated nodes are partitioned across
+    /// (1 = the sequential engine).
+    pub shards: usize,
+    /// Spread agent homes round-robin over every node instead of sharing
+    /// node 0. With one shared home, every launch, report delivery, and
+    /// mailbox drain serializes on the home's shard; spreading the homes is
+    /// what a deployment that wants kernel-level parallelism would do.
+    pub home_spread: bool,
 }
 
 impl FleetScenario {
@@ -405,6 +413,7 @@ impl FleetScenario {
         let mut b = PlatformBuilder::new(self.nodes as usize)
             .seed(self.seed)
             .resident_cache(self.resident_cache)
+            .shards(self.shards)
             .behavior("bench", BenchAgent);
         for n in 1..self.nodes {
             b = b.resources(NodeId(n), move || {
@@ -418,8 +427,13 @@ impl FleetScenario {
             });
         }
         let mut p = b.build();
+        // Critical-path profiling: same windows and schedule as the
+        // threaded engine, but shards are timed one at a time, so the
+        // profile is meaningful even on a single-core host.
+        p.world_mut().set_shard_profiling(true);
         let nodes = self.nodes;
         let steps = self.steps;
+        let home_spread = self.home_spread;
         let specs = (0..self.agents).map(|a| {
             let itinerary = ItineraryBuilder::main("I")
                 .sub("S", |s| {
@@ -432,7 +446,12 @@ impl FleetScenario {
                 })
                 .build()
                 .expect("valid fleet itinerary");
-            AgentSpec::new("bench", NodeId(0), itinerary)
+            let home = if home_spread {
+                NodeId(a as u32 % nodes)
+            } else {
+                NodeId(0)
+            };
+            AgentSpec::new("bench", home, itinerary)
         });
         let handles = p.launch_fleet(specs);
         let settled = p.run_until_settled(&handles, SimDuration::from_secs(36_000));
@@ -444,6 +463,7 @@ impl FleetScenario {
             settle_us = settle_us.max(report.finished_at_us);
         }
         let m = p.snapshot();
+        let critical_path_ns = p.world().shard_profile().critical_ns;
         FleetStats {
             agents: self.agents as u64,
             settle_us,
@@ -452,6 +472,7 @@ impl FleetScenario {
             mbox_scans: m.counter("driver.mbox_scans"),
             deep_scans: m.counter("driver.deep_scans"),
             steps_committed: m.counter("steps.committed"),
+            critical_path_ns,
             metrics: m,
         }
     }
@@ -474,6 +495,9 @@ pub struct FleetStats {
     pub deep_scans: u64,
     /// Step transactions committed across the fleet.
     pub steps_committed: u64,
+    /// Critical-path wall time of the run: Σ over conservative windows of
+    /// the slowest shard's busy time in that window (profiled engine).
+    pub critical_path_ns: u64,
     /// Raw metrics for anything else.
     pub metrics: MetricsSnapshot,
 }
@@ -559,6 +583,8 @@ mod tests {
             steps: 2,
             seed: 23,
             resident_cache: true,
+            shards: 1,
+            home_spread: false,
         }
         .run();
         assert_eq!(stats.completed, 100);

@@ -75,19 +75,46 @@ impl RollupCell {
     }
 }
 
-/// Locked variant of the rollup cache (`sync-log`).
+/// Lock-free variant of the rollup cache (`sync-log`). Mutation only ever
+/// happens through `&mut RollbackLog` methods, so the only concurrent
+/// access is read-vs-read — including two `stats()` calls racing to fill
+/// the cache, which write identical values. The `valid` flag is published
+/// with release ordering after the fields, so a reader that observes
+/// `valid` sees fully written fields.
 #[cfg(feature = "sync-log")]
 #[derive(Debug, Default)]
-pub(crate) struct RollupCell(std::sync::Mutex<Option<ByteRollup>>);
+pub(crate) struct RollupCell {
+    valid: std::sync::atomic::AtomicBool,
+    savepoint_bytes: std::sync::atomic::AtomicUsize,
+    op_bytes: std::sync::atomic::AtomicUsize,
+    frame_bytes: std::sync::atomic::AtomicUsize,
+}
 
 #[cfg(feature = "sync-log")]
 impl RollupCell {
     pub(crate) fn get(&self) -> Option<ByteRollup> {
-        *self.0.lock().expect("rollup cache lock")
+        use std::sync::atomic::Ordering::{Acquire, Relaxed};
+        if !self.valid.load(Acquire) {
+            return None;
+        }
+        Some(ByteRollup {
+            savepoint_bytes: self.savepoint_bytes.load(Relaxed),
+            op_bytes: self.op_bytes.load(Relaxed),
+            frame_bytes: self.frame_bytes.load(Relaxed),
+        })
     }
 
     pub(crate) fn set(&self, v: Option<ByteRollup>) {
-        *self.0.lock().expect("rollup cache lock") = v;
+        use std::sync::atomic::Ordering::{Relaxed, Release};
+        match v {
+            Some(r) => {
+                self.savepoint_bytes.store(r.savepoint_bytes, Relaxed);
+                self.op_bytes.store(r.op_bytes, Relaxed);
+                self.frame_bytes.store(r.frame_bytes, Relaxed);
+                self.valid.store(true, Release);
+            }
+            None => self.valid.store(false, Release),
+        }
     }
 }
 

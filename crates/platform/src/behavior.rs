@@ -7,7 +7,7 @@
 //! [`DataSpace`](mar_core::DataSpace).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mar_core::RollbackScope;
 use mar_txn::TxnError;
@@ -35,7 +35,10 @@ pub enum StepDecision {
 /// Returning `Err(TxnError::WouldBlock)` (or any transient error) aborts
 /// the step transaction and retries it later — the paper's abort/restart of
 /// a step. Other errors fail the agent.
-pub trait AgentBehavior {
+///
+/// Behaviors are shared (`Arc`) across every node's MoleService and may be
+/// invoked from any worker-thread shard, hence `Send + Sync`.
+pub trait AgentBehavior: Send + Sync {
     /// Executes one step method.
     fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError>;
 }
@@ -58,7 +61,7 @@ impl std::error::Error for DuplicateBehavior {}
 /// Platform-wide registry of agent behaviours, shared by all nodes.
 #[derive(Default)]
 pub struct BehaviorRegistry {
-    map: BTreeMap<String, Rc<dyn AgentBehavior>>,
+    map: BTreeMap<String, Arc<dyn AgentBehavior>>,
 }
 
 impl BehaviorRegistry {
@@ -82,12 +85,12 @@ impl BehaviorRegistry {
         if self.map.contains_key(&name) {
             return Err(DuplicateBehavior(name));
         }
-        self.map.insert(name, Rc::new(behavior));
+        self.map.insert(name, Arc::new(behavior));
         Ok(())
     }
 
     /// Resolves a behaviour by type name.
-    pub fn get(&self, agent_type: &str) -> Option<Rc<dyn AgentBehavior>> {
+    pub fn get(&self, agent_type: &str) -> Option<Arc<dyn AgentBehavior>> {
         self.map.get(agent_type).cloned()
     }
 

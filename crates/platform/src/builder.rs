@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mar_core::comp::CompOpRegistry;
 use mar_core::{DataSpace, LoggingMode, RollbackMode};
@@ -81,7 +81,9 @@ pub struct PlatformBuilder {
     mole_cfg: MoleCfg,
     behaviors: BehaviorRegistry,
     comps: CompOpRegistry,
-    resources: BTreeMap<u32, Rc<dyn Fn() -> RmRegistry>>,
+    resources: BTreeMap<u32, Arc<dyn Fn() -> RmRegistry + Send + Sync>>,
+    shards: usize,
+    report_cache_cap: usize,
     errors: Vec<BuildError>,
 }
 
@@ -101,8 +103,28 @@ impl PlatformBuilder {
             behaviors: BehaviorRegistry::new(),
             comps,
             resources: BTreeMap::new(),
+            shards: 1,
+            report_cache_cap: crate::driver::DEFAULT_REPORT_CACHE_CAP,
             errors: Vec::new(),
         }
+    }
+
+    /// Partitions the simulated nodes across `n` worker-thread shards.
+    /// Results are byte-identical at any shard count; `1` (the default)
+    /// keeps the sequential dispatch loop.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Caps the driver's in-memory report cache; least-recently-used
+    /// reports are evicted (and counted under `driver.reports_evicted`)
+    /// once the cap is exceeded. Evicted reports remain recoverable only if
+    /// their stable artifacts still exist; see [`Platform::forget`] for
+    /// explicit release.
+    pub fn report_cache_cap(mut self, cap: usize) -> Self {
+        self.report_cache_cap = cap;
+        self
     }
 
     /// Sets the world seed.
@@ -203,8 +225,12 @@ impl PlatformBuilder {
     /// Installs the resource factory for a node. The factory runs once at
     /// start and again after every crash (committed state is then restored
     /// from stable storage).
-    pub fn resources(mut self, node: NodeId, factory: impl Fn() -> RmRegistry + 'static) -> Self {
-        self.resources.insert(node.0, Rc::new(factory));
+    pub fn resources(
+        mut self,
+        node: NodeId,
+        factory: impl Fn() -> RmRegistry + Send + Sync + 'static,
+    ) -> Self {
+        self.resources.insert(node.0, Arc::new(factory));
         self
     }
 
@@ -227,9 +253,10 @@ impl PlatformBuilder {
         let mut cfg = WorldConfig::with_seed(self.seed);
         cfg.latency = self.latency;
         cfg.trace = self.trace;
+        cfg.shards = self.shards;
         let mut world = World::new(cfg);
-        let behaviors = Rc::new(self.behaviors);
-        let comps = Rc::new(self.comps);
+        let behaviors = Arc::new(self.behaviors);
+        let comps = Arc::new(self.comps);
         for i in 0..self.nodes {
             let node = world.add_node();
             debug_assert_eq!(node.0 as usize, i);
@@ -248,7 +275,10 @@ impl PlatformBuilder {
             });
         }
         world.start();
-        Ok(Platform::new(world))
+        Ok(Platform::with_report_cache_cap(
+            world,
+            self.report_cache_cap,
+        ))
     }
 
     /// Builds and starts the platform.

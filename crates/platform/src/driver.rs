@@ -10,7 +10,7 @@
 //! O(ticks × nodes × stable-keys) of scanning every node's store each poll
 //! tick (the `driver.*` metrics make this measurable).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mar_core::{AgentId, AgentRecord};
 use mar_simnet::{Address, MetricsSnapshot, NodeId, SimDuration, World};
@@ -61,24 +61,88 @@ impl std::fmt::Display for AgentHandle {
     }
 }
 
+/// Default bound on the driver's in-memory report cache.
+pub(crate) const DEFAULT_REPORT_CACHE_CAP: usize = 100_000;
+
 /// A running platform: the simulated agent system plus driver conveniences.
 pub struct Platform {
     pub(crate) world: World,
     pub(crate) next_agent: u64,
     /// Home node of every agent launched through this driver.
     homes: BTreeMap<AgentId, NodeId>,
-    /// Reports already drained from home mailboxes.
+    /// Reports already drained from home mailboxes, bounded by `report_cap`
+    /// with least-recently-used eviction.
     reports: BTreeMap<AgentId, AgentReport>,
+    /// LRU bookkeeping: use-ordered sequence → agent, and the inverse.
+    lru: BTreeMap<u64, AgentId>,
+    lru_pos: BTreeMap<AgentId, u64>,
+    use_seq: u64,
+    report_cap: usize,
+    /// Ids of every agent whose completion this driver has seen. Settle
+    /// detection reads this, not the report cache, so evicting a bulky
+    /// report never makes a finished agent look unfinished. Entries are a
+    /// few bytes each and [`Platform::forget`] releases them.
+    completed: BTreeSet<AgentId>,
 }
 
 impl Platform {
-    pub(crate) fn new(world: World) -> Self {
+    pub(crate) fn with_report_cache_cap(world: World, report_cap: usize) -> Self {
         Platform {
             world,
             next_agent: 1,
             homes: BTreeMap::new(),
             reports: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            lru_pos: BTreeMap::new(),
+            use_seq: 0,
+            report_cap: report_cap.max(1),
+            completed: BTreeSet::new(),
         }
+    }
+
+    /// Marks `agent` as most recently used in the report cache.
+    fn touch_report(&mut self, agent: AgentId) {
+        if let Some(old) = self.lru_pos.remove(&agent) {
+            self.lru.remove(&old);
+        }
+        let seq = self.use_seq;
+        self.use_seq += 1;
+        self.lru.insert(seq, agent);
+        self.lru_pos.insert(agent, seq);
+    }
+
+    /// Inserts a freshly drained report, evicting the least recently used
+    /// entries once the cap is exceeded. Evicted reports are gone for good
+    /// (their stable artifacts were garbage-collected on drain); the
+    /// `driver.reports_evicted` counter makes that loss observable. Size
+    /// the cap above the number of reports a workload still needs to read.
+    fn cache_report(&mut self, agent: AgentId, report: AgentReport) {
+        self.completed.insert(agent);
+        self.reports.insert(agent, report);
+        self.touch_report(agent);
+        while self.reports.len() > self.report_cap {
+            let Some((&seq, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&seq);
+            self.lru_pos.remove(&victim);
+            self.reports.remove(&victim);
+            self.world.metrics().inc(keys::DRIVER_REPORTS_EVICTED);
+        }
+    }
+
+    /// Releases an agent's cached report (and the driver's memory of its
+    /// home), returning the report if it was still cached. Long-lived
+    /// drivers call this once they are done with a finished agent so the
+    /// cache holds only reports still of interest.
+    pub fn forget(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
+        let agent = agent.into();
+        self.homes.remove(&agent);
+        self.completed.remove(&agent);
+        if let Some(seq) = self.lru_pos.remove(&agent) {
+            self.lru.remove(&seq);
+        }
+        self.reports.remove(&agent)
     }
 
     /// Launches an agent, returning its handle. The agent starts processing
@@ -163,7 +227,7 @@ impl Platform {
                 if let Some(report) = report {
                     self.gc_report_artifacts(node, report.finished_node, raw_id);
                     self.world.metrics_mut().inc(keys::DRIVER_REPORTS_GC);
-                    self.reports.insert(agent, report.clone());
+                    self.cache_report(agent, report.clone());
                     fresh.push(report);
                 }
             }
@@ -208,13 +272,13 @@ impl Platform {
         let mut pending: Vec<AgentId> = agents
             .iter()
             .map(|h| h.id)
-            .filter(|id| !self.reports.contains_key(id))
+            .filter(|id| !self.completed.contains(id))
             .collect();
         let end = self.world.now() + deadline;
         while !pending.is_empty() && self.world.now() < end {
             self.world.run_for(SETTLE_TICK);
             self.drain_reports();
-            pending.retain(|id| !self.reports.contains_key(id));
+            pending.retain(|id| !self.completed.contains(id));
         }
         pending.is_empty()
     }
@@ -230,7 +294,9 @@ impl Platform {
     pub fn report(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
         let agent = agent.into();
         if let Some(r) = self.reports.get(&agent) {
-            return Some(r.clone());
+            let r = r.clone();
+            self.touch_report(agent);
+            return Some(r);
         }
         if self.homes.contains_key(&agent) {
             self.drain_reports();

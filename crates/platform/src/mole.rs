@@ -13,7 +13,7 @@
 //! stable storage — queue items, RM snapshots, decision/prepared records.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mar_core::comp::CompOpRegistry;
 use mar_core::{
@@ -142,6 +142,11 @@ pub mod keys {
     /// the report: the home `report/<id>` copy, the completing node's
     /// `done/<id>` record and its outbox entry — one increment per agent.
     pub const DRIVER_REPORTS_GC: &str = "driver.reports_gc";
+    /// Cached reports dropped by the driver's LRU cap
+    /// ([`PlatformBuilder::report_cache_cap`](crate::PlatformBuilder::report_cache_cap));
+    /// a non-zero value means some finished agents' reports are no longer
+    /// retrievable from memory.
+    pub const DRIVER_REPORTS_EVICTED: &str = "driver.reports_evicted";
     /// Queue items served from the node's volatile resident-record cache —
     /// steps that decoded nothing at all.
     pub const RESIDENT_HITS: &str = "resident.hits";
@@ -262,8 +267,8 @@ enum NextHop {
 /// The per-node runtime service.
 pub struct MoleService {
     cfg: MoleCfg,
-    behaviors: Rc<BehaviorRegistry>,
-    comps: Rc<CompOpRegistry>,
+    behaviors: Arc<BehaviorRegistry>,
+    comps: Arc<CompOpRegistry>,
     rms: RmRegistry,
     idgen: Option<TxnIdGen>,
     co: Coordinator,
@@ -295,8 +300,8 @@ impl MoleService {
     /// Creates the runtime with its resources and shared registries.
     pub fn new(
         cfg: MoleCfg,
-        behaviors: Rc<BehaviorRegistry>,
-        comps: Rc<CompOpRegistry>,
+        behaviors: Arc<BehaviorRegistry>,
+        comps: Arc<CompOpRegistry>,
         rms: RmRegistry,
     ) -> Self {
         MoleService {

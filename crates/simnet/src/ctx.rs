@@ -38,7 +38,7 @@ pub struct Ctx<'a> {
     pub(crate) epoch: u64,
     pub(crate) stable: &'a mut StableStore,
     pub(crate) rng: &'a mut SimRng,
-    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) metrics: &'a Metrics,
     pub(crate) trace: &'a mut Trace,
     pub(crate) timer_seq: &'a mut u64,
     pub(crate) commands: &'a mut Vec<Command>,
@@ -60,13 +60,14 @@ impl Ctx<'_> {
         Address::new(self.node, self.service)
     }
 
-    /// Deterministic random number generator (a single world-wide stream).
+    /// Deterministic random number generator (a per-node stream, so draws
+    /// are independent of how nodes are partitioned into shards).
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 
     /// Metrics registry for custom counters.
-    pub fn metrics(&mut self) -> &mut Metrics {
+    pub fn metrics(&self) -> &Metrics {
         self.metrics
     }
 
@@ -96,7 +97,9 @@ impl Ctx<'_> {
     /// Schedules `on_timer(tag)` after `delay`. The timer dies if the node
     /// crashes before it fires.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.timer_seq);
+        // Timer ids are scoped to the owning node so they are unique (and
+        // stable) regardless of the shard layout.
+        let id = TimerId(((self.node.0 as u64) << 40) | *self.timer_seq);
         *self.timer_seq += 1;
         self.commands.push(Command::SetTimer {
             node: self.node,

@@ -1,7 +1,11 @@
 //! The kernel event queue.
 //!
-//! Events are totally ordered by `(time, sequence number)`; the sequence
-//! number breaks ties in insertion order, which makes runs reproducible.
+//! Events are totally ordered by `(time, origin, seq)`: the virtual time the
+//! event is due, the id of the node whose callback created it (the driver
+//! uses a reserved origin), and a per-origin sequence number. The key is a
+//! property of the event's *cause*, not of queue insertion order, so the
+//! global order is identical no matter how nodes are partitioned into
+//! shards — the foundation of the sharded runtime's determinism guarantee.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -12,6 +16,15 @@ use crate::time::SimTime;
 /// Identifier of a timer set through [`crate::Ctx::set_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
+
+/// Origin id used for events scheduled by the driver (world API calls)
+/// rather than by a node's callback. Sorts after every real node at equal
+/// times, which matches the old global insertion order: driver schedules
+/// happen between runs, never between same-instant node events.
+pub(crate) const DRIVER_ORIGIN: u64 = u64::MAX;
+
+/// Total order key of a scheduled event: `(time, origin, per-origin seq)`.
+pub(crate) type EventKey = (SimTime, u64, u64);
 
 #[derive(Debug)]
 pub(crate) enum Event {
@@ -41,14 +54,13 @@ pub(crate) enum Event {
 
 #[derive(Debug)]
 struct HeapItem {
-    at: SimTime,
-    seq: u64,
+    key: EventKey,
     event: Event,
 }
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for HeapItem {}
@@ -62,15 +74,14 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
-/// Min-heap of pending events keyed by (time, insertion order).
+/// Min-heap of pending events keyed by `(time, origin, seq)`.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<HeapItem>,
-    seq: u64,
 }
 
 impl EventQueue {
@@ -78,18 +89,20 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    pub fn push(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(HeapItem { at, seq, event });
+    pub fn push(&mut self, key: EventKey, event: Event) {
+        self.heap.push(HeapItem { key, event });
     }
 
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|i| (i.at, i.event))
+    pub fn pop(&mut self) -> Option<(EventKey, Event)> {
+        self.heap.pop().map(|i| (i.key, i.event))
+    }
+
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|i| i.key)
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|i| i.at)
+        self.heap.peek().map(|i| i.key.0)
     }
 
     pub fn len(&self) -> usize {
@@ -110,37 +123,44 @@ mod tests {
         Event::NodeDown { node: NodeId(node) }
     }
 
+    fn key(us: u64, origin: u64, seq: u64) -> EventKey {
+        (SimTime::from_micros(us), origin, seq)
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(5), dummy(1));
-        q.push(SimTime::from_micros(1), dummy(2));
-        q.push(SimTime::from_micros(3), dummy(3));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_micros())).collect();
+        q.push(key(5, 0, 0), dummy(1));
+        q.push(key(1, 0, 1), dummy(2));
+        q.push(key(3, 0, 2), dummy(3));
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop().map(|(k, _)| k.0.as_micros())).collect();
         assert_eq!(order, [1, 3, 5]);
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
+    fn ties_break_by_origin_then_seq() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_micros(7);
-        q.push(t, dummy(10));
-        q.push(t, dummy(20));
-        match q.pop().unwrap().1 {
-            Event::NodeDown { node } => assert_eq!(node, NodeId(10)),
-            other => panic!("unexpected {other:?}"),
-        }
-        match q.pop().unwrap().1 {
-            Event::NodeDown { node } => assert_eq!(node, NodeId(20)),
-            other => panic!("unexpected {other:?}"),
-        }
+        q.push(key(7, 2, 0), dummy(10));
+        q.push(key(7, 1, 5), dummy(20));
+        q.push(key(7, 1, 2), dummy(30));
+        q.push(key(7, DRIVER_ORIGIN, 0), dummy(40));
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::NodeDown { node } => node.0,
+                other => panic!("unexpected {other:?}"),
+            })
+        })
+        .collect();
+        assert_eq!(order, [30, 20, 10, 40]);
     }
 
     #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(2), dummy(1));
+        q.push(key(2, 0, 0), dummy(1));
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(q.peek_key(), Some(key(2, 0, 0)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
     }

@@ -8,7 +8,7 @@
 //! and how the system behaves under *non-lasting* node and network crashes.
 //! This kernel reproduces exactly those quantities:
 //!
-//! * [`World`] — single-threaded event kernel with virtual [`SimTime`];
+//! * [`World`] — sharded deterministic event kernel with virtual [`SimTime`];
 //!   total event order ⇒ bit-for-bit reproducible runs.
 //! * [`Service`] — message-driven state machines hosted on nodes; volatile
 //!   state dies with the node, and is rebuilt from a factory on recovery.
@@ -65,4 +65,4 @@ pub use rng::SimRng;
 pub use stable::StableStore;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceKind, TraceRecord};
-pub use world::{World, WorldConfig};
+pub use world::{ShardProfile, World, WorldConfig};

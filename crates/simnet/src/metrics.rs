@@ -1,11 +1,19 @@
 //! Counters and histograms collected during a simulation run.
 //!
 //! Every experiment in EXPERIMENTS.md is computed from a [`MetricsSnapshot`],
-//! so metric updates must be deterministic (they are: the kernel is
-//! single-threaded and event order is total).
+//! so metric updates must be deterministic. Under the sharded runtime each
+//! shard records into its own registry and the kernel folds them in shard
+//! order at run boundaries, so totals are independent of thread timing.
+//!
+//! The registry itself uses interior mutability (atomic counters behind a
+//! read-mostly lock), so recording needs only `&self`: read-only probe paths
+//! such as [`crate::World::service`] and the platform driver can count their
+//! own work without exclusive access to the world.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -49,13 +57,21 @@ impl HistSummary {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
+
+    fn merge(&mut self, other: &HistSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
-/// Mutable metrics registry owned by the simulation world.
-#[derive(Debug, Clone, Default)]
+/// Metrics registry owned by the simulation world (one per shard plus the
+/// world-level fold target). Recording takes `&self`.
+#[derive(Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, HistSummary>,
+    counters: RwLock<BTreeMap<String, AtomicU64>>,
+    hists: Mutex<BTreeMap<String, HistSummary>>,
 }
 
 impl Metrics {
@@ -65,45 +81,123 @@ impl Metrics {
     }
 
     /// Adds `n` to the named counter.
-    pub fn add(&mut self, name: &str, n: u64) {
+    pub fn add(&self, name: &str, n: u64) {
         if n == 0 {
             return;
         }
-        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+        {
+            // Fast path: the counter exists; no allocation, shared lock.
+            let counters = self.counters.read().expect("metrics lock");
+            if let Some(c) = counters.get(name) {
+                c.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut counters = self.counters.write().expect("metrics lock");
+        counters
+            .entry(name.to_owned())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Increments the named counter by one.
-    pub fn inc(&mut self, name: &str) {
+    pub fn inc(&self, name: &str) {
         self.add(name, 1);
     }
 
     /// Records an observation in the named histogram.
-    pub fn observe(&mut self, name: &str, v: f64) {
-        self.hists.entry(name.to_owned()).or_default().observe(v);
+    pub fn observe(&self, name: &str, v: f64) {
+        self.hists
+            .lock()
+            .expect("metrics lock")
+            .entry(name.to_owned())
+            .or_default()
+            .observe(v);
     }
 
     /// Current value of a counter (zero if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
-    /// Current summary for a histogram, if any observation was made.
-    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
-        self.hists.get(name)
+    /// Current summary of a histogram, if any observation was made.
+    pub fn hist(&self, name: &str) -> Option<HistSummary> {
+        self.hists.lock().expect("metrics lock").get(name).copied()
     }
 
     /// Freezes the current state into an immutable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self.counters.clone(),
-            hists: self.hists.clone(),
+            counters: self
+                .counters
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            hists: self.hists.lock().expect("metrics lock").clone(),
         }
     }
 
     /// Resets all counters and histograms.
-    pub fn clear(&mut self) {
-        self.counters.clear();
-        self.hists.clear();
+    pub fn clear(&self) {
+        self.counters.write().expect("metrics lock").clear();
+        self.hists.lock().expect("metrics lock").clear();
+    }
+
+    /// Moves every count and observation out of `other` into `self` (the
+    /// deterministic shard fold: counter addition and histogram merging are
+    /// commutative, and the kernel folds shards in id order).
+    pub(crate) fn absorb(&self, other: &Metrics) {
+        let drained: Vec<(String, u64)> = {
+            let mut counters = other.counters.write().expect("metrics lock");
+            let drained = counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .filter(|(_, v)| *v > 0)
+                .collect();
+            counters.clear();
+            drained
+        };
+        for (k, v) in drained {
+            self.add(&k, v);
+        }
+        let hists = std::mem::take(&mut *other.hists.lock().expect("metrics lock"));
+        if !hists.is_empty() {
+            let mut own = self.hists.lock().expect("metrics lock");
+            for (k, h) in hists {
+                own.entry(k).or_default().merge(&h);
+            }
+        }
+    }
+}
+
+impl Clone for Metrics {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        let m = Metrics::new();
+        for (k, v) in &snap.counters {
+            m.add(k, *v);
+        }
+        *m.hists.lock().expect("metrics lock") = snap.hists;
+        m
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Metrics")
+            .field(
+                "counters",
+                &self.counters.read().expect("metrics lock").len(),
+            )
+            .field("hists", &self.hists.lock().expect("metrics lock").len())
+            .finish()
     }
 }
 
@@ -178,6 +272,8 @@ pub mod keys {
     pub const TIMERS_FIRED: &str = "kernel.timers_fired";
     /// Events processed by the kernel.
     pub const EVENTS: &str = "kernel.events";
+    /// Windows executed by the sharded runtime (0 in sequential runs).
+    pub const WINDOWS: &str = "kernel.windows";
 }
 
 #[cfg(test)]
@@ -186,7 +282,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.inc("a");
         m.add("a", 2);
         m.add("a", 0);
@@ -195,8 +291,18 @@ mod tests {
     }
 
     #[test]
+    fn recording_needs_only_a_shared_reference() {
+        let m = Metrics::new();
+        let r: &Metrics = &m;
+        r.inc("probe");
+        r.observe("h", 1.5);
+        assert_eq!(r.counter("probe"), 1);
+        assert_eq!(r.hist("h").unwrap().count, 1);
+    }
+
+    #[test]
     fn histogram_summary() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.observe("h", 1.0);
         m.observe("h", 3.0);
         let h = m.hist("h").unwrap();
@@ -206,8 +312,28 @@ mod tests {
     }
 
     #[test]
+    fn absorb_moves_and_merges() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.add("y", 5);
+        b.observe("h", 2.0);
+        a.observe("h", 4.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        let h = a.hist("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (2.0, 4.0));
+        // `b` was drained.
+        assert_eq!(b.counter("x"), 0);
+        assert!(b.hist("h").is_none());
+    }
+
+    #[test]
     fn snapshot_delta() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.add("x", 5);
         let before = m.snapshot();
         m.add("x", 2);
@@ -220,7 +346,7 @@ mod tests {
 
     #[test]
     fn snapshot_serializes() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.inc("k");
         m.observe("h", 2.5);
         let snap = m.snapshot();
@@ -231,7 +357,7 @@ mod tests {
 
     #[test]
     fn display_contains_names() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.inc("some.counter");
         let text = m.snapshot().to_string();
         assert!(text.contains("some.counter"));

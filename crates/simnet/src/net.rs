@@ -59,6 +59,17 @@ impl LatencyModel {
         }
     }
 
+    /// Guaranteed lower bound on any sampled inter-node latency: the base
+    /// cost scaled by the worst-case jitter factor. Every possible
+    /// [`LatencyModel::sample`] result is `>=` this value (payload cost is
+    /// non-negative and the jitter factor is at least `1 - jitter`), so the
+    /// sharded runtime can use it as conservative lookahead: a message sent
+    /// at time `t` to another node is never due before `t + min_latency()`.
+    pub fn min_latency(&self) -> SimDuration {
+        let worst = (1.0 - self.jitter).max(0.0);
+        SimDuration::from_micros((self.base.as_micros() as f64 * worst).floor() as u64)
+    }
+
     /// Samples the latency for a message of `bytes` payload bytes.
     pub fn sample(&self, bytes: usize, rng: &mut SimRng) -> SimDuration {
         let total_bytes = (bytes + MSG_OVERHEAD_BYTES) as u64;
@@ -187,6 +198,20 @@ mod tests {
         assert!(large > small);
         // base(1000) + 100 * (100 + 32) / 1024 = 1012us
         assert_eq!(small.as_micros(), 1_012);
+    }
+
+    #[test]
+    fn min_latency_bounds_all_samples() {
+        let m = LatencyModel::lan();
+        assert_eq!(m.min_latency().as_micros(), 900);
+        let mut rng = SimRng::seed_from(9);
+        for i in 0..500 {
+            let s = m.sample(i * 37, &mut rng);
+            assert!(s >= m.min_latency(), "sample {s:?} below lookahead bound");
+        }
+        // Zero-jitter model: bound is exactly the base.
+        let f = LatencyModel::fixed(SimDuration::from_millis(2), SimDuration::ZERO);
+        assert_eq!(f.min_latency(), SimDuration::from_millis(2));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::ctx::Ctx;
+use crate::rng::SimRng;
 use crate::stable::StableStore;
 
 /// Identifier of a simulated node.
@@ -74,8 +75,9 @@ impl fmt::Display for Address {
 /// A message-driven state machine hosted on a node.
 ///
 /// Services must be `Any` so tests and drivers can downcast them via
-/// [`crate::World::service_mut`].
-pub trait Service: Any {
+/// [`crate::World::service_mut`], and `Send` so nodes can be partitioned
+/// across worker-thread shards.
+pub trait Service: Any + Send {
     /// Handles a message delivered to this service.
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Address, payload: &[u8]);
 
@@ -89,7 +91,7 @@ pub trait Service: Any {
 }
 
 /// Factory used to (re)build a service instance at start and after a crash.
-pub type ServiceFactory = Box<dyn Fn() -> Box<dyn Service>>;
+pub type ServiceFactory = Box<dyn Fn() -> Box<dyn Service> + Send>;
 
 pub(crate) struct NodeSlot {
     pub id: NodeId,
@@ -99,10 +101,18 @@ pub(crate) struct NodeSlot {
     pub services: BTreeMap<&'static str, Box<dyn Service>>,
     pub factories: Vec<(&'static str, ServiceFactory)>,
     pub stable: StableStore,
+    /// Per-node deterministic RNG stream, derived from the world seed and
+    /// the node id only — invariant under resharding.
+    pub rng: SimRng,
+    /// Per-node counter for event keys of events this node's callbacks
+    /// create. Never reset (not even by a crash) so keys stay unique.
+    pub event_seq: u64,
+    /// Per-node counter for timer ids. Never reset.
+    pub timer_seq: u64,
 }
 
 impl NodeSlot {
-    pub fn new(id: NodeId) -> Self {
+    pub fn new(id: NodeId, rng: SimRng) -> Self {
         NodeSlot {
             id,
             up: true,
@@ -110,7 +120,17 @@ impl NodeSlot {
             services: BTreeMap::new(),
             factories: Vec::new(),
             stable: StableStore::new(),
+            rng,
+            event_seq: 0,
+            timer_seq: 0,
         }
+    }
+
+    /// Takes the next per-origin event sequence number.
+    pub fn next_event_seq(&mut self) -> u64 {
+        let s = self.event_seq;
+        self.event_seq += 1;
+        s
     }
 
     /// Destroys volatile state (crash).
@@ -154,7 +174,7 @@ mod tests {
 
     #[test]
     fn crash_clears_services_and_bumps_epoch() {
-        let mut slot = NodeSlot::new(NodeId(1));
+        let mut slot = NodeSlot::new(NodeId(1), SimRng::seed_from(0));
         slot.factories.push(("svc", Box::new(|| Box::new(Nop))));
         slot.rebuild();
         assert!(slot.services.contains_key("svc"));

@@ -126,6 +126,31 @@ impl Trace {
         &self.records
     }
 
+    /// Drains all records, leaving the trace empty but enabled. Used by the
+    /// sharded runtime to move per-shard records into the global merge
+    /// buffer after each event.
+    pub(crate) fn take_records(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Appends an already-built record, subject to the cap. Used when
+    /// folding shard-local records into the world trace.
+    pub(crate) fn push_record(&mut self, rec: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(rec);
+    }
+
+    /// Adds externally counted drops (shard-local cap overflow).
+    pub(crate) fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
     /// Number of records that did not fit under the cap.
     pub fn dropped(&self) -> u64 {
         self.dropped

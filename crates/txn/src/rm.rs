@@ -27,7 +27,9 @@ pub struct OpCtx {
 ///
 /// Implementations keep their state in a [`crate::TxStore`] (or anything
 /// with equivalent undo/lock semantics) so that `abort` really reverts.
-pub trait ResourceManager {
+/// Managers must be `Send`: the hosting node may be processed by any of the
+/// simulator's worker-thread shards.
+pub trait ResourceManager: Send {
     /// The resource's registry name (unique per node), e.g. `"bank"`.
     fn name(&self) -> &str;
 
