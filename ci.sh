@@ -32,6 +32,11 @@ echo "==> shard equivalence: platform + kernel suites at shards {1,2,4}"
 cargo test -p mar-platform --test shard_equivalence_props -q
 cargo test -p mar-simnet shard -q
 
+echo "==> stable backends: conformance + crash-injection suites, all backends"
+cargo test -p mar-simnet --test backend_conformance -q
+cargo test -p mar-simnet --test backend_crash_props -q
+cargo test -p mar-platform --test stable_backend_props -q
+
 echo "==> example smoke stage (all five examples, release)"
 for ex in quickstart travel_agency ecommerce_cash systems_management failure_storm; do
     echo "    --example $ex"
@@ -64,7 +69,9 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -q -p mar-bench --bin bench_diff -- \
         "$baseline_dir/BENCH_macro.json" BENCH_macro.json --max-regression 3.0 \
         --require "e1_forward/" --require "e9_resident/" --require "e8_fleet/" \
-        --min-derived "e8_fleet/agents1000/speedup_shards4:2.0"
+        --require "e10_stable/" \
+        --min-derived "e8_fleet/agents1000/speedup_shards4:2.0" \
+        --min-derived "e10_stable/steady_state/commit_reduction:4.9"
 fi
 
 echo "ci: all green"

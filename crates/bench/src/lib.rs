@@ -11,6 +11,7 @@ use mar_platform::{
 };
 use mar_resources::ops::{ConvertCash, Transfer};
 use mar_resources::{BankRm, ExchangeRm};
+pub use mar_simnet::{BackendStats, StableFactory, WalConfig};
 use mar_simnet::{LatencyModel, MetricsSnapshot, NodeId, SimDuration};
 use mar_txn::{RmRegistry, TxnError};
 use mar_wire::Value;
@@ -110,6 +111,9 @@ pub struct Scenario {
     /// Keep decoded agent records resident in volatile node memory between
     /// same-node steps (the E9 experiment toggle; platform default is on).
     pub resident_cache: bool,
+    /// Stable-storage backend every node is built with (the E10 experiment
+    /// axis; the default is the reference in-memory model).
+    pub stable: StableFactory,
 }
 
 impl Scenario {
@@ -133,6 +137,7 @@ impl Scenario {
             batch: true,
             cost_routing: false,
             resident_cache: true,
+            stable: StableFactory::reference(),
         }
     }
 
@@ -239,6 +244,12 @@ impl Scenario {
         self
     }
 
+    /// Selects the stable-storage backend (E10 experiment axis).
+    pub fn with_stable_backend(mut self, stable: StableFactory) -> Scenario {
+        self.stable = stable;
+        self
+    }
+
     /// A forward-only scenario: `depth` steps with `sro_pad` bytes of SRO
     /// growth per step.
     pub fn forward(depth: usize, nodes: u32, sro_pad: usize, seed: u64) -> Scenario {
@@ -310,6 +321,7 @@ impl Scenario {
             .compact_on_transfer(self.compact)
             .batch_rollback(self.batch)
             .resident_cache(self.resident_cache)
+            .stable_backend(self.stable.clone())
             .rollback_routing(if self.cost_routing {
                 mar_platform::RollbackRouting::CostModel
             } else {
@@ -401,6 +413,9 @@ pub struct FleetScenario {
     /// mailbox drain serializes on the home's shard; spreading the homes is
     /// what a deployment that wants kernel-level parallelism would do.
     pub home_spread: bool,
+    /// Stable-storage backend every node is built with (the E10 experiment
+    /// axis; the default is the reference in-memory model).
+    pub stable: StableFactory,
 }
 
 impl FleetScenario {
@@ -414,6 +429,7 @@ impl FleetScenario {
             .seed(self.seed)
             .resident_cache(self.resident_cache)
             .shards(self.shards)
+            .stable_backend(self.stable.clone())
             .behavior("bench", BenchAgent);
         for n in 1..self.nodes {
             b = b.resources(NodeId(n), move || {
@@ -585,6 +601,7 @@ mod tests {
             resident_cache: true,
             shards: 1,
             home_spread: false,
+            stable: StableFactory::reference(),
         }
         .run();
         assert_eq!(stats.completed, 100);
@@ -676,6 +693,28 @@ mod tests {
                 assert!(batched.bytes_rbk < unbatched.bytes_rbk);
             }
         }
+    }
+
+    #[test]
+    fn wal_backend_is_invisible_to_scenarios() {
+        let base = Scenario::forward(12, 4, 256, 3);
+        let reference = base.clone().run();
+        let wal = base
+            .with_stable_backend(StableFactory::wal(WalConfig::default()))
+            .run();
+        assert_eq!(reference.final_record, wal.final_record);
+        assert_eq!(reference.sim_us, wal.sim_us);
+        for key in ["stable.writes", "stable.bytes_written", "stable.commits"] {
+            assert_eq!(
+                reference.metrics.counter(key),
+                wal.metrics.counter(key),
+                "{key} diverges across backends"
+            );
+        }
+        let writes = wal.metrics.counter("stable.writes");
+        let commits = wal.metrics.counter("stable.commits");
+        eprintln!("stable.writes={writes} stable.commits={commits}");
+        assert!(commits > 0 && commits < writes, "group commit must batch");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use mar_core::comp::CompOpRegistry;
 use mar_core::{DataSpace, LoggingMode, RollbackMode};
 use mar_itinerary::Itinerary;
-use mar_simnet::{LatencyModel, NodeId, World, WorldConfig};
+use mar_simnet::{LatencyModel, NodeId, StableFactory, World, WorldConfig};
 use mar_txn::RmRegistry;
 
 use crate::behavior::BehaviorRegistry;
@@ -84,6 +84,7 @@ pub struct PlatformBuilder {
     resources: BTreeMap<u32, Arc<dyn Fn() -> RmRegistry + Send + Sync>>,
     shards: usize,
     report_cache_cap: usize,
+    stable: StableFactory,
     errors: Vec<BuildError>,
 }
 
@@ -105,8 +106,18 @@ impl PlatformBuilder {
             resources: BTreeMap::new(),
             shards: 1,
             report_cache_cap: crate::driver::DEFAULT_REPORT_CACHE_CAP,
+            stable: StableFactory::default(),
             errors: Vec::new(),
         }
+    }
+
+    /// Selects the stable-storage backend every node uses. The default is
+    /// the reference in-memory backend; [`StableFactory::wal`] swaps in the
+    /// log-structured group-commit backend. Any conformant backend yields
+    /// byte-identical runs — only write-cost metrics change.
+    pub fn stable_backend(mut self, stable: StableFactory) -> Self {
+        self.stable = stable;
+        self
     }
 
     /// Partitions the simulated nodes across `n` worker-thread shards.
@@ -254,6 +265,7 @@ impl PlatformBuilder {
         cfg.latency = self.latency;
         cfg.trace = self.trace;
         cfg.shards = self.shards;
+        cfg.stable = self.stable;
         let mut world = World::new(cfg);
         let behaviors = Arc::new(self.behaviors);
         let comps = Arc::new(self.comps);

@@ -37,6 +37,7 @@ mod stepctx;
 pub use behavior::{AgentBehavior, BehaviorRegistry, DuplicateBehavior, StepDecision};
 pub use builder::{AgentSpec, BuildError, PlatformBuilder};
 pub use driver::{AgentHandle, Platform};
+pub use mar_simnet::{StableFactory, WalConfig};
 pub use mole::{keys as metric_keys, MoleCfg, MoleService, RollbackRouting, MOLE};
 pub use msg::{AgentReport, MoleMsg, RceList, ReportOutcome};
 pub use stepctx::{RmAccess, StepCtx};

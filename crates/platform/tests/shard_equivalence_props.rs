@@ -13,96 +13,24 @@
 //!
 //! This is the determinism contract of the sharded runtime: event order is
 //! derived from `(virtual time, origin node, per-origin sequence)`, which
-//! never mentions the shard layout.
+//! never mentions the shard layout. The invariant is checked on the
+//! reference stable backend *and* on the WAL backend — backend choice and
+//! shard layout must be independent axes.
+
+mod common;
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use mar_core::{LoggingMode, RollbackMode, RollbackScope};
-use mar_platform::{AgentBehavior, AgentSpec, Platform, PlatformBuilder, StepCtx, StepDecision};
-use mar_resources::ops::Transfer;
-use mar_resources::BankRm;
-use mar_simnet::{NodeId, SimDuration, SimTime, TraceRecord};
-use mar_txn::{RmRegistry, TxnError};
-use mar_wire::Value;
+use common::{
+    build_platform, gen_agents, gen_crashes, launch_agents, schedule_crashes, stable_dump,
+    strip_engine_counters, GenAgent, GenCrash,
+};
+use mar_simnet::{SimDuration, StableFactory, TraceRecord, WalConfig};
 
 const NODES: u32 = 6;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
-
-/// Step-name-scripted agent: `rce` transfers and logs an RCE, `sp`
-/// transfers and requests a savepoint, `rbk` rolls the sub back once.
-struct Scripted;
-
-impl AgentBehavior for Scripted {
-    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
-        let base = method.split('#').next().unwrap_or(method);
-        match base {
-            "rce" => {
-                ctx.invoke(&Transfer::new("ledger", "reserve", "sink", 7))?;
-                Ok(StepDecision::Continue)
-            }
-            "sp" => {
-                ctx.invoke(&Transfer::new("ledger", "reserve", "sink", 3))?;
-                ctx.request_savepoint();
-                Ok(StepDecision::Continue)
-            }
-            "rbk" => {
-                if ctx.wro("rolled").and_then(Value::as_bool).unwrap_or(false) {
-                    Ok(StepDecision::Continue)
-                } else {
-                    ctx.rollback_memo("rolled", Value::Bool(true));
-                    Ok(StepDecision::Rollback(RollbackScope::CurrentSub))
-                }
-            }
-            other => Ok(StepDecision::Fail(format!("unknown step {other}"))),
-        }
-    }
-}
-
-/// One generated agent: home node, per-step (kind, node) script, and
-/// whether the script ends in a rollback step.
-#[derive(Debug, Clone)]
-struct GenAgent {
-    home: u32,
-    steps: Vec<(u8, u32)>,
-    rollback: bool,
-}
-
-/// One generated crash: node, crash time, and outage length (virtual ms).
-#[derive(Debug, Clone, Copy)]
-struct GenCrash {
-    node: u32,
-    at_ms: u64,
-    down_ms: u64,
-}
-
-fn step_name(kind: u8, i: usize) -> String {
-    match kind % 3 {
-        0 => format!("rce#{i}"),
-        1 => format!("sp#{i}"),
-        _ => format!("rce#{i}"),
-    }
-}
-
-fn build_platform(seed: u64, shards: usize) -> Platform {
-    let mut b = PlatformBuilder::new(NODES as usize)
-        .seed(seed)
-        .shards(shards)
-        .behavior("scripted", Scripted);
-    for n in 1..NODES {
-        b = b.resources(NodeId(n), move || {
-            let mut rms = RmRegistry::new();
-            rms.register(Box::new(
-                BankRm::new("ledger", false)
-                    .with_account("sink", 0)
-                    .with_account("reserve", 100_000),
-            ));
-            rms
-        });
-    }
-    b.build()
-}
 
 /// Everything observable about a finished run.
 #[derive(Debug, PartialEq)]
@@ -117,49 +45,22 @@ struct RunFingerprint {
     trace: Vec<TraceRecord>,
 }
 
-/// Counters whose values legitimately depend on the engine (sequential vs
-/// windowed) rather than on the simulated scenario.
-fn strip_engine_counters(mut counters: BTreeMap<String, u64>) -> BTreeMap<String, u64> {
-    counters.remove(mar_simnet::metric_keys::WINDOWS);
-    counters
-}
-
 /// Runs the generated fleet scenario to quiescence on `shards` shards.
-fn run(seed: u64, agents: &[GenAgent], crashes: &[GenCrash], shards: usize) -> RunFingerprint {
-    let mut p = build_platform(seed, shards);
+fn run(
+    seed: u64,
+    agents: &[GenAgent],
+    crashes: &[GenCrash],
+    shards: usize,
+    stable: &StableFactory,
+) -> RunFingerprint {
+    let mut p = build_platform(NODES, seed, shards, true, stable);
 
     // Crash/recovery events are injected by the driver *before* the run, so
     // the schedule itself is trivially shard-independent; what the test
     // checks is that their consequences (dropped messages, recovery
     // replays, retries) are too.
-    for c in crashes {
-        let node = NodeId(1 + c.node % (NODES - 1));
-        let at = SimTime::from_micros(c.at_ms * 1000);
-        let back = SimTime::from_micros((c.at_ms + c.down_ms) * 1000);
-        p.world_mut().schedule_crash(at, node);
-        p.world_mut().schedule_recover(back, node);
-    }
-
-    let mut handles = Vec::new();
-    for (ai, a) in agents.iter().enumerate() {
-        let it = {
-            let mut b = mar_itinerary::ItineraryBuilder::main(format!("I{ai}"));
-            b = b.sub("S", |s| {
-                for (i, &(kind, node)) in a.steps.iter().enumerate() {
-                    s.step(step_name(kind, i), 1 + node % (NODES - 1));
-                }
-                if a.rollback {
-                    let last = a.steps.last().map_or(1, |&(_, n)| 1 + n % (NODES - 1));
-                    s.step(format!("rbk#{}", a.steps.len()), last);
-                }
-            });
-            b.build().expect("valid generated itinerary")
-        };
-        let mut spec = AgentSpec::new("scripted", NodeId(a.home % NODES), it);
-        spec.logging = LoggingMode::State;
-        spec.mode = RollbackMode::Optimized;
-        handles.push(p.launch(spec));
-    }
+    schedule_crashes(&mut p, NODES, crashes);
+    let handles = launch_agents(&mut p, NODES, agents);
 
     assert!(
         p.run_until_settled(&handles, SimDuration::from_secs(600)),
@@ -178,18 +79,7 @@ fn run(seed: u64, agents: &[GenAgent], crashes: &[GenCrash], shards: usize) -> R
             )
         })
         .collect();
-    let stable = p
-        .world()
-        .node_ids()
-        .into_iter()
-        .map(|n| {
-            p.world()
-                .stable(n)
-                .iter()
-                .map(|(k, v)| (k.to_owned(), v.to_vec()))
-                .collect()
-        })
-        .collect();
+    let stable = stable_dump(&p);
     let counters = strip_engine_counters(p.snapshot().counters);
     let trace = p.world().trace().records().to_vec();
     RunFingerprint {
@@ -200,53 +90,35 @@ fn run(seed: u64, agents: &[GenAgent], crashes: &[GenCrash], shards: usize) -> R
     }
 }
 
-fn assert_shard_invariant(seed: u64, agents: &[GenAgent], crashes: &[GenCrash]) {
-    let baseline = run(seed, agents, crashes, SHARD_COUNTS[0]);
+fn assert_shard_invariant(
+    seed: u64,
+    agents: &[GenAgent],
+    crashes: &[GenCrash],
+    stable: &StableFactory,
+) {
+    let baseline = run(seed, agents, crashes, SHARD_COUNTS[0], stable);
+    let backend = stable.name();
     for &shards in &SHARD_COUNTS[1..] {
-        let other = run(seed, agents, crashes, shards);
+        let other = run(seed, agents, crashes, shards, stable);
         assert_eq!(
             baseline.reports, other.reports,
-            "agent reports diverge at shards={shards}"
+            "agent reports diverge at shards={shards} ({backend})"
         );
         assert_eq!(
             baseline.counters, other.counters,
-            "counters diverge at shards={shards}"
+            "counters diverge at shards={shards} ({backend})"
         );
         assert_eq!(
             baseline.trace, other.trace,
-            "trace diverges at shards={shards}"
+            "trace diverges at shards={shards} ({backend})"
         );
         for (i, (a, b)) in baseline.stable.iter().zip(&other.stable).enumerate() {
-            assert_eq!(a, b, "stable store diverges on node {i} at shards={shards}");
+            assert_eq!(
+                a, b,
+                "stable store diverges on node {i} at shards={shards} ({backend})"
+            );
         }
     }
-}
-
-fn gen_agents() -> impl Strategy<Value = Vec<GenAgent>> {
-    proptest::collection::vec(
-        (
-            0u32..NODES,
-            proptest::collection::vec((0u8..3, 0u32..(NODES - 1)), 1..5),
-            any::<bool>(),
-        )
-            .prop_map(|(home, steps, rollback)| GenAgent {
-                home,
-                steps,
-                rollback,
-            }),
-        2..5,
-    )
-}
-
-fn gen_crashes() -> impl Strategy<Value = Vec<GenCrash>> {
-    proptest::collection::vec(
-        (0u32..(NODES - 1), 1u64..40, 5u64..60).prop_map(|(node, at_ms, down_ms)| GenCrash {
-            node,
-            at_ms,
-            down_ms,
-        }),
-        0..3,
-    )
 }
 
 proptest! {
@@ -257,16 +129,33 @@ proptest! {
     #[test]
     fn shard_count_never_changes_observable_behaviour(
         seed in 0u64..1_000,
-        agents in gen_agents(),
-        crashes in gen_crashes(),
+        agents in gen_agents(NODES),
+        crashes in gen_crashes(NODES),
     ) {
-        assert_shard_invariant(seed, &agents, &crashes);
+        assert_shard_invariant(seed, &agents, &crashes, &StableFactory::reference());
+    }
+
+    /// The same invariant with the WAL backend substituted: group commit,
+    /// checkpoints, and recovery replay never depend on the shard layout.
+    #[test]
+    fn shard_invariance_holds_on_the_wal_backend(
+        seed in 0u64..1_000,
+        agents in gen_agents(NODES),
+        crashes in gen_crashes(NODES),
+    ) {
+        assert_shard_invariant(
+            seed,
+            &agents,
+            &crashes,
+            &StableFactory::wal(WalConfig::default()),
+        );
     }
 }
 
 /// Deterministic pinned scenario — a fleet with rollbacks and two crashes,
 /// one of which takes down an agent's home — so a regression reproduces
-/// without proptest shrinking.
+/// without proptest shrinking. Runs on both backends, with a tiny WAL
+/// checkpoint threshold so log rollovers happen mid-scenario.
 #[test]
 fn pinned_fleet_with_crashes_is_shard_invariant() {
     let agents = vec![
@@ -298,5 +187,13 @@ fn pinned_fleet_with_crashes_is_shard_invariant() {
             down_ms: 40,
         },
     ];
-    assert_shard_invariant(1234, &agents, &crashes);
+    for stable in [
+        StableFactory::reference(),
+        StableFactory::wal(WalConfig::default()),
+        StableFactory::wal(WalConfig {
+            checkpoint_bytes: 512,
+        }),
+    ] {
+        assert_shard_invariant(1234, &agents, &crashes, &stable);
+    }
 }

@@ -13,94 +13,24 @@
 //!
 //! Crash semantics are the paper's: the cache is volatile, so a node
 //! restart recovers purely from stable bytes — which the splice encoder
-//! keeps byte-identical to the wholesale re-encode.
+//! keeps byte-identical to the wholesale re-encode. The property is checked
+//! on the reference stable backend and re-run with the WAL backend
+//! substituted, since the splice path is exactly the workload group commit
+//! batches.
+
+mod common;
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use mar_core::{LoggingMode, RollbackMode, RollbackScope};
-use mar_platform::{
-    AgentBehavior, AgentSpec, Platform, PlatformBuilder, ReportOutcome, StepCtx, StepDecision,
-};
-use mar_resources::ops::Transfer;
-use mar_resources::BankRm;
-use mar_simnet::{NodeId, SimDuration};
-use mar_txn::{RmRegistry, TxnError};
+use common::{build_platform, stable_dump, step_name, GenStep};
+use mar_core::{LoggingMode, RollbackMode};
+use mar_platform::{AgentSpec, ReportOutcome};
+use mar_simnet::{NodeId, SimDuration, StableFactory, WalConfig};
 use mar_wire::Value;
 
 const NODES: u32 = 4;
-
-/// Step-name-scripted agent: `rce` transfers and logs an RCE, `sro:N` pads
-/// a strongly reversible list, `sp` requests an explicit savepoint, `rbk`
-/// rolls the sub back once.
-struct Scripted;
-
-impl AgentBehavior for Scripted {
-    fn step(&self, method: &str, ctx: &mut StepCtx<'_>) -> Result<StepDecision, TxnError> {
-        let base = method.split('#').next().unwrap_or(method);
-        if let Some(size) = base.strip_prefix("sro:") {
-            let size: usize = size.parse().unwrap_or(0);
-            ctx.sro_push("notes", Value::Bytes(vec![0x5A; size]));
-            return Ok(StepDecision::Continue);
-        }
-        match base {
-            "rce" => {
-                ctx.invoke(&Transfer::new("ledger", "reserve", "sink", 7))?;
-                Ok(StepDecision::Continue)
-            }
-            "sp" => {
-                ctx.invoke(&Transfer::new("ledger", "reserve", "sink", 3))?;
-                ctx.request_savepoint();
-                Ok(StepDecision::Continue)
-            }
-            "rbk" => {
-                if ctx.wro("rolled").and_then(Value::as_bool).unwrap_or(false) {
-                    Ok(StepDecision::Continue)
-                } else {
-                    ctx.rollback_memo("rolled", Value::Bool(true));
-                    Ok(StepDecision::Rollback(RollbackScope::CurrentSub))
-                }
-            }
-            other => Ok(StepDecision::Fail(format!("unknown step {other}"))),
-        }
-    }
-}
-
-/// One generated step: kind index × node.
-#[derive(Debug, Clone, Copy)]
-struct GenStep {
-    kind: u8,
-    node: u32,
-}
-
-fn step_name(s: GenStep, i: usize) -> String {
-    match s.kind % 4 {
-        0 => format!("rce#{i}"),
-        1 => format!("sro:96#{i}"),
-        2 => format!("sp#{i}"),
-        _ => format!("rce#{i}"),
-    }
-}
-
-fn build_platform(seed: u64, cache: bool) -> Platform {
-    let mut b = PlatformBuilder::new(NODES as usize)
-        .seed(seed)
-        .resident_cache(cache)
-        .behavior("scripted", Scripted);
-    for n in 1..NODES {
-        b = b.resources(NodeId(n), move || {
-            let mut rms = RmRegistry::new();
-            rms.register(Box::new(
-                BankRm::new("ledger", false)
-                    .with_account("sink", 0)
-                    .with_account("reserve", 100_000),
-            ));
-            rms
-        });
-    }
-    b.build()
-}
 
 /// Everything durable about a finished run.
 #[derive(Debug, PartialEq)]
@@ -127,13 +57,14 @@ fn run(
     logging: LoggingMode,
     cache: bool,
     crash_after_steps: Option<u64>,
+    stable: &StableFactory,
 ) -> RunFingerprint {
-    let mut p = build_platform(seed, cache);
+    let mut p = build_platform(NODES, seed, 1, cache, stable);
     let it = {
         let mut b = mar_itinerary::ItineraryBuilder::main("I");
         b = b.sub("S", |s| {
             for (i, g) in steps.iter().enumerate() {
-                s.step(step_name(*g, i), g.node);
+                s.step(step_name(g.kind, i), g.node);
             }
             if let Some(at) = rollback_at {
                 s.step(format!("rbk#{}", steps.len()), steps[at % steps.len()].node);
@@ -175,18 +106,7 @@ fn run(
     );
     let report = p.report(agent).expect("report");
     let record_bytes = report.record.to_bytes().expect("record encodes");
-    let stable = p
-        .world()
-        .node_ids()
-        .into_iter()
-        .map(|n| {
-            p.world()
-                .stable(n)
-                .iter()
-                .map(|(k, v)| (k.to_owned(), v.to_vec()))
-                .collect()
-        })
-        .collect();
+    let stable = stable_dump(&p);
     let m = p.snapshot();
     RunFingerprint {
         outcome: report.outcome,
@@ -253,8 +173,9 @@ proptest! {
         let steps: Vec<GenStep> = raw.iter().map(|&(kind, node)| GenStep { kind, node }).collect();
         // `rollback == 0` means "no rollback step".
         let rollback_at = (rollback > 0).then(|| rollback - 1);
-        let on = run(seed, &steps, rollback_at, logging, true, None);
-        let off = run(seed, &steps, rollback_at, logging, false, None);
+        let reference = StableFactory::reference();
+        let on = run(seed, &steps, rollback_at, logging, true, None, &reference);
+        let off = run(seed, &steps, rollback_at, logging, false, None, &reference);
         assert_equivalent(&on, &off, "no-crash");
         prop_assert_eq!(&on.outcome, &ReportOutcome::Completed);
     }
@@ -270,20 +191,18 @@ proptest! {
         logging in prop_oneof![Just(LoggingMode::State), Just(LoggingMode::Transition)],
     ) {
         let steps: Vec<GenStep> = raw.iter().map(|&(kind, node)| GenStep { kind, node }).collect();
-        let on = run(seed, &steps, None, logging, true, Some(crash_after));
-        let off = run(seed, &steps, None, logging, false, Some(crash_after));
+        let reference = StableFactory::reference();
+        let on = run(seed, &steps, None, logging, true, Some(crash_after), &reference);
+        let off = run(seed, &steps, None, logging, false, Some(crash_after), &reference);
         assert_equivalent(&on, &off, "crash");
         prop_assert_eq!(&on.outcome, &ReportOutcome::Completed);
     }
 }
 
-/// Exhaustive (non-random) sweep: one fixed itinerary with consecutive
-/// same-node runs — the cache's best case — crashed after every single
-/// step boundary in turn. Recovery from the spliced bytes must be
-/// byte-equivalent to the decode-every-step control at each boundary.
-#[test]
-fn crash_at_every_step_boundary_recovers_identically() {
-    let steps: Vec<GenStep> = [
+/// The fixed same-node-run itinerary the exhaustive sweeps use: the
+/// resident cache's best case.
+fn sweep_steps() -> Vec<GenStep> {
+    [
         (0u8, 1u32),
         (2, 1),
         (0, 1), // same-node run: resident steps
@@ -293,20 +212,69 @@ fn crash_at_every_step_boundary_recovers_identically() {
     ]
     .iter()
     .map(|&(kind, node)| GenStep { kind, node })
-    .collect();
+    .collect()
+}
+
+/// Exhaustive (non-random) sweep: one fixed itinerary with consecutive
+/// same-node runs crashed after every single step boundary in turn.
+/// Recovery from the spliced bytes must be byte-equivalent to the
+/// decode-every-step control at each boundary, on the given backend.
+fn sweep_every_boundary(stable: &StableFactory) {
+    let steps = sweep_steps();
+    let backend = stable.name();
     for boundary in 0..=(steps.len() as u64) {
-        let on = run(7, &steps, None, LoggingMode::State, true, Some(boundary));
-        let off = run(7, &steps, None, LoggingMode::State, false, Some(boundary));
-        assert_equivalent(&on, &off, &format!("boundary {boundary}"));
-        assert_eq!(on.outcome, ReportOutcome::Completed, "boundary {boundary}");
+        let on = run(
+            7,
+            &steps,
+            None,
+            LoggingMode::State,
+            true,
+            Some(boundary),
+            stable,
+        );
+        let off = run(
+            7,
+            &steps,
+            None,
+            LoggingMode::State,
+            false,
+            Some(boundary),
+            stable,
+        );
+        assert_equivalent(&on, &off, &format!("boundary {boundary} ({backend})"));
+        assert_eq!(
+            on.outcome,
+            ReportOutcome::Completed,
+            "boundary {boundary} ({backend})"
+        );
         assert_eq!(
             on.steps_committed,
             steps.len() as u64,
-            "boundary {boundary}"
+            "boundary {boundary} ({backend})"
         );
         // The equivalence is not vacuous: the same-node runs really were
         // served from the resident cache, and the control never was.
-        assert!(on.resident_hits > 0, "boundary {boundary}: no cache hits");
-        assert_eq!(off.resident_hits, 0, "boundary {boundary}");
+        assert!(
+            on.resident_hits > 0,
+            "boundary {boundary} ({backend}): no cache hits"
+        );
+        assert_eq!(off.resident_hits, 0, "boundary {boundary} ({backend})");
     }
+}
+
+#[test]
+fn crash_at_every_step_boundary_recovers_identically() {
+    sweep_every_boundary(&StableFactory::reference());
+}
+
+/// The same exhaustive sweep with the WAL backend substituted: the spliced
+/// queue writes become group-committed log records, and every step-boundary
+/// crash recovers from checkpoint + replay instead of a map copy.
+#[test]
+fn crash_at_every_step_boundary_recovers_identically_on_wal() {
+    // A small checkpoint threshold makes several checkpoints happen inside
+    // the sweep, so boundaries land before, between, and after rollovers.
+    sweep_every_boundary(&StableFactory::wal(WalConfig {
+        checkpoint_bytes: 4 * 1024,
+    }));
 }

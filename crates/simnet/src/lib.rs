@@ -13,7 +13,10 @@
 //! * [`Service`] — message-driven state machines hosted on nodes; volatile
 //!   state dies with the node, and is rebuilt from a factory on recovery.
 //! * [`StableStore`] — per-node crash-surviving key-value storage (agent
-//!   input queues, transaction decision records).
+//!   input queues, transaction decision records) behind a pluggable
+//!   [`StableBackend`]: the reference in-memory map, or a log-structured
+//!   WAL with group commit, checkpoints, and torn-tail recovery
+//!   ([`stable::wal`]). Select one via [`WorldConfig::stable`].
 //! * [`Network`] / [`LatencyModel`] — size-dependent latencies, link
 //!   outages, partitions.
 //! * [`FailurePlan`] — deterministic crash/outage schedules.
@@ -50,7 +53,7 @@ mod metrics;
 mod net;
 mod node;
 mod rng;
-mod stable;
+pub mod stable;
 mod time;
 mod trace;
 mod world;
@@ -62,7 +65,8 @@ pub use metrics::{keys as metric_keys, HistSummary, Metrics, MetricsSnapshot};
 pub use net::{LatencyModel, Network, MSG_OVERHEAD_BYTES};
 pub use node::{Address, NodeId, Service, ServiceFactory};
 pub use rng::SimRng;
-pub use stable::StableStore;
+pub use stable::{BackendStats, MemBackend, StableBackend, StableFactory, StableStore};
+pub use stable::{WalBackend, WalConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceKind, TraceRecord};
 pub use world::{ShardProfile, World, WorldConfig};

@@ -264,6 +264,9 @@ pub mod keys {
     pub const STABLE_WRITES: &str = "stable.writes";
     /// Stable-storage bytes written.
     pub const STABLE_BYTES: &str = "stable.bytes_written";
+    /// Stable-storage group-commit barriers that contained a mutation (one
+    /// per service callback that wrote, independent of backend and shards).
+    pub const STABLE_COMMITS: &str = "stable.commits";
     /// Node crash events.
     pub const NODE_CRASHES: &str = "failure.node_crashes";
     /// Node recovery events.

@@ -112,14 +112,14 @@ pub(crate) struct NodeSlot {
 }
 
 impl NodeSlot {
-    pub fn new(id: NodeId, rng: SimRng) -> Self {
+    pub fn new(id: NodeId, rng: SimRng, stable: StableStore) -> Self {
         NodeSlot {
             id,
             up: true,
             epoch: 0,
             services: BTreeMap::new(),
             factories: Vec::new(),
-            stable: StableStore::new(),
+            stable,
             rng,
             event_seq: 0,
             timer_seq: 0,
@@ -133,17 +133,21 @@ impl NodeSlot {
         s
     }
 
-    /// Destroys volatile state (crash).
+    /// Destroys volatile state (crash). Stable storage survives, but its
+    /// backend loses anything not yet group-committed.
     pub fn crash(&mut self) {
         self.up = false;
         self.epoch += 1;
         self.services.clear();
+        self.stable.crash_volatile();
     }
 
     /// Rebuilds services from factories (recovery). `on_start` is invoked by
-    /// the kernel afterwards.
+    /// the kernel afterwards; the stable backend recovers first so services
+    /// see the replayed store.
     pub fn rebuild(&mut self) {
         self.up = true;
+        self.stable.recover();
         self.services.clear();
         for (name, factory) in &self.factories {
             self.services.insert(name, factory());
@@ -174,7 +178,7 @@ mod tests {
 
     #[test]
     fn crash_clears_services_and_bumps_epoch() {
-        let mut slot = NodeSlot::new(NodeId(1), SimRng::seed_from(0));
+        let mut slot = NodeSlot::new(NodeId(1), SimRng::seed_from(0), StableStore::new());
         slot.factories.push(("svc", Box::new(|| Box::new(Nop))));
         slot.rebuild();
         assert!(slot.services.contains_key("svc"));

@@ -1,0 +1,482 @@
+//! Log-structured stable backend with group commit.
+//!
+//! Mutations append length-framed records (the `mar_wire` LEB128 varint
+//! framing) to an in-memory write-ahead log. Nothing in the log is durable
+//! until the next [`commit`](super::StableBackend::commit) barrier — the
+//! kernel issues one per event, so a step transaction's many small writes
+//! become one group-committed batch. When the log grows past
+//! [`WalConfig::checkpoint_bytes`] the commit takes a checkpoint (the full
+//! view re-encoded as put records) and truncates the log. Recovery replays
+//! checkpoint + log and discards any torn (partially framed) tail, exactly
+//! like a disk log whose final sector write was interrupted.
+//!
+//! Record format (all integers are unsigned LEB128 varints):
+//!
+//! ```text
+//! frame   := len payload              -- len = payload byte length, > 0
+//! payload := 0x00 klen key vlen value -- put
+//!          | 0x01 klen key            -- delete
+//! ```
+//!
+//! A frame is *torn* if the buffer ends inside `len` or before `len`
+//! payload bytes, if the tag is unknown, if the inner lengths do not
+//! consume exactly `len` bytes, or if the key is not UTF-8.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use mar_wire::varint::{get_uvarint, put_uvarint};
+
+use super::{prefix_range, BackendStats, StableBackend};
+
+const TAG_PUT: u8 = 0x00;
+const TAG_DELETE: u8 = 0x01;
+
+/// Tuning knobs of the [`WalBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Log size (bytes) at which a commit barrier takes a checkpoint and
+    /// truncates the log.
+    pub checkpoint_bytes: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            checkpoint_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Appends a put record for `(key, value)` to `out`.
+pub fn encode_put_frame(out: &mut Vec<u8>, key: &str, value: &[u8]) {
+    let klen = key.len() as u64;
+    let vlen = value.len() as u64;
+    let body = 1 + varint_len(klen) + key.len() + varint_len(vlen) + value.len();
+    put_uvarint(out, body as u64);
+    out.push(TAG_PUT);
+    put_uvarint(out, klen);
+    out.extend_from_slice(key.as_bytes());
+    put_uvarint(out, vlen);
+    out.extend_from_slice(value);
+}
+
+/// Appends a delete record for `key` to `out`.
+pub fn encode_delete_frame(out: &mut Vec<u8>, key: &str) {
+    let klen = key.len() as u64;
+    let body = 1 + varint_len(klen) + key.len();
+    put_uvarint(out, body as u64);
+    out.push(TAG_DELETE);
+    put_uvarint(out, klen);
+    out.extend_from_slice(key.as_bytes());
+}
+
+fn varint_len(v: u64) -> usize {
+    mar_wire::varint::uvarint_len(v)
+}
+
+/// One decoded record.
+#[derive(Debug, PartialEq, Eq)]
+enum Frame<'a> {
+    Put(&'a str, &'a [u8]),
+    Delete(&'a str),
+}
+
+/// Decodes the frame starting at `*pos`, advancing `*pos` past it. Returns
+/// `None` — without advancing — if the buffer holds no complete, well-formed
+/// frame there (a torn tail).
+fn decode_frame<'a>(buf: &'a [u8], pos: &mut usize) -> Option<Frame<'a>> {
+    let mut p = *pos;
+    let frame = try_decode_frame(buf, &mut p)?;
+    *pos = p;
+    Some(frame)
+}
+
+/// Length of the longest prefix of `buf` made of complete, well-formed
+/// frames.
+fn valid_prefix_len(buf: &[u8]) -> usize {
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if decode_frame(buf, &mut pos).is_none() {
+            break;
+        }
+    }
+    pos
+}
+
+fn try_decode_frame<'a>(buf: &'a [u8], p: &mut usize) -> Option<Frame<'a>> {
+    let len = get_uvarint(buf, p).ok()? as usize;
+    if len == 0 {
+        return None;
+    }
+    let body = buf.get(*p..*p + len)?;
+    *p += len;
+    let mut q = 0usize;
+    let tag = *body.first()?;
+    q += 1;
+    let klen = get_uvarint(body, &mut q).ok()? as usize;
+    let key = std::str::from_utf8(body.get(q..q + klen)?).ok()?;
+    q += klen;
+    match tag {
+        TAG_PUT => {
+            let vlen = get_uvarint(body, &mut q).ok()? as usize;
+            let value = body.get(q..q + vlen)?;
+            q += vlen;
+            if q != len {
+                return None;
+            }
+            Some(Frame::Put(key, value))
+        }
+        TAG_DELETE => {
+            if q != len {
+                return None;
+            }
+            Some(Frame::Delete(key))
+        }
+        _ => None,
+    }
+}
+
+/// Log-structured stable backend: view + checkpoint + write-ahead log.
+///
+/// The `view` is the volatile read path (destroyed by a crash); durability
+/// lives in `checkpoint` + `log[..durable_len]`. Bytes past `durable_len`
+/// are mutations awaiting the next commit barrier.
+#[derive(Debug, Clone)]
+pub struct WalBackend {
+    cfg: WalConfig,
+    view: BTreeMap<String, Vec<u8>>,
+    /// Encoded put records for every key at the last checkpoint.
+    checkpoint: Vec<u8>,
+    /// Records appended since the last checkpoint.
+    log: Vec<u8>,
+    /// Length of the crash-durable log prefix.
+    durable_len: usize,
+    /// Mutations since the last commit barrier.
+    pending: u64,
+    stats: BackendStats,
+}
+
+impl WalBackend {
+    /// Creates an empty WAL backend.
+    pub fn new(cfg: WalConfig) -> Self {
+        WalBackend {
+            cfg,
+            view: BTreeMap::new(),
+            checkpoint: Vec::new(),
+            log: Vec::new(),
+            durable_len: 0,
+            pending: 0,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Re-encodes the whole view as the checkpoint and truncates the log.
+    fn checkpoint_now(&mut self) {
+        self.checkpoint.clear();
+        for (k, v) in &self.view {
+            encode_put_frame(&mut self.checkpoint, k, v);
+        }
+        self.log.clear();
+        self.durable_len = 0;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += self.checkpoint.len() as u64;
+    }
+
+    /// Replays `buf` into `view`, returning the number of bytes consumed by
+    /// complete frames and the number of records applied. Stops (without
+    /// consuming) at the first torn or malformed frame.
+    fn replay(view: &mut BTreeMap<String, Vec<u8>>, buf: &[u8]) -> (usize, u64) {
+        let mut pos = 0usize;
+        let mut records = 0u64;
+        while pos < buf.len() {
+            match decode_frame(buf, &mut pos) {
+                Some(Frame::Put(k, v)) => {
+                    view.insert(k.to_owned(), v.to_vec());
+                }
+                Some(Frame::Delete(k)) => {
+                    view.remove(k);
+                }
+                None => break,
+            }
+            records += 1;
+        }
+        (pos, records)
+    }
+
+    /// Test hook: appends `bytes` (typically a prefix of a valid frame) to
+    /// the log *as if durable* — modeling a crash that interrupted the disk
+    /// flush, leaving a torn tail for recovery to discard. Mutations still
+    /// pending at that moment never reached the device either, so they are
+    /// dropped first (exactly what the reference model loses on crash).
+    pub fn inject_torn_tail(&mut self, bytes: &[u8]) {
+        self.log.truncate(self.durable_len);
+        self.pending = 0;
+        self.log.extend_from_slice(bytes);
+        self.durable_len = self.log.len();
+    }
+
+    /// Current length of the durable log prefix (test inspection).
+    pub fn durable_log_len(&self) -> usize {
+        self.durable_len
+    }
+}
+
+impl StableBackend for WalBackend {
+    fn name(&self) -> &'static str {
+        "wal"
+    }
+
+    fn put(&mut self, key: String, value: Vec<u8>) {
+        let before = self.log.len();
+        encode_put_frame(&mut self.log, &key, &value);
+        self.stats.wal_bytes += (self.log.len() - before) as u64;
+        self.stats.records += 1;
+        self.pending += 1;
+        self.view.insert(key, value);
+    }
+
+    fn get(&self, key: &str) -> Option<&[u8]> {
+        self.view.get(key).map(Vec::as_slice)
+    }
+
+    fn delete(&mut self, key: &str) -> Option<Vec<u8>> {
+        let prev = self.view.remove(key)?;
+        let before = self.log.len();
+        encode_delete_frame(&mut self.log, key);
+        self.stats.wal_bytes += (self.log.len() - before) as u64;
+        self.stats.records += 1;
+        self.pending += 1;
+        Some(prev)
+    }
+
+    fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    fn iter<'a>(&'a self) -> Box<dyn Iterator<Item = (&'a str, &'a [u8])> + 'a> {
+        Box::new(self.view.iter().map(|(k, v)| (k.as_str(), v.as_slice())))
+    }
+
+    fn iter_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> Box<dyn Iterator<Item = (&'a str, &'a [u8])> + 'a> {
+        Box::new(prefix_range(&self.view, prefix))
+    }
+
+    fn commit(&mut self) -> bool {
+        let had_pending = self.pending > 0;
+        if had_pending {
+            self.durable_len = self.log.len();
+            self.pending = 0;
+            self.stats.commits += 1;
+            if self.log.len() >= self.cfg.checkpoint_bytes {
+                self.checkpoint_now();
+            }
+        }
+        had_pending
+    }
+
+    fn crash(&mut self) {
+        // Uncommitted log bytes never reached stable media.
+        self.log.truncate(self.durable_len);
+        self.pending = 0;
+        // The view is volatile: drop it; `recover` rebuilds it.
+        self.view.clear();
+        self.recover();
+    }
+
+    fn recover(&mut self) {
+        // Discard a torn tail: keep only the prefix of complete frames.
+        let valid_len = valid_prefix_len(&self.log);
+        if valid_len < self.log.len() {
+            self.stats.torn_bytes_discarded += (self.log.len() - valid_len) as u64;
+            self.log.truncate(valid_len);
+        }
+        self.durable_len = self.log.len();
+        // Rebuild the view: checkpoint first, then the log.
+        self.view.clear();
+        let (_, from_checkpoint) = WalBackend::replay(&mut self.view, &self.checkpoint);
+        let (_, from_log) = WalBackend::replay(&mut self.view, &self.log);
+        self.pending = 0;
+        self.stats.recoveries += 1;
+        self.stats.replayed_records += from_checkpoint + from_log;
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn clone_backend(&self) -> Box<dyn StableBackend> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wal() -> WalBackend {
+        WalBackend::new(WalConfig::default())
+    }
+
+    fn dump(b: &WalBackend) -> Vec<(String, Vec<u8>)> {
+        b.iter().map(|(k, v)| (k.to_owned(), v.to_vec())).collect()
+    }
+
+    #[test]
+    fn put_commit_crash_recover_roundtrip() {
+        let mut b = wal();
+        b.put("a".into(), vec![1, 2]);
+        b.put("b".into(), vec![3]);
+        assert!(b.commit());
+        b.put("c".into(), vec![4]);
+        // `c` was never committed: a crash must forget it.
+        b.crash();
+        assert_eq!(b.get("a"), Some(&[1u8, 2][..]));
+        assert_eq!(b.get("b"), Some(&[3u8][..]));
+        assert_eq!(b.get("c"), None);
+    }
+
+    #[test]
+    fn delete_of_absent_key_is_not_a_mutation() {
+        let mut b = wal();
+        assert_eq!(b.delete("nope"), None);
+        assert!(!b.commit());
+        assert_eq!(b.stats().records, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_byte_offset_of_the_last_frame() {
+        // A committed base plus a torn suffix cut at every possible byte
+        // boundary of a valid frame must always recover to exactly the base.
+        let mut frame = Vec::new();
+        encode_put_frame(&mut frame, "q/agent-42", b"record bytes of some length");
+        for cut in 0..frame.len() {
+            let mut b = wal();
+            b.put("base".into(), vec![9]);
+            assert!(b.commit());
+            b.inject_torn_tail(&frame[..cut]);
+            b.crash();
+            assert_eq!(
+                dump(&b),
+                vec![("base".to_owned(), vec![9])],
+                "torn cut at byte {cut} leaked into the recovered view"
+            );
+            assert_eq!(
+                b.stats().torn_bytes_discarded,
+                cut as u64,
+                "cut at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_injected_frame_is_durable() {
+        // The boundary case of the sweep above: a fully written frame in
+        // the durable log prefix legitimately replays.
+        let mut frame = Vec::new();
+        encode_put_frame(&mut frame, "q/agent-42", b"payload");
+        let mut b = wal();
+        b.put("base".into(), vec![9]);
+        assert!(b.commit());
+        b.inject_torn_tail(&frame);
+        b.crash();
+        assert_eq!(b.get("q/agent-42"), Some(&b"payload"[..]));
+        assert_eq!(b.stats().torn_bytes_discarded, 0);
+    }
+
+    #[test]
+    fn recover_twice_equals_recover_once() {
+        let mut b = wal();
+        b.put("a".into(), vec![1]);
+        b.put("b".into(), vec![2]);
+        b.commit();
+        b.delete("a");
+        b.commit();
+        let mut torn = Vec::new();
+        encode_put_frame(&mut torn, "zz", b"half");
+        b.inject_torn_tail(&torn[..torn.len() / 2]);
+        b.crash();
+        let once = dump(&b);
+        let durable = b.durable_log_len();
+        b.recover();
+        assert_eq!(dump(&b), once);
+        assert_eq!(b.durable_log_len(), durable);
+        b.recover();
+        assert_eq!(dump(&b), once);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_preserves_scan_order() {
+        let mut b = WalBackend::new(WalConfig {
+            checkpoint_bytes: 64,
+        });
+        for i in (0..20).rev() {
+            b.put(format!("k/{i:02}"), vec![i as u8; 8]);
+            b.commit();
+        }
+        let stats = b.stats();
+        assert!(stats.checkpoints > 0, "log must have rolled over");
+        assert!(b.durable_log_len() < 64 + 16, "log was truncated");
+        // Ordered prefix scan sees all keys, sorted, across the
+        // checkpoint/log split.
+        let keys: Vec<&str> = b.iter_prefix("k/").map(|(k, _)| k).collect();
+        let expected: Vec<String> = (0..20).map(|i| format!("k/{i:02}")).collect();
+        assert_eq!(keys, expected);
+        // And the split survives crash + recovery.
+        b.crash();
+        let keys: Vec<&str> = b.iter_prefix("k/").map(|(k, _)| k).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn deletes_replay_over_checkpoint() {
+        let mut b = WalBackend::new(WalConfig {
+            checkpoint_bytes: 32,
+        });
+        b.put("keep".into(), vec![1]);
+        b.put("drop".into(), vec![2; 40]);
+        b.commit(); // big enough to checkpoint
+        assert!(b.stats().checkpoints >= 1);
+        b.delete("drop");
+        b.commit();
+        b.crash();
+        assert_eq!(b.get("keep"), Some(&[1u8][..]));
+        assert_eq!(b.get("drop"), None);
+    }
+
+    #[test]
+    fn malformed_tags_and_lengths_are_torn() {
+        for bad in [
+            vec![0x01, 0xFF],             // unknown tag
+            vec![0x00],                   // zero-length frame
+            vec![0x03, 0x00, 0x01, b'a'], // put frame truncated inside body
+            vec![0x02, 0x01, 0x05],       // delete whose klen overruns the body
+        ] {
+            let mut b = wal();
+            b.put("base".into(), vec![7]);
+            b.commit();
+            b.inject_torn_tail(&bad);
+            b.crash();
+            assert_eq!(dump(&b), vec![("base".to_owned(), vec![7])], "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn group_commit_counts_barriers_not_writes() {
+        let mut b = wal();
+        for i in 0..10 {
+            b.put(format!("k{i}"), vec![0]);
+        }
+        assert!(b.commit());
+        let s = b.stats();
+        assert_eq!(s.records, 10);
+        assert_eq!(s.commits, 1);
+    }
+}

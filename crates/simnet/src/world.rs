@@ -39,7 +39,7 @@ use crate::metrics::{keys, Metrics, MetricsSnapshot};
 use crate::net::{LatencyModel, Network};
 use crate::node::{Address, NodeId, NodeSlot, Service};
 use crate::rng::SimRng;
-use crate::stable::StableStore;
+use crate::stable::{StableFactory, StableStore};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 
@@ -60,6 +60,10 @@ pub struct WorldConfig {
     /// runs the classic sequential dispatch loop; results are identical at
     /// any value.
     pub shards: usize,
+    /// Stable-storage backend constructor used for every node. The default
+    /// is the reference in-memory backend; results are identical with any
+    /// conformant backend.
+    pub stable: StableFactory,
 }
 
 impl Default for WorldConfig {
@@ -71,6 +75,7 @@ impl Default for WorldConfig {
             trace: false,
             trace_cap: 100_000,
             shards: 1,
+            stable: StableFactory::default(),
         }
     }
 }
@@ -212,19 +217,29 @@ impl Shard {
             let slot = &mut self.slots[idx];
             match slot.services.remove(service) {
                 Some(mut svc) => {
-                    let mut ctx = Ctx {
-                        now,
-                        node: slot.id,
-                        service,
-                        epoch: slot.epoch,
-                        stable: &mut slot.stable,
-                        rng: &mut slot.rng,
-                        metrics: &self.metrics,
-                        trace: &mut self.trace,
-                        timer_seq: &mut slot.timer_seq,
-                        commands: &mut commands,
-                    };
-                    f(&mut svc, &mut ctx);
+                    // Group-commit bracket: every stable mutation the
+                    // callback makes becomes durable in one barrier here —
+                    // this is what turns a step transaction's many small
+                    // writes into a single backend commit.
+                    slot.stable.begin_batch();
+                    {
+                        let mut ctx = Ctx {
+                            now,
+                            node: slot.id,
+                            service,
+                            epoch: slot.epoch,
+                            stable: &mut slot.stable,
+                            rng: &mut slot.rng,
+                            metrics: &self.metrics,
+                            trace: &mut self.trace,
+                            timer_seq: &mut slot.timer_seq,
+                            commands: &mut commands,
+                        };
+                        f(&mut svc, &mut ctx);
+                    }
+                    if slot.stable.commit() {
+                        self.metrics.inc(keys::STABLE_COMMITS);
+                    }
                     slot.services.insert(service, svc);
                     true
                 }
@@ -421,6 +436,7 @@ pub struct World {
     metrics: Metrics,
     trace: Trace,
     seed: u64,
+    stable_factory: StableFactory,
     lookahead: SimDuration,
     profiling: bool,
     profile: ShardProfile,
@@ -469,6 +485,7 @@ impl World {
             metrics: Metrics::new(),
             trace: Trace::new(cfg.trace, cfg.trace_cap),
             seed: cfg.seed,
+            stable_factory: cfg.stable,
             lookahead,
             profiling: false,
             profile: ShardProfile {
@@ -490,7 +507,8 @@ impl World {
         let mut base = SimRng::seed_from(self.seed);
         let rng = base.fork(0x4E0D_E000u64.wrapping_add(id.0 as u64));
         let s = self.n_nodes % self.shards.len();
-        self.shards[s].slots.push(NodeSlot::new(id, rng));
+        let stable = self.stable_factory.make_store();
+        self.shards[s].slots.push(NodeSlot::new(id, rng, stable));
         self.n_nodes += 1;
         for sh in &mut self.shards {
             sh.n_nodes = self.n_nodes;
