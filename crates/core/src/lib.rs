@@ -42,6 +42,7 @@ pub mod comp;
 mod costmodel;
 mod data;
 mod error;
+pub mod itinspan;
 pub mod log;
 pub mod planner;
 mod record;
@@ -59,5 +60,5 @@ pub use planner::{
     StartPlan,
 };
 pub use record::{AgentId, AgentRecord, AgentStatus, RecordDataPeek, RecordHeader};
-pub use resident::{LazyRecord, ResidentLog, ResidentRecord, SealedLog};
+pub use resident::{ItinerarySlot, LazyRecord, ResidentLog, ResidentRecord, SealedLog};
 pub use savepoint::{LeaveOutcome, RollbackScope, SavepointId, SavepointTable, SubSavepoints};

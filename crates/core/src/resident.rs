@@ -28,20 +28,133 @@
 //! space, cursor, the step's new log entries), not to what exists (the
 //! whole log).
 
+use std::sync::{Arc, OnceLock};
+
 use mar_itinerary::{Cursor, Itinerary};
 
 use crate::data::DataSpace;
 use crate::error::CoreError;
+use crate::itinspan::{classify_span, SpanKind};
 use crate::log::{LogEntry, LoggingMode, RollbackLog};
 use crate::planner::RollbackMode;
 use crate::record::{AgentId, AgentRecord, AgentStatus};
 use crate::savepoint::SavepointTable;
 
 /// Number of fields in the serialized [`AgentRecord`] layout.
-const RECORD_FIELDS: u64 = 12;
+pub(crate) const RECORD_FIELDS: u64 = 12;
 /// Number of fields in the serialized [`RollbackLog`] layout
 /// (`entries`, `bytes`).
 const LOG_FIELDS: u64 = 2;
+
+/// The record's itinerary as a content-addressed wire span: the exact
+/// encoded bytes (shared), their stable content hash, and a decode-once
+/// tree.
+///
+/// The itinerary never changes after launch, so the slot treats its
+/// encoding as the source of truth: parsing a record captures the span
+/// without decoding it ([`mar_wire::content_hash64`] over the span is the
+/// agent-type-wide cache key), encoding splices the span back verbatim,
+/// and the decoded tree is built at most once per slot *family* — clones
+/// share the [`OnceLock`], so a per-node intern table handing out clones
+/// of one slot gives every record of that agent type the same
+/// `Arc<Itinerary>`.
+#[derive(Debug, Clone)]
+pub struct ItinerarySlot {
+    hash: u64,
+    bytes: Arc<[u8]>,
+    tree: Arc<OnceLock<Arc<Itinerary>>>,
+}
+
+impl PartialEq for ItinerarySlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.bytes == other.bytes
+    }
+}
+
+impl ItinerarySlot {
+    /// Wraps the exact wire encoding of an inline itinerary.
+    ///
+    /// # Errors
+    ///
+    /// Rejects spans that are not framed as an inline itinerary — in
+    /// particular the by-reference form, which must be rehydrated before a
+    /// record is parsed (stable storage never holds references).
+    pub fn from_span(span: &[u8]) -> Result<ItinerarySlot, CoreError> {
+        match classify_span(span)? {
+            SpanKind::Inline => Ok(ItinerarySlot {
+                hash: mar_wire::content_hash64(span),
+                bytes: span.into(),
+                tree: Arc::new(OnceLock::new()),
+            }),
+            SpanKind::Ref(hash) => Err(CoreError::CorruptLog(format!(
+                "record holds itinerary reference {hash:#018x}; \
+                 rehydrate before parsing"
+            ))),
+        }
+    }
+
+    /// Builds a slot from a decoded tree (launch path), pre-seeding the
+    /// decode cache.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors from encoding the tree.
+    pub fn from_tree(itinerary: Itinerary) -> Result<ItinerarySlot, CoreError> {
+        let bytes = mar_wire::to_bytes(&itinerary)?;
+        let tree = Arc::new(OnceLock::new());
+        let _ = tree.set(Arc::new(itinerary));
+        Ok(ItinerarySlot {
+            hash: mar_wire::content_hash64(&bytes),
+            bytes: bytes.into(),
+            tree,
+        })
+    }
+
+    /// The stable content hash of the encoded span.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The exact wire encoding of the itinerary.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The encoding as a shared buffer (for intern tables).
+    pub fn shared_bytes(&self) -> Arc<[u8]> {
+        Arc::clone(&self.bytes)
+    }
+
+    /// Whether the tree has already been decoded (by this slot or any
+    /// clone of it).
+    pub fn is_decoded(&self) -> bool {
+        self.tree.get().is_some()
+    }
+
+    /// The decoded itinerary, shared; decodes on first use and never
+    /// again for this slot family.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors for a span that is framing-valid but not a decodable
+    /// itinerary.
+    pub fn tree(&self) -> Result<Arc<Itinerary>, CoreError> {
+        if let Some(t) = self.tree.get() {
+            return Ok(Arc::clone(t));
+        }
+        let decoded: Itinerary = mar_wire::from_slice(&self.bytes)?;
+        Ok(Arc::clone(self.tree.get_or_init(|| Arc::new(decoded))))
+    }
+
+    /// An owned copy of the decoded tree (for [`AgentRecord`] conversion).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ItinerarySlot::tree`].
+    pub fn materialize(&self) -> Result<Itinerary, CoreError> {
+        Ok((*self.tree()?).clone())
+    }
+}
 
 /// A borrowed view of a serialized [`AgentRecord`] with the rollback-log
 /// section left undecoded.
@@ -60,8 +173,8 @@ pub struct LazyRecord<'a> {
     pub home: u32,
     /// Private data space (SRO + WRO).
     pub data: DataSpace,
-    /// The (immutable) itinerary tree.
-    pub itinerary: Itinerary,
+    /// The (immutable) itinerary as its content-addressed wire span.
+    pub itinerary: ItinerarySlot,
     /// Execution position.
     pub cursor: Cursor,
     /// Savepoint bookkeeping.
@@ -112,7 +225,13 @@ impl<'a> LazyRecord<'a> {
         let agent_type = field::<&str>(bytes, &mut off)?;
         let home = field::<u32>(bytes, &mut off)?;
         let data = field::<DataSpace>(bytes, &mut off)?;
-        let itinerary = field::<Itinerary>(bytes, &mut off)?;
+        // The itinerary is captured as its wire span: structurally skipped,
+        // hashed, never decoded here. The platform primes the decoded tree
+        // from its per-node intern table; a record that bypasses the table
+        // decodes lazily on first cursor access.
+        let it_start = off;
+        off += mar_wire::skip_value(&bytes[off..])?;
+        let itinerary = ItinerarySlot::from_span(&bytes[it_start..off])?;
         let cursor = field::<Cursor>(bytes, &mut off)?;
         let table = field::<SavepointTable>(bytes, &mut off)?;
         // The log: `SEQ(2) SEQ(n) entry*n bytes` — walk the entries without
@@ -212,7 +331,7 @@ impl<'a> LazyRecord<'a> {
             agent_type: self.agent_type.to_owned(),
             home: self.home,
             data: self.data,
-            itinerary: self.itinerary,
+            itinerary: self.itinerary.materialize()?,
             cursor: self.cursor,
             table: self.table,
             log,
@@ -353,8 +472,8 @@ pub struct ResidentRecord {
     pub home: u32,
     /// Private data space (SRO + WRO).
     pub data: DataSpace,
-    /// The (immutable) itinerary tree.
-    pub itinerary: Itinerary,
+    /// The (immutable) itinerary as its content-addressed wire span.
+    pub itinerary: ItinerarySlot,
     /// Execution position.
     pub cursor: Cursor,
     /// Savepoint bookkeeping.
@@ -383,13 +502,17 @@ impl ResidentRecord {
     }
 
     /// Wraps a fully decoded record (log materialized).
-    pub fn from_record(rec: AgentRecord) -> ResidentRecord {
-        ResidentRecord {
+    ///
+    /// # Errors
+    ///
+    /// Codec errors from encoding the itinerary into its slot form.
+    pub fn from_record(rec: AgentRecord) -> Result<ResidentRecord, CoreError> {
+        Ok(ResidentRecord {
             id: rec.id,
             agent_type: rec.agent_type,
             home: rec.home,
             data: rec.data,
-            itinerary: rec.itinerary,
+            itinerary: ItinerarySlot::from_tree(rec.itinerary)?,
             cursor: rec.cursor,
             table: rec.table,
             log: ResidentLog::Full(rec.log),
@@ -397,7 +520,7 @@ impl ResidentRecord {
             status: rec.status,
             logging_mode: rec.logging_mode,
             rollback_mode: rec.rollback_mode,
-        }
+        })
     }
 
     /// Converts into a fully decoded [`AgentRecord`], materializing the log
@@ -412,7 +535,7 @@ impl ResidentRecord {
             agent_type: self.agent_type,
             home: self.home,
             data: self.data,
-            itinerary: self.itinerary,
+            itinerary: self.itinerary.materialize()?,
             cursor: self.cursor,
             table: self.table,
             log: self.log.into_log()?,
@@ -494,7 +617,9 @@ impl ResidentRecord {
         ser.value(&self.agent_type)?;
         ser.value(&self.home)?;
         ser.value(&self.data)?;
-        ser.value(&self.itinerary)?;
+        // The itinerary is immutable: its captured wire span is spliced in
+        // verbatim (identical bytes to re-encoding, without the encode).
+        ser.raw_value_bytes(self.itinerary.as_bytes());
         ser.value(&self.cursor)?;
         ser.value(&self.table)?;
         // The log field: splice for sealed logs, entry-by-entry (the log's
@@ -716,9 +841,48 @@ mod tests {
     #[test]
     fn from_record_roundtrip() {
         let rec = record();
-        let mut resident = ResidentRecord::from_record(rec.clone());
+        let mut resident = ResidentRecord::from_record(rec.clone()).unwrap();
         assert!(!resident.log.is_sealed());
         assert_eq!(resident.to_bytes().unwrap(), rec.to_bytes().unwrap());
         assert_eq!(resident.into_record().unwrap(), rec);
+    }
+
+    #[test]
+    fn slot_hash_is_stable_across_construction_paths() {
+        // Same tree, three roads to a slot: from the decoded tree, from the
+        // span captured out of an encoded record, and from a tree rebuilt
+        // by decode. All must agree on bytes and hash — the hash is a wire
+        // commitment shared between nodes.
+        let tree = samples::fig6();
+        let from_tree = ItinerarySlot::from_tree(tree.clone()).unwrap();
+        let bytes = record().to_bytes().unwrap();
+        let parsed = LazyRecord::parse(&bytes).unwrap().itinerary;
+        let rebuilt = ItinerarySlot::from_tree(parsed.materialize().unwrap()).unwrap();
+        assert_eq!(from_tree, parsed);
+        assert_eq!(from_tree.hash(), parsed.hash());
+        assert_eq!(from_tree.hash(), rebuilt.hash());
+        assert_eq!(
+            from_tree.hash(),
+            mar_wire::content_hash64(parsed.as_bytes())
+        );
+    }
+
+    #[test]
+    fn slot_clones_share_one_decode() {
+        let bytes = record().to_bytes().unwrap();
+        let slot = LazyRecord::parse(&bytes).unwrap().itinerary;
+        assert!(!slot.is_decoded(), "parse must not decode the itinerary");
+        let clone = slot.clone();
+        let tree = clone.tree().unwrap();
+        // Decoding through the clone materializes the original too.
+        assert!(slot.is_decoded());
+        assert!(Arc::ptr_eq(&tree, &slot.tree().unwrap()));
+        assert_eq!(*tree, samples::fig6());
+    }
+
+    #[test]
+    fn slot_rejects_reference_spans() {
+        let stripped = crate::itinspan::encode_ref(0xDEAD_BEEF);
+        assert!(ItinerarySlot::from_span(&stripped).is_err());
     }
 }

@@ -128,6 +128,19 @@ impl PlatformBuilder {
         self
     }
 
+    /// Picks the shard count automatically from
+    /// [`std::thread::available_parallelism`], clamped to the node count
+    /// (more shards than nodes would only idle). Results are still
+    /// byte-identical to any explicit shard count.
+    pub fn shards_auto(mut self) -> Self {
+        self.shards = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.nodes)
+            .max(1);
+        self
+    }
+
     /// Caps the driver's in-memory report cache; least-recently-used
     /// reports are evicted (and counted under `driver.reports_evicted`)
     /// once the cap is exceeded. Evicted reports remain recoverable only if
@@ -208,6 +221,27 @@ impl PlatformBuilder {
     /// the E9 control arm.
     pub fn resident_cache(mut self, on: bool) -> Self {
         self.mole_cfg.resident_cache = on;
+        self
+    }
+
+    /// Enables (or disables) content-addressed itinerary interning: nodes
+    /// intern encoded itineraries by FNV-64 hash, migrations to a
+    /// destination known to hold the hash ship an 8-byte reference instead
+    /// of the tree, and each node decodes a given itinerary at most once
+    /// (`Arc`-shared thereafter). The simulated schedule, traces, and byte
+    /// counters are billed at the inline size either way — only the
+    /// `itinerary.*` metrics (and real wall-clock/wire costs) change.
+    /// **On by default**; disable for the E11 control arm.
+    pub fn itinerary_interning(mut self, on: bool) -> Self {
+        self.mole_cfg.itinerary_interning = on;
+        self
+    }
+
+    /// Caps the per-node itinerary intern table (distinct itineraries,
+    /// LRU-evicted; minimum 1). Evictions are safe: a reference the
+    /// receiver can no longer resolve is NACKed and retransmitted inline.
+    pub fn itinerary_cache(mut self, cap: usize) -> Self {
+        self.mole_cfg.itinerary_cache = cap;
         self
     }
 
@@ -335,5 +369,16 @@ mod tests {
             .try_build()
             .unwrap();
         assert_eq!(p.world().node_count(), 2);
+    }
+
+    #[test]
+    fn shards_auto_clamps_to_node_count() {
+        let p = PlatformBuilder::new(2)
+            .behavior("a", Nop)
+            .shards_auto()
+            .try_build()
+            .unwrap();
+        let n = p.world().shard_count();
+        assert!((1..=2).contains(&n), "auto shards {n} not clamped");
     }
 }

@@ -58,7 +58,9 @@ pub struct WorldConfig {
     pub trace_cap: usize,
     /// Number of shards the nodes are partitioned into. `1` (the default)
     /// runs the classic sequential dispatch loop; results are identical at
-    /// any value.
+    /// any value. `0` means **auto**: one shard per available hardware
+    /// thread ([`std::thread::available_parallelism`]), falling back to the
+    /// sequential engine when the latency model has no usable lookahead.
     pub shards: usize,
     /// Stable-storage backend constructor used for every node. The default
     /// is the reference in-memory backend; results are identical with any
@@ -168,7 +170,12 @@ impl Shard {
             self.metrics.inc(keys::EVENTS);
         }
         match ev {
-            Event::Deliver { from, to, payload } => self.handle_deliver(now, from, to, payload),
+            Event::Deliver {
+                from,
+                to,
+                payload,
+                billed,
+            } => self.handle_deliver(now, from, to, payload, billed),
             Event::Timer {
                 node,
                 service,
@@ -253,7 +260,12 @@ impl Shard {
     fn apply(&mut self, now: SimTime, commands: Vec<Command>) {
         for cmd in commands {
             match cmd {
-                Command::Send { from, to, payload } => self.route(now, from, to, payload),
+                Command::Send {
+                    from,
+                    to,
+                    payload,
+                    billed,
+                } => self.route(now, from, to, payload, billed),
                 Command::SetTimer {
                     node,
                     service,
@@ -285,12 +297,15 @@ impl Shard {
     /// Routes a message sent by a node hosted on this shard. Latency (and
     /// thus the event key) comes from the sender's own stream, so it does
     /// not depend on the shard layout.
-    fn route(&mut self, now: SimTime, from: Address, to: Address, payload: Vec<u8>) {
+    fn route(&mut self, now: SimTime, from: Address, to: Address, payload: Vec<u8>, billed: usize) {
         let sidx = self.local_slot(from.node).expect("send from foreign node");
+        // Latency is charged on the *billed* size: a reference-compressed
+        // payload travels on the schedule of its rehydrated form, so
+        // volatile cache state can never shift the simulation.
         let latency = {
             let slot = &mut self.slots[sidx];
             self.net
-                .delivery_latency(from.node, to.node, payload.len(), &mut slot.rng)
+                .delivery_latency(from.node, to.node, billed, &mut slot.rng)
         };
         match latency {
             Some(latency) => {
@@ -298,7 +313,12 @@ impl Shard {
                 let seq = self.slots[sidx].next_event_seq();
                 let key = (at, from.node.0 as u64, seq);
                 let dest = self.shard_of_or_self(to.node);
-                let ev = Event::Deliver { from, to, payload };
+                let ev = Event::Deliver {
+                    from,
+                    to,
+                    payload,
+                    billed,
+                };
                 if dest == self.id {
                     self.queue.push(key, ev);
                 } else {
@@ -318,7 +338,14 @@ impl Shard {
         }
     }
 
-    fn handle_deliver(&mut self, now: SimTime, from: Address, to: Address, payload: Vec<u8>) {
+    fn handle_deliver(
+        &mut self,
+        now: SimTime,
+        from: Address,
+        to: Address,
+        payload: Vec<u8>,
+        billed: usize,
+    ) {
         let Some(idx) = self.local_slot(to.node) else {
             // Destination outside the world (e.g. EXTERNAL): dropped silently.
             return;
@@ -335,7 +362,7 @@ impl Shard {
                 TraceKind::MsgDelivered {
                     from: (from.node.0, from.service.to_owned()),
                     to: (to.node.0, to.service.to_owned()),
-                    bytes: payload.len(),
+                    bytes: billed,
                 },
             );
         }
@@ -445,24 +472,40 @@ pub struct World {
 impl World {
     /// Creates an empty world.
     ///
+    /// `cfg.shards == 0` selects the shard count automatically: one shard
+    /// per available hardware thread, or the sequential engine when the
+    /// latency model's lookahead is unusable. Results are byte-identical at
+    /// any shard count, so auto mode never changes a simulation.
+    ///
     /// # Panics
     ///
-    /// Panics if `cfg.shards == 0`, or if `cfg.shards > 1` while the latency
-    /// model's [`LatencyModel::min_latency`] is below 1µs — conservative
-    /// parallel windows need strictly positive cross-shard lookahead.
+    /// Panics if an *explicit* `cfg.shards > 1` is combined with a latency
+    /// model whose [`LatencyModel::min_latency`] is below 1µs —
+    /// conservative parallel windows need strictly positive cross-shard
+    /// lookahead.
     pub fn new(cfg: WorldConfig) -> Self {
-        assert!(cfg.shards >= 1, "shards must be at least 1");
         let lookahead = cfg.latency.min_latency();
+        let n_shards = if cfg.shards == 0 {
+            if lookahead >= SimDuration::from_micros(1) {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            } else {
+                1
+            }
+        } else {
+            cfg.shards
+        };
         assert!(
-            cfg.shards == 1 || lookahead >= SimDuration::from_micros(1),
+            n_shards == 1 || lookahead >= SimDuration::from_micros(1),
             "sharded runtime needs >= 1us latency lookahead (base * (1 - jitter)); \
              use shards = 1 with zero-latency models"
         );
         let net = Network::new(cfg.latency, cfg.local_delay);
-        let shards = (0..cfg.shards)
+        let shards = (0..n_shards)
             .map(|id| Shard {
                 id,
-                n_shards: cfg.shards,
+                n_shards,
                 n_nodes: 0,
                 queue: EventQueue::new(),
                 slots: Vec::new(),
@@ -490,7 +533,7 @@ impl World {
             profiling: false,
             profile: ShardProfile {
                 windows: 0,
-                busy_ns: vec![0; cfg.shards],
+                busy_ns: vec![0; n_shards],
                 critical_ns: 0,
             },
         }
@@ -694,12 +737,14 @@ impl World {
                 } else {
                     0
                 };
+                let billed = payload.len();
                 self.shards[dest].queue.push(
                     key,
                     Event::Deliver {
                         from: Address::external(),
                         to,
                         payload,
+                        billed,
                     },
                 );
             }
@@ -1392,5 +1437,20 @@ mod tests {
         cfg.latency = LatencyModel::fixed(SimDuration::ZERO, SimDuration::ZERO);
         cfg.shards = 2;
         let _ = World::new(cfg);
+    }
+
+    #[test]
+    fn auto_shards_resolve_from_parallelism() {
+        let mut cfg = WorldConfig::with_seed(1);
+        cfg.shards = 0;
+        let w = World::new(cfg);
+        assert!(w.shard_count() >= 1);
+
+        // With a model that cannot guarantee lookahead, auto mode falls back
+        // to sequential instead of panicking like an explicit request would.
+        let mut cfg = WorldConfig::with_seed(1);
+        cfg.latency = LatencyModel::fixed(SimDuration::ZERO, SimDuration::ZERO);
+        cfg.shards = 0;
+        assert_eq!(World::new(cfg).shard_count(), 1);
     }
 }

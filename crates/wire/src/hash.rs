@@ -1,0 +1,66 @@
+//! Stable content hashing for encoded wire payloads.
+//!
+//! The itinerary interning protocol (and any future content-addressed
+//! payload) needs a hash that is a *wire-format commitment*: the same
+//! encoded bytes must map to the same 64-bit value on every node, every
+//! platform, and every release, because the hash itself is shipped in
+//! messages and compared across processes. That rules out `std`'s
+//! `DefaultHasher` (unspecified, randomly seeded) and anything
+//! pointer-width dependent.
+//!
+//! [`content_hash64`] is FNV-1a with the canonical 64-bit offset basis and
+//! prime. It is *not* cryptographic — collision resistance is the
+//! birthday bound of 64 bits — which is the right trade-off here: the hash
+//! keys a cache of immutable payloads produced by this codec, not an
+//! authentication boundary, and a miss or collision degrades to shipping
+//! the inline form.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable 64-bit FNV-1a hash of an encoded payload.
+///
+/// The value is a pure function of the bytes: independent of platform,
+/// process, and release, so it can be shipped on the wire as a
+/// content address for the encoding it was computed over.
+///
+/// # Examples
+///
+/// ```
+/// use mar_wire::content_hash64;
+/// assert_eq!(content_hash64(b""), 0xcbf29ce484222325);
+/// assert_ne!(content_hash64(b"a"), content_hash64(b"b"));
+/// ```
+#[must_use]
+pub fn content_hash64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a test vectors: the hash is a wire commitment, so
+    /// these values may never change.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(content_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn prefix_and_extension_change_the_hash() {
+        let base = content_hash64(b"itinerary");
+        assert_ne!(base, content_hash64(b"itinerary\0"));
+        assert_ne!(base, content_hash64(b"\0itinerary"));
+        assert_ne!(base, content_hash64(b"itinerarY"));
+    }
+}
