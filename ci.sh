@@ -46,6 +46,37 @@ for ex in quickstart travel_agency ecommerce_cash systems_management failure_sto
     cargo run -q --release --example "$ex" > /dev/null
 done
 
+echo "==> distributed smoke stage: driver + 2 node hosts over UDS"
+# The travel-agency fleet end to end across three real processes. A wedged
+# process must fail CI, not hang it: every PID is reaped with a timeout and
+# the driver's own settlement deadline bounds the run.
+smoke_dir=$(mktemp -d)
+smoke_sock="unix:$smoke_dir/driver.sock"
+cargo build -q --release -p mar-net
+timeout -k 5 120 target/release/mar-driver --socket "$smoke_sock" --hosts 2 \
+    --scenario travel --seed 11 --agents 4 --deadline-secs 600 \
+    > "$smoke_dir/driver.out" 2> "$smoke_dir/driver.err" &
+driver_pid=$!
+timeout -k 5 150 target/release/mar-node-host --socket "$smoke_sock" --host-id 0 \
+    --wal-dir "$smoke_dir/h0" 2> /dev/null &
+host0_pid=$!
+timeout -k 5 150 target/release/mar-node-host --socket "$smoke_sock" --host-id 1 \
+    --wal-dir "$smoke_dir/h1" 2> /dev/null &
+host1_pid=$!
+smoke_ok=1
+wait "$driver_pid" || smoke_ok=0
+wait "$host0_pid" || smoke_ok=0
+wait "$host1_pid" || smoke_ok=0
+if [[ "$smoke_ok" != 1 ]] || ! grep -q '^settled=true$' "$smoke_dir/driver.out" \
+    || ! grep -q '^money USD=12000$' "$smoke_dir/driver.out"; then
+    echo "distributed smoke stage FAILED; driver output:"
+    cat "$smoke_dir/driver.out" "$smoke_dir/driver.err" || true
+    rm -rf "$smoke_dir"
+    exit 1
+fi
+echo "    settled: $(grep -c '^report ' "$smoke_dir/driver.out") reports, money USD=12000"
+rm -rf "$smoke_dir"
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo bench -p mar-bench (writes BENCH_log.json / BENCH_macro.json)"
     baseline_dir=$(mktemp -d)
@@ -72,7 +103,7 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -q -p mar-bench --bin bench_diff -- \
         "$baseline_dir/BENCH_macro.json" BENCH_macro.json --max-regression 3.0 \
         --require "e1_forward/" --require "e9_resident/" --require "e8_fleet/" \
-        --require "e10_stable/" --require "e11_itinerary/" \
+        --require "e10_stable/" --require "e11_itinerary/" --require "e12_net/" \
         --min-derived "e8_fleet/agents1000/speedup_shards4:2.0" \
         --min-derived "e10_stable/steady_state/commit_reduction:4.9" \
         --min-derived "e11_itinerary/warm_fleet/byte_reduction:2.0"

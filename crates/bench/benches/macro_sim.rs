@@ -399,6 +399,7 @@ fn stable_backend_experiment(b: &mut Bench) {
     let (mut p, agent) = base
         .with_stable_backend(StableFactory::wal(WalConfig {
             checkpoint_bytes: 16 * 1024,
+            path: None,
         }))
         .start();
     assert!(p.run_until_settled(&[agent], SimDuration::from_secs(3_600)));
@@ -528,6 +529,135 @@ fn itinerary_experiment(b: &mut Bench) {
     );
 }
 
+/// E12 — the process/network boundary: the travel-agency fleet run
+/// in-process vs distributed across a driver plus two node hosts over
+/// loopback TCP and Unix-domain sockets. The deterministic asserts pin
+/// observational equivalence (reports, kernel counters, money audit all
+/// identical — the socket carries the same simulator-billed bytes, there
+/// is no second encode path); the derived numbers record the transport's
+/// own footprint (frames, relayed events, billed relay bytes, lockstep
+/// windows) and the wall-clock cost of real sockets in the loop.
+fn net_experiment(b: &mut Bench) {
+    use mar_net::host::run_host;
+    use mar_net::scenarios as netsc;
+    use mar_net::{netkeys, Endpoint, HostConfig, NetCfg, NetPlatform};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const AGENTS: u32 = 4;
+    const SEED: u64 = 11;
+    const HOSTS: u32 = 2;
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+
+    let uds_endpoint = || {
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        Endpoint::Unix(
+            std::env::temp_dir().join(format!("mar-e12-{}-{n}.sock", std::process::id())),
+        )
+    };
+    let tcp_endpoint = || {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        Endpoint::Tcp(addr.to_string())
+    };
+
+    let run_inproc = || {
+        let mut p = netsc::builder(netsc::TRAVEL, SEED).unwrap().build();
+        let handles = p.launch_fleet(netsc::fleet(netsc::TRAVEL, AGENTS).unwrap());
+        assert!(p.run_until_settled(&handles, SimDuration::from_secs(600)));
+        let reports: Vec<_> = handles.iter().map(|h| p.report(*h).unwrap()).collect();
+        (reports, p.money_audit(&[]), p.snapshot())
+    };
+    let run_dist = |endpoint: Endpoint| {
+        let mut joins = Vec::new();
+        for host_id in 0..HOSTS {
+            let cfg = HostConfig::new(host_id, endpoint.clone());
+            joins.push(std::thread::spawn(move || run_host(&cfg)));
+        }
+        let mut p = NetPlatform::start(NetCfg::new(endpoint.clone(), HOSTS, netsc::TRAVEL, SEED))
+            .expect("driver start");
+        let handles = p.launch_fleet(netsc::fleet(netsc::TRAVEL, AGENTS).unwrap());
+        assert!(p.run_until_settled(&handles, SimDuration::from_secs(600)));
+        let reports: Vec<_> = handles.iter().map(|h| p.report(*h).unwrap()).collect();
+        let audit = p.money_audit(&[]);
+        let snap = p.snapshot();
+        p.shutdown();
+        for j in joins {
+            j.join().unwrap().unwrap();
+        }
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        (reports, audit, snap)
+    };
+    let kernel = |snap: &mar_simnet::MetricsSnapshot| {
+        snap.counters
+            .iter()
+            .filter(|(k, _)| !netkeys::is_transport_diag(k))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+
+    let (ctl_reports, ctl_audit, ctl_snap) = run_inproc();
+    for (arm, endpoint) in [("uds2", uds_endpoint()), ("tcp2", tcp_endpoint())] {
+        let (reports, audit, snap) = run_dist(endpoint);
+        assert_eq!(ctl_reports, reports, "e12 {arm}: reports diverged");
+        assert_eq!(ctl_audit, audit, "e12 {arm}: money audit diverged");
+        assert_eq!(
+            kernel(&ctl_snap),
+            kernel(&snap),
+            "e12 {arm}: kernel counters diverged"
+        );
+        let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+        let billed = c(netkeys::BILLED_BYTES);
+        // Relayed deliveries carry exactly their simulator-billed cost; the
+        // relay subset can never exceed what the kernel billed in total.
+        assert!(billed > 0, "e12 {arm}: no cross-host traffic?");
+        assert!(
+            billed <= c("net.bytes_sent"),
+            "e12 {arm}: relay bytes {billed} exceed billed total {}",
+            c("net.bytes_sent")
+        );
+        b.derive(
+            format!("e12_net/{arm}/frames_sent"),
+            c(netkeys::FRAMES_SENT) as f64,
+        );
+        b.derive(
+            format!("e12_net/{arm}/events_relayed"),
+            c(netkeys::EVENTS_RELAYED) as f64,
+        );
+        b.derive(format!("e12_net/{arm}/relay_billed_bytes"), billed as f64);
+        b.derive(format!("e12_net/{arm}/windows"), c(netkeys::WINDOWS) as f64);
+        b.derive(
+            format!("e12_net/{arm}/retransmits"),
+            c("report.retransmits") as f64,
+        );
+    }
+
+    // Wall clock: the identical warm fleet, three deployment shapes.
+    b.run("e12_net/inproc/settle_run", 4, 1, || {
+        black_box(run_inproc());
+    });
+    b.run("e12_net/uds2/settle_run", 4, 1, || {
+        black_box(run_dist(uds_endpoint()));
+    });
+    b.run("e12_net/tcp2/settle_run", 4, 1, || {
+        black_box(run_dist(tcp_endpoint()));
+    });
+    let inproc_ns = b.ns_per_op("e12_net/inproc/settle_run").unwrap();
+    let uds_ns = b.ns_per_op("e12_net/uds2/settle_run").unwrap();
+    let tcp_ns = b.ns_per_op("e12_net/tcp2/settle_run").unwrap();
+    b.derive("e12_net/uds2/overhead_x", uds_ns / inproc_ns);
+    b.derive("e12_net/tcp2/overhead_x", tcp_ns / inproc_ns);
+    eprintln!(
+        "e12_net: settle wall {:.2}ms in-process, {:.2}ms uds x2 hosts, \
+         {:.2}ms tcp x2 hosts (identical reports, counters, and audit)",
+        inproc_ns / 1e6,
+        uds_ns / 1e6,
+        tcp_ns / 1e6,
+    );
+}
+
 fn main() {
     let mut b = Bench::new();
 
@@ -606,6 +736,9 @@ fn main() {
 
     // E11 — content-addressed itinerary interning: warm fleet vs inline.
     itinerary_experiment(&mut b);
+
+    // E12 — the process/network boundary: distributed vs in-process.
+    net_experiment(&mut b);
 
     b.write_report("BENCH_macro.json");
 }

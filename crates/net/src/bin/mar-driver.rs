@@ -1,0 +1,129 @@
+//! The fleet coordinator binary.
+//!
+//! Listens on `--socket`, waits for `--hosts` node-host processes,
+//! launches `--agents` agents of `--scenario`, runs the fleet to
+//! settlement, and prints one machine-parseable line per result:
+//!
+//! ```text
+//! report <agent-id> <outcome> steps=<steps_committed>
+//! money USD=12000
+//! settled=true
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mar_net::{Endpoint, NetCfg, NetPlatform};
+use mar_simnet::SimDuration;
+
+struct Args {
+    socket: String,
+    hosts: u32,
+    scenario: String,
+    seed: u64,
+    agents: u32,
+    deadline_secs: u64,
+    window_delay_us: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: String::new(),
+        hosts: 2,
+        scenario: "travel".to_owned(),
+        seed: 11,
+        agents: 4,
+        deadline_secs: 600,
+        window_delay_us: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--socket" => args.socket = val("--socket")?,
+            "--hosts" => args.hosts = parse(&val("--hosts")?)?,
+            "--scenario" => args.scenario = val("--scenario")?,
+            "--seed" => args.seed = parse(&val("--seed")?)?,
+            "--agents" => args.agents = parse(&val("--agents")?)?,
+            "--deadline-secs" => args.deadline_secs = parse(&val("--deadline-secs")?)?,
+            "--window-delay-us" => args.window_delay_us = parse(&val("--window-delay-us")?)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("--socket is required (unix:<path> or tcp:<addr>)".to_owned());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mar-driver: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let endpoint = match Endpoint::parse(&args.socket) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("mar-driver: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match mar_net::scenarios::fleet(&args.scenario, args.agents) {
+        Some(s) => s,
+        None => {
+            eprintln!("mar-driver: unknown scenario {:?}", args.scenario);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = NetCfg::new(endpoint, args.hosts, args.scenario.clone(), args.seed);
+    cfg.window_delay = Duration::from_micros(args.window_delay_us);
+    let mut platform = match NetPlatform::start(cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mar-driver: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "mar-driver: {} hosts connected, launching {} agents",
+        args.hosts, args.agents
+    );
+    let handles = platform.launch_fleet(specs);
+    let settled = platform.run_until_settled(&handles, SimDuration::from_secs(args.deadline_secs));
+    for h in &handles {
+        match platform.report(*h) {
+            Some(r) => println!(
+                "report {} {:?} steps={}",
+                h.id().0,
+                r.outcome,
+                r.steps_committed
+            ),
+            None => println!("report {} Missing steps=0", h.id().0),
+        }
+    }
+    let audit = platform.money_audit(&[]);
+    let money: Vec<String> = audit.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("money {}", money.join(" "));
+    println!("settled={settled}");
+    let m = platform.driver_world().metrics();
+    eprintln!(
+        "mar-driver: windows={} relayed={} reconnects={} host_down_drops={}",
+        m.counter(mar_net::netkeys::WINDOWS),
+        m.counter(mar_net::netkeys::EVENTS_RELAYED),
+        m.counter(mar_net::netkeys::RECONNECTS),
+        m.counter(mar_net::netkeys::HOST_DOWN_DROPS),
+    );
+    platform.shutdown();
+    if settled {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,67 @@
+//! The node-host binary: owns a slice of the world's nodes for a driver.
+//!
+//! Connects to the driver at `--socket`, claims `--host-id`, and serves
+//! the lockstep protocol until the driver says shutdown. With `--wal-dir`
+//! the node stores are file-backed: a SIGKILL loses only volatile state,
+//! and the next invocation recovers from the write-ahead logs and rejoins
+//! the running fleet.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mar_net::{run_host, Endpoint, HostConfig, HostExit};
+
+fn parse_args() -> Result<HostConfig, String> {
+    let mut socket = String::new();
+    let mut host_id: Option<u32> = None;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--socket" => socket = val("--socket")?,
+            "--host-id" => {
+                host_id = Some(
+                    val("--host-id")?
+                        .parse()
+                        .map_err(|_| "bad --host-id".to_owned())?,
+                );
+            }
+            "--wal-dir" => wal_dir = Some(PathBuf::from(val("--wal-dir")?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let host_id = host_id.ok_or("--host-id is required")?;
+    if socket.is_empty() {
+        return Err("--socket is required (unix:<path> or tcp:<addr>)".to_owned());
+    }
+    let endpoint = Endpoint::parse(&socket)?;
+    let mut cfg = HostConfig::new(host_id, endpoint);
+    cfg.wal_dir = wal_dir;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mar-node-host: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "mar-node-host: host {} connecting to {}",
+        cfg.host_id, cfg.endpoint
+    );
+    match run_host(&cfg) {
+        Ok(HostExit::Shutdown) => ExitCode::SUCCESS,
+        Ok(HostExit::Disconnected) => {
+            eprintln!("mar-node-host: driver connection lost");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("mar-node-host: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,650 @@
+//! The driver process: fleet coordinator of a distributed deployment.
+//!
+//! [`NetPlatform`] mirrors the in-process `mar_platform::Platform` API —
+//! launch, run-until-settled, drain reports, audit money — but the nodes
+//! live in separate host processes reached over length-framed TCP or
+//! Unix-domain sockets. The driver hosts an **all-remote** world of its
+//! own: `World::post` there draws the same driver random stream, bills the
+//! same bytes, and allocates the same `(time, origin, seq)` event keys as
+//! the single-process control, then diverts the delivery to the egress
+//! buffer for relaying — so a launch costs exactly what it costs
+//! in-process, and the global event schedule is bit-identical.
+//!
+//! # The lockstep window protocol
+//!
+//! The driver is the hub; hosts never talk to each other. Each round:
+//!
+//! 1. relay diverted deliveries to their owners (`Inject`),
+//! 2. compute the global minimum `m` of every host's earliest pending
+//!    event and everything just injected,
+//! 3. issue `RunWindow { end }` with `end = min(m + lookahead, until + 1)`
+//!    (`lookahead` = the latency model's minimum — no event created in the
+//!    window can land before `end`),
+//! 4. collect `WindowDone { egress, next_min }` from every host.
+//!
+//! Per-connection FIFO ordering is the only barrier needed: a host sees
+//! its `Inject` before the `RunWindow` that may consume it. The steady
+//! state costs one round trip per window because `WindowDone` piggybacks
+//! the next minimum.
+//!
+//! A dead connection marks the host down: relays to it are dropped (and
+//! counted — exactly what the simulator does with messages to a crashed
+//! node), the window loop continues over the survivors, and a
+//! reconnecting host is re-handshaken with `resume_us` = the driver's
+//! current virtual time, recovering from its write-ahead log.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::{Duration, Instant};
+
+use mar_core::AgentId;
+use mar_platform::{audit_wallets, AgentHandle, AgentReport, AgentSpec, DriverCore, DriverStable};
+use mar_simnet::{MetricsSnapshot, NodeId, RemoteEvent, SimDuration, World};
+
+use crate::proto::{ownership, NetMsg, Peer, RpcOp, RpcReply, PROTOCOL_VERSION};
+use crate::scenarios;
+use crate::transport::{Endpoint, Listener, SocketTransport};
+
+/// Transport-diagnostic metric names, recorded on the driver's meter.
+/// These exist **only** in distributed runs; every other counter must sum
+/// (across hosts plus driver) to the single-process control's value.
+pub mod netkeys {
+    /// Protocol frames sent by the driver.
+    pub const FRAMES_SENT: &str = "net.frames_sent";
+    /// Protocol frames received by the driver (duplicates excluded).
+    pub const FRAMES_RECEIVED: &str = "net.frames_received";
+    /// Simulation deliveries relayed between processes.
+    pub const EVENTS_RELAYED: &str = "net.events_relayed";
+    /// Simulator-billed bytes of relayed deliveries — the byte count the
+    /// schedule and `net.bytes_sent` accounting already charged.
+    pub const BILLED_BYTES: &str = "net.billed_bytes";
+    /// Actual payload bytes of relayed deliveries as shipped in frames
+    /// (≤ billed when reference compression trimmed a payload after
+    /// billing).
+    pub const PAYLOAD_BYTES: &str = "net.payload_bytes";
+    /// Lockstep windows executed.
+    pub const WINDOWS: &str = "net.windows";
+    /// Deliveries dropped because the owning host was down.
+    pub const HOST_DOWN_DROPS: &str = "net.host_down_drops";
+    /// Host re-handshakes after a connection died.
+    pub const RECONNECTS: &str = "net.reconnects";
+
+    /// Whether `key` is one of the transport diagnostics above (excluded
+    /// from distributed-vs-control counter comparisons).
+    pub fn is_transport_diag(key: &str) -> bool {
+        [
+            FRAMES_SENT,
+            FRAMES_RECEIVED,
+            EVENTS_RELAYED,
+            BILLED_BYTES,
+            PAYLOAD_BYTES,
+            WINDOWS,
+            HOST_DOWN_DROPS,
+            RECONNECTS,
+        ]
+        .contains(&key)
+    }
+}
+
+/// Same tick the in-process driver uses between mailbox drains — the
+/// counts of `driver.*` metrics match the control only because the drain
+/// cadence does.
+const SETTLE_TICK: SimDuration = SimDuration::from_millis(50);
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct NetCfg {
+    /// Endpoint to listen on.
+    pub endpoint: Endpoint,
+    /// Number of node-host processes.
+    pub hosts: u32,
+    /// Scenario name (see [`crate::scenarios`]).
+    pub scenario: String,
+    /// World seed.
+    pub seed: u64,
+    /// Bound on the driver's report cache.
+    pub report_cache_cap: usize,
+    /// Wall-clock wait for all hosts to connect at startup.
+    pub accept_deadline: Duration,
+    /// Per-read watchdog on host connections.
+    pub io_timeout: Duration,
+    /// Wall-clock pause after every window (0 = full speed); lets tests
+    /// and demos stretch a run long enough to kill a host mid-flight.
+    pub window_delay: Duration,
+}
+
+impl NetCfg {
+    /// A config with production defaults.
+    pub fn new(endpoint: Endpoint, hosts: u32, scenario: impl Into<String>, seed: u64) -> Self {
+        NetCfg {
+            endpoint,
+            hosts,
+            scenario: scenario.into(),
+            seed,
+            report_cache_cap: 100_000,
+            accept_deadline: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+            window_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct HostSlot {
+    peer: Option<Peer<SocketTransport>>,
+    /// Deliveries awaiting relay to this host.
+    pending: Vec<RemoteEvent>,
+    /// The host's earliest pending event, as last reported.
+    next_min: Option<u64>,
+}
+
+/// Everything that talks to the outside: the driver's all-remote world,
+/// the listener, and the per-host connections. Split from [`NetPlatform`]
+/// so the shared `DriverCore` harvest logic can borrow it as its
+/// [`DriverStable`] while the core itself is borrowed mutably.
+struct NetState {
+    world: World,
+    listener: Listener,
+    slots: Vec<HostSlot>,
+    owned: Vec<Vec<u32>>,
+    /// node id → owning host id.
+    owner_of: Vec<u32>,
+    scenario: String,
+    seed: u64,
+    n_nodes: u32,
+    lookahead_us: u64,
+    io_timeout: Duration,
+    window_delay: Duration,
+    rpc_seq: u64,
+}
+
+/// The distributed platform driver; see the module docs for the protocol.
+pub struct NetPlatform {
+    core: DriverCore,
+    net: NetState,
+}
+
+impl NetPlatform {
+    /// Binds the endpoint, waits for all `cfg.hosts` node hosts to connect
+    /// and handshake, and returns a ready-to-launch platform.
+    ///
+    /// # Errors
+    ///
+    /// Bind/accept failures, handshake protocol violations, unknown
+    /// scenarios, and hosts that fail to appear within the accept
+    /// deadline.
+    pub fn start(cfg: NetCfg) -> io::Result<NetPlatform> {
+        let n_nodes = scenarios::node_count(&cfg.scenario)
+            .ok_or_else(|| invalid(format!("unknown scenario {:?}", cfg.scenario)))?;
+        let builder = scenarios::builder(&cfg.scenario, cfg.seed)
+            .ok_or_else(|| invalid(format!("unknown scenario {:?}", cfg.scenario)))?;
+        let world = builder
+            .try_build_remote(&[])
+            .map_err(|e| invalid(format!("driver world build failed: {e}")))?;
+        let lookahead_us = world.net().latency_model().min_latency().as_micros();
+        let listener = Listener::bind(&cfg.endpoint)?;
+        listener.set_nonblocking(true)?;
+        let owned = ownership(n_nodes, cfg.hosts);
+        let mut owner_of = vec![0u32; n_nodes as usize];
+        for (h, nodes) in owned.iter().enumerate() {
+            for &n in nodes {
+                owner_of[n as usize] = h as u32;
+            }
+        }
+        let slots = (0..cfg.hosts)
+            .map(|_| HostSlot {
+                peer: None,
+                pending: Vec::new(),
+                next_min: None,
+            })
+            .collect();
+        let mut net = NetState {
+            world,
+            listener,
+            slots,
+            owned,
+            owner_of,
+            scenario: cfg.scenario,
+            seed: cfg.seed,
+            n_nodes,
+            lookahead_us,
+            io_timeout: cfg.io_timeout,
+            window_delay: cfg.window_delay,
+            rpc_seq: 0,
+        };
+        let deadline = Instant::now() + cfg.accept_deadline;
+        while net.slots.iter().any(|s| s.peer.is_none()) {
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "hosts did not all connect within the accept deadline",
+                ));
+            }
+            if !net.poll_accepts()? {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        Ok(NetPlatform {
+            core: DriverCore::new(cfg.report_cache_cap),
+            net,
+        })
+    }
+
+    /// Launches an agent — identical cost accounting to the in-process
+    /// platform (driver random stream, billed bytes, event key), with the
+    /// delivery relayed to the home node's host on the next window.
+    pub fn launch(&mut self, spec: AgentSpec) -> AgentHandle {
+        let (handle, addr, payload) = self.core.launch(spec);
+        self.net.world.post(addr, payload);
+        handle
+    }
+
+    /// Launches a whole fleet, returning one handle per spec in order.
+    pub fn launch_fleet(&mut self, specs: impl IntoIterator<Item = AgentSpec>) -> Vec<AgentHandle> {
+        specs.into_iter().map(|s| self.launch(s)).collect()
+    }
+
+    /// Runs the distributed simulation for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = (self.net.world.now() + d).as_micros();
+        self.net.run_until(target);
+    }
+
+    /// Drains completion events from home-node mailboxes over RPC — the
+    /// same O(completions) harvest as in-process, at quiescent points.
+    pub fn drain_reports(&mut self) -> Vec<AgentReport> {
+        self.core.drain_reports(&mut self.net)
+    }
+
+    /// Runs until all listed agents have reports or `deadline` virtual
+    /// time elapses; `true` if everyone finished. While a host is down the
+    /// loop paces itself in wall clock, so a supervised restart has time
+    /// to land before the virtual deadline burns away.
+    pub fn run_until_settled(&mut self, agents: &[AgentHandle], deadline: SimDuration) -> bool {
+        self.drain_reports();
+        let mut pending: Vec<AgentId> = agents
+            .iter()
+            .map(|h| h.id())
+            .filter(|id| !self.core.is_completed(*id))
+            .collect();
+        let end = self.net.world.now() + deadline;
+        while !pending.is_empty() && self.net.world.now() < end {
+            if self.net.slots.iter().any(|s| s.peer.is_none()) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            self.run_for(SETTLE_TICK);
+            self.drain_reports();
+            pending.retain(|id| !self.core.is_completed(*id));
+        }
+        pending.is_empty()
+    }
+
+    /// A finished agent's report (drains once if not yet cached).
+    pub fn report(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
+        let agent = agent.into();
+        if let Some(r) = self.core.cached(agent) {
+            return Some(r);
+        }
+        self.drain_reports();
+        self.core.cached(agent)
+    }
+
+    /// Sums committed money across every host (RPC per host) plus the
+    /// driver's cached reports — the distributed form of the in-process
+    /// money audit, and equal to it at quiescent points.
+    pub fn money_audit(&mut self, wallet_keys: &[&str]) -> BTreeMap<String, i64> {
+        let mut total: BTreeMap<String, i64> = BTreeMap::new();
+        let op = RpcOp::MoneyAudit {
+            wallet_keys: wallet_keys.iter().map(|s| (*s).to_owned()).collect(),
+        };
+        for h in 0..self.net.slots.len() {
+            if let Some(RpcReply::Audit(entries)) = self.net.rpc(h, op.clone()) {
+                for (cur, amount) in entries {
+                    *total.entry(cur).or_insert(0) += amount;
+                }
+            }
+        }
+        for report in self.core.cached_reports() {
+            audit_wallets(&report.record.data, wallet_keys, &mut total);
+        }
+        total
+    }
+
+    /// Metrics summed across every process: each host's snapshot (RPC)
+    /// merged into the driver's own. Transport diagnostics
+    /// ([`netkeys`]) appear only here, never in a host or control run.
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        let mut merged = self.net.world.snapshot();
+        for h in 0..self.net.slots.len() {
+            if let Some(RpcReply::Snapshot(snap)) = self.net.rpc(h, RpcOp::Snapshot) {
+                for (k, v) in snap.counters {
+                    *merged.counters.entry(k).or_insert(0) += v;
+                }
+                for (k, other) in snap.hists {
+                    let h = merged.hists.entry(k).or_default();
+                    h.count += other.count;
+                    h.sum += other.sum;
+                    h.min = h.min.min(other.min);
+                    h.max = h.max.max(other.max);
+                }
+            }
+        }
+        merged
+    }
+
+    /// The driver's own (all-remote) world — billing and diagnostics
+    /// inspection.
+    pub fn driver_world(&self) -> &World {
+        &self.net.world
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> mar_simnet::SimTime {
+        self.net.world.now()
+    }
+
+    /// Whether every host slot currently has a live connection.
+    pub fn all_hosts_connected(&self) -> bool {
+        self.net.slots.iter().all(|s| s.peer.is_some())
+    }
+
+    /// Tells every host the run is over. Errors are ignored — a host that
+    /// already vanished needs no shutdown.
+    pub fn shutdown(&mut self) {
+        for h in 0..self.net.slots.len() {
+            if let Some(peer) = &mut self.net.slots[h].peer {
+                let _ = peer.send(&NetMsg::Shutdown);
+            }
+            self.net.slots[h].peer = None;
+        }
+    }
+}
+
+impl NetState {
+    /// Accepts any waiting connections and handshakes them into host
+    /// slots; `true` if at least one host (re)joined.
+    fn poll_accepts(&mut self) -> io::Result<bool> {
+        let mut any = false;
+        while let Some(mut transport) = self.listener.accept()? {
+            transport.set_read_timeout(Some(self.io_timeout))?;
+            // A broken hello poisons one connection, nothing else: the
+            // transport is dropped and the loop keeps accepting.
+            if self.handshake(Peer::new(transport)).is_ok() {
+                any = true;
+            }
+        }
+        Ok(any)
+    }
+
+    /// Runs the hello/topology/ready exchange on a fresh connection and
+    /// installs it in its slot.
+    fn handshake(&mut self, mut peer: Peer<SocketTransport>) -> io::Result<()> {
+        let host_id = match peer.recv()? {
+            Some(NetMsg::Hello { version, host_id }) if version == PROTOCOL_VERSION => host_id,
+            Some(NetMsg::Hello { version, .. }) => {
+                return Err(invalid(format!("host speaks protocol {version}")));
+            }
+            other => return Err(invalid(format!("expected Hello, got {other:?}"))),
+        };
+        self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
+        if host_id as usize >= self.slots.len() {
+            return Err(invalid(format!("host id {host_id} out of range")));
+        }
+        let reconnect = self.slots[host_id as usize].peer.is_some()
+            || self.world.now().as_micros() > 0
+            || self.slots[host_id as usize].next_min.is_some();
+        peer.send(&NetMsg::Topology {
+            version: PROTOCOL_VERSION,
+            scenario: self.scenario.clone(),
+            seed: self.seed,
+            n_nodes: self.n_nodes,
+            owned: self.owned[host_id as usize].clone(),
+            resume_us: self.world.now().as_micros(),
+        })?;
+        self.world.metrics().inc(netkeys::FRAMES_SENT);
+        let (egress, next_min) = match peer.recv()? {
+            Some(NetMsg::Ready {
+                egress,
+                next_min_us,
+            }) => (egress, next_min_us),
+            other => return Err(invalid(format!("expected Ready, got {other:?}"))),
+        };
+        self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
+        if reconnect {
+            self.world.metrics().inc(netkeys::RECONNECTS);
+        }
+        let slot = &mut self.slots[host_id as usize];
+        slot.peer = Some(peer);
+        slot.next_min = next_min;
+        self.route(egress);
+        Ok(())
+    }
+
+    /// Queues diverted deliveries for relay to their owning hosts.
+    fn route(&mut self, events: Vec<RemoteEvent>) {
+        for ev in events {
+            let owner = self.owner_of[ev.to_node as usize] as usize;
+            self.slots[owner].pending.push(ev);
+        }
+    }
+
+    /// Sends one message to a host, tearing the connection down on error.
+    fn send_to(&mut self, h: usize, msg: &NetMsg) -> bool {
+        let Some(peer) = &mut self.slots[h].peer else {
+            return false;
+        };
+        match peer.send(msg) {
+            Ok(()) => {
+                self.world.metrics().inc(netkeys::FRAMES_SENT);
+                true
+            }
+            Err(_) => {
+                self.mark_down(h);
+                false
+            }
+        }
+    }
+
+    /// Receives one message from a host, tearing the connection down on
+    /// error or clean close.
+    fn recv_from(&mut self, h: usize) -> Option<NetMsg> {
+        let Some(peer) = &mut self.slots[h].peer else {
+            return None;
+        };
+        match peer.recv() {
+            Ok(Some(msg)) => {
+                self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
+                Some(msg)
+            }
+            Ok(None) | Err(_) => {
+                self.mark_down(h);
+                None
+            }
+        }
+    }
+
+    /// Declares a host dead: its connection is dropped, its queued relays
+    /// are discarded (the distributed analogue of the simulator dropping
+    /// messages to a crashed node), and its minimum is unknown until a
+    /// reconnection's `Ready`.
+    fn mark_down(&mut self, h: usize) {
+        let slot = &mut self.slots[h];
+        slot.peer = None;
+        slot.next_min = None;
+        let dropped = slot.pending.len() as u64;
+        slot.pending.clear();
+        if dropped > 0 {
+            self.world.metrics().add(netkeys::HOST_DOWN_DROPS, dropped);
+        }
+    }
+
+    /// The lockstep window loop: runs every process forward until no event
+    /// anywhere is due at or before `target_us`, then finalizes all clocks
+    /// at the boundary.
+    fn run_until(&mut self, target_us: u64) {
+        loop {
+            let _ = self.poll_accepts();
+            let egress = self.world.take_remote_egress();
+            self.route(egress);
+            // Relay pending deliveries. Injections move the global minimum,
+            // and the driver knows their due times without another round
+            // trip.
+            let mut injected_min: Option<u64> = None;
+            for h in 0..self.slots.len() {
+                if self.slots[h].pending.is_empty() {
+                    continue;
+                }
+                let events = std::mem::take(&mut self.slots[h].pending);
+                if self.slots[h].peer.is_none() {
+                    self.world
+                        .metrics()
+                        .add(netkeys::HOST_DOWN_DROPS, events.len() as u64);
+                    continue;
+                }
+                let batch_min = events.iter().map(|e| e.at_us).min();
+                let relayed = events.len() as u64;
+                let billed: u64 = events.iter().map(|e| e.billed).sum();
+                let payload: u64 = events.iter().map(|e| e.payload.len() as u64).sum();
+                if self.send_to(h, &NetMsg::Inject { events }) {
+                    injected_min = min_opt(injected_min, batch_min);
+                    self.world.metrics().add(netkeys::EVENTS_RELAYED, relayed);
+                    self.world.metrics().add(netkeys::BILLED_BYTES, billed);
+                    self.world.metrics().add(netkeys::PAYLOAD_BYTES, payload);
+                }
+            }
+            let mut m = injected_min;
+            for slot in &self.slots {
+                if slot.peer.is_some() {
+                    m = min_opt(m, slot.next_min);
+                }
+            }
+            let m = match m {
+                Some(m) if m <= target_us => m,
+                _ => break,
+            };
+            // The conservative window: nothing created inside it can land
+            // before `end`, because every delivery costs at least the
+            // latency model's minimum. Same formula as the in-process
+            // sharded engine.
+            let end = m
+                .saturating_add(self.lookahead_us)
+                .min(target_us.saturating_add(1))
+                .max(m + 1);
+            let alive: Vec<usize> = (0..self.slots.len())
+                .filter(|&h| self.slots[h].peer.is_some())
+                .collect();
+            let mut running = Vec::with_capacity(alive.len());
+            for h in alive {
+                if self.send_to(h, &NetMsg::RunWindow { end_us: end }) {
+                    running.push(h);
+                }
+            }
+            for h in running {
+                match self.recv_from(h) {
+                    Some(NetMsg::WindowDone {
+                        egress,
+                        next_min_us,
+                    }) => {
+                        self.slots[h].next_min = next_min_us;
+                        self.route(egress);
+                    }
+                    Some(_) => self.mark_down(h),
+                    None => {}
+                }
+            }
+            self.world.advance_clock_to(end.saturating_sub(1));
+            self.world.metrics().inc(netkeys::WINDOWS);
+            if !self.window_delay.is_zero() {
+                std::thread::sleep(self.window_delay);
+            }
+        }
+        // Quiescent before the boundary: finalize every clock at it.
+        for h in 0..self.slots.len() {
+            if self.send_to(h, &NetMsg::AdvanceTo { target_us }) {
+                match self.recv_from(h) {
+                    Some(NetMsg::AdvanceDone { next_min_us }) => {
+                        self.slots[h].next_min = next_min_us;
+                    }
+                    Some(_) => self.mark_down(h),
+                    None => {}
+                }
+            }
+        }
+        self.world.advance_clock_to(target_us);
+    }
+
+    /// One synchronous RPC against a host; `None` if the host is down or
+    /// the connection died mid-call.
+    fn rpc(&mut self, h: usize, op: RpcOp) -> Option<RpcReply> {
+        self.rpc_seq += 1;
+        let id = self.rpc_seq;
+        if !self.send_to(h, &NetMsg::Rpc { id, op }) {
+            return None;
+        }
+        match self.recv_from(h) {
+            Some(NetMsg::RpcReply { id: got, reply }) if got == id => Some(reply),
+            Some(_) | None => {
+                self.mark_down(h);
+                None
+            }
+        }
+    }
+}
+
+/// The remote form of the driver's stable access: every call is one RPC to
+/// the owning host, at quiescent points between windows. A downed host
+/// reads as empty — its durable state reappears after recovery.
+impl DriverStable for NetState {
+    fn keys_with_prefix(&mut self, node: NodeId, prefix: &str) -> Vec<String> {
+        let h = self.owner_of[node.0 as usize] as usize;
+        match self.rpc(
+            h,
+            RpcOp::KeysWithPrefix {
+                node: node.0,
+                prefix: prefix.to_owned(),
+            },
+        ) {
+            Some(RpcReply::Keys(keys)) => keys,
+            _ => Vec::new(),
+        }
+    }
+
+    fn get(&mut self, node: NodeId, key: &str) -> Option<Vec<u8>> {
+        let h = self.owner_of[node.0 as usize] as usize;
+        match self.rpc(
+            h,
+            RpcOp::Get {
+                node: node.0,
+                key: key.to_owned(),
+            },
+        ) {
+            Some(RpcReply::Bytes(b)) => b,
+            _ => None,
+        }
+    }
+
+    fn delete(&mut self, node: NodeId, key: &str) {
+        let h = self.owner_of[node.0 as usize] as usize;
+        let _ = self.rpc(
+            h,
+            RpcOp::Delete {
+                node: node.0,
+                key: key.to_owned(),
+            },
+        );
+    }
+
+    fn metric_inc(&mut self, key: &'static str) {
+        self.world.metrics().inc(key);
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,205 @@
+//! The node-host process: one connection-lifetime of the lockstep
+//! protocol, driven entirely by the coordinator.
+//!
+//! A host owns a subset of the world's nodes. It builds the **whole**
+//! world (every node id, so random streams and event keys match every
+//! other process), installs services only on its owned slice, marks the
+//! rest remote, and then obeys the driver: inject diverted deliveries, run
+//! conservative windows, answer stable-storage RPCs at quiescent points.
+//! The host never invents time — every clock advance is a driver message,
+//! which is what keeps the distributed schedule bit-identical to the
+//! single-process one.
+//!
+//! Crash recovery is the same code path as a cold start: the process dies
+//! (losing all volatile state), the supervisor restarts it, the world is
+//! rebuilt from the scenario registry with stable storage recovered from
+//! the file-backed WAL, the clock advances to the driver's `resume_us`,
+//! and `World::start` replays the platform's recovery logic — which
+//! re-arms retry timers and retransmits from stable outboxes.
+
+use std::io;
+use std::path::PathBuf;
+
+use mar_simnet::{NodeId, SimRng, StableFactory, WalConfig, World};
+
+use crate::proto::{NetMsg, Peer, RpcOp, RpcReply, PROTOCOL_VERSION};
+use crate::scenarios;
+use crate::transport::{connect_with_retry, Endpoint, Transport};
+
+/// Node-host configuration (one process).
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Which host slot to claim.
+    pub host_id: u32,
+    /// The driver's endpoint.
+    pub endpoint: Endpoint,
+    /// Directory for file-backed per-node WALs; `None` keeps stable
+    /// storage in memory (no crash recovery across restarts).
+    pub wal_dir: Option<PathBuf>,
+    /// Connection attempts before giving up.
+    pub connect_attempts: u32,
+}
+
+impl HostConfig {
+    /// A config with default retry behaviour.
+    pub fn new(host_id: u32, endpoint: Endpoint) -> Self {
+        HostConfig {
+            host_id,
+            endpoint,
+            wal_dir: None,
+            connect_attempts: 25,
+        }
+    }
+}
+
+/// How a host session ended.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HostExit {
+    /// The driver said [`NetMsg::Shutdown`]: the run is over.
+    Shutdown,
+    /// The connection closed or broke; the supervisor may reconnect by
+    /// calling [`run_host`] again (state is rebuilt from the WAL).
+    Disconnected,
+}
+
+/// Connects to the driver, performs the handshake, builds the world, and
+/// serves the protocol until shutdown or disconnection.
+///
+/// # Errors
+///
+/// Connection setup failures, protocol violations (bad version, unknown
+/// scenario, malformed frames), and transport errors. A clean
+/// driver-initiated shutdown is `Ok(HostExit::Shutdown)`.
+pub fn run_host(cfg: &HostConfig) -> io::Result<HostExit> {
+    let mut rng = SimRng::seed_from(0x4E45_5400u64 + u64::from(cfg.host_id));
+    let transport = connect_with_retry(&cfg.endpoint, cfg.connect_attempts, &mut rng)?;
+    let mut peer = Peer::new(transport);
+    peer.send(&NetMsg::Hello {
+        version: PROTOCOL_VERSION,
+        host_id: cfg.host_id,
+    })?;
+    let topology = match peer.recv()? {
+        Some(NetMsg::Topology {
+            version,
+            scenario,
+            seed,
+            n_nodes,
+            owned,
+            resume_us,
+        }) => {
+            if version != PROTOCOL_VERSION {
+                return Err(proto_err(format!(
+                    "protocol version mismatch: driver {version}, host {PROTOCOL_VERSION}"
+                )));
+            }
+            (scenario, seed, n_nodes, owned, resume_us)
+        }
+        Some(other) => return Err(proto_err(format!("expected Topology, got {other:?}"))),
+        None => return Ok(HostExit::Disconnected),
+    };
+    let (scenario, seed, n_nodes, owned, resume_us) = topology;
+    let mut world = build_world(cfg, &scenario, seed, n_nodes, &owned)?;
+    // Recovery order matters: the clock must sit at the coordinator's time
+    // *before* start(), so recovery timers and retransmissions schedule
+    // relative to the resumed present, not virtual time zero.
+    world.advance_clock_to(resume_us);
+    world.start();
+    peer.send(&NetMsg::Ready {
+        egress: world.take_remote_egress(),
+        next_min_us: world.local_min_us(),
+    })?;
+    serve(&mut peer, &mut world)
+}
+
+/// The post-handshake message loop, factored out so tests can drive a host
+/// over an in-process [`crate::transport::Loopback`].
+pub fn serve<T: Transport>(peer: &mut Peer<T>, world: &mut World) -> io::Result<HostExit> {
+    loop {
+        match peer.recv()? {
+            Some(NetMsg::Inject { events }) => {
+                for ev in events {
+                    world.inject_remote(ev);
+                }
+            }
+            Some(NetMsg::RunWindow { end_us }) => {
+                world.run_window(end_us);
+                peer.send(&NetMsg::WindowDone {
+                    egress: world.take_remote_egress(),
+                    next_min_us: world.local_min_us(),
+                })?;
+            }
+            Some(NetMsg::AdvanceTo { target_us }) => {
+                world.advance_clock_to(target_us);
+                peer.send(&NetMsg::AdvanceDone {
+                    next_min_us: world.local_min_us(),
+                })?;
+            }
+            Some(NetMsg::Rpc { id, op }) => {
+                let reply = apply_rpc(world, op);
+                peer.send(&NetMsg::RpcReply { id, reply })?;
+            }
+            Some(NetMsg::Shutdown) => return Ok(HostExit::Shutdown),
+            Some(other) => {
+                return Err(proto_err(format!("unexpected message {other:?}")));
+            }
+            None => return Ok(HostExit::Disconnected),
+        }
+    }
+}
+
+/// Executes one driver RPC against the local world.
+fn apply_rpc(world: &mut World, op: RpcOp) -> RpcReply {
+    match op {
+        RpcOp::KeysWithPrefix { node, prefix } => {
+            RpcReply::Keys(world.stable(NodeId(node)).keys_with_prefix(&prefix))
+        }
+        RpcOp::Get { node, key } => {
+            RpcReply::Bytes(world.stable(NodeId(node)).get(&key).map(<[u8]>::to_vec))
+        }
+        RpcOp::Delete { node, key } => {
+            world.stable_mut(NodeId(node)).delete(&key);
+            RpcReply::Unit
+        }
+        RpcOp::MoneyAudit { wallet_keys } => {
+            let keys: Vec<&str> = wallet_keys.iter().map(String::as_str).collect();
+            RpcReply::Audit(
+                mar_platform::money_audit_world(world, &keys)
+                    .into_iter()
+                    .collect(),
+            )
+        }
+        RpcOp::Snapshot => RpcReply::Snapshot(world.snapshot()),
+    }
+}
+
+/// Builds this host's slice of the scenario world (not started).
+fn build_world(
+    cfg: &HostConfig,
+    scenario: &str,
+    seed: u64,
+    n_nodes: u32,
+    owned: &[u32],
+) -> io::Result<World> {
+    let mut builder = scenarios::builder(scenario, seed)
+        .ok_or_else(|| proto_err(format!("unknown scenario {scenario:?}")))?;
+    if scenarios::node_count(scenario) != Some(n_nodes) {
+        return Err(proto_err(format!(
+            "scenario {scenario:?} has {:?} nodes, driver says {n_nodes}",
+            scenarios::node_count(scenario)
+        )));
+    }
+    if let Some(dir) = &cfg.wal_dir {
+        builder = builder.stable_backend(StableFactory::wal(WalConfig {
+            checkpoint_bytes: 64 * 1024,
+            path: Some(dir.clone()),
+        }));
+    }
+    let owned: Vec<NodeId> = owned.iter().map(|&n| NodeId(n)).collect();
+    builder
+        .try_build_remote(&owned)
+        .map_err(|e| proto_err(format!("scenario build failed: {e}")))
+}
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,361 @@
+//! The driver ⇄ node-host wire protocol.
+//!
+//! Every message is one [`mar_wire`]-encoded `Envelope` in one
+//! length-delimited frame ([`mar_wire::frame`]) — the same LEB128 codec
+//! that prices every simulated message, so there is no second encode path
+//! to drift. The envelope carries a per-connection monotonic sequence
+//! number: a duplicate (sequence ≤ last seen) is dropped and counted, a
+//! gap kills the connection. Any malformed, truncated, or oversized frame
+//! likewise kills the connection — peers never act on bytes they cannot
+//! fully validate, so the blast radius of a broken peer is one socket, not
+//! one process's state.
+//!
+//! See `docs/WIRE.md` for the frame-by-frame handshake table.
+
+use std::io;
+
+use mar_simnet::{MetricsSnapshot, RemoteEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::transport::Transport;
+
+/// Protocol revision; a [`NetMsg::Hello`]/[`NetMsg::Topology`] version
+/// mismatch is a handshake failure.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Messages exchanged between the driver and a node host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetMsg {
+    /// Host → driver, first message on every connection.
+    Hello {
+        /// Protocol revision the host speaks.
+        version: u32,
+        /// Which host slot this process claims (0-based).
+        host_id: u32,
+    },
+    /// Driver → host, handshake reply: everything the host needs to build
+    /// its world. The host constructs the scenario by name (the builder
+    /// code is compiled into both binaries), owns exactly `owned`, marks
+    /// every other node remote, advances its clock to `resume_us`
+    /// (non-zero after a crash-recovery reconnection), and starts.
+    Topology {
+        /// Protocol revision the driver speaks.
+        version: u32,
+        /// Scenario name (see [`crate::scenarios`]).
+        scenario: String,
+        /// World seed; identical in every process.
+        seed: u64,
+        /// Total node count of the world.
+        n_nodes: u32,
+        /// Node ids this host owns.
+        owned: Vec<u32>,
+        /// Virtual time to resume at, in microseconds.
+        resume_us: u64,
+    },
+    /// Host → driver after starting its world: deliveries its nodes
+    /// already diverted to remote peers, and its earliest pending event.
+    Ready {
+        /// Diverted deliveries from `World::start` (or crash recovery).
+        egress: Vec<RemoteEvent>,
+        /// Earliest pending local event, microseconds.
+        next_min_us: Option<u64>,
+    },
+    /// Driver → host: deliveries destined to this host's nodes. Sent
+    /// before the window that may process them; per-connection ordering is
+    /// the window barrier.
+    Inject {
+        /// The deliveries, keys included.
+        events: Vec<RemoteEvent>,
+    },
+    /// Driver → host: process every event strictly before `end_us`.
+    RunWindow {
+        /// Exclusive window end, microseconds.
+        end_us: u64,
+    },
+    /// Host → driver when the window is done.
+    WindowDone {
+        /// Deliveries diverted to remote nodes during the window.
+        egress: Vec<RemoteEvent>,
+        /// Earliest pending local event after the window, microseconds.
+        next_min_us: Option<u64>,
+    },
+    /// Driver → host: no event exists before `target_us` anywhere —
+    /// finalize the clock at the run boundary.
+    AdvanceTo {
+        /// Boundary time, microseconds.
+        target_us: u64,
+    },
+    /// Host → driver acknowledgement of [`NetMsg::AdvanceTo`].
+    AdvanceDone {
+        /// Earliest pending local event, microseconds.
+        next_min_us: Option<u64>,
+    },
+    /// Driver → host: a stable-storage or inspection call against a node
+    /// this host owns. Only sent at quiescent points (between windows).
+    Rpc {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The operation.
+        op: RpcOp,
+    },
+    /// Host → driver RPC result.
+    RpcReply {
+        /// The request this answers.
+        id: u64,
+        /// The result.
+        reply: RpcReply,
+    },
+    /// Driver → host: the run is over; exit cleanly.
+    Shutdown,
+}
+
+/// Driver-initiated operations against a host's world (the remote form of
+/// `mar_platform::DriverStable` plus audit/metrics inspection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RpcOp {
+    /// Sorted keys under a prefix in one node's stable store.
+    KeysWithPrefix {
+        /// The node (must be owned by this host).
+        node: u32,
+        /// Key prefix.
+        prefix: String,
+    },
+    /// Read one stable key.
+    Get {
+        /// The node.
+        node: u32,
+        /// The key.
+        key: String,
+    },
+    /// Delete one stable key.
+    Delete {
+        /// The node.
+        node: u32,
+        /// The key.
+        key: String,
+    },
+    /// Sum committed money over this host's owned nodes
+    /// (`mar_platform::money_audit_world`).
+    MoneyAudit {
+        /// WRO keys holding wallets in agent data spaces.
+        wallet_keys: Vec<String>,
+    },
+    /// This host's metrics snapshot.
+    Snapshot,
+}
+
+/// RPC results, matched to [`RpcOp`] by position in the conversation (the
+/// `id` field pairs them; the variant must fit the op).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RpcReply {
+    /// For [`RpcOp::KeysWithPrefix`].
+    Keys(Vec<String>),
+    /// For [`RpcOp::Get`].
+    Bytes(Option<Vec<u8>>),
+    /// For [`RpcOp::Delete`].
+    Unit,
+    /// For [`RpcOp::MoneyAudit`]: currency → total.
+    Audit(Vec<(String, i64)>),
+    /// For [`RpcOp::Snapshot`].
+    Snapshot(MetricsSnapshot),
+}
+
+/// The sequence-numbered wrapper every frame carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Envelope {
+    /// 1-based, monotonically increasing per connection direction.
+    seq: u64,
+    msg: NetMsg,
+}
+
+/// A [`Transport`] speaking enveloped [`NetMsg`]s.
+///
+/// Validation on receive: frames must decode to an `Envelope` completely
+/// (trailing bytes are an error); a stale sequence number is dropped and
+/// counted ([`Peer::dups_dropped`]); a sequence gap is a connection error.
+/// Every error path leaves the peer's own state untouched — the caller's
+/// only recovery action is dropping the connection.
+pub struct Peer<T: Transport> {
+    transport: T,
+    send_seq: u64,
+    recv_seq: u64,
+    dups_dropped: u64,
+}
+
+impl<T: Transport> Peer<T> {
+    /// Wraps a fresh connection (sequence numbers start at zero).
+    pub fn new(transport: T) -> Self {
+        Peer {
+            transport,
+            send_seq: 0,
+            recv_seq: 0,
+            dups_dropped: 0,
+        }
+    }
+
+    /// Duplicate frames dropped so far on this connection.
+    pub fn dups_dropped(&self) -> u64 {
+        self.dups_dropped
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (the connection is then unusable).
+    pub fn send(&mut self, msg: &NetMsg) -> io::Result<()> {
+        self.send_seq += 1;
+        let env = Envelope {
+            seq: self.send_seq,
+            msg: msg.clone(),
+        };
+        let bytes = mar_wire::to_bytes(&env)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.transport.send(&bytes)
+    }
+
+    /// Receives the next fresh message, transparently dropping duplicates;
+    /// `Ok(None)` is a clean close.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] for frames that do not decode to an
+    /// envelope, decode with trailing garbage, or arrive out of order with
+    /// a gap; transport errors pass through. In every case the connection
+    /// must be dropped — resynchronization is impossible.
+    pub fn recv(&mut self) -> io::Result<Option<NetMsg>> {
+        loop {
+            let frame = match self.transport.recv()? {
+                Some(f) => f,
+                None => return Ok(None),
+            };
+            let (env, used) = mar_wire::from_slice_prefix::<Envelope>(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if used != frame.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "trailing bytes after envelope",
+                ));
+            }
+            if env.seq <= self.recv_seq {
+                self.dups_dropped += 1;
+                continue;
+            }
+            if env.seq != self.recv_seq + 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "sequence gap: expected {}, got {}",
+                        self.recv_seq + 1,
+                        env.seq
+                    ),
+                ));
+            }
+            self.recv_seq = env.seq;
+            return Ok(Some(env.msg));
+        }
+    }
+
+    /// The underlying transport (timeout control).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+}
+
+/// The driver's node → host assignment: contiguous chunks, remainder
+/// spread over the first hosts. Every process derives nothing from this —
+/// the driver computes it once and ships each host its slice in
+/// [`NetMsg::Topology`], so the policy can change without touching hosts.
+pub fn ownership(n_nodes: u32, n_hosts: u32) -> Vec<Vec<u32>> {
+    let n_hosts = n_hosts.max(1);
+    let base = n_nodes / n_hosts;
+    let extra = n_nodes % n_hosts;
+    let mut out = Vec::with_capacity(n_hosts as usize);
+    let mut next = 0u32;
+    for h in 0..n_hosts {
+        let take = base + u32::from(h < extra);
+        out.push((next..next + take).collect());
+        next += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Loopback;
+
+    #[test]
+    fn ownership_partitions_every_node_once() {
+        for (nodes, hosts) in [(5u32, 2u32), (7, 3), (2, 4), (1, 1), (16, 4)] {
+            let split = ownership(nodes, hosts);
+            assert_eq!(split.len(), hosts as usize);
+            let mut all: Vec<u32> = split.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..nodes).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn peer_roundtrips_messages() {
+        let (a, b) = Loopback::pair();
+        let (mut a, mut b) = (Peer::new(a), Peer::new(b));
+        a.send(&NetMsg::Hello {
+            version: PROTOCOL_VERSION,
+            host_id: 1,
+        })
+        .unwrap();
+        a.send(&NetMsg::RunWindow { end_us: 77 }).unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            Some(NetMsg::Hello {
+                version: PROTOCOL_VERSION,
+                host_id: 1
+            })
+        );
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::RunWindow { end_us: 77 }));
+    }
+
+    #[test]
+    fn duplicate_frames_are_dropped_not_redelivered() {
+        let (mut raw, b) = Loopback::pair();
+        let mut b = Peer::new(b);
+        let env = Envelope {
+            seq: 1,
+            msg: NetMsg::Shutdown,
+        };
+        let bytes = mar_wire::to_bytes(&env).unwrap();
+        raw.send(&bytes).unwrap();
+        raw.send(&bytes).unwrap(); // duplicate delivery
+        let env2 = Envelope {
+            seq: 2,
+            msg: NetMsg::RunWindow { end_us: 9 },
+        };
+        raw.send(&mar_wire::to_bytes(&env2).unwrap()).unwrap();
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::Shutdown));
+        assert_eq!(b.recv().unwrap(), Some(NetMsg::RunWindow { end_us: 9 }));
+        assert_eq!(b.dups_dropped(), 1);
+    }
+
+    #[test]
+    fn sequence_gap_is_a_connection_error() {
+        let (mut raw, b) = Loopback::pair();
+        let mut b = Peer::new(b);
+        let env = Envelope {
+            seq: 3,
+            msg: NetMsg::Shutdown,
+        };
+        raw.send(&mar_wire::to_bytes(&env).unwrap()).unwrap();
+        let err = b.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_frames_are_a_connection_error() {
+        let (mut raw, b) = Loopback::pair();
+        let mut b = Peer::new(b);
+        raw.send(&[0xff, 0x00, 0x13, 0x37]).unwrap();
+        let err = b.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,318 @@
+//! Byte-stream transports: real sockets and an in-process loopback.
+//!
+//! A [`Transport`] moves opaque frames between two peers. The production
+//! implementations wrap TCP and Unix-domain sockets with the length
+//! framing from [`mar_wire::frame`]; the [`Loopback`] pair moves the same
+//! frames through in-process queues, giving tests a deterministic seam to
+//! inject duplicated, truncated, or malformed frames without a kernel
+//! socket in the loop.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use mar_simnet::SimRng;
+use mar_wire::frame::{read_frame, write_frame};
+
+/// Where a driver listens and hosts connect: a TCP address or a
+/// Unix-domain socket path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP, e.g. `127.0.0.1:7700`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:<path>` or `tcp:<addr>`; a bare string with a colon
+    /// and no scheme is taken as a TCP address.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
+        if s.contains(':') {
+            return Ok(Endpoint::Tcp(s.to_owned()));
+        }
+        Err(format!(
+            "endpoint {s:?}: expected unix:<path> or tcp:<addr>"
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// One side of a framed, ordered, bidirectional byte stream.
+///
+/// `recv` blocks until a whole frame arrives; `Ok(None)` is a clean close.
+/// Implementations deliver frames intact and in order on the happy path —
+/// anything else (truncation, corruption, duplication) must surface to the
+/// protocol layer as bytes it can reject, never as a crash.
+pub trait Transport: Send {
+    /// Sends one frame (length prefix + payload), flushed before return.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Receives one frame; `Ok(None)` means the peer closed cleanly
+    /// between frames.
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// A connected socket (TCP or Unix-domain), buffered both ways.
+pub struct SocketTransport {
+    reader: SocketReader,
+    writer: SocketWriter,
+}
+
+enum SocketReader {
+    Tcp(BufReader<TcpStream>),
+    Unix(BufReader<UnixStream>),
+}
+
+enum SocketWriter {
+    Tcp(BufWriter<TcpStream>),
+    Unix(BufWriter<UnixStream>),
+}
+
+impl SocketTransport {
+    /// Wraps a connected TCP stream.
+    pub fn tcp(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let w = stream.try_clone()?;
+        Ok(SocketTransport {
+            reader: SocketReader::Tcp(BufReader::new(stream)),
+            writer: SocketWriter::Tcp(BufWriter::new(w)),
+        })
+    }
+
+    /// Wraps a connected Unix-domain stream.
+    pub fn unix(stream: UnixStream) -> io::Result<Self> {
+        let w = stream.try_clone()?;
+        Ok(SocketTransport {
+            reader: SocketReader::Unix(BufReader::new(stream)),
+            writer: SocketWriter::Unix(BufWriter::new(w)),
+        })
+    }
+
+    /// Connects to `ep` once.
+    pub fn connect(ep: &Endpoint) -> io::Result<Self> {
+        match ep {
+            Endpoint::Tcp(addr) => SocketTransport::tcp(TcpStream::connect(addr)?),
+            Endpoint::Unix(path) => SocketTransport::unix(UnixStream::connect(path)?),
+        }
+    }
+
+    /// Applies a read timeout (a watchdog against a hung peer; `None`
+    /// blocks forever).
+    pub fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        match &self.reader {
+            SocketReader::Tcp(r) => r.get_ref().set_read_timeout(d),
+            SocketReader::Unix(r) => r.get_ref().set_read_timeout(d),
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        match &mut self.writer {
+            SocketWriter::Tcp(w) => {
+                write_frame(w, frame)?;
+                w.flush()
+            }
+            SocketWriter::Unix(w) => {
+                write_frame(w, frame)?;
+                w.flush()
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match &mut self.reader {
+            SocketReader::Tcp(r) => read_frame(r),
+            SocketReader::Unix(r) => read_frame(r),
+        }
+    }
+}
+
+/// Reconnection schedule mirroring the platform's retry tunables: base
+/// 20 ms doubling up to 2^6, each delay scaled by a `0.5 + [0,1)` jitter
+/// factor drawn from a deterministic per-host stream (so a fleet of
+/// restarting hosts does not thunder in lockstep).
+pub fn retry_delay(attempt: u32, rng: &mut SimRng) -> Duration {
+    const BASE_MS: u64 = 20;
+    const CAP_EXP: u32 = 6;
+    let backoff = BASE_MS << attempt.min(CAP_EXP);
+    let jitter = 0.5 + rng.f64();
+    Duration::from_millis((backoff as f64 * jitter) as u64)
+}
+
+/// Connects to `ep`, retrying with [`retry_delay`] until `attempts` tries
+/// have failed.
+pub fn connect_with_retry(
+    ep: &Endpoint,
+    attempts: u32,
+    rng: &mut SimRng,
+) -> io::Result<SocketTransport> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match SocketTransport::connect(ep) {
+            Ok(t) => return Ok(t),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(retry_delay(attempt, rng));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("connect: no attempts made")))
+}
+
+/// A bound listening socket (TCP or Unix-domain).
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener (unlinks a stale socket file on bind).
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `ep`. For a Unix endpoint a stale socket file from a previous
+    /// run is removed first.
+    pub fn bind(ep: &Endpoint) -> io::Result<Self> {
+        match ep {
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr)?)),
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    /// Switches the accept queue between blocking and polling mode.
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            Listener::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    /// Accepts one pending connection, `Ok(None)` if none is waiting (only
+    /// in non-blocking mode).
+    pub fn accept(&self) -> io::Result<Option<SocketTransport>> {
+        let res = match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| SocketTransport::tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| SocketTransport::unix(s)),
+        };
+        match res {
+            Ok(t) => t.map(Some),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One end of an in-process transport pair ([`Loopback::pair`]): frames
+/// travel through queues instead of a socket, with identical `Transport`
+/// semantics. Because `send` takes arbitrary bytes, a test injects faults
+/// simply by sending what a broken peer would have sent — a frame twice
+/// (duplicate delivery), garbage bytes (malformed message), or by dropping
+/// its end mid-protocol (clean close).
+pub struct Loopback {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl Loopback {
+    /// A connected pair of loopback ends.
+    pub fn pair() -> (Loopback, Loopback) {
+        let (atx, brx) = mpsc::channel();
+        let (btx, arx) = mpsc::channel();
+        (Loopback { tx: atx, rx: arx }, Loopback { tx: btx, rx: brx })
+    }
+}
+
+impl Transport for Loopback {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer gone"))
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match self.rx.recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(mpsc::RecvError) => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/tmp/x.sock")))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7000"),
+            Ok(Endpoint::Tcp("127.0.0.1:7000".to_owned()))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7000"),
+            Ok(Endpoint::Tcp("127.0.0.1:7000".to_owned()))
+        );
+        assert!(Endpoint::parse("florp").is_err());
+    }
+
+    #[test]
+    fn retry_delays_back_off_and_cap() {
+        let mut rng = SimRng::seed_from(7);
+        let d0 = retry_delay(0, &mut rng);
+        assert!(d0 >= Duration::from_millis(10) && d0 <= Duration::from_millis(30));
+        let d9 = retry_delay(9, &mut rng);
+        // Capped at 20ms << 6 = 1280ms, jittered to at most 1.5x.
+        assert!(d9 <= Duration::from_millis(1920), "{d9:?}");
+    }
+
+    #[test]
+    fn loopback_moves_frames_in_order() {
+        let (mut a, mut b) = Loopback::pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap().unwrap(), b"two");
+        drop(a);
+        assert_eq!(b.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_framing() {
+        let listener = Listener::bind(&Endpoint::parse("127.0.0.1:0").unwrap()).unwrap();
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().unwrap(),
+            Listener::Unix(_) => unreachable!(),
+        };
+        let join = std::thread::spawn(move || {
+            let mut client = SocketTransport::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+            client.send(&[0xAA; 5000]).unwrap();
+            assert_eq!(client.recv().unwrap().unwrap(), b"pong");
+        });
+        let mut server = listener.accept().unwrap().unwrap();
+        assert_eq!(server.recv().unwrap().unwrap(), vec![0xAA; 5000]);
+        server.send(b"pong").unwrap();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+//! Satellite: SIGKILL a node-host mid-fleet, restart it, and the fleet
+//! still settles — with the same outcomes and the same money as a run
+//! nobody crashed. Real processes, real sockets, real WAL files: this is
+//! the paper's crash-recovery story at deployment granularity.
+
+use std::collections::BTreeSet;
+use std::io::Read;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use mar_net::scenarios::{self, TRAVEL};
+use mar_simnet::SimDuration;
+
+const SEED: u64 = 11;
+const AGENTS: u32 = 6;
+
+/// `(agent id, outcome, steps committed)` triples — the stable identity of
+/// a run. Virtual timings legitimately differ once retransmissions enter.
+type Outcomes = BTreeSet<(u64, String, u64)>;
+
+fn control_outcomes() -> (Outcomes, i64) {
+    let mut p = scenarios::builder(TRAVEL, SEED).unwrap().build();
+    let handles = p.launch_fleet(scenarios::fleet(TRAVEL, AGENTS).unwrap());
+    assert!(p.run_until_settled(&handles, SimDuration::from_secs(600)));
+    let outcomes = handles
+        .iter()
+        .map(|h| {
+            let r = p.report(*h).unwrap();
+            (h.id().0, format!("{:?}", r.outcome), r.steps_committed)
+        })
+        .collect();
+    let usd = *p.money_audit(&[]).get("USD").unwrap();
+    (outcomes, usd)
+}
+
+fn spawn_host(socket: &str, host_id: u32, wal_dir: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_mar-node-host"))
+        .args([
+            "--socket",
+            socket,
+            "--host-id",
+            &host_id.to_string(),
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mar-node-host")
+}
+
+struct RunResult {
+    outcomes: Outcomes,
+    usd: i64,
+    settled: bool,
+    reconnects: u64,
+}
+
+/// One full driver + 2 hosts run over UDS; host 1 is SIGKILLed after
+/// `kill_after` and restarted against the same WAL directory.
+fn killed_run(tag: &str, kill_after: Duration) -> RunResult {
+    let base = std::env::temp_dir().join(format!("mar-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let socket = format!("unix:{}", base.join("driver.sock").display());
+    let wal0 = base.join("h0");
+    let wal1 = base.join("h1");
+
+    let mut driver = Command::new(env!("CARGO_BIN_EXE_mar-driver"))
+        .args([
+            "--socket",
+            &socket,
+            "--hosts",
+            "2",
+            "--scenario",
+            TRAVEL,
+            "--seed",
+            &SEED.to_string(),
+            "--agents",
+            &AGENTS.to_string(),
+            "--deadline-secs",
+            "600",
+            // Stretch the run in wall clock so the kill lands mid-fleet.
+            "--window-delay-us",
+            "3000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mar-driver");
+
+    let mut host0 = spawn_host(&socket, 0, &wal0);
+    let mut victim = spawn_host(&socket, 1, &wal1);
+
+    std::thread::sleep(kill_after);
+    // SIGKILL: no destructors, no flushes — only the WAL survives.
+    let _ = victim.kill();
+    let _ = victim.wait();
+    let mut revived = spawn_host(&socket, 1, &wal1);
+
+    let status = driver.wait().expect("driver wait");
+    let mut stdout = String::new();
+    driver
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let mut stderr = String::new();
+    driver
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+
+    let _ = host0.wait();
+    let _ = revived.wait();
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut outcomes = Outcomes::new();
+    let mut usd = 0;
+    let mut settled = false;
+    for line in stdout.lines() {
+        if let Some(rest) = line.strip_prefix("report ") {
+            let (head, steps) = rest.split_once(" steps=").expect("report line");
+            let (id, outcome) = head.split_once(' ').expect("report head");
+            outcomes.insert((
+                id.parse().unwrap(),
+                outcome.to_owned(),
+                steps.parse().unwrap(),
+            ));
+        } else if let Some(rest) = line.strip_prefix("money ") {
+            for pair in rest.split(' ') {
+                if let Some(v) = pair.strip_prefix("USD=") {
+                    usd = v.parse().unwrap();
+                }
+            }
+        } else if line == "settled=true" {
+            settled = true;
+        }
+    }
+    let reconnects = stderr
+        .lines()
+        .filter_map(|l| l.split("reconnects=").nth(1))
+        .filter_map(|r| r.split_whitespace().next())
+        .filter_map(|r| r.parse().ok())
+        .next_back()
+        .unwrap_or(0);
+    assert!(
+        status.success() || !settled,
+        "driver exited {status:?} but claimed settled; stderr:\n{stderr}"
+    );
+    RunResult {
+        outcomes,
+        usd,
+        settled,
+        reconnects,
+    }
+}
+
+#[test]
+fn sigkill_mid_fleet_recovers_from_wal_and_matches_control() {
+    let (control, control_usd) = control_outcomes();
+    // The kill must land while the fleet is in flight. Wall-clock timing
+    // is inherently fuzzy, so probe a few delays and insist at least one
+    // run actually exercised a mid-run kill (reconnects >= 1).
+    let mut exercised = false;
+    for (i, delay_ms) in [400u64, 700, 1000].into_iter().enumerate() {
+        let run = killed_run(&format!("try{i}"), Duration::from_millis(delay_ms));
+        assert!(
+            run.settled,
+            "fleet failed to settle after host kill (delay {delay_ms}ms)"
+        );
+        assert_eq!(
+            run.outcomes, control,
+            "reports diverged from control (delay {delay_ms}ms)"
+        );
+        assert_eq!(run.usd, control_usd, "money audit diverged");
+        if run.reconnects >= 1 {
+            exercised = true;
+            break;
+        }
+    }
+    assert!(
+        exercised,
+        "no attempt landed the SIGKILL mid-run; increase window delay"
+    );
+}

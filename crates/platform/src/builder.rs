@@ -1,6 +1,6 @@
 //! Building a platform: a simulated network of Mole-like nodes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -289,6 +289,36 @@ impl PlatformBuilder {
     ///
     /// The first [`BuildError`] recorded while configuring.
     pub fn try_build(self) -> Result<Platform, BuildError> {
+        let report_cache_cap = self.report_cache_cap;
+        let mut world = self.try_build_world(None)?;
+        world.start();
+        Ok(Platform::with_report_cache_cap(world, report_cache_cap))
+    }
+
+    /// Builds the world for **one process** of a distributed deployment:
+    /// all `nodes` node ids exist (so per-node random streams and event
+    /// keys are identical in every process), but the `mole` service and
+    /// resources are installed only on the nodes in `owned`; every other
+    /// node is marked remote ([`World::mark_remote`]), so events routed to
+    /// it divert to the egress buffer instead of a local queue.
+    ///
+    /// The returned world is **not started** — the hosting process starts
+    /// it when its coordinator says so (after a crash-recovery restart the
+    /// clock must be advanced to the resume time first). The shard count is
+    /// forced to 1: distributed windows run on the sequential engine
+    /// ([`World::run_window`]), the process split *is* the sharding. A
+    /// driver process that owns no nodes passes an empty `owned` slice.
+    ///
+    /// # Errors
+    ///
+    /// The first [`BuildError`] recorded while configuring.
+    pub fn try_build_remote(self, owned: &[NodeId]) -> Result<World, BuildError> {
+        self.try_build_world(Some(owned))
+    }
+
+    /// Shared world construction: `owned` of `None` means "this process
+    /// owns every node" (single-process build, honours the shard setting).
+    fn try_build_world(self, owned: Option<&[NodeId]>) -> Result<World, BuildError> {
         if let Some(err) = self.errors.into_iter().next() {
             return Err(err);
         }
@@ -298,14 +328,21 @@ impl PlatformBuilder {
         let mut cfg = WorldConfig::with_seed(self.seed);
         cfg.latency = self.latency;
         cfg.trace = self.trace;
-        cfg.shards = self.shards;
+        cfg.shards = if owned.is_some() { 1 } else { self.shards };
         cfg.stable = self.stable;
+        let owned_set: Option<BTreeSet<u32>> = owned.map(|o| o.iter().map(|n| n.0).collect());
         let mut world = World::new(cfg);
         let behaviors = Arc::new(self.behaviors);
         let comps = Arc::new(self.comps);
         for i in 0..self.nodes {
             let node = world.add_node();
             debug_assert_eq!(node.0 as usize, i);
+            if let Some(set) = &owned_set {
+                if !set.contains(&node.0) {
+                    world.mark_remote(node);
+                    continue;
+                }
+            }
             let behaviors = behaviors.clone();
             let comps = comps.clone();
             let mole_cfg = self.mole_cfg.clone();
@@ -320,11 +357,7 @@ impl PlatformBuilder {
                 ))
             });
         }
-        world.start();
-        Ok(Platform::with_report_cache_cap(
-            world,
-            self.report_cache_cap,
-        ))
+        Ok(world)
     }
 
     /// Builds and starts the platform.

@@ -9,22 +9,24 @@
 //! entries, so driving a fleet costs O(completions) stable reads — not the
 //! O(ticks × nodes × stable-keys) of scanning every node's store each poll
 //! tick (the `driver.*` metrics make this measurable).
+//!
+//! The launch/drain/audit logic itself lives in [`crate::harvest`], shared
+//! with the distributed (`mar-net`) driver; [`Platform`] binds it to a
+//! [`World`] in the same process.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use mar_core::{AgentId, AgentRecord};
-use mar_simnet::{Address, MetricsSnapshot, NodeId, SimDuration, World};
+use mar_simnet::{MetricsSnapshot, NodeId, SimDuration, World};
 
-use crate::mole::{
-    keys, MoleService, HOME_REPORT_PREFIX, MBOX_PREFIX, MOLE, OUTBOX_PREFIX, Q_PREFIX,
-    REPORT_PREFIX,
-};
-use crate::msg::{AgentReport, MoleMsg};
+use crate::harvest::{audit_wallets, money_audit_world, DriverCore};
+use crate::mole::{keys, Q_PREFIX, REPORT_PREFIX};
+use crate::msg::AgentReport;
 use crate::AgentSpec;
 
 /// How long [`Platform::run_until_settled`] lets virtual time advance
 /// between mailbox drains.
-const SETTLE_TICK: SimDuration = SimDuration::from_millis(50);
+pub(crate) const SETTLE_TICK: SimDuration = SimDuration::from_millis(50);
 
 /// A launched agent: its id plus the home node its report will arrive at.
 ///
@@ -38,6 +40,10 @@ pub struct AgentHandle {
 }
 
 impl AgentHandle {
+    pub(crate) fn new(id: AgentId, home: NodeId) -> Self {
+        AgentHandle { id, home }
+    }
+
     /// The agent's unique id.
     pub fn id(&self) -> AgentId {
         self.id
@@ -67,67 +73,14 @@ pub(crate) const DEFAULT_REPORT_CACHE_CAP: usize = 100_000;
 /// A running platform: the simulated agent system plus driver conveniences.
 pub struct Platform {
     pub(crate) world: World,
-    pub(crate) next_agent: u64,
-    /// Home node of every agent launched through this driver.
-    homes: BTreeMap<AgentId, NodeId>,
-    /// Reports already drained from home mailboxes, bounded by `report_cap`
-    /// with least-recently-used eviction.
-    reports: BTreeMap<AgentId, AgentReport>,
-    /// LRU bookkeeping: use-ordered sequence → agent, and the inverse.
-    lru: BTreeMap<u64, AgentId>,
-    lru_pos: BTreeMap<AgentId, u64>,
-    use_seq: u64,
-    report_cap: usize,
-    /// Ids of every agent whose completion this driver has seen. Settle
-    /// detection reads this, not the report cache, so evicting a bulky
-    /// report never makes a finished agent look unfinished. Entries are a
-    /// few bytes each and [`Platform::forget`] releases them.
-    completed: BTreeSet<AgentId>,
+    core: DriverCore,
 }
 
 impl Platform {
     pub(crate) fn with_report_cache_cap(world: World, report_cap: usize) -> Self {
         Platform {
             world,
-            next_agent: 1,
-            homes: BTreeMap::new(),
-            reports: BTreeMap::new(),
-            lru: BTreeMap::new(),
-            lru_pos: BTreeMap::new(),
-            use_seq: 0,
-            report_cap: report_cap.max(1),
-            completed: BTreeSet::new(),
-        }
-    }
-
-    /// Marks `agent` as most recently used in the report cache.
-    fn touch_report(&mut self, agent: AgentId) {
-        if let Some(old) = self.lru_pos.remove(&agent) {
-            self.lru.remove(&old);
-        }
-        let seq = self.use_seq;
-        self.use_seq += 1;
-        self.lru.insert(seq, agent);
-        self.lru_pos.insert(agent, seq);
-    }
-
-    /// Inserts a freshly drained report, evicting the least recently used
-    /// entries once the cap is exceeded. Evicted reports are gone for good
-    /// (their stable artifacts were garbage-collected on drain); the
-    /// `driver.reports_evicted` counter makes that loss observable. Size
-    /// the cap above the number of reports a workload still needs to read.
-    fn cache_report(&mut self, agent: AgentId, report: AgentReport) {
-        self.completed.insert(agent);
-        self.reports.insert(agent, report);
-        self.touch_report(agent);
-        while self.reports.len() > self.report_cap {
-            let Some((&seq, &victim)) = self.lru.iter().next() else {
-                break;
-            };
-            self.lru.remove(&seq);
-            self.lru_pos.remove(&victim);
-            self.reports.remove(&victim);
-            self.world.metrics().inc(keys::DRIVER_REPORTS_EVICTED);
+            core: DriverCore::new(report_cap),
         }
     }
 
@@ -136,37 +89,16 @@ impl Platform {
     /// drivers call this once they are done with a finished agent so the
     /// cache holds only reports still of interest.
     pub fn forget(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
-        let agent = agent.into();
-        self.homes.remove(&agent);
-        self.completed.remove(&agent);
-        if let Some(seq) = self.lru_pos.remove(&agent) {
-            self.lru.remove(&seq);
-        }
-        self.reports.remove(&agent)
+        self.core.forget(agent.into())
     }
 
     /// Launches an agent, returning its handle. The agent starts processing
     /// once the simulation runs; its completion report arrives at the
     /// handle's home node.
     pub fn launch(&mut self, spec: AgentSpec) -> AgentHandle {
-        let id = AgentId(self.next_agent);
-        self.next_agent += 1;
-        let home = spec.home;
-        let record = AgentRecord::new(
-            id,
-            spec.agent_type,
-            home.0,
-            spec.data,
-            spec.itinerary,
-            spec.logging,
-            spec.mode,
-        );
-        let msg = MoleMsg::Launch {
-            record: record.to_bytes().expect("record encodes").into(),
-        };
-        self.world.post(Address::new(home, MOLE), msg.encode());
-        self.homes.insert(id, home);
-        AgentHandle { id, home }
+        let (handle, addr, payload) = self.core.launch(spec);
+        self.world.post(addr, payload);
+        handle
     }
 
     /// Launches a whole fleet in one call, returning a handle per spec (in
@@ -189,72 +121,7 @@ impl Platform {
     /// Cost: one bounded prefix probe per distinct home node plus one
     /// stable read per *new* completion — O(completions) over a whole run.
     pub fn drain_reports(&mut self) -> Vec<AgentReport> {
-        let homes: Vec<NodeId> = {
-            let mut v: Vec<NodeId> = self.homes.values().copied().collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
-        let mut fresh = Vec::new();
-        for node in homes {
-            self.world.metrics_mut().inc(keys::DRIVER_MBOX_SCANS);
-            for key in self.world.stable(node).keys_with_prefix(MBOX_PREFIX) {
-                let raw_id = self
-                    .world
-                    .stable(node)
-                    .get(&key)
-                    .and_then(|b| mar_wire::from_slice::<u64>(b).ok());
-                // The mailbox is owned by the driver: consuming the event
-                // deletes it, so a whole run reads each completion once.
-                self.world.stable_mut(node).delete(&key);
-                let Some(raw_id) = raw_id else { continue };
-                let agent = AgentId(raw_id);
-                self.world.metrics_mut().inc(keys::DRIVER_MBOX_EVENTS);
-                if let Some(known) = self.reports.get(&agent) {
-                    // A late duplicate delivery (lost ack + crash-driven
-                    // retransmission) re-created artifacts that were
-                    // already collected once: collect them again, without
-                    // surfacing the report a second time.
-                    let finished = known.finished_node;
-                    self.gc_report_artifacts(node, finished, raw_id);
-                    continue;
-                }
-                let report = self
-                    .world
-                    .stable(node)
-                    .get(&format!("{HOME_REPORT_PREFIX}{raw_id}"))
-                    .and_then(|b| AgentReport::decode(b).ok());
-                if let Some(report) = report {
-                    self.gc_report_artifacts(node, report.finished_node, raw_id);
-                    self.world.metrics_mut().inc(keys::DRIVER_REPORTS_GC);
-                    self.cache_report(agent, report.clone());
-                    fresh.push(report);
-                }
-            }
-        }
-        fresh
-    }
-
-    /// Driver-acknowledged retention: once a report is safely in the
-    /// driver's cache, its stable artifacts — the home node's `report/<id>`
-    /// copy, and the completing node's `done/<id>` record plus its outbox
-    /// entry — are deleted, so long-lived fleets do not grow stable storage
-    /// by one full record per finished agent. Deleting the outbox entry
-    /// first means no further retransmission can resurrect the report
-    /// (idempotent: re-running on an already-collected agent deletes
-    /// nothing). The metric counts agents, not passes: the late-duplicate
-    /// re-collection above deletes again without incrementing.
-    fn gc_report_artifacts(&mut self, home: NodeId, finished_node: u32, id: u64) {
-        let finished = NodeId(finished_node);
-        self.world
-            .stable_mut(finished)
-            .delete(&format!("{OUTBOX_PREFIX}{id}"));
-        self.world
-            .stable_mut(finished)
-            .delete(&format!("{REPORT_PREFIX}{id}"));
-        self.world
-            .stable_mut(home)
-            .delete(&format!("{HOME_REPORT_PREFIX}{id}"));
+        self.core.drain_reports(&mut self.world)
     }
 
     /// Runs until all listed agents have reports or `deadline` virtual time
@@ -272,13 +139,13 @@ impl Platform {
         let mut pending: Vec<AgentId> = agents
             .iter()
             .map(|h| h.id)
-            .filter(|id| !self.completed.contains(id))
+            .filter(|id| !self.core.is_completed(*id))
             .collect();
         let end = self.world.now() + deadline;
         while !pending.is_empty() && self.world.now() < end {
             self.world.run_for(SETTLE_TICK);
             self.drain_reports();
-            pending.retain(|id| !self.completed.contains(id));
+            pending.retain(|id| !self.core.is_completed(*id));
         }
         pending.is_empty()
     }
@@ -293,14 +160,12 @@ impl Platform {
     /// metrics.
     pub fn report(&mut self, agent: impl Into<AgentId>) -> Option<AgentReport> {
         let agent = agent.into();
-        if let Some(r) = self.reports.get(&agent) {
-            let r = r.clone();
-            self.touch_report(agent);
+        if let Some(r) = self.core.cached(agent) {
             return Some(r);
         }
-        if self.homes.contains_key(&agent) {
+        if self.core.is_launched(agent) {
             self.drain_reports();
-            return self.reports.get(&agent).cloned();
+            return self.core.cached(agent);
         }
         self.world.metrics_mut().inc(keys::DRIVER_DEEP_SCANS);
         let key = format!("{REPORT_PREFIX}{}", agent.0);
@@ -367,51 +232,12 @@ impl Platform {
     /// to their data space ([`AgentRecord::peek_data`]) — the rollback logs
     /// never leave stable storage.
     pub fn money_audit(&self, wallet_keys: &[&str]) -> BTreeMap<String, i64> {
-        let mut total: BTreeMap<String, i64> = BTreeMap::new();
-        for node in self.world.node_ids() {
-            if let Some(mole) = self.world.service::<MoleService>(node, MOLE) {
-                for (cur, amount) in mole.rms().audit_money() {
-                    *total.entry(cur).or_insert(0) += amount;
-                }
-            }
-        }
-        let mut wallets = |data: &mar_core::DataSpace| {
-            for key in wallet_keys {
-                if let Some(v) = data.wro(key) {
-                    if let Ok(w) = mar_resources::Wallet::from_value(v) {
-                        for coin in &w.coins {
-                            *total.entry(coin.currency.clone()).or_insert(0) += coin.value;
-                        }
-                        for note in &w.credit_notes {
-                            *total.entry(note.currency.clone()).or_insert(0) += note.amount;
-                        }
-                    }
-                }
-            }
-        };
-        for node in self.world.node_ids() {
-            for key in self.world.stable(node).keys_with_prefix(Q_PREFIX) {
-                if let Some(bytes) = self.world.stable(node).get(&key) {
-                    if let Ok(peek) = AgentRecord::peek_data(bytes) {
-                        wallets(&peek.data);
-                    }
-                }
-            }
-            // Finished agents not yet drained by the driver: their final
-            // records live in "done/" reports.
-            for key in self.world.stable(node).keys_with_prefix(REPORT_PREFIX) {
-                if let Some(bytes) = self.world.stable(node).get(&key) {
-                    if let Ok(data) = AgentReport::peek_record_data(bytes) {
-                        wallets(&data);
-                    }
-                }
-            }
-        }
+        let mut total = money_audit_world(&self.world, wallet_keys);
         // Drained reports: their stable artifacts were garbage-collected
         // (exactly when the report entered this cache), so the cache is the
         // one remaining copy — no agent is ever counted twice.
-        for report in self.reports.values() {
-            wallets(&report.record.data);
+        for report in self.core.cached_reports() {
+            audit_wallets(&report.record.data, wallet_keys, &mut total);
         }
         total
     }
@@ -437,8 +263,8 @@ impl std::fmt::Debug for Platform {
         f.debug_struct("Platform")
             .field("now", &self.world.now())
             .field("nodes", &self.world.node_count())
-            .field("launched", &self.homes.len())
-            .field("reports", &self.reports.len())
+            .field("launched", &self.core.launched_count())
+            .field("reports", &self.core.cached_count())
             .finish()
     }
 }

@@ -30,6 +30,7 @@
 mod behavior;
 mod builder;
 mod driver;
+pub mod harvest;
 mod mole;
 mod msg;
 mod stepctx;
@@ -37,6 +38,7 @@ mod stepctx;
 pub use behavior::{AgentBehavior, BehaviorRegistry, DuplicateBehavior, StepDecision};
 pub use builder::{AgentSpec, BuildError, PlatformBuilder};
 pub use driver::{AgentHandle, Platform};
+pub use harvest::{audit_wallets, money_audit_world, DriverCore, DriverStable};
 pub use mar_simnet::{StableFactory, WalConfig};
 pub use mole::{keys as metric_keys, MoleCfg, MoleService, RollbackRouting, MOLE};
 pub use msg::{AgentReport, MoleMsg, RceList, ReportOutcome};

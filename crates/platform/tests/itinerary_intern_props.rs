@@ -287,6 +287,7 @@ fn crash_at_every_step_boundary_is_identical_at_shard_4() {
 fn crash_at_every_step_boundary_is_identical_on_wal() {
     let wal = StableFactory::wal(WalConfig {
         checkpoint_bytes: 4 * 1024,
+        path: None,
     });
     sweep_every_boundary(&wal, 1);
     sweep_every_boundary(&wal, 2);

@@ -192,6 +192,7 @@ fn pinned_fleet_with_crashes_is_shard_invariant() {
         StableFactory::wal(WalConfig::default()),
         StableFactory::wal(WalConfig {
             checkpoint_bytes: 512,
+            path: None,
         }),
     ] {
         assert_shard_invariant(1234, &agents, &crashes, &stable);

@@ -156,6 +156,7 @@ fn pinned_fleet_is_backend_invariant_including_rollovers() {
     // Tiny checkpoints: same fingerprint as the reference at 1 shard.
     let small = StableFactory::wal(WalConfig {
         checkpoint_bytes: 256,
+        path: None,
     });
     let a = run_fleet(4321, &agents, &crashes, 1, &StableFactory::reference());
     let b = run_fleet(4321, &agents, &crashes, 1, &small);

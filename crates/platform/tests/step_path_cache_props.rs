@@ -276,5 +276,6 @@ fn crash_at_every_step_boundary_recovers_identically_on_wal() {
     // the sweep, so boundaries land before, between, and after rollovers.
     sweep_every_boundary(&StableFactory::wal(WalConfig {
         checkpoint_bytes: 4 * 1024,
+        path: None,
     }));
 }

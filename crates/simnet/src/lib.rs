@@ -52,6 +52,7 @@ mod failure;
 mod metrics;
 mod net;
 mod node;
+mod remote;
 mod rng;
 pub mod stable;
 mod time;
@@ -64,6 +65,7 @@ pub use failure::FailurePlan;
 pub use metrics::{keys as metric_keys, HistSummary, Metrics, MetricsSnapshot};
 pub use net::{LatencyModel, Network, MSG_OVERHEAD_BYTES};
 pub use node::{Address, NodeId, Service, ServiceFactory};
+pub use remote::{intern_service_name, RemoteEvent};
 pub use rng::SimRng;
 pub use stable::{BackendStats, MemBackend, StableBackend, StableFactory, StableStore};
 pub use stable::{WalBackend, WalConfig};

@@ -257,7 +257,7 @@ impl StableBackend for MemBackend {
 #[derive(Clone)]
 pub struct StableFactory {
     name: &'static str,
-    make: Arc<dyn Fn() -> Box<dyn StableBackend> + Send + Sync>,
+    make: Arc<dyn Fn(crate::node::NodeId) -> Box<dyn StableBackend> + Send + Sync>,
 }
 
 impl StableFactory {
@@ -265,22 +265,44 @@ impl StableFactory {
     pub fn reference() -> Self {
         StableFactory {
             name: "reference",
-            make: Arc::new(|| Box::new(MemBackend::new())),
+            make: Arc::new(|_| Box::new(MemBackend::new())),
         }
     }
 
-    /// The log-structured WAL backend with the given tuning.
+    /// The log-structured WAL backend with the given tuning. With
+    /// [`WalConfig::path`] set the backend is file-backed per node
+    /// (recovering whatever an earlier process committed there); the
+    /// factory is then named `"wal-file"`.
     pub fn wal(cfg: WalConfig) -> Self {
+        let name = if cfg.path.is_some() {
+            "wal-file"
+        } else {
+            "wal"
+        };
         StableFactory {
-            name: "wal",
-            make: Arc::new(move || Box::new(WalBackend::new(cfg))),
+            name,
+            make: Arc::new(move |node| Box::new(WalBackend::open(cfg.clone(), node))),
         }
     }
 
-    /// A custom backend constructor (out-of-tree backends).
+    /// A custom backend constructor (out-of-tree backends). The node id is
+    /// ignored; use [`StableFactory::custom_per_node`] for backends that
+    /// need it (e.g. per-node files).
     pub fn custom(
         name: &'static str,
         make: impl Fn() -> Box<dyn StableBackend> + Send + Sync + 'static,
+    ) -> Self {
+        StableFactory {
+            name,
+            make: Arc::new(move |_| make()),
+        }
+    }
+
+    /// A custom backend constructor that receives the node id it builds
+    /// for.
+    pub fn custom_per_node(
+        name: &'static str,
+        make: impl Fn(crate::node::NodeId) -> Box<dyn StableBackend> + Send + Sync + 'static,
     ) -> Self {
         StableFactory {
             name,
@@ -293,14 +315,15 @@ impl StableFactory {
         self.name
     }
 
-    /// Builds one backend instance.
-    pub fn make(&self) -> Box<dyn StableBackend> {
-        (self.make)()
+    /// Builds the backend instance for `node`.
+    pub fn make(&self, node: crate::node::NodeId) -> Box<dyn StableBackend> {
+        (self.make)(node)
     }
 
-    /// Builds a [`StableStore`] wrapping a fresh backend instance.
-    pub fn make_store(&self) -> StableStore {
-        StableStore::with_backend(self.make())
+    /// Builds a [`StableStore`] wrapping a fresh backend instance for
+    /// `node`.
+    pub fn make_store(&self, node: crate::node::NodeId) -> StableStore {
+        StableStore::with_backend(self.make(node))
     }
 }
 
@@ -641,7 +664,10 @@ mod tests {
         assert_eq!(StableFactory::default().name(), "reference");
         assert_eq!(StableFactory::wal(WalConfig::default()).name(), "wal");
         let custom = StableFactory::custom("mine", || Box::new(MemBackend::new()));
-        assert_eq!(custom.make_store().backend_name(), "reference");
+        assert_eq!(
+            custom.make_store(crate::node::NodeId(0)).backend_name(),
+            "reference"
+        );
         assert_eq!(custom.name(), "mine");
     }
 

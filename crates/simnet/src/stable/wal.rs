@@ -24,26 +24,39 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 use mar_wire::varint::{get_uvarint, put_uvarint};
 
 use super::{prefix_range, BackendStats, StableBackend};
+use crate::node::NodeId;
 
 const TAG_PUT: u8 = 0x00;
 const TAG_DELETE: u8 = 0x01;
 
 /// Tuning knobs of the [`WalBackend`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalConfig {
     /// Log size (bytes) at which a commit barrier takes a checkpoint and
     /// truncates the log.
     pub checkpoint_bytes: usize,
+    /// Directory for **file-backed** durability: each node keeps a
+    /// `node-<id>.log` / `node-<id>.ckpt` pair there, the exact record
+    /// format of the in-memory log, with an `fsync` at every group-commit
+    /// `durable_len` watermark. `None` (the default) keeps the log in
+    /// memory — the right choice for tests and benches; real node-host
+    /// processes set a directory so a killed process recovers its committed
+    /// state on restart.
+    pub path: Option<PathBuf>,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
         WalConfig {
             checkpoint_bytes: 64 * 1024,
+            path: None,
         }
     }
 }
@@ -137,12 +150,59 @@ fn try_decode_frame<'a>(buf: &'a [u8], p: &mut usize) -> Option<Frame<'a>> {
     }
 }
 
+/// On-disk persistence of one node's WAL: a log file receiving fsynced
+/// appends of committed records, and a checkpoint file replaced atomically
+/// (write-to-temp, fsync, rename).
+#[derive(Debug)]
+struct FileBacking {
+    ckpt_path: PathBuf,
+    /// Open append handle on the node's log file.
+    log_file: File,
+}
+
+impl FileBacking {
+    fn append_and_sync(&mut self, bytes: &[u8]) {
+        self.log_file
+            .write_all(bytes)
+            .expect("wal: append to log file");
+        self.log_file.sync_data().expect("wal: fsync log file");
+    }
+
+    /// Replaces the checkpoint file with `checkpoint` and truncates the log
+    /// file, in the crash-safe order: new checkpoint durable first.
+    fn write_checkpoint(&mut self, checkpoint: &[u8]) {
+        let tmp = self.ckpt_path.with_extension("ckpt.tmp");
+        let mut f = File::create(&tmp).expect("wal: create checkpoint temp");
+        f.write_all(checkpoint).expect("wal: write checkpoint");
+        f.sync_all().expect("wal: fsync checkpoint");
+        drop(f);
+        std::fs::rename(&tmp, &self.ckpt_path).expect("wal: publish checkpoint");
+        self.log_file.set_len(0).expect("wal: truncate log file");
+        self.log_file.sync_data().expect("wal: fsync truncated log");
+    }
+}
+
+fn read_file_or_empty(path: &Path) -> Vec<u8> {
+    match File::open(path) {
+        Ok(mut f) => {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf).expect("wal: read backing file");
+            buf
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => panic!("wal: open {}: {e}", path.display()),
+    }
+}
+
 /// Log-structured stable backend: view + checkpoint + write-ahead log.
 ///
 /// The `view` is the volatile read path (destroyed by a crash); durability
 /// lives in `checkpoint` + `log[..durable_len]`. Bytes past `durable_len`
-/// are mutations awaiting the next commit barrier.
-#[derive(Debug, Clone)]
+/// are mutations awaiting the next commit barrier. With
+/// [`WalConfig::path`] set, the durable prefix additionally lives in real
+/// files: committed bytes are appended and fsynced at every barrier, and
+/// [`WalBackend::open`] recovers them after a process death.
+#[derive(Debug)]
 pub struct WalBackend {
     cfg: WalConfig,
     view: BTreeMap<String, Vec<u8>>,
@@ -155,10 +215,12 @@ pub struct WalBackend {
     /// Mutations since the last commit barrier.
     pending: u64,
     stats: BackendStats,
+    file: Option<FileBacking>,
 }
 
 impl WalBackend {
-    /// Creates an empty WAL backend.
+    /// Creates an empty in-memory WAL backend (any [`WalConfig::path`] is
+    /// ignored; use [`WalBackend::open`] for file backing).
     pub fn new(cfg: WalConfig) -> Self {
         WalBackend {
             cfg,
@@ -168,7 +230,57 @@ impl WalBackend {
             durable_len: 0,
             pending: 0,
             stats: BackendStats::default(),
+            file: None,
         }
+    }
+
+    /// Opens the backend for `node`: in-memory when [`WalConfig::path`] is
+    /// `None`, otherwise file-backed in that directory (`node-<id>.log` /
+    /// `node-<id>.ckpt`), replaying whatever a previous process committed
+    /// there and discarding any torn tail — both from the file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created or the files cannot be
+    /// read — a node host that cannot reach its stable storage must not
+    /// come up.
+    pub fn open(cfg: WalConfig, node: NodeId) -> Self {
+        let Some(dir) = cfg.path.clone() else {
+            return WalBackend::new(cfg);
+        };
+        std::fs::create_dir_all(&dir).expect("wal: create backing directory");
+        let log_path = dir.join(format!("node-{}.log", node.0));
+        let ckpt_path = dir.join(format!("node-{}.ckpt", node.0));
+        let checkpoint = read_file_or_empty(&ckpt_path);
+        let log = read_file_or_empty(&log_path);
+        // Discard a torn tail (a crash mid-append) from the file before
+        // opening it for further appends.
+        let valid = valid_prefix_len(&log);
+        let torn = (log.len() - valid) as u64;
+        let log_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .expect("wal: open log file");
+        if torn > 0 {
+            log_file.set_len(valid as u64).expect("wal: drop torn tail");
+            log_file.sync_data().expect("wal: fsync truncated log");
+        }
+        let mut backend = WalBackend {
+            cfg,
+            view: BTreeMap::new(),
+            checkpoint,
+            log,
+            durable_len: 0,
+            pending: 0,
+            stats: BackendStats::default(),
+            file: Some(FileBacking {
+                ckpt_path,
+                log_file,
+            }),
+        };
+        backend.recover();
+        backend
     }
 
     /// Re-encodes the whole view as the checkpoint and truncates the log.
@@ -176,6 +288,9 @@ impl WalBackend {
         self.checkpoint.clear();
         for (k, v) in &self.view {
             encode_put_frame(&mut self.checkpoint, k, v);
+        }
+        if let Some(f) = &mut self.file {
+            f.write_checkpoint(&self.checkpoint);
         }
         self.log.clear();
         self.durable_len = 0;
@@ -214,6 +329,9 @@ impl WalBackend {
         self.pending = 0;
         self.log.extend_from_slice(bytes);
         self.durable_len = self.log.len();
+        if let Some(f) = &mut self.file {
+            f.append_and_sync(bytes);
+        }
     }
 
     /// Current length of the durable log prefix (test inspection).
@@ -268,7 +386,13 @@ impl StableBackend for WalBackend {
     fn commit(&mut self) -> bool {
         let had_pending = self.pending > 0;
         if had_pending {
+            let prev = self.durable_len;
             self.durable_len = self.log.len();
+            // The fsync *is* the durability watermark: everything up to
+            // `durable_len` survives a process death, nothing past it does.
+            if let Some(f) = &mut self.file {
+                f.append_and_sync(&self.log[prev..self.durable_len]);
+            }
             self.pending = 0;
             self.stats.commits += 1;
             if self.log.len() >= self.cfg.checkpoint_bytes {
@@ -308,8 +432,23 @@ impl StableBackend for WalBackend {
         self.stats
     }
 
+    /// Clones are memory-resident snapshots: the file handle is *not*
+    /// duplicated (two appenders on one log would corrupt it), so a clone
+    /// behaves like the in-memory backend with the same state.
     fn clone_backend(&self) -> Box<dyn StableBackend> {
-        Box::new(self.clone())
+        Box::new(WalBackend {
+            cfg: WalConfig {
+                path: None,
+                ..self.cfg.clone()
+            },
+            view: self.view.clone(),
+            checkpoint: self.checkpoint.clone(),
+            log: self.log.clone(),
+            durable_len: self.durable_len,
+            pending: self.pending,
+            stats: self.stats,
+            file: None,
+        })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -416,6 +555,7 @@ mod tests {
     fn checkpoint_truncates_log_and_preserves_scan_order() {
         let mut b = WalBackend::new(WalConfig {
             checkpoint_bytes: 64,
+            ..WalConfig::default()
         });
         for i in (0..20).rev() {
             b.put(format!("k/{i:02}"), vec![i as u8; 8]);
@@ -439,6 +579,7 @@ mod tests {
     fn deletes_replay_over_checkpoint() {
         let mut b = WalBackend::new(WalConfig {
             checkpoint_bytes: 32,
+            ..WalConfig::default()
         });
         b.put("keep".into(), vec![1]);
         b.put("drop".into(), vec![2; 40]);
@@ -466,6 +607,116 @@ mod tests {
             b.crash();
             assert_eq!(dump(&b), vec![("base".to_owned(), vec![7])], "{bad:?}");
         }
+    }
+
+    fn temp_wal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mar-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn file_cfg(dir: &Path, checkpoint_bytes: usize) -> WalConfig {
+        WalConfig {
+            checkpoint_bytes,
+            path: Some(dir.to_path_buf()),
+        }
+    }
+
+    #[test]
+    fn file_backed_state_survives_reopen() {
+        let dir = temp_wal_dir("reopen");
+        {
+            let mut b = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(3));
+            b.put("a".into(), vec![1, 2]);
+            b.put("b".into(), vec![3]);
+            assert!(b.commit());
+            b.delete("a");
+            assert!(b.commit());
+            // Pending-but-uncommitted work must not survive the process.
+            b.put("lost".into(), vec![9]);
+        }
+        let b = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(3));
+        assert_eq!(b.get("a"), None);
+        assert_eq!(b.get("b"), Some(&[3u8][..]));
+        assert_eq!(b.get("lost"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_nodes_are_isolated() {
+        let dir = temp_wal_dir("isolated");
+        let mut b3 = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(3));
+        let mut b4 = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(4));
+        b3.put("k".into(), vec![3]);
+        b3.commit();
+        b4.put("k".into(), vec![4]);
+        b4.commit();
+        let b3 = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(3));
+        let b4 = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(4));
+        assert_eq!(b3.get("k"), Some(&[3u8][..]));
+        assert_eq!(b4.get("k"), Some(&[4u8][..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_reopen_discards_torn_tail_at_every_cut() {
+        let mut frame = Vec::new();
+        encode_put_frame(&mut frame, "q/agent-7", b"torn payload bytes");
+        let dir = temp_wal_dir("torn");
+        for cut in 0..frame.len() {
+            let _ = std::fs::remove_dir_all(&dir);
+            {
+                let mut b = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(0));
+                b.put("base".into(), vec![9]);
+                assert!(b.commit());
+                // Simulate a flush interrupted by the crash: a frame prefix
+                // reaches the device.
+                b.inject_torn_tail(&frame[..cut]);
+            }
+            let b = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(0));
+            assert_eq!(dump(&b), vec![("base".to_owned(), vec![9])], "cut {cut}");
+            assert_eq!(b.stats().torn_bytes_discarded, cut as u64, "cut {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_checkpoint_rolls_log_and_survives_reopen() {
+        let dir = temp_wal_dir("ckpt");
+        {
+            let mut b = WalBackend::open(file_cfg(&dir, 64), NodeId(1));
+            for i in 0..20 {
+                b.put(format!("k/{i:02}"), vec![i as u8; 8]);
+                b.commit();
+            }
+            assert!(b.stats().checkpoints > 0, "log must have rolled over");
+        }
+        let log_len = std::fs::metadata(dir.join("node-1.log"))
+            .expect("log file exists")
+            .len();
+        assert!(log_len < 64 + 16, "log file was truncated at checkpoint");
+        let b = WalBackend::open(file_cfg(&dir, 64), NodeId(1));
+        let keys: Vec<String> = b.iter_prefix("k/").map(|(k, _)| k.to_owned()).collect();
+        let expected: Vec<String> = (0..20).map(|i| format!("k/{i:02}")).collect();
+        assert_eq!(keys, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clone_of_file_backed_is_memory_resident() {
+        let dir = temp_wal_dir("clone");
+        let mut b = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(0));
+        b.put("a".into(), vec![1]);
+        b.commit();
+        let mut c = b.clone_backend();
+        c.put("b".into(), vec![2]);
+        c.commit();
+        // The clone's commit must not have reached the file.
+        let reopened = WalBackend::open(file_cfg(&dir, 64 * 1024), NodeId(0));
+        assert_eq!(reopened.get("a"), Some(&[1u8][..]));
+        assert_eq!(reopened.get("b"), None);
+        assert_eq!(c.get("b"), Some(&[2u8][..]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

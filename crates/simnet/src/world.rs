@@ -38,6 +38,7 @@ use crate::event::{Event, EventKey, EventQueue, TimerId, DRIVER_ORIGIN};
 use crate::metrics::{keys, Metrics, MetricsSnapshot};
 use crate::net::{LatencyModel, Network};
 use crate::node::{Address, NodeId, NodeSlot, Service};
+use crate::remote::RemoteEvent;
 use crate::rng::SimRng;
 use crate::stable::{StableFactory, StableStore};
 use crate::time::{SimDuration, SimTime};
@@ -128,6 +129,12 @@ struct Shard {
     trace_buf: Vec<(SimTime, u64, u64, TraceRecord)>,
     /// Cross-shard events created while processing: `(dest_shard, key, ev)`.
     outbox: Vec<(usize, EventKey, Event)>,
+    /// Nodes owned by another process (see [`World::mark_remote`]); events
+    /// routed to them are diverted into `egress` instead of a queue.
+    remote: Vec<bool>,
+    /// Deliveries destined to remote nodes, with their keys, awaiting
+    /// [`World::take_remote_egress`].
+    egress: Vec<RemoteEvent>,
 }
 
 impl Shard {
@@ -312,6 +319,19 @@ impl Shard {
                 let at = now + latency;
                 let seq = self.slots[sidx].next_event_seq();
                 let key = (at, from.node.0 as u64, seq);
+                // A remote destination gets the event — key and all — in
+                // the egress buffer; the owning process re-inserts it, so
+                // the global order is unchanged by the process split.
+                if self
+                    .remote
+                    .get(to.node.0 as usize)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    self.egress
+                        .push(remote_event(key, from, to, payload, billed));
+                    return;
+                }
                 let dest = self.shard_of_or_self(to.node);
                 let ev = Event::Deliver {
                     from,
@@ -450,6 +470,27 @@ impl Shard {
     }
 }
 
+/// Packs a keyed delivery into its wire-facing form for the egress buffer.
+fn remote_event(
+    key: EventKey,
+    from: Address,
+    to: Address,
+    payload: Vec<u8>,
+    billed: usize,
+) -> RemoteEvent {
+    RemoteEvent {
+        at_us: key.0.as_micros(),
+        origin: key.1,
+        seq: key.2,
+        from_node: from.node.0,
+        from_service: from.service.to_owned(),
+        to_node: to.node.0,
+        to_service: to.service.to_owned(),
+        payload,
+        billed: billed as u64,
+    }
+}
+
 /// The deterministic discrete-event world.
 pub struct World {
     time: SimTime,
@@ -467,6 +508,11 @@ pub struct World {
     lookahead: SimDuration,
     profiling: bool,
     profile: ShardProfile,
+    /// Per-node remote flags (see [`World::mark_remote`]); shards hold
+    /// replicas.
+    remote: Vec<bool>,
+    /// Driver-injected deliveries destined to remote nodes.
+    egress: Vec<RemoteEvent>,
 }
 
 impl World {
@@ -515,6 +561,8 @@ impl World {
                 trace: Trace::new(cfg.trace, cfg.trace_cap),
                 trace_buf: Vec::new(),
                 outbox: Vec::new(),
+                remote: Vec::new(),
+                egress: Vec::new(),
             })
             .collect();
         World {
@@ -536,6 +584,8 @@ impl World {
                 busy_ns: vec![0; n_shards],
                 critical_ns: 0,
             },
+            remote: Vec::new(),
+            egress: Vec::new(),
         }
     }
 
@@ -550,11 +600,13 @@ impl World {
         let mut base = SimRng::seed_from(self.seed);
         let rng = base.fork(0x4E0D_E000u64.wrapping_add(id.0 as u64));
         let s = self.n_nodes % self.shards.len();
-        let stable = self.stable_factory.make_store();
+        let stable = self.stable_factory.make_store(id);
         self.shards[s].slots.push(NodeSlot::new(id, rng, stable));
         self.n_nodes += 1;
+        self.remote.push(false);
         for sh in &mut self.shards {
             sh.n_nodes = self.n_nodes;
+            sh.remote.push(false);
         }
         id
     }
@@ -732,12 +784,25 @@ impl World {
             Some(latency) => {
                 let at = self.time + latency;
                 let key = self.next_driver_key(at);
+                let billed = payload.len();
+                // Latency draw, byte accounting, and the driver key are
+                // identical whether the destination is local or remote, so
+                // a process split never shifts the schedule.
+                if self
+                    .remote
+                    .get(to.node.0 as usize)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    self.egress
+                        .push(remote_event(key, Address::external(), to, payload, billed));
+                    return;
+                }
                 let dest = if (to.node.0 as usize) < self.n_nodes {
                     to.node.0 as usize % self.shards.len()
                 } else {
                     0
                 };
-                let billed = payload.len();
                 self.shards[dest].queue.push(
                     key,
                     Event::Deliver {
@@ -870,6 +935,124 @@ impl World {
     /// The accumulated profile (see [`World::set_shard_profiling`]).
     pub fn shard_profile(&self) -> &ShardProfile {
         &self.profile
+    }
+
+    // ----- distributed execution seam ---------------------------------------
+
+    /// Marks `node` as **remote**: owned by another process in a
+    /// distributed deployment. The node keeps its id, its random stream,
+    /// and its slot (so local nodes' schedules are unaffected), but events
+    /// routed to it are diverted — with their deterministic keys — into the
+    /// egress buffer ([`World::take_remote_egress`]) instead of a queue.
+    ///
+    /// Register no services on remote nodes; mark before [`World::start`].
+    pub fn mark_remote(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        assert!(i < self.n_nodes, "mark_remote: unknown node {node}");
+        self.remote[i] = true;
+        for sh in &mut self.shards {
+            sh.remote[i] = true;
+        }
+    }
+
+    /// Whether `node` is marked remote.
+    pub fn is_remote(&self, node: NodeId) -> bool {
+        self.remote.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Drains every delivery diverted to remote nodes since the last call,
+    /// in a deterministic order (driver injections first, then shard id
+    /// order). The events carry their `(time, origin, seq)` keys; ship them
+    /// to the owning process and re-insert with [`World::inject_remote`].
+    pub fn take_remote_egress(&mut self) -> Vec<RemoteEvent> {
+        let mut out = std::mem::take(&mut self.egress);
+        for sh in &mut self.shards {
+            out.append(&mut sh.egress);
+        }
+        out
+    }
+
+    /// Re-inserts a delivery diverted by a peer world's remote-egress seam.
+    /// The destination must be a local (non-remote) node of this world; the
+    /// event joins the queue under its original key, restoring the exact
+    /// global order of the single-process simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination node is unknown or marked remote here.
+    pub fn inject_remote(&mut self, ev: RemoteEvent) {
+        let to = ev.to_address();
+        let i = to.node.0 as usize;
+        assert!(
+            i < self.n_nodes && !self.remote[i],
+            "inject_remote: node {} is not local to this world",
+            to.node
+        );
+        let key: EventKey = (ev.at(), ev.origin, ev.seq);
+        debug_assert!(key.0 >= self.time, "remote event injected into the past");
+        let from = ev.from_address();
+        let billed = ev.billed as usize;
+        let dest = i % self.shards.len();
+        self.shards[dest].queue.push(
+            key,
+            Event::Deliver {
+                from,
+                to,
+                payload: ev.payload,
+                billed,
+            },
+        );
+    }
+
+    /// Earliest pending event time across all queues, in microseconds —
+    /// the local contribution to a distributed coordinator's global-minimum
+    /// computation.
+    pub fn local_min_us(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|sh| sh.queue.peek_time())
+            .map(|t| t.as_micros())
+            .min()
+    }
+
+    /// Processes every queued event with `time < end_us` — one conservative
+    /// window of a distributed lockstep run. The window end must come from
+    /// the coordinator's global-minimum formula so no in-window event is
+    /// still in flight between processes. The clock advances to
+    /// `end_us - 1` (the last instant processed); the coordinator finalizes
+    /// run boundaries with [`World::advance_clock_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the world runs the sequential engine (`shards == 1`);
+    /// distributed deployments parallelize across processes, not shards.
+    pub fn run_window(&mut self, end_us: u64) {
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "run_window requires the sequential engine (shards = 1)"
+        );
+        self.sync_replicas_if_dirty();
+        self.shards[0].process_until(end_us);
+        self.drain_outboxes();
+        let processed_up_to = SimTime::from_micros(end_us.saturating_sub(1));
+        if processed_up_to > self.time {
+            self.time = processed_up_to;
+        }
+        self.sync();
+    }
+
+    /// Advances the clock to `us` microseconds without processing events
+    /// (no-op if the clock is already past). Used by distributed runs to
+    /// finalize a `run_until` boundary, and by a restarted process to
+    /// resume at the coordinator's current time before [`World::start`]
+    /// replays recovery.
+    pub fn advance_clock_to(&mut self, us: u64) {
+        let t = SimTime::from_micros(us);
+        if t > self.time {
+            self.time = t;
+        }
+        self.sync();
     }
 
     // ----- internals --------------------------------------------------------
@@ -1452,5 +1635,156 @@ mod tests {
         cfg.latency = LatencyModel::fixed(SimDuration::ZERO, SimDuration::ZERO);
         cfg.shards = 0;
         assert_eq!(World::new(cfg).shard_count(), 1);
+    }
+
+    // ----- remote-egress seam ------------------------------------------------
+
+    /// Ping-pongs with a peer, persisting every delivery, so a process
+    /// split that reorders or loses anything shows up in stable dumps.
+    struct Pinger {
+        peer: Address,
+        count: u32,
+    }
+
+    impl Service for Pinger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Address, payload: &[u8]) {
+            self.count += 1;
+            ctx.stable_put(format!("seen/{:03}", self.count), payload.to_vec());
+            if self.count < 5 {
+                ctx.send(self.peer, vec![self.count as u8]);
+            }
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.peer, b"go".to_vec());
+        }
+    }
+
+    fn pinger_world(owned: Option<&[u32]>) -> World {
+        let mut w = World::new(WorldConfig::with_seed(11));
+        let nodes: Vec<NodeId> = (0..4).map(|_| w.add_node()).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            let local = match owned {
+                Some(set) => set.contains(&n.0),
+                None => true,
+            };
+            if local {
+                let peer = Address::new(nodes[(i + 1) % nodes.len()], "ping");
+                w.add_service(n, "ping", move || Box::new(Pinger { peer, count: 0 }));
+            } else {
+                w.mark_remote(n);
+            }
+        }
+        w.start();
+        w
+    }
+
+    /// Mirrors the coordinator of a distributed run: relay pending egress
+    /// (from `start()` or the previous window), then run the next window of
+    /// the global-minimum schedule.
+    fn run_split_until(worlds: &mut [World], until_us: u64, lookahead_us: u64) {
+        loop {
+            let egress: Vec<RemoteEvent> = worlds
+                .iter_mut()
+                .flat_map(World::take_remote_egress)
+                .collect();
+            for ev in egress {
+                let owner = worlds
+                    .iter_mut()
+                    .find(|w| !w.is_remote(NodeId(ev.to_node)))
+                    .expect("every node has an owner");
+                owner.inject_remote(ev);
+            }
+            let Some(m) = worlds.iter().filter_map(World::local_min_us).min() else {
+                break;
+            };
+            if m > until_us {
+                break;
+            }
+            let end = m
+                .saturating_add(lookahead_us)
+                .min(until_us.saturating_add(1))
+                .max(m + 1);
+            for w in worlds.iter_mut() {
+                w.run_window(end);
+            }
+        }
+        for w in worlds.iter_mut() {
+            w.advance_clock_to(until_us);
+        }
+    }
+
+    #[test]
+    fn remote_split_matches_single_process_run() {
+        let mut control = pinger_world(None);
+        control.run_until(SimTime::from_micros(100_000));
+
+        let lookahead = LatencyModel::lan().min_latency().as_micros();
+        let mut halves = [pinger_world(Some(&[0, 2])), pinger_world(Some(&[1, 3]))];
+        run_split_until(&mut halves, 100_000, lookahead);
+
+        for n in 0..4u32 {
+            let node = NodeId(n);
+            let owner = halves
+                .iter()
+                .find(|w| !w.is_remote(node))
+                .expect("owner exists");
+            let dump = |w: &World| -> Vec<(String, Vec<u8>)> {
+                w.stable(node)
+                    .iter()
+                    .map(|(k, v)| (k.to_owned(), v.to_vec()))
+                    .collect()
+            };
+            assert_eq!(dump(&control), dump(owner), "stable diverged on {node}");
+            assert_eq!(owner.now(), control.now());
+        }
+        // Counters split across the two processes must sum to the control's.
+        let c = control.snapshot();
+        let (a, b) = (halves[0].snapshot(), halves[1].snapshot());
+        for key in [
+            keys::MSGS_DELIVERED,
+            keys::BYTES_SENT,
+            keys::STABLE_WRITES,
+            keys::STABLE_COMMITS,
+            keys::EVENTS,
+        ] {
+            assert_eq!(
+                c.counter(key),
+                a.counter(key) + b.counter(key),
+                "counter {key} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_post_to_remote_node_diverts_with_billing() {
+        let mut w = pinger_world(Some(&[0, 2]));
+        let before = w.snapshot().counter(keys::BYTES_SENT);
+        w.post(Address::new(NodeId(1), "ping"), b"ext".to_vec());
+        assert_eq!(w.snapshot().counter(keys::BYTES_SENT), before + 3);
+        let egress = w.take_remote_egress();
+        // Driver injections drain ahead of the shards' egress.
+        let ev = egress.first().expect("post diverted");
+        assert_eq!(ev.to_node, 1);
+        assert_eq!(ev.origin, DRIVER_ORIGIN);
+        assert_eq!(ev.payload, b"ext");
+        assert_eq!(ev.from_node, NodeId::EXTERNAL.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not local")]
+    fn inject_remote_rejects_foreign_destination() {
+        let mut w = pinger_world(Some(&[0, 2]));
+        let ev = RemoteEvent {
+            at_us: 10,
+            origin: 0,
+            seq: 0,
+            from_node: 0,
+            from_service: "ping".to_owned(),
+            to_node: 1,
+            to_service: "ping".to_owned(),
+            payload: vec![],
+            billed: 0,
+        };
+        w.inject_remote(ev);
     }
 }

@@ -150,7 +150,8 @@ conformance_suite!(wal_default, StableStore::wal(WalConfig::default()));
 conformance_suite!(
     wal_tiny_checkpoint,
     StableStore::wal(WalConfig {
-        checkpoint_bytes: 48
+        checkpoint_bytes: 48,
+        path: None
     })
 );
 
@@ -164,6 +165,7 @@ fn backends_agree_on_a_mixed_script() {
         StableStore::wal(WalConfig::default()),
         StableStore::wal(WalConfig {
             checkpoint_bytes: 48,
+            path: None,
         }),
     ];
     for s in &mut stores {

@@ -160,7 +160,7 @@ proptest! {
     fn wal_matches_reference_model_across_checkpoints(
         ops in proptest::collection::vec(op_strategy(), 1..80),
     ) {
-        run_script(&ops, WalConfig { checkpoint_bytes: 96 });
+        run_script(&ops, WalConfig { checkpoint_bytes: 96, path: None });
     }
 }
 
@@ -206,6 +206,7 @@ fn pinned_torn_tail_script() {
         &ops,
         WalConfig {
             checkpoint_bytes: 96,
+            path: None,
         },
     );
 }

@@ -33,6 +33,7 @@
 mod bytes;
 mod de;
 mod error;
+pub mod frame;
 mod hash;
 mod ser;
 mod value;
