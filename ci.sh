@@ -77,6 +77,27 @@ fi
 echo "    settled: $(grep -c '^report ' "$smoke_dir/driver.out") reports, money USD=12000"
 rm -rf "$smoke_dir"
 
+echo "==> chaos smoke stage: mar-fleet with a scripted mid-run SIGKILL"
+# The supervised deployment end to end: mar-fleet spawns the driver and both
+# hosts, SIGKILLs host 1 mid-run, restarts it with backoff, and the run must
+# still settle on the exact crash-free answer. `timeout` backstops the
+# supervisor's own fleet deadline.
+chaos_dir=$(mktemp -d)
+chaos_ok=1
+timeout -k 5 150 target/release/mar-fleet --socket "unix:$chaos_dir/fleet.sock" \
+    --hosts 2 --scenario travel --seed 11 --agents 6 --window-delay-us 3000 \
+    --io-timeout-secs 1 --wal-root "$chaos_dir/wal" --kill 400:1 \
+    > "$chaos_dir/fleet.out" 2> "$chaos_dir/fleet.err" || chaos_ok=0
+if [[ "$chaos_ok" != 1 ]] || ! grep -q '^settled=true$' "$chaos_dir/fleet.out" \
+    || ! grep -q '^money USD=12000$' "$chaos_dir/fleet.out"; then
+    echo "chaos smoke stage FAILED; fleet output:"
+    cat "$chaos_dir/fleet.out" "$chaos_dir/fleet.err" || true
+    rm -rf "$chaos_dir"
+    exit 1
+fi
+echo "    $(grep '^mar-fleet: driver exit' "$chaos_dir/fleet.err" | head -1)"
+rm -rf "$chaos_dir"
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo bench -p mar-bench (writes BENCH_log.json / BENCH_macro.json)"
     baseline_dir=$(mktemp -d)
@@ -104,7 +125,9 @@ if [[ "${1:-}" == "--bench" ]]; then
         "$baseline_dir/BENCH_macro.json" BENCH_macro.json --max-regression 3.0 \
         --require "e1_forward/" --require "e9_resident/" --require "e8_fleet/" \
         --require "e10_stable/" --require "e11_itinerary/" --require "e12_net/" \
+        --require "e13_chaos/" \
         --min-derived "e8_fleet/agents1000/speedup_shards4:2.0" \
+        --min-derived "e13_chaos/kill_uds/restarts:1.0" \
         --min-derived "e10_stable/steady_state/commit_reduction:4.9" \
         --min-derived "e11_itinerary/warm_fleet/byte_reduction:2.0"
 fi

@@ -658,6 +658,201 @@ fn net_experiment(b: &mut Bench) {
     );
 }
 
+/// E13 — supervised chaos: the travel fleet as real processes (driver plus
+/// two node hosts over a Unix socket) under the fleet supervisor, run once
+/// undisturbed and once with host 1 SIGKILLed mid-run and restarted against
+/// its WAL. The asserts pin the recovery contract — the killed arm settles
+/// with agent outcomes and money audit identical to the control — and the
+/// derived numbers are the recovery-cost curve: MTTR, WAL replay bytes,
+/// restart count, and the retransmit traffic recovery adds.
+fn chaos_experiment(b: &mut Bench) {
+    use mar_net::supervisor::{ChaosAction, ChaosEvent, ChaosSchedule, Fleet, FleetConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+
+    // Benches don't get CARGO_BIN_EXE_*: resolve the mar-net binaries
+    // beside the profile dir this bench runs from
+    // (target/<profile>/deps/macro_sim-<hash> -> target/<profile>).
+    let me = std::env::current_exe().expect("bench exe path");
+    let profile_dir = me
+        .parent()
+        .and_then(|d| d.parent())
+        .expect("bench profile dir")
+        .to_path_buf();
+    let driver_bin = profile_dir.join("mar-driver");
+    let host_bin = profile_dir.join("mar-node-host");
+    assert!(
+        driver_bin.exists() && host_bin.exists(),
+        "e13: {} / {} missing — build them first (`cargo build --release`)",
+        driver_bin.display(),
+        host_bin.display()
+    );
+
+    // One supervised fleet run: UDS socket, per-host WAL, a window delay
+    // that stretches the 0.2 s-virtual run far enough in wall clock for a
+    // scripted kill to land mid-flight. Returns the summary and the
+    // driver's kernel dump text.
+    let run_fleet = |tag: &str, chaos: ChaosSchedule| {
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!("mar-e13-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let socket = format!("unix:{}", base.join("driver.sock").display());
+        let dump = base.join("dump.txt");
+        let mut cfg = FleetConfig::new(driver_bin.clone(), host_bin.clone(), 2);
+        cfg.driver_args = [
+            "--socket",
+            &socket,
+            "--hosts",
+            "2",
+            "--scenario",
+            "travel",
+            "--seed",
+            "11",
+            "--agents",
+            "6",
+            "--deadline-secs",
+            "600",
+            "--window-delay-us",
+            "3000",
+            "--io-timeout-secs",
+            "1",
+            "--dump",
+            &dump.display().to_string(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cfg.host_args = [
+            "--socket",
+            &socket,
+            "--host-id",
+            "{host_id}",
+            "--wal-dir",
+            &base.join("host{host_id}").display().to_string(),
+            "--io-timeout-secs",
+            "1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cfg.chaos = chaos;
+        cfg.deadline = Duration::from_secs(60);
+        let summary = Fleet::new(cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        let dump_text = std::fs::read_to_string(&dump).unwrap_or_default();
+        let _ = std::fs::remove_dir_all(&base);
+        (summary, dump_text)
+    };
+    // The kill-stable observables: sorted report lines plus the money line.
+    let observables = |stdout: &[String]| {
+        let mut reports: Vec<String> = stdout
+            .iter()
+            .filter(|l| l.starts_with("report "))
+            .cloned()
+            .collect();
+        reports.sort();
+        let money = stdout
+            .iter()
+            .find(|l| l.starts_with("money "))
+            .cloned()
+            .unwrap_or_default();
+        (reports, money)
+    };
+    // Recovery retransmission traffic shows up as extra driver frames
+    // (session replay and re-sent windows are counted into
+    // `net.frames_sent`), so the kill-vs-control delta is the measure.
+    let frames_sent = |dump: &str| {
+        dump.lines()
+            .find_map(|l| l.strip_prefix("counter net.frames_sent "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .unwrap_or(0.0)
+    };
+
+    let (ctl, ctl_dump) = run_fleet("e13 control", ChaosSchedule::quiet());
+    assert_eq!(ctl.driver_code, Some(0), "e13: control fleet must settle");
+    let ctl_obs = observables(&ctl.driver_stdout);
+    assert_eq!(ctl_obs.0.len(), 6, "e13: control must report all agents");
+    assert!(ctl_obs.1.contains("USD=12000"), "e13: control money audit");
+
+    // Probe kill offsets until the SIGKILL lands mid-run (a restart was
+    // needed); every probe — landed or not — must still match the control.
+    let mut landed = None;
+    for at_ms in [400u64, 700, 1000] {
+        let chaos = ChaosSchedule {
+            events: vec![ChaosEvent {
+                at_ms,
+                host: 1,
+                action: ChaosAction::Kill,
+            }],
+        };
+        let (s, d) = run_fleet("e13 kill", chaos);
+        assert_eq!(s.driver_code, Some(0), "e13: killed arm must settle");
+        assert!(s.gave_up.is_empty(), "e13: budget must survive one kill");
+        assert_eq!(
+            observables(&s.driver_stdout),
+            ctl_obs,
+            "e13: outcomes or money diverged after kill at {at_ms}ms"
+        );
+        if s.restarts.get(&1).copied().unwrap_or(0) >= 1 {
+            landed = Some((at_ms, s, d));
+            break;
+        }
+    }
+    let (kill_at, kill, kill_dump) = landed.expect("e13: no probe offset landed mid-run");
+    let mttr = kill.mttr_ms().expect("e13: restart must record MTTR");
+    let restarts: u32 = kill.restarts.values().sum();
+    b.derive("e13_chaos/kill_uds/mttr_ms", mttr);
+    b.derive(
+        "e13_chaos/kill_uds/wal_replay_bytes",
+        kill.wal_replayed_bytes() as f64,
+    );
+    b.derive("e13_chaos/kill_uds/restarts", restarts as f64);
+    b.derive("e13_chaos/control_uds/frames_sent", frames_sent(&ctl_dump));
+    b.derive("e13_chaos/kill_uds/frames_sent", frames_sent(&kill_dump));
+    b.derive(
+        "e13_chaos/kill_uds/retransmit_frames",
+        (frames_sent(&kill_dump) - frames_sent(&ctl_dump)).max(0.0),
+    );
+
+    // Wall clock: the supervised control vs the supervised killed arm —
+    // the gap is the whole recovery detour (backoff, redial, WAL replay,
+    // session rebuild, window retransmits).
+    b.run("e13_chaos/control_uds/settle_run", 3, 1, || {
+        let (s, _) = run_fleet("e13 control timing", ChaosSchedule::quiet());
+        assert_eq!(s.driver_code, Some(0));
+        black_box(s);
+    });
+    let kill_schedule = || ChaosSchedule {
+        events: vec![ChaosEvent {
+            at_ms: kill_at,
+            host: 1,
+            action: ChaosAction::Kill,
+        }],
+    };
+    b.run("e13_chaos/kill_uds/settle_run", 3, 1, || {
+        let (s, _) = run_fleet("e13 kill timing", kill_schedule());
+        assert_eq!(s.driver_code, Some(0));
+        black_box(s);
+    });
+    let ctl_ns = b.ns_per_op("e13_chaos/control_uds/settle_run").unwrap();
+    let kill_ns = b.ns_per_op("e13_chaos/kill_uds/settle_run").unwrap();
+    b.derive("e13_chaos/kill_uds/recovery_overhead_x", kill_ns / ctl_ns);
+    eprintln!(
+        "e13_chaos: kill@{kill_at}ms recovered in {mttr:.0} ms (MTTR), \
+         {} WAL bytes replayed, {restarts} restart(s), frames {} -> {}; \
+         settle wall {:.2}ms control vs {:.2}ms killed",
+        kill.wal_replayed_bytes(),
+        frames_sent(&ctl_dump),
+        frames_sent(&kill_dump),
+        ctl_ns / 1e6,
+        kill_ns / 1e6,
+    );
+}
+
 fn main() {
     let mut b = Bench::new();
 
@@ -739,6 +934,9 @@ fn main() {
 
     // E12 — the process/network boundary: distributed vs in-process.
     net_experiment(&mut b);
+
+    // E13 — supervised chaos: kill-and-recover vs the undisturbed fleet.
+    chaos_experiment(&mut b);
 
     b.write_report("BENCH_macro.json");
 }

@@ -9,7 +9,13 @@
 //! money USD=12000
 //! settled=true
 //! ```
+//!
+//! With `--dump <file>` it also writes a byte-comparison dump: every
+//! merged counter and histogram, each report's exact wire encoding in
+//! hex, and the money audit — the artifact the chaos campaign diffs
+//! against a fault-free control run.
 
+use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -24,6 +30,9 @@ struct Args {
     agents: u32,
     deadline_secs: u64,
     window_delay_us: u64,
+    io_timeout_secs: u64,
+    down_grace_secs: u64,
+    dump: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
         agents: 4,
         deadline_secs: 600,
         window_delay_us: 0,
+        io_timeout_secs: 30,
+        down_grace_secs: 20,
+        dump: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
             "--agents" => args.agents = parse(&val("--agents")?)?,
             "--deadline-secs" => args.deadline_secs = parse(&val("--deadline-secs")?)?,
             "--window-delay-us" => args.window_delay_us = parse(&val("--window-delay-us")?)?,
+            "--io-timeout-secs" => args.io_timeout_secs = parse(&val("--io-timeout-secs")?)?,
+            "--down-grace-secs" => args.down_grace_secs = parse(&val("--down-grace-secs")?)?,
+            "--dump" => args.dump = Some(val("--dump")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -58,6 +73,14 @@ fn parse_args() -> Result<Args, String> {
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -84,6 +107,8 @@ fn main() -> ExitCode {
     };
     let mut cfg = NetCfg::new(endpoint, args.hosts, args.scenario.clone(), args.seed);
     cfg.window_delay = Duration::from_micros(args.window_delay_us);
+    cfg.io_timeout = Duration::from_secs(args.io_timeout_secs);
+    cfg.down_grace = Duration::from_secs(args.down_grace_secs);
     let mut platform = match NetPlatform::start(cfg) {
         Ok(p) => p,
         Err(e) => {
@@ -97,31 +122,69 @@ fn main() -> ExitCode {
     );
     let handles = platform.launch_fleet(specs);
     let settled = platform.run_until_settled(&handles, SimDuration::from_secs(args.deadline_secs));
+    let mut reports = Vec::new();
     for h in &handles {
         match platform.report(*h) {
-            Some(r) => println!(
-                "report {} {:?} steps={}",
-                h.id().0,
-                r.outcome,
-                r.steps_committed
-            ),
+            Some(r) => {
+                println!(
+                    "report {} {:?} steps={}",
+                    h.id().0,
+                    r.outcome,
+                    r.steps_committed
+                );
+                reports.push(r);
+            }
             None => println!("report {} Missing steps=0", h.id().0),
         }
     }
     let audit = platform.money_audit(&[]);
     let money: Vec<String> = audit.iter().map(|(k, v)| format!("{k}={v}")).collect();
     println!("money {}", money.join(" "));
+    let failed = platform.failed_hosts();
+    if !failed.is_empty() {
+        let list: Vec<String> = failed.iter().map(u32::to_string).collect();
+        println!("failed_hosts={}", list.join(","));
+        eprintln!(
+            "mar-driver: degraded fleet — gave up on host(s) {}; results are partial",
+            list.join(",")
+        );
+    }
     println!("settled={settled}");
+    if let Some(path) = &args.dump {
+        let snap = platform.snapshot();
+        let mut out = String::new();
+        for (k, v) in &snap.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, h) in &snap.hists {
+            out.push_str(&format!(
+                "hist {k} count={} sum={} min={} max={}\n",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+        for r in &reports {
+            let bytes = mar_wire::to_bytes(r).unwrap_or_default();
+            out.push_str(&format!("reporthex {} {}\n", r.id.0, hex(&bytes)));
+        }
+        out.push_str(&format!("money {}\n", money.join(" ")));
+        let write = std::fs::File::create(path).and_then(|mut f| f.write_all(out.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("mar-driver: dump to {path} failed: {e}");
+        }
+    }
     let m = platform.driver_world().metrics();
     eprintln!(
-        "mar-driver: windows={} relayed={} reconnects={} host_down_drops={}",
+        "mar-driver: windows={} relayed={} reconnects={} restarts={} partitions_healed={} gave_up={} host_down_drops={}",
         m.counter(mar_net::netkeys::WINDOWS),
         m.counter(mar_net::netkeys::EVENTS_RELAYED),
         m.counter(mar_net::netkeys::RECONNECTS),
+        m.counter(mar_net::netkeys::RESTARTS),
+        m.counter(mar_net::netkeys::PARTITIONS_HEALED),
+        m.counter(mar_net::netkeys::SUPERVISOR_GAVE_UP),
         m.counter(mar_net::netkeys::HOST_DOWN_DROPS),
     );
     platform.shutdown();
-    if settled {
+    if settled && failed.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,209 @@
+//! The fleet supervisor binary: one command that runs a whole distributed
+//! deployment — driver plus N node hosts — restarts crashed hosts with
+//! jittered backoff under a budget, and optionally injects scripted chaos
+//! (kill/pause/resume/term a host at a wall-clock offset).
+//!
+//! ```text
+//! mar-fleet --socket unix:/tmp/fleet.sock --hosts 2 --scenario travel \
+//!     --agents 6 --wal-root /tmp/fleet-wal --kill 300:1
+//! ```
+//!
+//! Driver stdout passes through (the `report …` / `money …` /
+//! `settled=…` lines land on mar-fleet's stdout), and the exit code is
+//! the driver's — nonzero when the run settled partially because a host
+//! exhausted its restart budget.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mar_net::supervisor::{ChaosAction, ChaosEvent, ChaosSchedule, Fleet, FleetConfig};
+
+struct Args {
+    socket: String,
+    hosts: u32,
+    scenario: String,
+    seed: u64,
+    agents: u32,
+    deadline_secs: u64,
+    window_delay_us: u64,
+    io_timeout_secs: u64,
+    down_grace_secs: u64,
+    wal_root: Option<PathBuf>,
+    restart_budget: u32,
+    fleet_deadline_secs: u64,
+    chaos: Vec<ChaosEvent>,
+    dump: Option<String>,
+}
+
+fn parse_chaos(kind: ChaosAction, spec: &str) -> Result<ChaosEvent, String> {
+    let (at, host) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad chaos spec {spec:?}: expected <at_ms>:<host>"))?;
+    Ok(ChaosEvent {
+        at_ms: at.parse().map_err(|_| format!("bad ms in {spec:?}"))?,
+        host: host.parse().map_err(|_| format!("bad host in {spec:?}"))?,
+        action: kind,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: String::new(),
+        hosts: 2,
+        scenario: "travel".to_owned(),
+        seed: 11,
+        agents: 4,
+        deadline_secs: 600,
+        window_delay_us: 0,
+        io_timeout_secs: 30,
+        down_grace_secs: 20,
+        wal_root: None,
+        restart_budget: 3,
+        fleet_deadline_secs: 120,
+        chaos: Vec::new(),
+        dump: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--socket" => args.socket = val("--socket")?,
+            "--hosts" => args.hosts = parse(&val("--hosts")?)?,
+            "--scenario" => args.scenario = val("--scenario")?,
+            "--seed" => args.seed = parse(&val("--seed")?)?,
+            "--agents" => args.agents = parse(&val("--agents")?)?,
+            "--deadline-secs" => args.deadline_secs = parse(&val("--deadline-secs")?)?,
+            "--window-delay-us" => args.window_delay_us = parse(&val("--window-delay-us")?)?,
+            "--io-timeout-secs" => args.io_timeout_secs = parse(&val("--io-timeout-secs")?)?,
+            "--down-grace-secs" => args.down_grace_secs = parse(&val("--down-grace-secs")?)?,
+            "--wal-root" => args.wal_root = Some(PathBuf::from(val("--wal-root")?)),
+            "--restart-budget" => args.restart_budget = parse(&val("--restart-budget")?)?,
+            "--fleet-deadline-secs" => {
+                args.fleet_deadline_secs = parse(&val("--fleet-deadline-secs")?)?;
+            }
+            "--kill" => args
+                .chaos
+                .push(parse_chaos(ChaosAction::Kill, &val("--kill")?)?),
+            "--pause" => args
+                .chaos
+                .push(parse_chaos(ChaosAction::Pause, &val("--pause")?)?),
+            "--resume" => args
+                .chaos
+                .push(parse_chaos(ChaosAction::Resume, &val("--resume")?)?),
+            "--term" => args
+                .chaos
+                .push(parse_chaos(ChaosAction::Term, &val("--term")?)?),
+            "--dump" => args.dump = Some(val("--dump")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("--socket is required (unix:<path> or tcp:<addr>)".to_owned());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// The driver and host binaries live next to this one.
+fn sibling(name: &str) -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| e.to_string())?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "cannot locate sibling binaries".to_owned())?;
+    let p = dir.join(name);
+    if p.exists() {
+        Ok(p)
+    } else {
+        Err(format!("{} not found next to mar-fleet", p.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mar-fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (driver_bin, host_bin) = match (sibling("mar-driver"), sibling("mar-node-host")) {
+        (Ok(d), Ok(h)) => (d, h),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("mar-fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut driver_args = vec![
+        "--socket".to_owned(),
+        args.socket.clone(),
+        "--hosts".to_owned(),
+        args.hosts.to_string(),
+        "--scenario".to_owned(),
+        args.scenario.clone(),
+        "--seed".to_owned(),
+        args.seed.to_string(),
+        "--agents".to_owned(),
+        args.agents.to_string(),
+        "--deadline-secs".to_owned(),
+        args.deadline_secs.to_string(),
+        "--window-delay-us".to_owned(),
+        args.window_delay_us.to_string(),
+        "--io-timeout-secs".to_owned(),
+        args.io_timeout_secs.to_string(),
+        "--down-grace-secs".to_owned(),
+        args.down_grace_secs.to_string(),
+    ];
+    if let Some(dump) = &args.dump {
+        driver_args.push("--dump".to_owned());
+        driver_args.push(dump.clone());
+    }
+    let mut host_args = vec![
+        "--socket".to_owned(),
+        args.socket.clone(),
+        "--host-id".to_owned(),
+        "{host_id}".to_owned(),
+        "--io-timeout-secs".to_owned(),
+        args.io_timeout_secs.to_string(),
+    ];
+    if let Some(root) = &args.wal_root {
+        if let Err(e) = std::fs::create_dir_all(root) {
+            eprintln!("mar-fleet: cannot create {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+        host_args.push("--wal-dir".to_owned());
+        host_args.push(root.join("host{host_id}").display().to_string());
+    }
+    let mut cfg = FleetConfig::new(driver_bin, host_bin, args.hosts);
+    cfg.driver_args = driver_args;
+    cfg.host_args = host_args;
+    cfg.restart.budget = args.restart_budget;
+    cfg.chaos = ChaosSchedule { events: args.chaos };
+    cfg.deadline = Duration::from_secs(args.fleet_deadline_secs);
+    cfg.echo = true;
+    match Fleet::new(cfg).run() {
+        Ok(summary) => {
+            eprintln!(
+                "mar-fleet: driver exit={:?} restarts={:?} gave_up={:?} mttr_ms={:?} wal_replayed_bytes={} elapsed={:?}",
+                summary.driver_code,
+                summary.restarts,
+                summary.gave_up,
+                summary.mttr_ms(),
+                summary.wal_replayed_bytes(),
+                summary.elapsed
+            );
+            match summary.driver_code {
+                Some(0) if summary.gave_up.is_empty() => ExitCode::SUCCESS,
+                Some(c) => ExitCode::from(c.clamp(1, 255) as u8),
+                None => ExitCode::FAILURE,
+            }
+        }
+        Err(e) => {
+            eprintln!("mar-fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

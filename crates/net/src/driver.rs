@@ -27,11 +27,28 @@
 //! state costs one round trip per window because `WindowDone` piggybacks
 //! the next minimum.
 //!
-//! A dead connection marks the host down: relays to it are dropped (and
-//! counted — exactly what the simulator does with messages to a crashed
-//! node), the window loop continues over the survivors, and a
-//! reconnecting host is re-handshaken with `resume_us` = the driver's
-//! current virtual time, recovering from its write-ahead log.
+//! # Failure handling: resume, restart, give up
+//!
+//! Each host slot holds a [`Peer`] *session* that outlives connections.
+//! When a connection dies (error, clean close, or the `io_timeout`
+//! watchdog), the driver detaches it and **stalls** — the lockstep
+//! schedule waits, because proceeding without the host would change the
+//! event schedule. Three things can end the stall:
+//!
+//! * the host reconnects with `Hello { resume: true }` and the session
+//!   resumes: both sides replay unacknowledged frames, the receiver drops
+//!   what it already processed, and the run continues **byte-identical**
+//!   to an undisturbed one (`net.partitions_healed`);
+//! * the host reconnects fresh (`resume: false` — the process was
+//!   restarted): the slot's session resets, queued relays are dropped
+//!   exactly as the simulator drops messages to a crashed node, the host
+//!   rebuilds from its WAL at `resume_us`, and platform retransmission
+//!   recovers the lost work (`net.restarts`);
+//! * `down_grace` expires: the driver declares the host failed
+//!   (`net.supervisor_gave_up`), drops its relays, and runs the remaining
+//!   fleet to a **partial** settle instead of hanging — reports from
+//!   surviving hosts still drain, and the caller sees `settled == false`
+//!   plus [`NetPlatform::failed_hosts`].
 
 use std::collections::BTreeMap;
 use std::io;
@@ -41,15 +58,17 @@ use mar_core::AgentId;
 use mar_platform::{audit_wallets, AgentHandle, AgentReport, AgentSpec, DriverCore, DriverStable};
 use mar_simnet::{MetricsSnapshot, NodeId, RemoteEvent, SimDuration, World};
 
-use crate::proto::{ownership, NetMsg, Peer, RpcOp, RpcReply, PROTOCOL_VERSION};
+use crate::proto::{
+    ownership, recv_ctl, send_ctl, NetMsg, Peer, RpcOp, RpcReply, PROTOCOL_VERSION,
+};
 use crate::scenarios;
-use crate::transport::{Endpoint, Listener, SocketTransport};
+use crate::transport::{Accept, Endpoint, Listener, Transport};
 
 /// Transport-diagnostic metric names, recorded on the driver's meter.
 /// These exist **only** in distributed runs; every other counter must sum
 /// (across hosts plus driver) to the single-process control's value.
 pub mod netkeys {
-    /// Protocol frames sent by the driver.
+    /// Protocol frames sent by the driver (replays included).
     pub const FRAMES_SENT: &str = "net.frames_sent";
     /// Protocol frames received by the driver (duplicates excluded).
     pub const FRAMES_RECEIVED: &str = "net.frames_received";
@@ -66,8 +85,16 @@ pub mod netkeys {
     pub const WINDOWS: &str = "net.windows";
     /// Deliveries dropped because the owning host was down.
     pub const HOST_DOWN_DROPS: &str = "net.host_down_drops";
-    /// Host re-handshakes after a connection died.
+    /// Host re-handshakes after a connection died (resumed or fresh).
     pub const RECONNECTS: &str = "net.reconnects";
+    /// Re-handshakes that opened a **fresh** session: the host process was
+    /// restarted and recovered from its WAL.
+    pub const RESTARTS: &str = "net.restarts";
+    /// Re-handshakes that **resumed** the existing session: a connection
+    /// outage healed with no simulation-visible effect.
+    pub const PARTITIONS_HEALED: &str = "net.partitions_healed";
+    /// Hosts declared permanently failed after `down_grace` expired.
+    pub const SUPERVISOR_GAVE_UP: &str = "net.supervisor_gave_up";
 
     /// Whether `key` is one of the transport diagnostics above (excluded
     /// from distributed-vs-control counter comparisons).
@@ -81,6 +108,9 @@ pub mod netkeys {
             WINDOWS,
             HOST_DOWN_DROPS,
             RECONNECTS,
+            RESTARTS,
+            PARTITIONS_HEALED,
+            SUPERVISOR_GAVE_UP,
         ]
         .contains(&key)
     }
@@ -108,6 +138,10 @@ pub struct NetCfg {
     pub accept_deadline: Duration,
     /// Per-read watchdog on host connections.
     pub io_timeout: Duration,
+    /// How long the lockstep schedule stalls for a downed host to come
+    /// back (resumed or restarted) before the driver gives up on it and
+    /// degrades to a partial fleet.
+    pub down_grace: Duration,
     /// Wall-clock pause after every window (0 = full speed); lets tests
     /// and demos stretch a run long enough to kill a host mid-flight.
     pub window_delay: Duration,
@@ -124,26 +158,54 @@ impl NetCfg {
             report_cache_cap: 100_000,
             accept_deadline: Duration::from_secs(30),
             io_timeout: Duration::from_secs(30),
+            down_grace: Duration::from_secs(20),
             window_delay: Duration::ZERO,
         }
     }
 }
 
+/// What a resilient receive is waiting for.
+enum Expect {
+    WindowDone { end_us: u64 },
+    AdvanceDone,
+    Rpc { id: u64 },
+}
+
 struct HostSlot {
-    peer: Option<Peer<SocketTransport>>,
+    /// The session: sequence state plus replay buffer, connection
+    /// attached or not.
+    peer: Peer<Box<dyn Transport>>,
+    /// A session epoch is established (initial `Ready` seen); resumes
+    /// keep it, fresh handshakes reset it.
+    session_live: bool,
+    /// Bumped on every session reset — in-flight awaits notice their
+    /// reply became void.
+    epoch: u64,
+    /// Permanently failed: `down_grace` expired with no reconnection.
+    failed: bool,
+    /// When the current outage started (None while attached).
+    down_since: Option<Instant>,
+    /// The slot has completed at least one handshake ever.
+    ever_joined: bool,
     /// Deliveries awaiting relay to this host.
     pending: Vec<RemoteEvent>,
     /// The host's earliest pending event, as last reported.
     next_min: Option<u64>,
 }
 
+impl HostSlot {
+    fn attached(&self) -> bool {
+        !self.failed && self.peer.is_attached()
+    }
+}
+
 /// Everything that talks to the outside: the driver's all-remote world,
-/// the listener, and the per-host connections. Split from [`NetPlatform`]
-/// so the shared `DriverCore` harvest logic can borrow it as its
-/// [`DriverStable`] while the core itself is borrowed mutably.
+/// the connection source, and the per-host sessions. Split from
+/// [`NetPlatform`] so the shared `DriverCore` harvest logic can borrow it
+/// as its [`DriverStable`] while the core itself is borrowed mutably.
 struct NetState {
     world: World,
-    listener: Listener,
+    acceptor: Box<dyn Accept>,
     slots: Vec<HostSlot>,
     owned: Vec<Vec<u32>>,
     /// node id → owning host id.
@@ -153,6 +215,7 @@ struct NetState {
     n_nodes: u32,
     lookahead_us: u64,
     io_timeout: Duration,
+    down_grace: Duration,
     window_delay: Duration,
     rpc_seq: u64,
 }
@@ -173,6 +236,19 @@ impl NetPlatform {
     /// scenarios, and hosts that fail to appear within the accept
     /// deadline.
     pub fn start(cfg: NetCfg) -> io::Result<NetPlatform> {
+        let listener = Listener::bind(&cfg.endpoint)?;
+        listener.set_nonblocking(true)?;
+        NetPlatform::start_with(Box::new(listener), cfg)
+    }
+
+    /// [`NetPlatform::start`] with an explicit connection source — chaos
+    /// tests hand the driver fault-wrapped loopback ends through a
+    /// [`crate::transport::ChannelAcceptor`] instead of a bound socket.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetPlatform::start`], minus the bind.
+    pub fn start_with(acceptor: Box<dyn Accept>, cfg: NetCfg) -> io::Result<NetPlatform> {
         let n_nodes = scenarios::node_count(&cfg.scenario)
             .ok_or_else(|| invalid(format!("unknown scenario {:?}", cfg.scenario)))?;
         let builder = scenarios::builder(&cfg.scenario, cfg.seed)
@@ -181,8 +257,6 @@ impl NetPlatform {
             .try_build_remote(&[])
             .map_err(|e| invalid(format!("driver world build failed: {e}")))?;
         let lookahead_us = world.net().latency_model().min_latency().as_micros();
-        let listener = Listener::bind(&cfg.endpoint)?;
-        listener.set_nonblocking(true)?;
         let owned = ownership(n_nodes, cfg.hosts);
         let mut owner_of = vec![0u32; n_nodes as usize];
         for (h, nodes) in owned.iter().enumerate() {
@@ -192,14 +266,19 @@ impl NetPlatform {
         }
         let slots = (0..cfg.hosts)
             .map(|_| HostSlot {
-                peer: None,
+                peer: Peer::detached(),
+                session_live: false,
+                epoch: 0,
+                failed: false,
+                down_since: None,
+                ever_joined: false,
                 pending: Vec::new(),
                 next_min: None,
             })
             .collect();
         let mut net = NetState {
             world,
-            listener,
+            acceptor,
             slots,
             owned,
             owner_of,
@@ -208,11 +287,12 @@ impl NetPlatform {
             n_nodes,
             lookahead_us,
             io_timeout: cfg.io_timeout,
+            down_grace: cfg.down_grace,
             window_delay: cfg.window_delay,
             rpc_seq: 0,
         };
         let deadline = Instant::now() + cfg.accept_deadline;
-        while net.slots.iter().any(|s| s.peer.is_none()) {
+        while net.slots.iter().any(|s| !s.session_live) {
             if Instant::now() > deadline {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
@@ -268,7 +348,12 @@ impl NetPlatform {
             .collect();
         let end = self.net.world.now() + deadline;
         while !pending.is_empty() && self.net.world.now() < end {
-            if self.net.slots.iter().any(|s| s.peer.is_none()) {
+            if self
+                .net
+                .slots
+                .iter()
+                .any(|s| !s.failed && !s.peer.is_attached())
+            {
                 std::thread::sleep(Duration::from_millis(10));
             }
             self.run_for(SETTLE_TICK);
@@ -344,17 +429,30 @@ impl NetPlatform {
 
     /// Whether every host slot currently has a live connection.
     pub fn all_hosts_connected(&self) -> bool {
-        self.net.slots.iter().all(|s| s.peer.is_some())
+        self.net.slots.iter().all(HostSlot::attached)
+    }
+
+    /// Hosts the driver gave up on (restart budget/grace exhausted) — the
+    /// structured failure summary behind a partial settle.
+    pub fn failed_hosts(&self) -> Vec<u32> {
+        self.net
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.failed)
+            .map(|(h, _)| h as u32)
+            .collect()
     }
 
     /// Tells every host the run is over. Errors are ignored — a host that
     /// already vanished needs no shutdown.
     pub fn shutdown(&mut self) {
-        for h in 0..self.net.slots.len() {
-            if let Some(peer) = &mut self.net.slots[h].peer {
-                let _ = peer.send(&NetMsg::Shutdown);
+        for slot in &mut self.net.slots {
+            if slot.attached() {
+                let _ = slot.peer.send(&NetMsg::Shutdown);
             }
-            self.net.slots[h].peer = None;
+            slot.peer = Peer::detached();
+            slot.session_live = false;
         }
     }
 }
@@ -364,22 +462,27 @@ impl NetState {
     /// slots; `true` if at least one host (re)joined.
     fn poll_accepts(&mut self) -> io::Result<bool> {
         let mut any = false;
-        while let Some(mut transport) = self.listener.accept()? {
-            transport.set_read_timeout(Some(self.io_timeout))?;
+        while let Some(mut transport) = self.acceptor.poll()? {
+            let _ = transport.set_read_timeout(Some(self.io_timeout));
             // A broken hello poisons one connection, nothing else: the
             // transport is dropped and the loop keeps accepting.
-            if self.handshake(Peer::new(transport)).is_ok() {
+            if self.handshake(transport).is_ok() {
                 any = true;
             }
         }
         Ok(any)
     }
 
-    /// Runs the hello/topology/ready exchange on a fresh connection and
-    /// installs it in its slot.
-    fn handshake(&mut self, mut peer: Peer<SocketTransport>) -> io::Result<()> {
-        let host_id = match peer.recv()? {
-            Some(NetMsg::Hello { version, host_id }) if version == PROTOCOL_VERSION => host_id,
+    /// Runs the hello/topology exchange on a fresh connection and installs
+    /// it in its slot — resuming the existing session when the host kept
+    /// its state, resetting to a fresh one when the process was restarted.
+    fn handshake(&mut self, mut transport: Box<dyn Transport>) -> io::Result<()> {
+        let (host_id, resume) = match recv_ctl(&mut transport)? {
+            Some(NetMsg::Hello {
+                version,
+                host_id,
+                resume,
+            }) if version == PROTOCOL_VERSION => (host_id, resume),
             Some(NetMsg::Hello { version, .. }) => {
                 return Err(invalid(format!("host speaks protocol {version}")));
             }
@@ -389,34 +492,224 @@ impl NetState {
         if host_id as usize >= self.slots.len() {
             return Err(invalid(format!("host id {host_id} out of range")));
         }
-        let reconnect = self.slots[host_id as usize].peer.is_some()
-            || self.world.now().as_micros() > 0
-            || self.slots[host_id as usize].next_min.is_some();
-        peer.send(&NetMsg::Topology {
-            version: PROTOCOL_VERSION,
-            scenario: self.scenario.clone(),
-            seed: self.seed,
-            n_nodes: self.n_nodes,
-            owned: self.owned[host_id as usize].clone(),
-            resume_us: self.world.now().as_micros(),
-        })?;
+        if self.slots[host_id as usize].failed {
+            // Too late: the fleet already degraded past this host. A
+            // deterministic end state beats a half-rejoined straggler.
+            return Err(invalid(format!("host {host_id} was given up on")));
+        }
+        let resume_ok = resume && self.slots[host_id as usize].session_live;
+        let rejoin = self.slots[host_id as usize].ever_joined;
+        send_ctl(
+            &mut transport,
+            &NetMsg::Topology {
+                version: PROTOCOL_VERSION,
+                scenario: self.scenario.clone(),
+                seed: self.seed,
+                n_nodes: self.n_nodes,
+                owned: self.owned[host_id as usize].clone(),
+                resume_us: self.world.now().as_micros(),
+                resume_ok,
+            },
+        )?;
         self.world.metrics().inc(netkeys::FRAMES_SENT);
-        let (egress, next_min) = match peer.recv()? {
-            Some(NetMsg::Ready {
-                egress,
-                next_min_us,
-            }) => (egress, next_min_us),
-            other => return Err(invalid(format!("expected Ready, got {other:?}"))),
-        };
-        self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
-        if reconnect {
-            self.world.metrics().inc(netkeys::RECONNECTS);
+        if resume_ok {
+            let slot = &mut self.slots[host_id as usize];
+            drop(slot.peer.detach()); // replace a stale half-dead connection
+            slot.peer.attach(transport);
+            match slot.peer.replay_unacked() {
+                Ok(replayed) => {
+                    self.world
+                        .metrics()
+                        .add(netkeys::FRAMES_SENT, replayed as u64);
+                }
+                Err(e) => {
+                    self.slots[host_id as usize].peer.detach();
+                    return Err(e);
+                }
+            }
+        } else {
+            self.reset_session(host_id as usize);
+            let slot = &mut self.slots[host_id as usize];
+            slot.peer = Peer::new(transport);
+            // First session frame must be Ready: the host builds (or
+            // recovers) its world before sending it, so this read waits
+            // out WAL replay under the io watchdog. Any failure leaves the
+            // slot detached — a half-handshaken transport must not linger.
+            let (egress, next_min) = match slot.peer.recv() {
+                Ok(Some(NetMsg::Ready {
+                    egress,
+                    next_min_us,
+                })) => (egress, next_min_us),
+                Ok(other) => {
+                    slot.peer = Peer::detached();
+                    return Err(invalid(format!("expected Ready, got {other:?}")));
+                }
+                Err(e) => {
+                    slot.peer = Peer::detached();
+                    return Err(e);
+                }
+            };
+            self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
+            let slot = &mut self.slots[host_id as usize];
+            slot.session_live = true;
+            slot.next_min = next_min;
+            self.route(egress);
         }
         let slot = &mut self.slots[host_id as usize];
-        slot.peer = Some(peer);
-        slot.next_min = next_min;
-        self.route(egress);
+        slot.down_since = None;
+        slot.ever_joined = true;
+        if rejoin {
+            self.world.metrics().inc(netkeys::RECONNECTS);
+            if resume_ok {
+                self.world.metrics().inc(netkeys::PARTITIONS_HEALED);
+            } else {
+                self.world.metrics().inc(netkeys::RESTARTS);
+            }
+        }
         Ok(())
+    }
+
+    /// Voids the slot's session: epoch bump (in-flight awaits return
+    /// empty-handed), fresh sequence state, queued relays dropped — the
+    /// distributed analogue of the simulator dropping messages to a
+    /// crashed node.
+    fn reset_session(&mut self, h: usize) {
+        let slot = &mut self.slots[h];
+        slot.epoch += 1;
+        slot.peer = Peer::detached();
+        slot.session_live = false;
+        slot.next_min = None;
+        let dropped = slot.pending.len() as u64;
+        slot.pending.clear();
+        if dropped > 0 {
+            self.world.metrics().add(netkeys::HOST_DOWN_DROPS, dropped);
+        }
+    }
+
+    /// Marks the slot's connection dead (session kept for resumption).
+    fn on_conn_error(&mut self, h: usize) {
+        let slot = &mut self.slots[h];
+        drop(slot.peer.detach());
+        if slot.down_since.is_none() {
+            slot.down_since = Some(Instant::now());
+        }
+    }
+
+    /// Declares a host permanently failed and degrades the fleet.
+    fn give_up(&mut self, h: usize) {
+        self.reset_session(h);
+        let slot = &mut self.slots[h];
+        slot.failed = true;
+        slot.down_since = None;
+        self.world.metrics().inc(netkeys::SUPERVISOR_GAVE_UP);
+    }
+
+    /// Blocks until slot `h` is attached with a live session, accepting
+    /// reconnections meanwhile; `false` once the host is (or becomes)
+    /// permanently failed.
+    fn wait_attached(&mut self, h: usize) -> bool {
+        loop {
+            if self.slots[h].failed {
+                return false;
+            }
+            if self.slots[h].attached() && self.slots[h].session_live {
+                return true;
+            }
+            let grace_expired = match self.slots[h].down_since {
+                Some(t) => t.elapsed() > self.down_grace,
+                // A live slot missing its session (half-finished fresh
+                // handshake): start the outage clock now.
+                None => {
+                    self.slots[h].down_since = Some(Instant::now());
+                    false
+                }
+            };
+            if grace_expired {
+                self.give_up(h);
+                return false;
+            }
+            match self.poll_accepts() {
+                Ok(true) => {}
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Commits one message to host `h`'s session, stalling for a
+    /// reconnection if needed. `true` means the frame is in the session
+    /// (delivered now or by replay after a resume); `false` means the
+    /// host is failed. A transport error does **not** retry the send —
+    /// the frame is already retained, and re-sending would duplicate it.
+    fn send_to(&mut self, h: usize, msg: &NetMsg) -> bool {
+        if !self.wait_attached(h) {
+            return false;
+        }
+        match self.slots[h].peer.send(msg) {
+            Ok(()) => {}
+            Err(_) => self.on_conn_error(h),
+        }
+        self.world.metrics().inc(netkeys::FRAMES_SENT);
+        true
+    }
+
+    /// Receives until the expected reply arrives, riding out reconnects
+    /// and replays. Stray state-bearing frames (an unsolicited
+    /// `WindowDone` from a graceful host shutdown, a stale RPC reply) are
+    /// folded into slot state and skipped. Returns `None` if the host
+    /// failed or its session was reset (the awaited reply died with it).
+    fn recv_reply(&mut self, h: usize, expect: &Expect) -> Option<NetMsg> {
+        let entry_epoch = self.slots[h].epoch;
+        loop {
+            if !self.wait_attached(h) || self.slots[h].epoch != entry_epoch {
+                return None;
+            }
+            let msg = match self.slots[h].peer.recv() {
+                Ok(Some(msg)) => msg,
+                Ok(None) | Err(_) => {
+                    // Clean close, watchdog expiry, or poisoned frame: the
+                    // connection is gone either way; stall for a resume.
+                    self.on_conn_error(h);
+                    continue;
+                }
+            };
+            self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
+            match msg {
+                NetMsg::WindowDone {
+                    end_us,
+                    egress,
+                    next_min_us,
+                } => {
+                    self.slots[h].next_min = next_min_us;
+                    self.route(egress);
+                    if matches!(expect, Expect::WindowDone { end_us: want } if *want == end_us) {
+                        return Some(NetMsg::WindowDone {
+                            end_us,
+                            egress: Vec::new(),
+                            next_min_us,
+                        });
+                    }
+                }
+                NetMsg::AdvanceDone { next_min_us } => {
+                    self.slots[h].next_min = next_min_us;
+                    if matches!(expect, Expect::AdvanceDone) {
+                        return Some(NetMsg::AdvanceDone { next_min_us });
+                    }
+                }
+                NetMsg::RpcReply { id, reply } => {
+                    if matches!(expect, Expect::Rpc { id: want } if *want == id) {
+                        return Some(NetMsg::RpcReply { id, reply });
+                    }
+                }
+                other => {
+                    // A host sending driver-bound commands is broken
+                    // beyond resumption; a replayed bad frame would loop
+                    // forever, so degrade deterministically.
+                    let _ = other;
+                    self.give_up(h);
+                    return None;
+                }
+            }
+        }
     }
 
     /// Queues diverted deliveries for relay to their owning hosts.
@@ -424,56 +717,6 @@ impl NetState {
         for ev in events {
             let owner = self.owner_of[ev.to_node as usize] as usize;
             self.slots[owner].pending.push(ev);
-        }
-    }
-
-    /// Sends one message to a host, tearing the connection down on error.
-    fn send_to(&mut self, h: usize, msg: &NetMsg) -> bool {
-        let Some(peer) = &mut self.slots[h].peer else {
-            return false;
-        };
-        match peer.send(msg) {
-            Ok(()) => {
-                self.world.metrics().inc(netkeys::FRAMES_SENT);
-                true
-            }
-            Err(_) => {
-                self.mark_down(h);
-                false
-            }
-        }
-    }
-
-    /// Receives one message from a host, tearing the connection down on
-    /// error or clean close.
-    fn recv_from(&mut self, h: usize) -> Option<NetMsg> {
-        let Some(peer) = &mut self.slots[h].peer else {
-            return None;
-        };
-        match peer.recv() {
-            Ok(Some(msg)) => {
-                self.world.metrics().inc(netkeys::FRAMES_RECEIVED);
-                Some(msg)
-            }
-            Ok(None) | Err(_) => {
-                self.mark_down(h);
-                None
-            }
-        }
-    }
-
-    /// Declares a host dead: its connection is dropped, its queued relays
-    /// are discarded (the distributed analogue of the simulator dropping
-    /// messages to a crashed node), and its minimum is unknown until a
-    /// reconnection's `Ready`.
-    fn mark_down(&mut self, h: usize) {
-        let slot = &mut self.slots[h];
-        slot.peer = None;
-        slot.next_min = None;
-        let dropped = slot.pending.len() as u64;
-        slot.pending.clear();
-        if dropped > 0 {
-            self.world.metrics().add(netkeys::HOST_DOWN_DROPS, dropped);
         }
     }
 
@@ -494,7 +737,7 @@ impl NetState {
                     continue;
                 }
                 let events = std::mem::take(&mut self.slots[h].pending);
-                if self.slots[h].peer.is_none() {
+                if self.slots[h].failed {
                     self.world
                         .metrics()
                         .add(netkeys::HOST_DOWN_DROPS, events.len() as u64);
@@ -509,11 +752,13 @@ impl NetState {
                     self.world.metrics().add(netkeys::EVENTS_RELAYED, relayed);
                     self.world.metrics().add(netkeys::BILLED_BYTES, billed);
                     self.world.metrics().add(netkeys::PAYLOAD_BYTES, payload);
+                } else {
+                    self.world.metrics().add(netkeys::HOST_DOWN_DROPS, relayed);
                 }
             }
             let mut m = injected_min;
             for slot in &self.slots {
-                if slot.peer.is_some() {
+                if !slot.failed {
                     m = min_opt(m, slot.next_min);
                 }
             }
@@ -529,27 +774,14 @@ impl NetState {
                 .saturating_add(self.lookahead_us)
                 .min(target_us.saturating_add(1))
                 .max(m + 1);
-            let alive: Vec<usize> = (0..self.slots.len())
-                .filter(|&h| self.slots[h].peer.is_some())
-                .collect();
-            let mut running = Vec::with_capacity(alive.len());
-            for h in alive {
-                if self.send_to(h, &NetMsg::RunWindow { end_us: end }) {
+            let mut running = Vec::with_capacity(self.slots.len());
+            for h in 0..self.slots.len() {
+                if !self.slots[h].failed && self.send_to(h, &NetMsg::RunWindow { end_us: end }) {
                     running.push(h);
                 }
             }
             for h in running {
-                match self.recv_from(h) {
-                    Some(NetMsg::WindowDone {
-                        egress,
-                        next_min_us,
-                    }) => {
-                        self.slots[h].next_min = next_min_us;
-                        self.route(egress);
-                    }
-                    Some(_) => self.mark_down(h),
-                    None => {}
-                }
+                let _ = self.recv_reply(h, &Expect::WindowDone { end_us: end });
             }
             self.world.advance_clock_to(end.saturating_sub(1));
             self.world.metrics().inc(netkeys::WINDOWS);
@@ -559,40 +791,32 @@ impl NetState {
         }
         // Quiescent before the boundary: finalize every clock at it.
         for h in 0..self.slots.len() {
-            if self.send_to(h, &NetMsg::AdvanceTo { target_us }) {
-                match self.recv_from(h) {
-                    Some(NetMsg::AdvanceDone { next_min_us }) => {
-                        self.slots[h].next_min = next_min_us;
-                    }
-                    Some(_) => self.mark_down(h),
-                    None => {}
-                }
+            if !self.slots[h].failed && self.send_to(h, &NetMsg::AdvanceTo { target_us }) {
+                let _ = self.recv_reply(h, &Expect::AdvanceDone);
             }
         }
         self.world.advance_clock_to(target_us);
     }
 
-    /// One synchronous RPC against a host; `None` if the host is down or
-    /// the connection died mid-call.
+    /// One synchronous RPC against a host; `None` if the host is failed
+    /// or its session reset mid-call.
     fn rpc(&mut self, h: usize, op: RpcOp) -> Option<RpcReply> {
         self.rpc_seq += 1;
         let id = self.rpc_seq;
         if !self.send_to(h, &NetMsg::Rpc { id, op }) {
             return None;
         }
-        match self.recv_from(h) {
-            Some(NetMsg::RpcReply { id: got, reply }) if got == id => Some(reply),
-            Some(_) | None => {
-                self.mark_down(h);
-                None
-            }
+        match self.recv_reply(h, &Expect::Rpc { id }) {
+            Some(NetMsg::RpcReply { reply, .. }) => Some(reply),
+            _ => None,
         }
     }
 }
 
 /// The remote form of the driver's stable access: every call is one RPC to
-/// the owning host, at quiescent points between windows. A downed host
-/// reads as empty — its durable state reappears after recovery.
+/// the owning host, at quiescent points between windows. A failed host
+/// reads as empty — partial results are the surviving hosts' durable
+/// state.
 impl DriverStable for NetState {
     fn keys_with_prefix(&mut self, node: NodeId, prefix: &str) -> Vec<String> {
         let h = self.owner_of[node.0 as usize] as usize;

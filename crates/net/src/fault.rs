@@ -1,0 +1,334 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! A [`FaultPlan`] scripts the misbehaviour of one driver⇄host link from a
+//! seeded RNG: per-frame drop/duplicate/delay dice, partition windows
+//! (frame-index ranges during which nothing gets through in either
+//! direction), and a kill-at-frame-N process-death trigger. Wrapping both
+//! ends of a [`crate::transport::Loopback`] pair in [`FaultyTransport`]s
+//! gives tests a chaos campaign with no kernel, no signals, and no wall
+//! clock in the loop — every fault the session layer must absorb, scripted
+//! and replayable.
+//!
+//! Faults are applied on the **send** side (the wire eats frames, not the
+//! reader): a dropped or partitioned frame is silently swallowed, a
+//! duplicated frame is sent twice, a delayed frame is held back and
+//! reordered behind the next send. The shared frame counter and kill flag
+//! persist across reconnections, so a plan describes a whole run, not one
+//! connection.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mar_simnet::SimRng;
+
+use crate::transport::Transport;
+
+/// The scripted misbehaviour of one link. Probabilities are per-mille per
+/// frame; partitions and the kill trigger are indexed by the link's
+/// cumulative sent-frame count (both directions, reconnections included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the per-direction fault dice.
+    pub seed: u64,
+    /// Per-mille chance a frame is silently dropped.
+    pub drop_per_mille: u16,
+    /// Per-mille chance a frame is delivered twice.
+    pub dup_per_mille: u16,
+    /// Per-mille chance a frame is held and reordered behind the next.
+    pub delay_per_mille: u16,
+    /// `(start, len)` frame-index windows during which every frame is
+    /// dropped — a network partition.
+    pub partitions: Vec<(u64, u64)>,
+    /// Simulated process death: once the cumulative frame count reaches
+    /// this index the link reports broken-pipe until
+    /// [`FaultHandle::revive`] (fires at most once).
+    pub kill_at_frame: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the control arm).
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Which partition window (if any) covers frame `idx`.
+    fn partition_at(&self, idx: u64) -> Option<usize> {
+        self.partitions
+            .iter()
+            .position(|&(start, len)| idx >= start && idx < start + len)
+    }
+
+    /// Wraps both ends of a transport pair under this plan. The `handle`
+    /// carries the state that outlives connections (frame counter, kill
+    /// flag, fault tallies): reuse one handle across every reconnection
+    /// of the same logical link, bumping `conn` to vary the dice.
+    pub fn wrap_pair<A: Transport, B: Transport>(
+        &self,
+        handle: &FaultHandle,
+        a: A,
+        b: B,
+        conn: u64,
+    ) -> (FaultyTransport<A>, FaultyTransport<B>) {
+        (
+            FaultyTransport::new(a, self.clone(), handle, conn.wrapping_mul(2)),
+            FaultyTransport::new(b, self.clone(), handle, conn.wrapping_mul(2) + 1),
+        )
+    }
+}
+
+/// Fault tallies, summed over both directions of a link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames swallowed by the drop dice.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back and reordered.
+    pub delayed: u64,
+    /// Frames swallowed by a partition window.
+    pub partition_drops: u64,
+    /// Partition windows that actually ate at least one frame and then
+    /// let traffic through again.
+    pub partitions_healed: u64,
+    /// Kill triggers fired (0 or 1).
+    pub kills: u64,
+}
+
+struct FaultShared {
+    frames: AtomicU64,
+    killed: AtomicBool,
+    kill_done: AtomicBool,
+    stats: Mutex<FaultStats>,
+}
+
+/// The cross-connection state of one faulted link: cumulative frame
+/// counter, kill flag, and tallies. Clone freely; all clones observe the
+/// same link.
+#[derive(Clone)]
+pub struct FaultHandle {
+    shared: Arc<FaultShared>,
+}
+
+impl FaultHandle {
+    /// A fresh link state (no frames seen, not killed).
+    pub fn new() -> Self {
+        FaultHandle {
+            shared: Arc::new(FaultShared {
+                frames: AtomicU64::new(0),
+                killed: AtomicBool::new(false),
+                kill_done: AtomicBool::new(false),
+                stats: Mutex::new(FaultStats::default()),
+            }),
+        }
+    }
+
+    /// Whether the kill trigger has fired and not been revived.
+    pub fn killed(&self) -> bool {
+        self.shared.killed.load(Ordering::SeqCst)
+    }
+
+    /// Clears the kill flag — the "supervisor restarted the process"
+    /// moment. The trigger will not fire again.
+    pub fn revive(&self) {
+        self.shared.killed.store(false, Ordering::SeqCst);
+    }
+
+    /// Cumulative frames pushed at the link (both directions, faulted or
+    /// not).
+    pub fn frames(&self) -> u64 {
+        self.shared.frames.load(Ordering::SeqCst)
+    }
+
+    /// Current fault tallies.
+    pub fn stats(&self) -> FaultStats {
+        *self.shared.stats.lock().unwrap()
+    }
+}
+
+impl Default for FaultHandle {
+    fn default() -> Self {
+        FaultHandle::new()
+    }
+}
+
+/// One direction of a faulted link; see the module docs for semantics.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    rng: SimRng,
+    /// A frame held by the delay dice, delivered after the next send.
+    held: Option<Vec<u8>>,
+    /// The partition window the previous send fell into, if any — for
+    /// heal detection.
+    in_partition: Option<usize>,
+    shared: Arc<FaultShared>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    fn new(inner: T, plan: FaultPlan, handle: &FaultHandle, salt: u64) -> Self {
+        let rng = SimRng::seed_from(plan.seed ^ 0xFA17_0000u64.wrapping_add(salt));
+        FaultyTransport {
+            inner,
+            plan,
+            rng,
+            held: None,
+            in_partition: None,
+            shared: handle.shared.clone(),
+        }
+    }
+
+    fn broken() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "fault layer: link killed")
+    }
+
+    fn note_heal(&mut self) {
+        if self.in_partition.take().is_some() {
+            self.shared.stats.lock().unwrap().partitions_healed += 1;
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.shared.killed.load(Ordering::SeqCst) {
+            return Err(Self::broken());
+        }
+        let idx = self.shared.frames.fetch_add(1, Ordering::SeqCst);
+        if let Some(k) = self.plan.kill_at_frame {
+            if idx >= k && !self.shared.kill_done.swap(true, Ordering::SeqCst) {
+                self.shared.killed.store(true, Ordering::SeqCst);
+                self.shared.stats.lock().unwrap().kills += 1;
+                return Err(Self::broken());
+            }
+        }
+        if let Some(w) = self.plan.partition_at(idx) {
+            self.in_partition = Some(w);
+            self.shared.stats.lock().unwrap().partition_drops += 1;
+            return Ok(());
+        }
+        self.note_heal();
+        let roll = (self.rng.f64() * 1000.0) as u16;
+        let (p_drop, p_dup, p_delay) = (
+            self.plan.drop_per_mille,
+            self.plan.dup_per_mille,
+            self.plan.delay_per_mille,
+        );
+        if roll < p_drop {
+            self.shared.stats.lock().unwrap().dropped += 1;
+            return Ok(());
+        }
+        if roll < p_drop + p_dup {
+            self.shared.stats.lock().unwrap().duplicated += 1;
+            self.inner.send(frame)?;
+            return self.inner.send(frame);
+        }
+        if roll < p_drop + p_dup + p_delay {
+            // Hold this frame; it rides out behind the next one (or is
+            // lost with the connection, which the session layer absorbs
+            // like a drop).
+            if let Some(prev) = self.held.replace(frame.to_vec()) {
+                self.inner.send(&prev)?;
+            }
+            self.shared.stats.lock().unwrap().delayed += 1;
+            return Ok(());
+        }
+        self.inner.send(frame)?;
+        if let Some(prev) = self.held.take() {
+            self.inner.send(&prev)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.shared.killed.load(Ordering::SeqCst) {
+            return Err(Self::broken());
+        }
+        self.inner.recv()
+    }
+
+    fn set_read_timeout(&mut self, d: Option<std::time::Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Loopback;
+
+    #[test]
+    fn clean_plan_is_a_passthrough() {
+        let handle = FaultHandle::new();
+        let (a, b) = Loopback::pair();
+        let (mut a, mut b) = FaultPlan::clean(7).wrap_pair(&handle, a, b, 0);
+        a.send(b"one").unwrap();
+        b.send(b"two").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"one");
+        assert_eq!(a.recv().unwrap().unwrap(), b"two");
+        assert_eq!(handle.frames(), 2);
+        assert_eq!(handle.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn partition_window_eats_frames_then_heals() {
+        let plan = FaultPlan {
+            partitions: vec![(1, 2)],
+            ..FaultPlan::clean(3)
+        };
+        let handle = FaultHandle::new();
+        let (a, b) = Loopback::pair();
+        let (mut a, mut b) = plan.wrap_pair(&handle, a, b, 0);
+        a.send(b"f0").unwrap(); // idx 0: passes
+        a.send(b"f1").unwrap(); // idx 1: partitioned
+        a.send(b"f2").unwrap(); // idx 2: partitioned
+        a.send(b"f3").unwrap(); // idx 3: passes, heals
+        assert_eq!(b.recv().unwrap().unwrap(), b"f0");
+        assert_eq!(b.recv().unwrap().unwrap(), b"f3");
+        let stats = handle.stats();
+        assert_eq!(stats.partition_drops, 2);
+        assert_eq!(stats.partitions_healed, 1);
+    }
+
+    #[test]
+    fn kill_fires_once_and_revive_restores_the_link() {
+        let plan = FaultPlan {
+            kill_at_frame: Some(1),
+            ..FaultPlan::clean(3)
+        };
+        let handle = FaultHandle::new();
+        let (a, b) = Loopback::pair();
+        let (mut a, mut b) = plan.wrap_pair(&handle, a, b, 0);
+        a.send(b"f0").unwrap();
+        assert_eq!(a.send(b"f1").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert!(handle.killed());
+        assert_eq!(b.recv().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        handle.revive();
+        a.send(b"f2").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"f0");
+        assert_eq!(b.recv().unwrap().unwrap(), b"f2");
+        assert_eq!(handle.stats().kills, 1);
+    }
+
+    #[test]
+    fn delay_reorders_behind_the_next_frame() {
+        let plan = FaultPlan {
+            delay_per_mille: 1000,
+            ..FaultPlan::clean(11)
+        };
+        let handle = FaultHandle::new();
+        let (a, b) = Loopback::pair();
+        // Every frame is "delayed": each send holds its frame and
+        // releases the previously held one, so the stream shifts by one.
+        let (mut a, mut b) = plan.wrap_pair(&handle, a, b, 0);
+        a.send(b"f0").unwrap();
+        a.send(b"f1").unwrap();
+        a.send(b"f2").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"f0");
+        assert_eq!(b.recv().unwrap().unwrap(), b"f1");
+        assert_eq!(handle.stats().delayed, 3);
+    }
+}

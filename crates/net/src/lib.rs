@@ -20,9 +20,17 @@
 //! - [`scenarios`] — the world-builder registry every process compiles in,
 //!   so a scenario name on the wire pins identical worlds everywhere.
 //! - [`host`] — the node-host side: build owned slice, recover from the
-//!   write-ahead log, obey the driver's lockstep windows.
+//!   write-ahead log, obey the driver's lockstep windows, resume sessions
+//!   across dead connections.
 //! - [`driver`] — the coordinator: [`driver::NetPlatform`] mirrors the
-//!   in-process `Platform` API over sockets, bit-identically.
+//!   in-process `Platform` API over sockets, bit-identically, stalling and
+//!   resuming (or degrading) around host failures.
+//! - [`fault`] — deterministic chaos injection: a seeded
+//!   [`fault::FaultPlan`] scripting drop/duplicate/delay/partition/kill
+//!   against any transport.
+//! - [`supervisor`] — the fleet supervisor: spawn driver + hosts, watch
+//!   them, restart crashed hosts with jittered backoff under a budget, and
+//!   run scripted chaos schedules against them.
 //!
 //! The design target is *observational equivalence*: a distributed run and
 //! a single-process run of the same scenario and seed produce the same
@@ -33,12 +41,19 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod fault;
 pub mod host;
 pub mod proto;
 pub mod scenarios;
+pub mod supervisor;
 pub mod transport;
 
 pub use driver::{netkeys, NetCfg, NetPlatform};
-pub use host::{run_host, HostConfig, HostExit};
+pub use fault::{FaultHandle, FaultPlan, FaultStats, FaultyTransport};
+pub use host::{run_host, HostConfig, HostExit, HostRuntime, ServeCtl};
 pub use proto::{NetMsg, Peer, PROTOCOL_VERSION};
+pub use supervisor::{
+    ChaosAction, ChaosEvent, ChaosSchedule, Fleet, FleetConfig, FleetSummary, Recovery,
+    RestartPolicy,
+};
 pub use transport::{Endpoint, Listener, Loopback, SocketTransport, Transport};

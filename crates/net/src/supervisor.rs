@@ -1,0 +1,571 @@
+//! The fleet supervisor: spawn the driver and N node-host processes,
+//! watch them, restart crashed hosts, and (optionally) be the one doing
+//! the crashing.
+//!
+//! [`Fleet::run`] owns the whole lifecycle of one distributed run:
+//!
+//! 1. spawn the driver, then every host, with piped output;
+//! 2. watch children (`try_wait` polling) and host stderr for the
+//!    `joined host=… wal_replayed_bytes=…` lines the hosts emit after
+//!    each handshake — the supervisor's liveness signal and the source of
+//!    the MTTR and WAL-replay recovery-cost numbers;
+//! 3. restart a crashed host with the jittered exponential backoff of
+//!    [`crate::transport::retry_delay`], up to a per-host
+//!    [`RestartPolicy::budget`];
+//! 4. execute a [`ChaosSchedule`] — scripted SIGKILL / SIGSTOP / SIGCONT /
+//!    SIGTERM against specific hosts at wall-clock offsets — so crash and
+//!    partition drills are first-class scenarios, not shell one-liners;
+//! 5. when a host exhausts its budget, stop restarting it and let the
+//!    driver degrade: the driver gives up on the host after its own
+//!    `down_grace`, drains what settled, and exits nonzero with partial
+//!    results. The fleet's exit status is the driver's.
+//!
+//! Everything the caller needs afterwards is in [`FleetSummary`]: the
+//! driver's exit code and captured stdout (reports, money audit, counter
+//! dumps), per-host restart counts, which hosts were given up on, and the
+//! recovery-cost observations (per-restart MTTR, cumulative WAL bytes
+//! replayed).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mar_simnet::SimRng;
+
+use crate::transport::retry_delay;
+
+/// How hard the supervisor tries to keep a host alive.
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    /// Restarts allowed per host before the supervisor gives up on it.
+    pub budget: u32,
+    /// Seed of the jittered backoff stream (shared across hosts, salted
+    /// by host id so a mass crash does not thunder back in lockstep).
+    pub backoff_seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            budget: 3,
+            backoff_seed: 0x5AFE,
+        }
+    }
+}
+
+/// One scripted fault against a running host process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// SIGKILL: instant death, volatile state lost, WAL tail possibly
+    /// torn — the crash the paper's recovery machinery exists for.
+    Kill,
+    /// SIGSTOP: the process freezes mid-protocol — a network partition as
+    /// seen from every peer, healed by a later [`ChaosAction::Resume`].
+    Pause,
+    /// SIGCONT: heal a [`ChaosAction::Pause`] partition.
+    Resume,
+    /// SIGTERM: graceful shutdown — the host flushes its WAL and sends a
+    /// final flush frame before exiting.
+    Term,
+}
+
+/// A scripted fault at a wall-clock offset from fleet start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Milliseconds after the fleet finished spawning.
+    pub at_ms: u64,
+    /// Which host to hit.
+    pub host: u32,
+    /// What to do to it.
+    pub action: ChaosAction,
+}
+
+/// The full fault script of one run, applied in `at_ms` order.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSchedule {
+    /// The events; the supervisor sorts them by offset.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// A schedule that injects nothing (the control arm).
+    pub fn quiet() -> Self {
+        ChaosSchedule::default()
+    }
+}
+
+/// Everything needed to spawn and supervise one distributed run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The driver binary.
+    pub driver_bin: PathBuf,
+    /// Arguments for the driver.
+    pub driver_args: Vec<String>,
+    /// The node-host binary.
+    pub host_bin: PathBuf,
+    /// Arguments for each host; every `{host_id}` substring is replaced
+    /// by the host's id.
+    pub host_args: Vec<String>,
+    /// How many hosts to spawn.
+    pub hosts: u32,
+    /// Restart behaviour.
+    pub restart: RestartPolicy,
+    /// Scripted faults.
+    pub chaos: ChaosSchedule,
+    /// Wall-clock backstop: if the driver has not exited by then the
+    /// whole fleet is killed and `run` fails.
+    pub deadline: Duration,
+    /// Echo child output to the supervisor's own stdout/stderr (on for
+    /// the `mar-fleet` binary, off for quiet tests).
+    pub echo: bool,
+}
+
+impl FleetConfig {
+    /// A config with default policy, no chaos, and a 120 s deadline.
+    pub fn new(driver_bin: PathBuf, host_bin: PathBuf, hosts: u32) -> Self {
+        FleetConfig {
+            driver_bin,
+            driver_args: Vec::new(),
+            host_bin,
+            host_args: Vec::new(),
+            hosts,
+            restart: RestartPolicy::default(),
+            chaos: ChaosSchedule::quiet(),
+            deadline: Duration::from_secs(120),
+            echo: false,
+        }
+    }
+}
+
+/// One observed host recovery: from noticing the death to the host's
+/// `joined` line after its restart.
+#[derive(Debug, Clone, Copy)]
+pub struct Recovery {
+    /// The host that recovered.
+    pub host: u32,
+    /// Death-to-rejoin wall-clock time in milliseconds (the MTTR sample).
+    pub mttr_ms: f64,
+    /// WAL bytes the restarted process replayed to rebuild its state.
+    pub wal_replayed_bytes: u64,
+}
+
+/// What one supervised run amounted to.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// The driver's exit code (`None` if it died to a signal).
+    pub driver_code: Option<i32>,
+    /// The driver's captured stdout lines (reports, money, counters).
+    pub driver_stdout: Vec<String>,
+    /// Restarts performed, per host id.
+    pub restarts: HashMap<u32, u32>,
+    /// Hosts whose budget ran out (the supervisor stopped restarting).
+    pub gave_up: Vec<u32>,
+    /// Every observed recovery, in order.
+    pub recoveries: Vec<Recovery>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl FleetSummary {
+    /// Whether the run fully succeeded: driver exited 0 and no host was
+    /// abandoned.
+    pub fn success(&self) -> bool {
+        self.driver_code == Some(0) && self.gave_up.is_empty()
+    }
+
+    /// Mean time to recovery over all observed restarts, milliseconds.
+    pub fn mttr_ms(&self) -> Option<f64> {
+        if self.recoveries.is_empty() {
+            return None;
+        }
+        Some(self.recoveries.iter().map(|r| r.mttr_ms).sum::<f64>() / self.recoveries.len() as f64)
+    }
+
+    /// Total WAL bytes replayed across all recoveries.
+    pub fn wal_replayed_bytes(&self) -> u64 {
+        self.recoveries.iter().map(|r| r.wal_replayed_bytes).sum()
+    }
+}
+
+/// Lines of interest flowing out of child stderr readers.
+enum Note {
+    HostJoined {
+        host: u32,
+        at: Instant,
+        wal_replayed_bytes: u64,
+    },
+}
+
+struct HostProc {
+    child: Option<Child>,
+    restarts: u32,
+    gave_up: bool,
+    /// When the current outage was noticed (child exit observed).
+    died_at: Option<Instant>,
+    /// When the backoff pause ends and the respawn happens.
+    respawn_at: Option<Instant>,
+    paused: bool,
+}
+
+/// The supervisor. See the module docs for the lifecycle.
+pub struct Fleet {
+    cfg: FleetConfig,
+}
+
+impl Fleet {
+    /// A supervisor for `cfg`.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet { cfg }
+    }
+
+    /// Spawns and supervises the whole run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures and the wall-clock deadline expiring (children are
+    /// killed before returning). A driver that exits nonzero is **not**
+    /// an error here — inspect [`FleetSummary::driver_code`].
+    pub fn run(&mut self) -> io::Result<FleetSummary> {
+        let start = Instant::now();
+        let (note_tx, note_rx) = mpsc::channel::<Note>();
+        let (out_tx, out_rx) = mpsc::channel::<String>();
+        let echo = self.cfg.echo;
+
+        let mut driver = Command::new(&self.cfg.driver_bin)
+            .args(&self.cfg.driver_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        tee_driver(&mut driver, &out_tx, echo);
+
+        let mut hosts: Vec<HostProc> = Vec::new();
+        for h in 0..self.cfg.hosts {
+            let child = self.spawn_host(h, &note_tx)?;
+            hosts.push(HostProc {
+                child: Some(child),
+                restarts: 0,
+                gave_up: false,
+                died_at: None,
+                respawn_at: None,
+                paused: false,
+            });
+        }
+
+        let mut chaos = self.cfg.chaos.events.clone();
+        chaos.sort_by_key(|e| e.at_ms);
+        let mut next_chaos = 0usize;
+        let mut backoff_rng = SimRng::seed_from(self.cfg.restart.backoff_seed);
+        let mut recoveries: Vec<Recovery> = Vec::new();
+        let mut driver_stdout: Vec<String> = Vec::new();
+        let deadline = start + self.cfg.deadline;
+
+        let driver_status = loop {
+            if let Some(status) = driver.try_wait()? {
+                break Some(status);
+            }
+            if Instant::now() > deadline {
+                break None;
+            }
+            // Scripted chaos due now.
+            while next_chaos < chaos.len()
+                && start.elapsed() >= Duration::from_millis(chaos[next_chaos].at_ms)
+            {
+                let ev = chaos[next_chaos];
+                next_chaos += 1;
+                self.apply_chaos(ev, &mut hosts, echo);
+            }
+            // Child watch: notice deaths, schedule and perform restarts.
+            for (h, slot) in hosts.iter_mut().enumerate() {
+                let exited = match &mut slot.child {
+                    Some(child) => child.try_wait()?.is_some(),
+                    None => false,
+                };
+                if exited {
+                    slot.child = None;
+                    if slot.gave_up {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    slot.died_at = Some(now);
+                    slot.paused = false;
+                    if slot.restarts >= self.cfg.restart.budget {
+                        slot.gave_up = true;
+                        slot.respawn_at = None;
+                        if echo {
+                            eprintln!(
+                                "mar-fleet: host {h} exhausted its restart budget ({}); degrading",
+                                self.cfg.restart.budget
+                            );
+                        }
+                        continue;
+                    }
+                    let attempt = slot.restarts;
+                    let pause = retry_delay(attempt, &mut backoff_rng);
+                    slot.respawn_at = Some(now + pause);
+                }
+                if let Some(at) = slot.respawn_at {
+                    if Instant::now() >= at && slot.child.is_none() && !slot.gave_up {
+                        slot.respawn_at = None;
+                        slot.restarts += 1;
+                        if echo {
+                            eprintln!(
+                                "mar-fleet: restarting host {h} (restart {} of {})",
+                                slot.restarts, self.cfg.restart.budget
+                            );
+                        }
+                        slot.child = Some(self.spawn_host(h as u32, &note_tx)?);
+                    }
+                }
+            }
+            // Drain observations.
+            while let Ok(note) = note_rx.try_recv() {
+                match note {
+                    Note::HostJoined {
+                        host,
+                        at,
+                        wal_replayed_bytes,
+                    } => {
+                        if let Some(died) = hosts
+                            .get_mut(host as usize)
+                            .and_then(|hp| hp.died_at.take())
+                        {
+                            recoveries.push(Recovery {
+                                host,
+                                mttr_ms: at.duration_since(died).as_secs_f64() * 1000.0,
+                                wal_replayed_bytes,
+                            });
+                        }
+                    }
+                }
+            }
+            while let Ok(line) = out_rx.try_recv() {
+                driver_stdout.push(line);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+
+        // Wind down: whatever is still running dies now.
+        for hp in &mut hosts {
+            if let Some(child) = &mut hp.child {
+                // A paused child cannot die of SIGKILL until it runs again.
+                signal_pid(child.id(), "-CONT");
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        let driver_status = match driver_status {
+            Some(s) => Some(s),
+            None => {
+                let _ = driver.kill();
+                let _ = driver.wait();
+                None
+            }
+        };
+        // Late output raced the exit: give the reader threads a moment.
+        std::thread::sleep(Duration::from_millis(50));
+        while let Ok(line) = out_rx.try_recv() {
+            driver_stdout.push(line);
+        }
+        while let Ok(note) = note_rx.try_recv() {
+            let Note::HostJoined {
+                host,
+                at,
+                wal_replayed_bytes,
+            } = note;
+            if let Some(died) = hosts
+                .get_mut(host as usize)
+                .and_then(|hp| hp.died_at.take())
+            {
+                recoveries.push(Recovery {
+                    host,
+                    mttr_ms: at.duration_since(died).as_secs_f64() * 1000.0,
+                    wal_replayed_bytes,
+                });
+            }
+        }
+
+        let status = driver_status.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                "fleet deadline expired before the driver exited",
+            )
+        })?;
+        Ok(FleetSummary {
+            driver_code: status.code(),
+            driver_stdout,
+            restarts: hosts
+                .iter()
+                .enumerate()
+                .map(|(h, hp)| (h as u32, hp.restarts))
+                .collect(),
+            gave_up: hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, hp)| hp.gave_up)
+                .map(|(h, _)| h as u32)
+                .collect(),
+            recoveries,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn spawn_host(&self, host_id: u32, notes: &mpsc::Sender<Note>) -> io::Result<Child> {
+        let args: Vec<String> = self
+            .cfg
+            .host_args
+            .iter()
+            .map(|a| a.replace("{host_id}", &host_id.to_string()))
+            .collect();
+        let mut child = Command::new(&self.cfg.host_bin)
+            .args(&args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        watch_host_stderr(&mut child, host_id, notes.clone(), self.cfg.echo);
+        Ok(child)
+    }
+
+    fn apply_chaos(&self, ev: ChaosEvent, hosts: &mut [HostProc], echo: bool) {
+        let Some(hp) = hosts.get_mut(ev.host as usize) else {
+            return;
+        };
+        let Some(child) = &mut hp.child else {
+            return;
+        };
+        if echo {
+            eprintln!(
+                "mar-fleet: chaos {:?} host {} at +{}ms",
+                ev.action, ev.host, ev.at_ms
+            );
+        }
+        match ev.action {
+            ChaosAction::Kill => {
+                let _ = child.kill();
+            }
+            ChaosAction::Pause => {
+                if signal_pid(child.id(), "-STOP") {
+                    hp.paused = true;
+                }
+            }
+            ChaosAction::Resume => {
+                if signal_pid(child.id(), "-CONT") {
+                    hp.paused = false;
+                }
+            }
+            ChaosAction::Term => {
+                signal_pid(child.id(), "-TERM");
+            }
+        }
+    }
+}
+
+/// Sends a signal via `/bin/kill` — keeps this crate free of `unsafe`
+/// while still reaching SIGSTOP/SIGCONT/SIGTERM.
+fn signal_pid(pid: u32, sig: &str) -> bool {
+    Command::new("/bin/kill")
+        .arg(sig)
+        .arg(pid.to_string())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Forwards driver stdout into the collection channel (and optionally the
+/// supervisor's stdout), and driver stderr to the supervisor's stderr.
+fn tee_driver(driver: &mut Child, out: &mpsc::Sender<String>, echo: bool) {
+    if let Some(stdout) = driver.stdout.take() {
+        let out = out.clone();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                if echo {
+                    println!("{line}");
+                }
+                if out.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    if let Some(stderr) = driver.stderr.take() {
+        std::thread::spawn(move || {
+            for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+                if echo {
+                    eprintln!("{line}");
+                }
+            }
+        });
+    }
+}
+
+/// Watches one host's stderr for `joined` lines, reporting them as
+/// [`Note`]s with arrival timestamps (the MTTR clock's rejoin edge).
+fn watch_host_stderr(child: &mut Child, host_id: u32, notes: mpsc::Sender<Note>, echo: bool) {
+    let Some(stderr) = child.stderr.take() else {
+        return;
+    };
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+            if echo {
+                eprintln!("{line}");
+            }
+            if let Some(wal) = parse_joined(&line) {
+                let _ = notes.send(Note::HostJoined {
+                    host: host_id,
+                    at: Instant::now(),
+                    wal_replayed_bytes: wal,
+                });
+            }
+        }
+    });
+}
+
+/// Extracts `wal_replayed_bytes` from a host `joined` stderr line;
+/// `None` for any other line.
+fn parse_joined(line: &str) -> Option<u64> {
+    if !line.contains("joined host=") {
+        return None;
+    }
+    line.split("wal_replayed_bytes=")
+        .nth(1)?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joined_lines_parse() {
+        assert_eq!(
+            parse_joined(
+                "mar-node-host: joined host=1 resume=false at_us=500 wal_replayed_bytes=4096"
+            ),
+            Some(4096)
+        );
+        assert_eq!(parse_joined("mar-node-host: serving"), None);
+    }
+
+    #[test]
+    fn chaos_schedules_sort_stably() {
+        let mut ev = [
+            ChaosEvent {
+                at_ms: 50,
+                host: 1,
+                action: ChaosAction::Kill,
+            },
+            ChaosEvent {
+                at_ms: 10,
+                host: 0,
+                action: ChaosAction::Pause,
+            },
+        ];
+        ev.sort_by_key(|e| e.at_ms);
+        assert_eq!(ev[0].host, 0);
+    }
+}

@@ -7,7 +7,7 @@
 //! inject duplicated, truncated, or malformed frames without a kernel
 //! socket in the loop.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -66,13 +66,56 @@ pub trait Transport: Send {
     fn send(&mut self, frame: &[u8]) -> io::Result<()>;
     /// Receives one frame; `Ok(None)` means the peer closed cleanly
     /// between frames.
+    ///
+    /// With a read timeout installed ([`Transport::set_read_timeout`]), an
+    /// expiry **between** frames surfaces as [`io::ErrorKind::WouldBlock`]
+    /// or [`io::ErrorKind::TimedOut`] with no bytes consumed — the caller
+    /// may poll again. Implementations must never lose framing to a
+    /// timeout: once a frame has started, they block until it completes
+    /// (or the connection is genuinely dead).
     fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+    /// Installs a watchdog on `recv` (`None` blocks forever). The default
+    /// is a no-op for transports that cannot time out.
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        let _ = d;
+        Ok(())
+    }
+}
+
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        (**self).send(frame)
+    }
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        (**self).recv()
+    }
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(d)
+    }
+}
+
+/// Whether `recv` failed because a read timeout expired **between** frames
+/// (no bytes consumed, safe to retry) rather than the connection dying.
+pub fn is_idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// A connected socket (TCP or Unix-domain), buffered both ways.
+///
+/// Two read timeouts guard `recv`: the **poll** timeout applies while
+/// waiting for a frame to begin (letting a serve loop wake up to check a
+/// shutdown flag), and the **watchdog** timeout applies once a frame has
+/// started (a hung peer mid-frame is a dead peer, but a short poll tick
+/// must never tear a frame that straddles it).
 pub struct SocketTransport {
     reader: SocketReader,
     writer: SocketWriter,
+    poll: Option<Duration>,
+    watchdog: Option<Duration>,
+    applied: Option<Duration>,
 }
 
 enum SocketReader {
@@ -93,6 +136,9 @@ impl SocketTransport {
         Ok(SocketTransport {
             reader: SocketReader::Tcp(BufReader::new(stream)),
             writer: SocketWriter::Tcp(BufWriter::new(w)),
+            poll: None,
+            watchdog: None,
+            applied: None,
         })
     }
 
@@ -102,6 +148,9 @@ impl SocketTransport {
         Ok(SocketTransport {
             reader: SocketReader::Unix(BufReader::new(stream)),
             writer: SocketWriter::Unix(BufWriter::new(w)),
+            poll: None,
+            watchdog: None,
+            applied: None,
         })
     }
 
@@ -114,11 +163,48 @@ impl SocketTransport {
     }
 
     /// Applies a read timeout (a watchdog against a hung peer; `None`
-    /// blocks forever).
+    /// blocks forever). Sets both the between-frames poll and the
+    /// mid-frame watchdog.
     pub fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.poll = d;
+        self.watchdog = d;
+        self.apply(d)
+    }
+
+    /// Applies a short between-frames poll interval without touching the
+    /// mid-frame watchdog: `recv` returns [`io::ErrorKind::WouldBlock`]
+    /// after `d` of idleness at a frame boundary, so a serve loop can
+    /// check a shutdown flag and poll again.
+    pub fn set_poll_interval(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.poll = d;
+        self.apply(d)
+    }
+
+    fn apply(&mut self, d: Option<Duration>) -> io::Result<()> {
+        if self.applied == d {
+            return Ok(());
+        }
         match &self.reader {
-            SocketReader::Tcp(r) => r.get_ref().set_read_timeout(d),
-            SocketReader::Unix(r) => r.get_ref().set_read_timeout(d),
+            SocketReader::Tcp(r) => r.get_ref().set_read_timeout(d)?,
+            SocketReader::Unix(r) => r.get_ref().set_read_timeout(d)?,
+        }
+        self.applied = d;
+        Ok(())
+    }
+
+    /// Waits (under the poll timeout) until at least one byte of the next
+    /// frame is buffered, `Ok(false)` on clean EOF.
+    fn wait_for_frame(&mut self) -> io::Result<bool> {
+        self.apply(self.poll)?;
+        loop {
+            let res = match &mut self.reader {
+                SocketReader::Tcp(r) => r.fill_buf().map(|b| !b.is_empty()),
+                SocketReader::Unix(r) => r.fill_buf().map(|b| !b.is_empty()),
+            };
+            match res {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                other => return other,
+            }
         }
     }
 }
@@ -138,10 +224,23 @@ impl Transport for SocketTransport {
     }
 
     fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        // Idle at a frame boundary: no bytes consumed, the caller may
+        // retry. Once the first byte is buffered the frame has begun —
+        // switch to the watchdog so a short poll tick can't tear it.
+        if !self.wait_for_frame()? {
+            return Ok(None);
+        }
+        self.apply(self.watchdog)?;
         match &mut self.reader {
             SocketReader::Tcp(r) => read_frame(r),
             SocketReader::Unix(r) => read_frame(r),
         }
+    }
+
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.poll = d;
+        self.watchdog = d;
+        self.apply(d)
     }
 }
 
@@ -230,6 +329,7 @@ impl Listener {
 pub struct Loopback {
     tx: mpsc::Sender<Vec<u8>>,
     rx: mpsc::Receiver<Vec<u8>>,
+    timeout: Option<Duration>,
 }
 
 impl Loopback {
@@ -237,7 +337,18 @@ impl Loopback {
     pub fn pair() -> (Loopback, Loopback) {
         let (atx, brx) = mpsc::channel();
         let (btx, arx) = mpsc::channel();
-        (Loopback { tx: atx, rx: arx }, Loopback { tx: btx, rx: brx })
+        (
+            Loopback {
+                tx: atx,
+                rx: arx,
+                timeout: None,
+            },
+            Loopback {
+                tx: btx,
+                rx: brx,
+                timeout: None,
+            },
+        )
     }
 }
 
@@ -249,9 +360,65 @@ impl Transport for Loopback {
     }
 
     fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
-        match self.rx.recv() {
-            Ok(f) => Ok(Some(f)),
-            Err(mpsc::RecvError) => Ok(None),
+        match self.timeout {
+            None => match self.rx.recv() {
+                Ok(f) => Ok(Some(f)),
+                Err(mpsc::RecvError) => Ok(None),
+            },
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(f) => Ok(Some(f)),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Ok(None),
+                // Frames are atomic in the queue, so a timeout is always
+                // at a frame boundary — retryable, like the socket path.
+                Err(mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "loopback recv timed out",
+                )),
+            },
+        }
+    }
+
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.timeout = d;
+        Ok(())
+    }
+}
+
+/// Where a driver's host connections come from: a polled source of fresh
+/// transports. Production uses a bound [`Listener`]; chaos tests hand the
+/// driver loopback ends through a [`ChannelAcceptor`], fault layer
+/// included, without a kernel socket in the loop.
+pub trait Accept: Send {
+    /// One pending connection if any is waiting (never blocks).
+    fn poll(&mut self) -> io::Result<Option<Box<dyn Transport>>>;
+}
+
+impl Accept for Listener {
+    fn poll(&mut self) -> io::Result<Option<Box<dyn Transport>>> {
+        Ok(self.accept()?.map(|t| Box::new(t) as Box<dyn Transport>))
+    }
+}
+
+/// An [`Accept`] fed by an in-process channel: whatever transports are
+/// sent into the paired [`mpsc::Sender`] come out as accepted connections.
+pub struct ChannelAcceptor {
+    rx: mpsc::Receiver<Box<dyn Transport>>,
+}
+
+impl ChannelAcceptor {
+    /// A connected (sender, acceptor) pair.
+    pub fn new() -> (mpsc::Sender<Box<dyn Transport>>, ChannelAcceptor) {
+        let (tx, rx) = mpsc::channel();
+        (tx, ChannelAcceptor { rx })
+    }
+}
+
+impl Accept for ChannelAcceptor {
+    fn poll(&mut self) -> io::Result<Option<Box<dyn Transport>>> {
+        match self.rx.try_recv() {
+            Ok(t) => Ok(Some(t)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(None),
         }
     }
 }

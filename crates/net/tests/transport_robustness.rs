@@ -55,7 +55,7 @@ impl DupConn {
         self.conn.send(msg).unwrap();
         self.mirror.send(msg).unwrap();
         let frame = self.capture.recv().unwrap().unwrap();
-        self.conn.transport_mut().send(&frame).unwrap();
+        self.conn.transport_mut().unwrap().send(&frame).unwrap();
     }
 }
 
@@ -122,6 +122,7 @@ fn garbage_kills_the_connection_but_not_the_world() {
     ));
     driver
         .transport_mut()
+        .unwrap()
         .send(&[0x07, 0xDE, 0xAD, 0xBE, 0xEF])
         .unwrap();
     let (kind, mut world) = join.join().unwrap();

@@ -59,6 +59,9 @@ pub struct BackendStats {
     pub recoveries: u64,
     /// Records replayed by recovery passes (cumulative).
     pub replayed_records: u64,
+    /// Bytes read back (checkpoint plus log) by recovery passes
+    /// (cumulative) — the recovery-cost axis of the chaos benchmarks.
+    pub replayed_bytes: u64,
     /// Torn (partially written) log bytes discarded by recovery.
     pub torn_bytes_discarded: u64,
 }

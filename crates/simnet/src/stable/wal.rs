@@ -421,11 +421,12 @@ impl StableBackend for WalBackend {
         self.durable_len = self.log.len();
         // Rebuild the view: checkpoint first, then the log.
         self.view.clear();
-        let (_, from_checkpoint) = WalBackend::replay(&mut self.view, &self.checkpoint);
-        let (_, from_log) = WalBackend::replay(&mut self.view, &self.log);
+        let (ckpt_bytes, from_checkpoint) = WalBackend::replay(&mut self.view, &self.checkpoint);
+        let (log_bytes, from_log) = WalBackend::replay(&mut self.view, &self.log);
         self.pending = 0;
         self.stats.recoveries += 1;
         self.stats.replayed_records += from_checkpoint + from_log;
+        self.stats.replayed_bytes += (ckpt_bytes + log_bytes) as u64;
     }
 
     fn stats(&self) -> BackendStats {

@@ -836,6 +836,47 @@ impl World {
         &mut self.slot_mut(node).stable
     }
 
+    /// Commit barrier across every **local** node's stable store: any
+    /// pending mutations are made crash-durable now. The kernel already
+    /// brackets every event in `begin_batch`/`commit`, so at a quiescent
+    /// point this is a no-op safety net; a graceful shutdown calls it so a
+    /// restart never depends on torn-tail discard. Returns how many stores
+    /// actually had pending work.
+    pub fn flush_stable(&mut self) -> u64 {
+        let mut flushed = 0;
+        for node in self.node_ids() {
+            if self.is_remote(node) {
+                continue;
+            }
+            if self.stable_mut(node).commit() {
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Backend durability stats summed over every **local** node's stable
+    /// store — recovery-cost reporting for supervised restarts.
+    pub fn stable_totals(&self) -> crate::stable::BackendStats {
+        let mut total = crate::stable::BackendStats::default();
+        for node in self.node_ids() {
+            if self.is_remote(node) {
+                continue;
+            }
+            let s = self.stable(node).backend_stats();
+            total.commits += s.commits;
+            total.records += s.records;
+            total.wal_bytes += s.wal_bytes;
+            total.checkpoints += s.checkpoints;
+            total.checkpoint_bytes += s.checkpoint_bytes;
+            total.recoveries += s.recoveries;
+            total.replayed_records += s.replayed_records;
+            total.replayed_bytes += s.replayed_bytes;
+            total.torn_bytes_discarded += s.torn_bytes_discarded;
+        }
+        total
+    }
+
     /// Whether a node is currently up.
     pub fn is_up(&self, node: NodeId) -> bool {
         self.slot(node).up

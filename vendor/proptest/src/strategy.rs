@@ -290,6 +290,8 @@ impl_tuple_strategy! {
     (A.0, B.1);
     (A.0, B.1, C.2);
     (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
 }
 
 // ---- pattern (regex-literal) string strategies -------------------------------
